@@ -1,0 +1,131 @@
+(* resdb_sim: run one ResilientDB cluster experiment from the command line.
+
+   Examples:
+     resdb_sim                                      # paper-default PBFT run
+     resdb_sim --protocol zyzzyva --crashed 1       # Fig 17's collapse
+     resdb_sim -n 32 --batch 1000 --clients 40000
+     resdb_sim --replica-scheme rsa --verbose       # Fig 13's RSA point *)
+
+open Cmdliner
+module Params = Rdb_core.Params
+module Cluster = Rdb_core.Cluster
+module Metrics = Rdb_core.Metrics
+module Signer = Rdb_crypto.Signer
+
+let scheme_conv =
+  let parse = function
+    | "none" -> Ok Signer.No_sig
+    | "cmac" -> Ok Signer.Cmac_aes
+    | "ed25519" -> Ok Signer.Ed25519
+    | "rsa" -> Ok Signer.Rsa
+    | s -> Error (`Msg (Printf.sprintf "unknown scheme %S (none|cmac|ed25519|rsa)" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Signer.scheme_name s))
+
+let protocol_conv =
+  let parse = function
+    | "pbft" -> Ok Params.Pbft
+    | "zyzzyva" | "zyz" -> Ok Params.Zyzzyva
+    | s -> Error (`Msg (Printf.sprintf "unknown protocol %S (pbft|zyzzyva)" s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Params.protocol_name p))
+
+let run protocol n clients batch_size ops payload client_scheme replica_scheme reply_scheme
+    sqlite cores batch_threads execute_threads crashed warmup measure seed verbose upper_bound =
+  let d = Params.default in
+  let p =
+    {
+      d with
+      Params.protocol;
+      n;
+      clients;
+      batch_size;
+      ops_per_txn = ops;
+      preprepare_payload_bytes = payload;
+      client_scheme;
+      replica_scheme;
+      reply_scheme;
+      sqlite;
+      cores;
+      batch_threads;
+      execute_threads;
+      crashed_backups = crashed;
+      warmup = Rdb_des.Sim.seconds warmup;
+      measure = Rdb_des.Sim.seconds measure;
+      seed = Int64.of_int seed;
+    }
+  in
+  (try Params.validate p
+   with Invalid_argument m ->
+     Printf.eprintf "invalid configuration: %s\n" m;
+     exit 1);
+  if upper_bound then begin
+    let ne = Rdb_core.Upper_bound.run ~p ~execute:false () in
+    let ex = Rdb_core.Upper_bound.run ~p ~execute:true () in
+    Printf.printf "upper bound, %d clients:\n" clients;
+    Printf.printf "  no-execution: %.0f txn/s (avg latency %.4fs)\n" ne.Rdb_core.Upper_bound.throughput_tps
+      (Rdb_des.Stats.mean ne.Rdb_core.Upper_bound.latency);
+    Printf.printf "  execution:    %.0f txn/s (avg latency %.4fs)\n" ex.Rdb_core.Upper_bound.throughput_tps
+      (Rdb_des.Stats.mean ex.Rdb_core.Upper_bound.latency)
+  end
+  else begin
+    Printf.printf "running %s: n=%d f=%d clients=%d batch=%d threads=%dB/%dE cores=%d%s\n%!"
+      (Params.protocol_name protocol) n (Params.f p) clients batch_size batch_threads
+      execute_threads cores
+      (if crashed > 0 then Printf.sprintf " crashed=%d" crashed else "");
+    let m = Cluster.run p in
+    Format.printf "%a@." Metrics.pp m;
+    if verbose then Format.printf "@[<v>%a@]@." Metrics.pp_saturation m
+  end;
+  0
+
+let cmd =
+  let open Arg in
+  let protocol =
+    value & opt protocol_conv Params.Pbft & info [ "p"; "protocol" ] ~doc:"Consensus protocol (pbft|zyzzyva)."
+  in
+  let n = value & opt int 16 & info [ "n"; "replicas" ] ~doc:"Number of replicas (>= 4)." in
+  let clients = value & opt int 80_000 & info [ "c"; "clients" ] ~doc:"Closed-loop client population." in
+  let batch = value & opt int 100 & info [ "b"; "batch" ] ~doc:"Transactions per batch." in
+  let ops = value & opt int 1 & info [ "ops" ] ~doc:"Operations per transaction." in
+  let payload =
+    value & opt int 0 & info [ "payload" ] ~doc:"Extra Pre-prepare payload bytes (message-size experiments)."
+  in
+  let cs =
+    value & opt scheme_conv Signer.Ed25519 & info [ "client-scheme" ] ~doc:"Client signature scheme."
+  in
+  let rs =
+    value & opt scheme_conv Signer.Cmac_aes & info [ "replica-scheme" ] ~doc:"Replica-to-replica scheme."
+  in
+  let ps =
+    value & opt scheme_conv Signer.Cmac_aes & info [ "reply-scheme" ] ~doc:"Replica-to-client reply scheme."
+  in
+  let sqlite = value & flag & info [ "sqlite" ] ~doc:"Use off-memory (SQLite-class) storage." in
+  let cores = value & opt int 8 & info [ "cores" ] ~doc:"CPU cores per replica." in
+  let bt = value & opt int 2 & info [ "B"; "batch-threads" ] ~doc:"Batch-threads at the primary (0 = worker batches)." in
+  let et = value & opt int 1 & info [ "E"; "execute-threads" ] ~doc:"Execute-threads (0 or 1)." in
+  let crashed = value & opt int 0 & info [ "crashed" ] ~doc:"Backups crashed at start (<= f)." in
+  let warmup = value & opt float 0.5 & info [ "warmup" ] ~doc:"Warmup seconds (simulated)." in
+  let measure = value & opt float 1.0 & info [ "measure" ] ~doc:"Measurement seconds (simulated)." in
+  let seed = value & opt int 0x5265736442 & info [ "seed" ] ~doc:"Random seed (runs are deterministic)." in
+  let verbose = value & flag & info [ "v"; "verbose" ] ~doc:"Print per-replica thread saturation." in
+  let ub = value & flag & info [ "upper-bound" ] ~doc:"Run the Fig 7 no-consensus upper bound instead." in
+  let term =
+    Term.(
+      const run $ protocol $ n $ clients $ batch $ ops $ payload $ cs $ rs $ ps $ sqlite $ cores
+      $ bt $ et $ crashed $ warmup $ measure $ seed $ verbose $ ub)
+  in
+  Cmd.v
+    (Cmd.info "resdb_sim" ~version:"1.0.0"
+       ~doc:"Simulate a ResilientDB permissioned-blockchain cluster"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs one deterministic discrete-event simulation of the ResilientDB fabric \
+              (ICDCS'20, 'Permissioned Blockchain Through the Looking Glass') and reports \
+              throughput, latency and pipeline saturation.";
+         ])
+    term
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/failures.ml: List Printf Rdb_core Rdb_des Rdb_storage

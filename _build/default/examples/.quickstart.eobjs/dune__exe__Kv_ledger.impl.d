@@ -1,0 +1,1 @@
+examples/kv_ledger.ml: Filename Format List Printf Rdb_chain Rdb_core Rdb_des Rdb_storage Rdb_workload String Sys

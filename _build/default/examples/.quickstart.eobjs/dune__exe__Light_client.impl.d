@@ -1,0 +1,1 @@
+examples/light_client.ml: List Printf Rdb_chain Rdb_core Rdb_storage

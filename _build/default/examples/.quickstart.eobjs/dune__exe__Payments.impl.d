@@ -1,0 +1,1 @@
+examples/payments.ml: Array List Printf Rdb_core Rdb_des Rdb_storage String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Option Printf Rdb_chain Rdb_core Rdb_storage String

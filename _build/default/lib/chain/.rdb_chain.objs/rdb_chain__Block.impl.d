@@ -1,0 +1,1 @@
+lib/chain/block.ml: Buffer Format List Printf Rdb_crypto String

@@ -1,0 +1,1 @@
+lib/chain/ledger.ml: Block List Printf Rdb_crypto String

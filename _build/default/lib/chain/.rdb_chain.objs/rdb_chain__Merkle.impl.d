@@ -1,0 +1,1 @@
+lib/chain/merkle.ml: Array List Rdb_crypto String

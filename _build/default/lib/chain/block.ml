@@ -1,0 +1,52 @@
+type linkage =
+  | Prev_hash of string
+  | Certificate of (int * string) list
+
+type t = {
+  seq : int;
+  view : int;
+  digest : string;
+  txn_count : int;
+  link : linkage;
+}
+
+let genesis ~primary_id =
+  {
+    seq = 0;
+    view = 0;
+    digest = Rdb_crypto.Sha256.digest (Printf.sprintf "genesis-primary-%d" primary_id);
+    txn_count = 0;
+    link = Prev_hash (String.make 32 '\x00');
+  }
+
+let serialize t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "%d|%d|%d|" t.seq t.view t.txn_count);
+  Buffer.add_string buf t.digest;
+  (match t.link with
+  | Prev_hash h ->
+    Buffer.add_string buf "|H|";
+    Buffer.add_string buf h
+  | Certificate shares ->
+    Buffer.add_string buf "|C|";
+    List.iter
+      (fun (id, sg) ->
+        Buffer.add_string buf (string_of_int id);
+        Buffer.add_char buf ':';
+        Buffer.add_string buf sg;
+        Buffer.add_char buf ';')
+      shares);
+  Buffer.contents buf
+
+let hash t = Rdb_crypto.Sha256.digest (serialize t)
+
+let pp ppf t =
+  let link =
+    match t.link with
+    | Prev_hash _ -> "prev-hash"
+    | Certificate shares -> Printf.sprintf "cert(%d)" (List.length shares)
+  in
+  Format.fprintf ppf "block{seq=%d view=%d txns=%d digest=%s.. link=%s}" t.seq t.view
+    t.txn_count
+    (Rdb_crypto.Sha256.hex (String.sub t.digest 0 4))
+    link

@@ -1,0 +1,36 @@
+(** Blocks of the replicated ledger.
+
+    Following the paper's §2.2 and §4.6, a block records the batch's sequence
+    number [k], the request digest [d], the view [v] of the primary that
+    proposed it, and a linkage proof.  The paper's key observation is that
+    hashing the previous block on the critical path is unnecessary: the
+    [2f+1] Commit signatures already prove the order, so ResilientDB stores
+    a {e commit certificate} instead.  Both linkage modes are supported here
+    so the benchmarks can measure the difference. *)
+
+type linkage =
+  | Prev_hash of string
+      (** classic chaining: SHA-256 of the serialized previous block *)
+  | Certificate of (int * string) list
+      (** commit certificate: (replica id, signature share) pairs from
+          [2f+1] distinct replicas *)
+
+type t = {
+  seq : int;
+  view : int;
+  digest : string;  (** digest of the batch of requests this block commits *)
+  txn_count : int;
+  link : linkage;
+}
+
+val genesis : primary_id:int -> t
+(** Sequence 0; digest is the hash of the initial primary's identity, as in
+    the paper's §2.2. *)
+
+val hash : t -> string
+(** SHA-256 over the canonical serialization. *)
+
+val serialize : t -> string
+(** Canonical byte representation (stable across processes). *)
+
+val pp : Format.formatter -> t -> unit

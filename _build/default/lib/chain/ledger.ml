@@ -1,0 +1,83 @@
+type t = {
+  (* Retained blocks in reverse order (newest first). *)
+  mutable retained : Block.t list;
+  mutable appended : int;
+  mutable next_seq : int;
+  mutable running : string; (* cumulative digest over all appended blocks *)
+}
+
+let create ~primary_id =
+  let g = Block.genesis ~primary_id in
+  {
+    retained = [ g ];
+    appended = 1;
+    next_seq = 1;
+    running = Block.hash g;
+  }
+
+let next_seq t = t.next_seq
+
+let last t =
+  match t.retained with
+  | b :: _ -> b
+  | [] -> assert false (* genesis is never pruned without replacement *)
+
+let append t b =
+  if b.Block.seq <> t.next_seq then
+    invalid_arg
+      (Printf.sprintf "Ledger.append: expected seq %d, got %d" t.next_seq b.Block.seq);
+  t.retained <- b :: t.retained;
+  t.appended <- t.appended + 1;
+  t.next_seq <- t.next_seq + 1;
+  t.running <- Rdb_crypto.Sha256.digest (t.running ^ Block.hash b)
+
+let length t = t.appended
+
+let find t seq = List.find_opt (fun b -> b.Block.seq = seq) t.retained
+
+let prune_below t seq =
+  let keep, drop = List.partition (fun b -> b.Block.seq >= seq) t.retained in
+  (* Never drop the newest block: [last] must stay meaningful. *)
+  match keep with
+  | [] -> 0
+  | _ ->
+    t.retained <- keep;
+    List.length drop
+
+let verify t ~check_certificate =
+  let blocks = List.rev t.retained in
+  let rec walk prev = function
+    | [] -> Ok ()
+    | (b : Block.t) :: rest ->
+      let seq_ok =
+        match prev with
+        | None -> true
+        | Some (p : Block.t) -> b.seq = p.seq + 1
+      in
+      if not seq_ok then Error (Printf.sprintf "sequence gap before %d" b.seq)
+      else begin
+        let link_ok =
+          match (b.link, prev) with
+          | Block.Prev_hash h, Some p -> String.equal h (Block.hash p)
+          | Block.Prev_hash _, None -> true (* chain head after pruning *)
+          | Block.Certificate shares, _ ->
+            check_certificate ~seq:b.seq ~digest:b.digest shares
+        in
+        if not link_ok then Error (Printf.sprintf "bad linkage at seq %d" b.seq)
+        else walk (Some b) rest
+      end
+  in
+  match blocks with
+  | [] -> Ok ()
+  | first :: _ when first.Block.seq = 0 -> walk None blocks
+  | _ -> walk None blocks
+
+let cumulative_digest t = t.running
+
+let sync_from t ~src =
+  t.retained <- src.retained;
+  t.appended <- src.appended;
+  t.next_seq <- src.next_seq;
+  t.running <- src.running
+
+let iter_retained t f = List.iter f (List.rev t.retained)

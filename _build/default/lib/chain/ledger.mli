@@ -1,0 +1,51 @@
+(** The per-replica immutable ledger: an append-only chain of {!Block.t}.
+
+    Every replica maintains its own copy (paper §2.2).  Appends must be in
+    strict sequence order — this is exactly the paper's "in-order execution"
+    invariant, so a violated append is a protocol bug and raises.  Old
+    blocks are pruned when a stable checkpoint is reached (§4.7); pruning
+    retains the chain's cumulative digest so integrity checks still work. *)
+
+type t
+
+val create : primary_id:int -> t
+(** Starts with the genesis block at sequence 0. *)
+
+val append : t -> Block.t -> unit
+(** Raises [Invalid_argument] unless the block's sequence number is exactly
+    [next_seq t]. *)
+
+val next_seq : t -> int
+
+val last : t -> Block.t
+
+val length : t -> int
+(** Total blocks ever appended, including pruned ones and genesis. *)
+
+val find : t -> int -> Block.t option
+(** [find t seq]; [None] when pruned or not yet appended. *)
+
+val prune_below : t -> int -> int
+(** [prune_below t seq] discards blocks with sequence < [seq] (never the
+    genesis digest chain), returning how many were discarded. *)
+
+val verify :
+  t ->
+  check_certificate:(seq:int -> digest:string -> (int * string) list -> bool) ->
+  (unit, string) result
+(** Walks retained blocks in order, checking sequence continuity and
+    linkage: [Prev_hash] links must equal the hash of the previous retained
+    block; [Certificate] links are delegated to [check_certificate]
+    (signature verification lives with the caller's keyring). *)
+
+val cumulative_digest : t -> string
+(** Digest covering every block ever appended (survives pruning): a running
+    hash folded over the blocks' hashes. *)
+
+val sync_from : t -> src:t -> unit
+(** State transfer: make this ledger identical to [src] (retained blocks,
+    counters, cumulative digest).  Used when a recovering replica catches
+    up from a stable checkpoint — the 2f+1 matching checkpoint digests are
+    its proof that [src]'s content is correct. *)
+
+val iter_retained : t -> (Block.t -> unit) -> unit

@@ -1,0 +1,62 @@
+module Sha256 = Rdb_crypto.Sha256
+
+(* Levels bottom-up: levels.(0) = leaf hashes, levels.(top) = [| root |].
+   Odd nodes are paired with themselves (Bitcoin-style duplication). *)
+type t = { levels : string array array }
+
+type proof = string list
+
+let hash_leaf data = Sha256.digest ("\x00" ^ data)
+let hash_node l r = Sha256.digest ("\x01" ^ l ^ r)
+
+let build leaves =
+  if leaves = [] then invalid_arg "Merkle.build: empty leaf list";
+  let level0 = Array.of_list (List.map hash_leaf leaves) in
+  let rec up acc level =
+    if Array.length level = 1 then List.rev (level :: acc)
+    else begin
+      let n = Array.length level in
+      let parent =
+        Array.init ((n + 1) / 2) (fun i ->
+            let l = level.(2 * i) in
+            let r = if (2 * i) + 1 < n then level.((2 * i) + 1) else l in
+            hash_node l r)
+      in
+      up (level :: acc) parent
+    end
+  in
+  { levels = Array.of_list (up [] level0) }
+
+let root t = t.levels.(Array.length t.levels - 1).(0)
+
+let leaf_count t = Array.length t.levels.(0)
+
+let prove t index =
+  if index < 0 || index >= leaf_count t then invalid_arg "Merkle.prove: index out of range";
+  let rec collect level i acc =
+    if level >= Array.length t.levels - 1 then List.rev acc
+    else begin
+      let nodes = t.levels.(level) in
+      let sibling_idx = if i mod 2 = 0 then i + 1 else i - 1 in
+      let sibling = if sibling_idx < Array.length nodes then nodes.(sibling_idx) else nodes.(i) in
+      collect (level + 1) (i / 2) (sibling :: acc)
+    end
+  in
+  collect 0 index []
+
+let verify ~root:expected ~leaf ~index proof =
+  if index < 0 then false
+  else begin
+    let rec climb h i = function
+      | [] -> (h, i)
+      | sibling :: rest ->
+        let h' = if i mod 2 = 0 then hash_node h sibling else hash_node sibling h in
+        climb h' (i / 2) rest
+    in
+    let final, top_index = climb (hash_leaf leaf) index proof in
+    top_index = 0 && String.equal final expected
+  end
+
+let proof_length p = List.length p
+let proof_to_list p = p
+let proof_of_list l = l

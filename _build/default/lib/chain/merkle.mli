@@ -1,0 +1,39 @@
+(** Merkle trees over transaction batches.
+
+    ResilientDB's §4.3 digest optimization hashes the single string
+    representation of a whole batch; a Merkle root is the standard
+    alternative when clients need light-weight {e membership proofs} (my
+    transaction is in block k) without downloading the batch.  This module
+    provides both construction and logarithmic inclusion proofs.
+
+    Leaves are domain-separated from interior nodes (prefix bytes 0x00 /
+    0x01) so a leaf cannot be confused with an interior node — the classic
+    second-preimage defence. *)
+
+type t
+
+val build : string list -> t
+(** Builds a tree over the given leaf payloads (not pre-hashed).
+    Raises [Invalid_argument] on an empty list. *)
+
+val root : t -> string
+(** 32-byte root digest. *)
+
+val leaf_count : t -> int
+
+type proof
+(** An inclusion proof for one leaf. *)
+
+val prove : t -> int -> proof
+(** [prove t i] for the i-th leaf.  Raises [Invalid_argument] when out of
+    range. *)
+
+val verify : root:string -> leaf:string -> index:int -> proof -> bool
+(** Checks that [leaf] was the [index]-th element under [root]. *)
+
+val proof_length : proof -> int
+(** Number of sibling hashes (= tree depth). *)
+
+val proof_to_list : proof -> string list
+val proof_of_list : string list -> proof
+(** Wire transport of proofs. *)

@@ -1,0 +1,1 @@
+lib/consensus/action.ml: Format List Message

@@ -1,0 +1,1 @@
+lib/consensus/codec.ml: Buffer Char List Message Printf String

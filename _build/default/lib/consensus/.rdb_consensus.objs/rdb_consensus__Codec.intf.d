@@ -1,0 +1,1 @@
+lib/consensus/codec.mli: Buffer Message

@@ -1,0 +1,1 @@
+lib/consensus/pbft_client.ml: Config Hashtbl Message Quorum

@@ -1,0 +1,1 @@
+lib/consensus/pbft_client.mli: Config Message

@@ -1,0 +1,1 @@
+lib/consensus/pbft_replica.ml: Action Config Hashtbl List Message Option Quorum String

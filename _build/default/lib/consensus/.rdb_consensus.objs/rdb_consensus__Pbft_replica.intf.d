@@ -1,0 +1,1 @@
+lib/consensus/pbft_replica.mli: Action Config Message

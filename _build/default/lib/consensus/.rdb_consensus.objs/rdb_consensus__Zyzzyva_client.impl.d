@@ -1,0 +1,1 @@
+lib/consensus/zyzzyva_client.ml: Config Hashtbl List Message Quorum

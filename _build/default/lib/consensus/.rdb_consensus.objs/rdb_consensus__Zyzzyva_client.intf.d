@@ -1,0 +1,1 @@
+lib/consensus/zyzzyva_client.mli: Config Message

@@ -1,0 +1,1 @@
+lib/consensus/zyzzyva_replica.ml: Action Config Hashtbl List Message Option Quorum Rdb_crypto String

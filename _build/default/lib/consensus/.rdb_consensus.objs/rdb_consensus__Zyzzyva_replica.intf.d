@@ -1,0 +1,1 @@
+lib/consensus/zyzzyva_replica.mli: Action Config Message

@@ -1,0 +1,25 @@
+(** Actions emitted by protocol cores.
+
+    Cores are pure state machines: they never touch the network, the clock
+    or storage.  Each [handle_*] call returns the list of actions the
+    hosting system must carry out — sends via its transport, executions via
+    its execution layer.  The same cores therefore run unchanged under the
+    discrete-event simulator, the unit tests and the examples. *)
+
+type t =
+  | Broadcast of Message.t  (** to every other replica *)
+  | Send of int * Message.t  (** to one replica *)
+  | Send_client of int * Message.t  (** to one client *)
+  | Execute of Message.batch
+      (** run the batch against the application state; cores emit these in
+          strict sequence order (the paper's ordered-execution invariant) *)
+  | Stable_checkpoint of int
+      (** a checkpoint at this sequence number became stable; old state can
+          be garbage-collected *)
+
+let pp ppf = function
+  | Broadcast m -> Format.fprintf ppf "broadcast %s" (Message.type_name m)
+  | Send (r, m) -> Format.fprintf ppf "send %s -> replica %d" (Message.type_name m) r
+  | Send_client (c, m) -> Format.fprintf ppf "send %s -> client %d" (Message.type_name m) c
+  | Execute b -> Format.fprintf ppf "execute seq %d (%d reqs)" b.Message.seq (List.length b.Message.reqs)
+  | Stable_checkpoint s -> Format.fprintf ppf "stable checkpoint %d" s

@@ -1,0 +1,317 @@
+let max_frame_bytes = 64 * 1024 * 1024
+
+exception Bad of string
+
+(* ---- primitive writers --------------------------------------------------- *)
+
+let w_u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let w_u32 b v =
+  if v < 0 then raise (Bad "negative u32");
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr (v land 0xFF))
+
+(* Sequence numbers can exceed 32 bits in a long-lived deployment. *)
+let w_u48 b v =
+  if v < 0 then raise (Bad "negative u48");
+  Buffer.add_char b (Char.chr ((v lsr 40) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 32) land 0xFF));
+  w_u32 b (v land 0xFFFFFFFF)
+
+let w_str b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+let w_list b f xs =
+  w_u32 b (List.length xs);
+  List.iter (f b) xs
+
+(* ---- primitive readers ---------------------------------------------------- *)
+
+type cursor = { data : string; mutable pos : int }
+
+let need c n = if c.pos + n > String.length c.data then raise (Bad "truncated input")
+
+let r_u8 c =
+  need c 1;
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let r_u32 c =
+  need c 4;
+  let v =
+    (Char.code c.data.[c.pos] lsl 24)
+    lor (Char.code c.data.[c.pos + 1] lsl 16)
+    lor (Char.code c.data.[c.pos + 2] lsl 8)
+    lor Char.code c.data.[c.pos + 3]
+  in
+  c.pos <- c.pos + 4;
+  v
+
+let r_u48 c =
+  need c 2;
+  let hi = (Char.code c.data.[c.pos] lsl 8) lor Char.code c.data.[c.pos + 1] in
+  c.pos <- c.pos + 2;
+  (hi lsl 32) lor r_u32 c
+
+let r_str c =
+  let n = r_u32 c in
+  if n > max_frame_bytes then raise (Bad "oversized string");
+  need c n;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let r_list c f =
+  let n = r_u32 c in
+  if n > 10_000_000 then raise (Bad "oversized list");
+  List.init n (fun _ -> f c)
+
+(* ---- message-level codecs ---------------------------------------------------- *)
+
+open Message
+
+let w_req b (r : request_ref) =
+  w_u32 b r.client;
+  w_u48 b r.txn_id
+
+let r_req c =
+  let client = r_u32 c in
+  let txn_id = r_u48 c in
+  { client; txn_id }
+
+let w_batch b (x : batch) =
+  w_u32 b x.view;
+  w_u48 b x.seq;
+  w_str b x.digest;
+  w_list b w_req x.reqs;
+  w_u32 b x.wire_bytes
+
+let r_batch c =
+  let view = r_u32 c in
+  let seq = r_u48 c in
+  let digest = r_str c in
+  let reqs = r_list c r_req in
+  let wire_bytes = r_u32 c in
+  { view; seq; digest; reqs; wire_bytes }
+
+let w_proof b (p : prepared_proof) =
+  w_u32 b p.p_view;
+  w_u48 b p.p_seq;
+  w_str b p.p_digest;
+  w_batch b p.p_batch
+
+let r_proof c =
+  let p_view = r_u32 c in
+  let p_seq = r_u48 c in
+  let p_digest = r_str c in
+  let p_batch = r_batch c in
+  { p_view; p_seq; p_digest; p_batch }
+
+let encode msg =
+  let b = Buffer.create 128 in
+  (match msg with
+  | Pre_prepare { view; seq; batch; from } ->
+    w_u8 b 1;
+    w_u32 b view;
+    w_u48 b seq;
+    w_batch b batch;
+    w_u32 b from
+  | Prepare { view; seq; digest; from } ->
+    w_u8 b 2;
+    w_u32 b view;
+    w_u48 b seq;
+    w_str b digest;
+    w_u32 b from
+  | Commit { view; seq; digest; from } ->
+    w_u8 b 3;
+    w_u32 b view;
+    w_u48 b seq;
+    w_str b digest;
+    w_u32 b from
+  | Checkpoint { seq; state_digest; from } ->
+    w_u8 b 4;
+    w_u48 b seq;
+    w_str b state_digest;
+    w_u32 b from
+  | View_change { new_view; last_stable; prepared; from } ->
+    w_u8 b 5;
+    w_u32 b new_view;
+    w_u48 b last_stable;
+    w_list b w_proof prepared;
+    w_u32 b from
+  | New_view { view; vc_senders; pre_prepares; from } ->
+    w_u8 b 6;
+    w_u32 b view;
+    w_list b (fun b v -> w_u32 b v) vc_senders;
+    w_list b w_batch pre_prepares;
+    w_u32 b from
+  | Order_request { view; seq; batch; history; from } ->
+    w_u8 b 7;
+    w_u32 b view;
+    w_u48 b seq;
+    w_batch b batch;
+    w_str b history;
+    w_u32 b from
+  | Commit_cert { view; seq; digest; client; responders } ->
+    w_u8 b 8;
+    w_u32 b view;
+    w_u48 b seq;
+    w_str b digest;
+    w_u32 b client;
+    w_list b (fun b v -> w_u32 b v) responders
+  | Reply { view; seq; txn_id; client; from; result } ->
+    w_u8 b 9;
+    w_u32 b view;
+    w_u48 b seq;
+    w_u48 b txn_id;
+    w_u32 b client;
+    w_u32 b from;
+    w_str b result
+  | Spec_reply { view; seq; txn_id; client; from; history } ->
+    w_u8 b 10;
+    w_u32 b view;
+    w_u48 b seq;
+    w_u48 b txn_id;
+    w_u32 b client;
+    w_u32 b from;
+    w_str b history
+  | Local_commit { view; seq; client; from } ->
+    w_u8 b 11;
+    w_u32 b view;
+    w_u48 b seq;
+    w_u32 b client;
+    w_u32 b from
+  | Fill_hole { view; from_seq; to_seq; from } ->
+    w_u8 b 12;
+    w_u32 b view;
+    w_u48 b from_seq;
+    w_u48 b to_seq;
+    w_u32 b from);
+  Buffer.contents b
+
+let decode_exn s =
+  let c = { data = s; pos = 0 } in
+  let msg =
+    match r_u8 c with
+    | 1 ->
+      let view = r_u32 c in
+      let seq = r_u48 c in
+      let batch = r_batch c in
+      let from = r_u32 c in
+      Pre_prepare { view; seq; batch; from }
+    | 2 ->
+      let view = r_u32 c in
+      let seq = r_u48 c in
+      let digest = r_str c in
+      let from = r_u32 c in
+      Prepare { view; seq; digest; from }
+    | 3 ->
+      let view = r_u32 c in
+      let seq = r_u48 c in
+      let digest = r_str c in
+      let from = r_u32 c in
+      Commit { view; seq; digest; from }
+    | 4 ->
+      let seq = r_u48 c in
+      let state_digest = r_str c in
+      let from = r_u32 c in
+      Checkpoint { seq; state_digest; from }
+    | 5 ->
+      let new_view = r_u32 c in
+      let last_stable = r_u48 c in
+      let prepared = r_list c r_proof in
+      let from = r_u32 c in
+      View_change { new_view; last_stable; prepared; from }
+    | 6 ->
+      let view = r_u32 c in
+      let vc_senders = r_list c r_u32 in
+      let pre_prepares = r_list c r_batch in
+      let from = r_u32 c in
+      New_view { view; vc_senders; pre_prepares; from }
+    | 7 ->
+      let view = r_u32 c in
+      let seq = r_u48 c in
+      let batch = r_batch c in
+      let history = r_str c in
+      let from = r_u32 c in
+      Order_request { view; seq; batch; history; from }
+    | 8 ->
+      let view = r_u32 c in
+      let seq = r_u48 c in
+      let digest = r_str c in
+      let client = r_u32 c in
+      let responders = r_list c r_u32 in
+      Commit_cert { view; seq; digest; client; responders }
+    | 9 ->
+      let view = r_u32 c in
+      let seq = r_u48 c in
+      let txn_id = r_u48 c in
+      let client = r_u32 c in
+      let from = r_u32 c in
+      let result = r_str c in
+      Reply { view; seq; txn_id; client; from; result }
+    | 10 ->
+      let view = r_u32 c in
+      let seq = r_u48 c in
+      let txn_id = r_u48 c in
+      let client = r_u32 c in
+      let from = r_u32 c in
+      let history = r_str c in
+      Spec_reply { view; seq; txn_id; client; from; history }
+    | 11 ->
+      let view = r_u32 c in
+      let seq = r_u48 c in
+      let client = r_u32 c in
+      let from = r_u32 c in
+      Local_commit { view; seq; client; from }
+    | 12 ->
+      let view = r_u32 c in
+      let from_seq = r_u48 c in
+      let to_seq = r_u48 c in
+      let from = r_u32 c in
+      Fill_hole { view; from_seq; to_seq; from }
+    | tag -> raise (Bad (Printf.sprintf "unknown message tag %d" tag))
+  in
+  if c.pos <> String.length s then raise (Bad "trailing bytes");
+  msg
+
+let decode s =
+  match decode_exn s with
+  | msg -> Ok msg
+  | exception Bad reason -> Error reason
+
+(* ---- framing ------------------------------------------------------------------ *)
+
+let frame payload =
+  let b = Buffer.create (String.length payload + 4) in
+  w_u32 b (String.length payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let read_frame buf deliver =
+  let continue = ref true in
+  while !continue do
+    let len = Buffer.length buf in
+    if len < 4 then continue := false
+    else begin
+      let contents = Buffer.contents buf in
+      let frame_len =
+        (Char.code contents.[0] lsl 24)
+        lor (Char.code contents.[1] lsl 16)
+        lor (Char.code contents.[2] lsl 8)
+        lor Char.code contents.[3]
+      in
+      if frame_len > max_frame_bytes then failwith "Codec.read_frame: oversized frame";
+      if len < 4 + frame_len then continue := false
+      else begin
+        let payload = String.sub contents 4 frame_len in
+        Buffer.clear buf;
+        Buffer.add_substring buf contents (4 + frame_len) (len - 4 - frame_len);
+        deliver payload
+      end
+    end
+  done

@@ -1,0 +1,24 @@
+(** Binary wire codec for protocol messages.
+
+    Fixed-width big-endian integers, length-prefixed strings; no external
+    serialization library.  [decode (encode m) = Ok m] for every message —
+    checked exhaustively by property tests — and decoding never raises on
+    malformed input. *)
+
+val encode : Message.t -> string
+
+val decode : string -> (Message.t, string) result
+(** [Error reason] on truncated, oversized or corrupt input. *)
+
+val frame : string -> string
+(** Length-prefix a payload for a stream transport (4-byte big-endian
+    length, then the bytes). *)
+
+val read_frame : Buffer.t -> (string -> unit) -> unit
+(** [read_frame buf deliver] consumes every complete frame currently in
+    [buf] (in order), calling [deliver] with each payload and leaving any
+    trailing partial frame in place — the classic streaming deframer. *)
+
+val max_frame_bytes : int
+(** Frames beyond this are rejected as corrupt (protects against a bad
+    length prefix allocating unbounded memory). *)

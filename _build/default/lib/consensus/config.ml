@@ -1,0 +1,29 @@
+(** Static cluster configuration shared by every protocol core.
+
+    A permissioned deployment knows all replica identities a priori; replica
+    ids are [0 .. n-1] and client ids live in a separate namespace. *)
+
+type t = {
+  n : int;  (** number of replicas *)
+  f : int;  (** tolerated byzantine faults; [n >= 3f + 1] *)
+  checkpoint_interval : int;  (** sequence numbers between checkpoints *)
+  high_water_mark : int;  (** max in-flight sequence numbers past the last stable checkpoint *)
+}
+
+let make ?(checkpoint_interval = 100) ?(high_water_mark = 10_000) ~n () =
+  if n < 4 then invalid_arg "Config.make: need at least 4 replicas";
+  let f = (n - 1) / 3 in
+  if checkpoint_interval <= 0 then invalid_arg "Config.make: bad checkpoint interval";
+  { n; f; checkpoint_interval; high_water_mark }
+
+(** The primary rotates round-robin with the view number (PBFT's rule). *)
+let primary_of_view t view = view mod t.n
+
+(** Size of a prepared certificate: matching messages from [2f] others. *)
+let prepare_quorum t = 2 * t.f
+
+(** Size of a commit / checkpoint / view-change quorum. *)
+let commit_quorum t = (2 * t.f) + 1
+
+(** Replies a client needs from distinct replicas to accept a result. *)
+let reply_quorum t = t.f + 1

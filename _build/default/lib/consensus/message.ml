@@ -1,0 +1,141 @@
+(** Wire messages for both protocol families.
+
+    The consensus cores are payload-agnostic: a batch carries opaque
+    request references plus size metadata; the hosting system keeps the
+    actual transaction bodies and looks them up at execution time.  This is
+    the same layering as ResilientDB's typed message classes over raw
+    buffers (§4.8). *)
+
+type request_ref = { client : int; txn_id : int }
+
+type batch = {
+  view : int;
+  seq : int;
+  digest : string;  (** digest over the single string representation of the
+                        whole batch, as in §4.3 *)
+  reqs : request_ref list;
+  wire_bytes : int;  (** serialized size of the request payload *)
+}
+
+(** A prepared certificate carried in view-change messages: evidence that a
+    batch could have committed in an earlier view. *)
+type prepared_proof = { p_view : int; p_seq : int; p_digest : string; p_batch : batch }
+
+type t =
+  (* PBFT (§2.1) *)
+  | Pre_prepare of { view : int; seq : int; batch : batch; from : int }
+  | Prepare of { view : int; seq : int; digest : string; from : int }
+  | Commit of { view : int; seq : int; digest : string; from : int }
+  | Checkpoint of { seq : int; state_digest : string; from : int }
+  | View_change of {
+      new_view : int;
+      last_stable : int;
+      prepared : prepared_proof list;
+      from : int;
+    }
+  | New_view of { view : int; vc_senders : int list; pre_prepares : batch list; from : int }
+  (* Zyzzyva (§2.1, "Speculative Execution") *)
+  | Order_request of { view : int; seq : int; batch : batch; history : string; from : int }
+  | Commit_cert of {
+      view : int;
+      seq : int;
+      digest : string;
+      client : int;
+      responders : int list;  (** the 2f+1 replicas whose spec replies form the cert *)
+    }
+  | Fill_hole of { view : int; from_seq : int; to_seq : int; from : int }
+      (** Zyzzyva: a backup asks the primary to resend Order-requests it
+          never received (Kotla et al. §4.1's fill-hole sub-protocol) *)
+  (* Replies to clients *)
+  | Reply of { view : int; seq : int; txn_id : int; client : int; from : int; result : string }
+  | Spec_reply of {
+      view : int;
+      seq : int;
+      txn_id : int;
+      client : int;
+      from : int;
+      history : string;
+    }
+  | Local_commit of { view : int; seq : int; client : int; from : int }
+
+let type_name = function
+  | Pre_prepare _ -> "pre-prepare"
+  | Prepare _ -> "prepare"
+  | Commit _ -> "commit"
+  | Checkpoint _ -> "checkpoint"
+  | View_change _ -> "view-change"
+  | New_view _ -> "new-view"
+  | Order_request _ -> "order-request"
+  | Commit_cert _ -> "commit-cert"
+  | Fill_hole _ -> "fill-hole"
+  | Reply _ -> "reply"
+  | Spec_reply _ -> "spec-reply"
+  | Local_commit _ -> "local-commit"
+
+(** Canonical string covering the authenticated fields of a message, fed to
+    the MAC/signature layer by hosting systems.  Request payloads are
+    covered transitively through the batch digest. *)
+let auth_string t =
+  let b = Buffer.create 64 in
+  let add = Buffer.add_string b in
+  add (type_name t);
+  (match t with
+  | Pre_prepare { view; seq; batch; from } ->
+    add (Printf.sprintf "|%d|%d|%d|" view seq from);
+    add batch.digest
+  | Prepare { view; seq; digest; from } | Commit { view; seq; digest; from } ->
+    add (Printf.sprintf "|%d|%d|%d|" view seq from);
+    add digest
+  | Checkpoint { seq; state_digest; from } ->
+    add (Printf.sprintf "|%d|%d|" seq from);
+    add state_digest
+  | View_change { new_view; last_stable; prepared; from } ->
+    add (Printf.sprintf "|%d|%d|%d|" new_view last_stable from);
+    List.iter (fun p -> add (Printf.sprintf "%d:%d:%s;" p.p_view p.p_seq p.p_digest)) prepared
+  | New_view { view; vc_senders; pre_prepares; from } ->
+    add (Printf.sprintf "|%d|%d|" view from);
+    List.iter (fun s -> add (string_of_int s ^ ",")) vc_senders;
+    List.iter (fun (b' : batch) -> add (Printf.sprintf "%d:%s;" b'.seq b'.digest)) pre_prepares
+  | Order_request { view; seq; batch; history; from } ->
+    add (Printf.sprintf "|%d|%d|%d|" view seq from);
+    add batch.digest;
+    add history
+  | Commit_cert { view; seq; digest; client; responders } ->
+    add (Printf.sprintf "|%d|%d|%d|" view seq client);
+    add digest;
+    List.iter (fun r -> add (string_of_int r ^ ",")) responders
+  | Fill_hole { view; from_seq; to_seq; from } ->
+    add (Printf.sprintf "|%d|%d|%d|%d" view from_seq to_seq from)
+  | Reply { view; seq; txn_id; client; from; result } ->
+    add (Printf.sprintf "|%d|%d|%d|%d|%d|" view seq txn_id client from);
+    add result
+  | Spec_reply { view; seq; txn_id; client; from; history } ->
+    add (Printf.sprintf "|%d|%d|%d|%d|%d|" view seq txn_id client from);
+    add history
+  | Local_commit { view; seq; client; from } ->
+    add (Printf.sprintf "|%d|%d|%d|%d" view seq client from));
+  Buffer.contents b
+
+(* Fixed header: type tag, view, seq, sender, checksum. *)
+let header_bytes = 32
+let digest_bytes = 32
+
+(** Wire size estimate, used for network bandwidth accounting.  [sig_bytes]
+    is the signature size of the scheme in force on the link. *)
+let wire_size ~sig_bytes = function
+  | Pre_prepare { batch; _ } -> header_bytes + digest_bytes + batch.wire_bytes + sig_bytes
+  | Prepare _ | Commit _ -> header_bytes + digest_bytes + sig_bytes
+  | Checkpoint _ -> header_bytes + digest_bytes + sig_bytes
+  | View_change { prepared; _ } ->
+    header_bytes + sig_bytes + List.fold_left (fun acc p -> acc + digest_bytes + 16 + p.p_batch.wire_bytes) 0 prepared
+  | New_view { pre_prepares; _ } ->
+    header_bytes + sig_bytes
+    + List.fold_left (fun acc b -> acc + digest_bytes + b.wire_bytes) 0 pre_prepares
+  | Order_request { batch; _ } ->
+    header_bytes + (2 * digest_bytes) + batch.wire_bytes + sig_bytes
+  | Commit_cert { responders; _ } ->
+    header_bytes + digest_bytes + sig_bytes + (List.length responders * (sig_bytes + 8))
+  | Fill_hole _ -> header_bytes + sig_bytes
+  | Reply _ -> header_bytes + digest_bytes + sig_bytes
+  | Spec_reply _ -> header_bytes + (2 * digest_bytes) + sig_bytes
+  | Local_commit _ -> header_bytes + sig_bytes

@@ -1,0 +1,41 @@
+type action =
+  | Send of int * Message.t
+  | Broadcast_request of int
+  | Complete of { txn_id : int; result : string }
+
+type pending = { replies : string Quorum.t (* result -> senders *) }
+
+type t = {
+  config : Config.t;
+  id : int;
+  mutable primary : int;
+  pending : (int, pending) Hashtbl.t;
+}
+
+let create config ~id = { config; id; primary = 0; pending = Hashtbl.create 64 }
+
+let id t = t.id
+
+let submit t ~txn_id =
+  if not (Hashtbl.mem t.pending txn_id) then
+    Hashtbl.add t.pending txn_id { replies = Quorum.create () };
+  []
+
+let handle_reply t msg =
+  match msg with
+  | Message.Reply { txn_id; from; result; _ } ->
+    (match Hashtbl.find_opt t.pending txn_id with
+    | None -> []
+    | Some p ->
+      let n = Quorum.add p.replies result from in
+      if n >= Config.reply_quorum t.config then begin
+        Hashtbl.remove t.pending txn_id;
+        [ Complete { txn_id; result } ]
+      end
+      else [])
+  | _ -> []
+
+let handle_timeout t ~txn_id =
+  if Hashtbl.mem t.pending txn_id then [ Broadcast_request txn_id ] else []
+
+let outstanding t = Hashtbl.length t.pending

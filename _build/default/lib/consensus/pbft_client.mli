@@ -1,0 +1,28 @@
+(** The PBFT client: submits requests to the primary and accepts a result
+    once [f+1] matching replies from distinct replicas arrive (at least one
+    is then guaranteed non-faulty).
+
+    On a retransmit timeout the request is broadcast to all replicas so a
+    non-faulty backup can relay it and, eventually, trigger a view change —
+    the standard PBFT liveness path. *)
+
+type t
+
+type action =
+  | Send of int * Message.t  (** to one replica *)
+  | Broadcast_request of int  (** txn id: resend to all replicas *)
+  | Complete of { txn_id : int; result : string }
+
+val create : Config.t -> id:int -> t
+
+val id : t -> int
+
+val submit : t -> txn_id:int -> action list
+(** Track a new request; the caller transports the request body itself (the
+    cores are payload-agnostic), so the action names only the target. *)
+
+val handle_reply : t -> Message.t -> action list
+
+val handle_timeout : t -> txn_id:int -> action list
+
+val outstanding : t -> int

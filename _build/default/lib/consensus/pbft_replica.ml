@@ -1,0 +1,374 @@
+type instance = {
+  i_view : int;
+  i_seq : int;
+  mutable batch : Message.batch option;
+  mutable sent_prepare : bool;
+  mutable sent_commit : bool;
+  mutable committed : bool;
+  mutable executed : bool;
+  (* digest -> senders, so conflicting proposals cannot pool votes *)
+  prepares : string Quorum.t;
+  commits : string Quorum.t;
+}
+
+type t = {
+  config : Config.t;
+  id : int;
+  mutable view : int;
+  mutable next_seq : int; (* primary's sequence counter *)
+  mutable last_executed : int; (* highest seq handed to the execution layer *)
+  mutable last_exec_ack : int; (* highest seq the execution layer confirmed *)
+  mutable last_stable : int;
+  mutable in_view_change : bool;
+  mutable vc_target : int; (* view we are trying to move to *)
+  instances : (int * int, instance) Hashtbl.t; (* (view, seq) *)
+  committed_batches : (int, Message.batch) Hashtbl.t; (* seq -> batch, awaiting execution *)
+  executed_batches : (int, Message.batch) Hashtbl.t; (* seq -> batch, awaiting executed-callback *)
+  checkpoints : (int * string) Quorum.t; (* (seq, state digest) *)
+  view_changes : int Quorum.t; (* new-view number *)
+  vc_messages : (int, (int * Message.prepared_proof list) list) Hashtbl.t;
+      (* new-view -> (sender, prepared proofs) *)
+  mutable own_checkpoint_digests : (int * string) list; (* seq -> our state digest *)
+}
+
+let create config ~id =
+  {
+    config;
+    id;
+    view = 0;
+    next_seq = 1;
+    last_executed = 0;
+    last_exec_ack = 0;
+    last_stable = 0;
+    in_view_change = false;
+    vc_target = 0;
+    instances = Hashtbl.create 256;
+    committed_batches = Hashtbl.create 64;
+    executed_batches = Hashtbl.create 64;
+    checkpoints = Quorum.create ();
+    view_changes = Quorum.create ();
+    vc_messages = Hashtbl.create 8;
+    own_checkpoint_digests = [];
+  }
+
+let id t = t.id
+let view t = t.view
+let is_primary t = Config.primary_of_view t.config t.view = t.id
+let last_executed t = t.last_executed
+let last_stable_checkpoint t = t.last_stable
+let in_view_change t = t.in_view_change
+let pending_instances t = Hashtbl.length t.instances
+
+let instance t ~view ~seq =
+  match Hashtbl.find_opt t.instances (view, seq) with
+  | Some i -> i
+  | None ->
+    let i =
+      {
+        i_view = view;
+        i_seq = seq;
+        batch = None;
+        sent_prepare = false;
+        sent_commit = false;
+        committed = false;
+        executed = false;
+        prepares = Quorum.create ();
+        commits = Quorum.create ();
+      }
+    in
+    Hashtbl.add t.instances (view, seq) i;
+    i
+
+let in_window t seq = seq > t.last_stable && seq <= t.last_stable + t.config.Config.high_water_mark
+
+(* Emits Execute actions for every committed batch that is next in order. *)
+let try_execute t =
+  let actions = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt t.committed_batches (t.last_executed + 1) with
+    | Some batch ->
+      Hashtbl.remove t.committed_batches batch.Message.seq;
+      Hashtbl.replace t.executed_batches batch.Message.seq batch;
+      t.last_executed <- batch.Message.seq;
+      actions := Action.Execute batch :: !actions
+    | None -> continue := false
+  done;
+  List.rev !actions
+
+(* Re-evaluates an instance after new evidence arrived. *)
+let progress t (i : instance) =
+  let actions = ref [] in
+  (match i.batch with
+  | None -> ()
+  | Some batch ->
+    let d = batch.Message.digest in
+    (* Prepared: pre-prepare + 2f matching prepares (our own included once
+       we sent it; the primary never sends prepare, matching PBFT). *)
+    if (not i.sent_commit) && Quorum.count i.prepares d >= Config.prepare_quorum t.config then begin
+      i.sent_commit <- true;
+      ignore (Quorum.add i.commits d t.id);
+      actions := Action.Broadcast (Message.Commit { view = i.i_view; seq = i.i_seq; digest = d; from = t.id }) :: !actions
+    end;
+    if (not i.committed) && Quorum.count i.commits d >= Config.commit_quorum t.config then begin
+      i.committed <- true;
+      Hashtbl.replace t.committed_batches i.i_seq batch
+    end);
+  !actions
+
+let accept_pre_prepare t ~view ~(batch : Message.batch) =
+  let i = instance t ~view ~seq:batch.Message.seq in
+  match i.batch with
+  | Some existing when not (String.equal existing.Message.digest batch.Message.digest) ->
+    (* Conflicting proposal for an occupied slot: byzantine primary; drop. *)
+    []
+  | Some _ -> []
+  | None ->
+    i.batch <- Some batch;
+    let actions = ref [] in
+    (* Backups answer with Prepare; the primary's pre-prepare stands for its
+       prepare. *)
+    if Config.primary_of_view t.config view <> t.id && not i.sent_prepare then begin
+      i.sent_prepare <- true;
+      ignore (Quorum.add i.prepares batch.Message.digest t.id);
+      actions :=
+        Action.Broadcast
+          (Message.Prepare { view; seq = batch.Message.seq; digest = batch.Message.digest; from = t.id })
+        :: !actions
+    end;
+    (* Evaluation order matters: [progress] must record a commit before
+       [try_execute] looks for executable batches. *)
+    let advanced = progress t i in
+    let executed = try_execute t in
+    !actions @ advanced @ executed
+
+let propose t ~reqs ~digest ~wire_bytes =
+  if (not (is_primary t)) || t.in_view_change || not (in_window t t.next_seq) then (None, [])
+  else begin
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let batch = { Message.view = t.view; seq; digest; reqs; wire_bytes } in
+    let actions = accept_pre_prepare t ~view:t.view ~batch in
+    ( Some batch,
+      Action.Broadcast (Message.Pre_prepare { view = t.view; seq; batch; from = t.id }) :: actions )
+  end
+
+(* ---- checkpointing ------------------------------------------------------ *)
+
+let note_checkpoint t ~seq ~state_digest ~from =
+  let n = Quorum.add t.checkpoints (seq, state_digest) from in
+  if n >= Config.commit_quorum t.config && seq > t.last_stable then begin
+    t.last_stable <- seq;
+    (* A replica that fell behind adopts the stable checkpoint: the 2f+1
+       matching digests stand in for a state transfer. *)
+    if t.last_executed < seq then begin
+      t.last_executed <- seq;
+      t.last_exec_ack <- max t.last_exec_ack seq;
+      let stale =
+        Hashtbl.fold (fun s _ acc -> if s <= seq then s :: acc else acc) t.committed_batches []
+      in
+      List.iter (Hashtbl.remove t.committed_batches) stale
+    end;
+    (* Garbage-collect everything at or below the stable checkpoint. *)
+    let doomed =
+      Hashtbl.fold (fun (v, s) _ acc -> if s <= seq then (v, s) :: acc else acc) t.instances []
+    in
+    List.iter (Hashtbl.remove t.instances) doomed;
+    Quorum.filter_keys t.checkpoints (fun (s, _) -> s > seq);
+    t.own_checkpoint_digests <- List.filter (fun (s, _) -> s > seq) t.own_checkpoint_digests;
+    let doomed_exec =
+      Hashtbl.fold (fun s _ acc -> if s <= seq then s :: acc else acc) t.executed_batches []
+    in
+    List.iter (Hashtbl.remove t.executed_batches) doomed_exec;
+    [ Action.Stable_checkpoint seq ]
+  end
+  else []
+
+(* ---- view change -------------------------------------------------------- *)
+
+(* Prepared proofs: instances that reached the prepared state (2f prepares)
+   above the stable checkpoint, reported with their batch so the new primary
+   can re-propose. *)
+let prepared_proofs t =
+  Hashtbl.fold
+    (fun (v, s) (i : instance) acc ->
+      if s > t.last_stable && i.sent_commit then
+        match i.batch with
+        | Some b ->
+          { Message.p_view = v; p_seq = s; p_digest = b.Message.digest; p_batch = b } :: acc
+        | None -> acc
+      else acc)
+    t.instances []
+
+let start_view_change t ~target =
+  if t.in_view_change && t.vc_target >= target then []
+  else begin
+    t.in_view_change <- true;
+    t.vc_target <- target;
+    let vc =
+      Message.View_change
+        { new_view = target; last_stable = t.last_stable; prepared = prepared_proofs t; from = t.id }
+    in
+    (* Count our own view-change towards the quorum. *)
+    ignore (Quorum.add t.view_changes target t.id);
+    let mine = (t.id, prepared_proofs t) in
+    let existing = Option.value ~default:[] (Hashtbl.find_opt t.vc_messages target) in
+    if not (List.mem_assoc t.id existing) then Hashtbl.replace t.vc_messages target (mine :: existing);
+    [ Action.Broadcast vc ]
+  end
+
+let suspect_primary t = start_view_change t ~target:(t.view + 1)
+
+(* The new primary assembles New_view once it has a 2f+1 view-change quorum. *)
+let maybe_new_view t ~target =
+  if Config.primary_of_view t.config target <> t.id then []
+  else if Quorum.count t.view_changes target < Config.commit_quorum t.config then []
+  else if t.view >= target then []
+  else begin
+    let vcs = Option.value ~default:[] (Hashtbl.find_opt t.vc_messages target) in
+    (* For every sequence number above the stable checkpoint that is prepared
+       in any view-change message, re-propose the batch with the highest
+       view; fill gaps with no-ops. *)
+    let best : (int, Message.prepared_proof) Hashtbl.t = Hashtbl.create 32 in
+    List.iter
+      (fun (_, proofs) ->
+        List.iter
+          (fun (p : Message.prepared_proof) ->
+            match Hashtbl.find_opt best p.Message.p_seq with
+            | Some q when q.Message.p_view >= p.Message.p_view -> ()
+            | _ -> Hashtbl.replace best p.Message.p_seq p)
+          proofs)
+      vcs;
+    let max_seq = Hashtbl.fold (fun s _ acc -> max s acc) best t.last_stable in
+    let pre_prepares = ref [] in
+    for seq = t.last_stable + 1 to max_seq do
+      let batch =
+        match Hashtbl.find_opt best seq with
+        | Some p ->
+          { p.Message.p_batch with Message.view = target }
+        | None ->
+          (* No-op filler so execution stays gap-free. *)
+          {
+            Message.view = target;
+            seq;
+            digest = "noop:" ^ string_of_int seq;
+            reqs = [];
+            wire_bytes = 0;
+          }
+      in
+      pre_prepares := batch :: !pre_prepares
+    done;
+    let pre_prepares = List.rev !pre_prepares in
+    t.view <- target;
+    t.in_view_change <- false;
+    t.next_seq <- max_seq + 1;
+    let nv =
+      Message.New_view
+        { view = target; vc_senders = Quorum.senders t.view_changes target; pre_prepares; from = t.id }
+    in
+    let adopt =
+      List.concat_map (fun b -> accept_pre_prepare t ~view:target ~batch:b) pre_prepares
+    in
+    Action.Broadcast nv :: adopt
+  end
+
+let handle_new_view t ~view ~(pre_prepares : Message.batch list) ~from =
+  if view < t.view || Config.primary_of_view t.config view <> from then []
+  else begin
+    t.view <- view;
+    t.in_view_change <- false;
+    List.concat_map (fun (b : Message.batch) -> accept_pre_prepare t ~view ~batch:b) pre_prepares
+  end
+
+(* ---- message dispatch ---------------------------------------------------- *)
+
+let handle_message t (msg : Message.t) =
+  match msg with
+  | Message.Pre_prepare { view; seq; batch; from } ->
+    if view <> t.view || t.in_view_change || from <> Config.primary_of_view t.config view then []
+    else if not (in_window t seq) then []
+    else if seq <> batch.Message.seq then []
+    else accept_pre_prepare t ~view ~batch
+  | Message.Prepare { view; seq; digest; from } ->
+    if view < t.view || t.in_view_change || not (in_window t seq) then []
+    else begin
+      let i = instance t ~view ~seq in
+      ignore (Quorum.add i.prepares digest from);
+      let advanced = progress t i in
+      let executed = try_execute t in
+      advanced @ executed
+    end
+  | Message.Commit { view; seq; digest; from } ->
+    if view < t.view || t.in_view_change || not (in_window t seq) then []
+    else begin
+      let i = instance t ~view ~seq in
+      ignore (Quorum.add i.commits digest from);
+      let advanced = progress t i in
+      let executed = try_execute t in
+      advanced @ executed
+    end
+  | Message.Checkpoint { seq; state_digest; from } -> note_checkpoint t ~seq ~state_digest ~from
+  | Message.View_change { new_view; prepared; from; _ } ->
+    if new_view <= t.view then []
+    else begin
+      ignore (Quorum.add t.view_changes new_view from);
+      let existing = Option.value ~default:[] (Hashtbl.find_opt t.vc_messages new_view) in
+      if not (List.mem_assoc from existing) then
+        Hashtbl.replace t.vc_messages new_view ((from, prepared) :: existing);
+      (* Join the view change once f+1 replicas vouch for it (liveness). *)
+      let join =
+        if
+          Quorum.count t.view_changes new_view >= t.config.Config.f + 1
+          && not (t.in_view_change && t.vc_target >= new_view)
+        then start_view_change t ~target:new_view
+        else []
+      in
+      (* [join] may have added our own view-change to the quorum, so the
+         new-view check must run after it. *)
+      let nv = maybe_new_view t ~target:new_view in
+      join @ nv
+    end
+  | Message.New_view { view; pre_prepares; from; _ } -> handle_new_view t ~view ~pre_prepares ~from
+  | Message.Order_request _ | Message.Commit_cert _ | Message.Fill_hole _ ->
+    (* Zyzzyva traffic; not ours. *)
+    []
+  | Message.Reply _ | Message.Spec_reply _ | Message.Local_commit _ ->
+    (* Client-bound messages never reach a replica core. *)
+    []
+
+let handle_executed t ~seq ~state_digest ~result =
+  if seq <= t.last_exec_ack then []
+  else if seq <> t.last_exec_ack + 1 then
+    invalid_arg "Pbft_replica.handle_executed: out of order"
+  else begin
+  t.last_exec_ack <- seq;
+  match Hashtbl.find_opt t.executed_batches seq with
+  | None -> []
+  | Some batch ->
+    Hashtbl.remove t.executed_batches seq;
+    let replies =
+      List.map
+        (fun (r : Message.request_ref) ->
+          Action.Send_client
+            ( r.Message.client,
+              Message.Reply
+                {
+                  view = batch.Message.view;
+                  seq;
+                  txn_id = r.Message.txn_id;
+                  client = r.Message.client;
+                  from = t.id;
+                  result;
+                } ))
+        batch.Message.reqs
+    in
+    let checkpoint =
+      if seq mod t.config.Config.checkpoint_interval = 0 then begin
+        t.own_checkpoint_digests <- (seq, state_digest) :: t.own_checkpoint_digests;
+        Action.Broadcast (Message.Checkpoint { seq; state_digest; from = t.id })
+        :: note_checkpoint t ~seq ~state_digest ~from:t.id
+      end
+      else []
+    in
+    replies @ checkpoint
+  end

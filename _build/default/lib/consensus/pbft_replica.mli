@@ -1,0 +1,54 @@
+(** The PBFT replica state machine (Castro & Liskov, OSDI '99), as deployed
+    inside ResilientDB.
+
+    Pure core: all I/O is delegated to the caller through {!Action.t} lists.
+    The three normal-case phases (Pre-prepare, Prepare, Commit), checkpoint
+    garbage collection, and the view-change / new-view sub-protocol are
+    implemented.  Consensus on different sequence numbers proceeds
+    out-of-order (the paper's §4.5); [Execute] actions are nevertheless
+    emitted in strict sequence order (§4.6).
+
+    Fault model, as in the paper's experiments: crash faults and message
+    reordering/duplication are exercised end-to-end; the quorum logic is
+    byzantine-safe (conflicting proposals for the same slot cannot both
+    commit), while signature forgery is excluded by the hosting system's
+    message authentication. *)
+
+type t
+
+val create : Config.t -> id:int -> t
+
+val id : t -> int
+
+val view : t -> int
+
+val is_primary : t -> bool
+
+val last_executed : t -> int
+
+val last_stable_checkpoint : t -> int
+
+val in_view_change : t -> bool
+
+val propose : t -> reqs:Message.request_ref list -> digest:string -> wire_bytes:int -> Message.batch option * Action.t list
+(** Primary only: assign the next sequence number to a batch and emit its
+    Pre-prepare.  Returns [None] (and no actions) when this replica is not
+    the primary, is mid view-change, or the window is full. *)
+
+val handle_message : t -> Message.t -> Action.t list
+(** Feed one protocol message.  Unknown views / stale sequence numbers are
+    ignored; duplicates are idempotent. *)
+
+val handle_executed : t -> seq:int -> state_digest:string -> result:string -> Action.t list
+(** The hosting system reports that the batch at [seq] finished executing.
+    Must be called in sequence order (execution is in-order by design).
+    Emits client Replies and, on checkpoint boundaries, a Checkpoint
+    broadcast. *)
+
+val suspect_primary : t -> Action.t list
+(** Trigger a view change towards view+1 (the hosting system decides when —
+    typically a client-request timer).  Idempotent while a view change to
+    the same view is in flight. *)
+
+val pending_instances : t -> int
+(** Consensus slots currently tracked (for tests and saturation metrics). *)

@@ -1,0 +1,36 @@
+(** Distinct-sender counting, the bookkeeping primitive behind every
+    "collect 2f (+1) matching messages" rule. *)
+
+type 'k t = ('k, (int, unit) Hashtbl.t) Hashtbl.t
+
+let create () : 'k t = Hashtbl.create 64
+
+(** [add t key sender] records the sender and returns the number of distinct
+    senders now recorded under [key].  Duplicate sends are idempotent. *)
+let add (t : 'k t) key sender =
+  let senders =
+    match Hashtbl.find_opt t key with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.create 8 in
+      Hashtbl.add t key s;
+      s
+  in
+  Hashtbl.replace senders sender ();
+  Hashtbl.length senders
+
+let count (t : 'k t) key =
+  match Hashtbl.find_opt t key with None -> 0 | Some s -> Hashtbl.length s
+
+let senders (t : 'k t) key =
+  match Hashtbl.find_opt t key with
+  | None -> []
+  | Some s -> Hashtbl.fold (fun k () acc -> k :: acc) s []
+
+let keys (t : 'k t) = Hashtbl.fold (fun k _ acc -> k :: acc) t []
+
+let remove (t : 'k t) key = Hashtbl.remove t key
+
+let filter_keys (t : 'k t) keep =
+  let doomed = Hashtbl.fold (fun k _ acc -> if keep k then acc else k :: acc) t [] in
+  List.iter (Hashtbl.remove t) doomed

@@ -1,0 +1,28 @@
+(** Distinct-sender counting, the bookkeeping primitive behind every
+    "collect 2f (+1) matching messages" rule in the protocol cores.
+
+    Keys are whatever identifies a matching set — (view, seq, digest) for
+    prepares, (seq, state digest) for checkpoints — and duplicate votes
+    from the same sender never count twice. *)
+
+type 'k t
+
+val create : unit -> 'k t
+
+val add : 'k t -> 'k -> int -> int
+(** [add t key sender] records the vote and returns how many distinct
+    senders [key] now has.  Idempotent per (key, sender). *)
+
+val count : 'k t -> 'k -> int
+
+val senders : 'k t -> 'k -> int list
+(** Unordered. *)
+
+val keys : 'k t -> 'k list
+(** Every key with at least one vote (unordered). *)
+
+val remove : 'k t -> 'k -> unit
+
+val filter_keys : 'k t -> ('k -> bool) -> unit
+(** Drops every key the predicate rejects (garbage collection at
+    checkpoints). *)

@@ -1,0 +1,98 @@
+type action =
+  | Send of int * Message.t
+  | Broadcast of Message.t
+  | Complete of { txn_id : int; fast : bool }
+  | Retransmit of int
+
+type phase = Speculative | Certifying
+
+type pending = {
+  mutable phase : phase;
+  (* (view, seq, history) -> replica senders *)
+  spec : (int * int * string) Quorum.t;
+  mutable cert_key : (int * int * string) option;
+  commits : int Quorum.t; (* seq -> senders of local-commit *)
+}
+
+type t = {
+  config : Config.t;
+  id : int;
+  pending : (int, pending) Hashtbl.t;
+}
+
+let create config ~id = { config; id; pending = Hashtbl.create 64 }
+
+let id t = t.id
+
+let submit t ~txn_id =
+  if not (Hashtbl.mem t.pending txn_id) then
+    Hashtbl.add t.pending txn_id
+      { phase = Speculative; spec = Quorum.create (); cert_key = None; commits = Quorum.create () };
+  []
+
+let all_replicas t = t.config.Config.n
+
+let best_spec_key p =
+  (* The (view, seq, history) key with the most distinct senders. *)
+  let best = ref None in
+  List.iter
+    (fun key ->
+      let c = Quorum.count p.spec key in
+      match !best with
+      | Some (_, bc) when bc >= c -> ()
+      | _ -> best := Some (key, c))
+    (Quorum.keys p.spec);
+  !best
+
+let handle_message t (msg : Message.t) =
+  match msg with
+  | Message.Spec_reply { view; seq; txn_id; from; history; _ } ->
+    (match Hashtbl.find_opt t.pending txn_id with
+    | None -> []
+    | Some p ->
+      let n = Quorum.add p.spec (view, seq, history) from in
+      if p.phase = Speculative && n >= all_replicas t then begin
+        Hashtbl.remove t.pending txn_id;
+        [ Complete { txn_id; fast = true } ]
+      end
+      else [])
+  | Message.Local_commit { seq; from; _ } ->
+    (* Local commits are per (client, seq); find the certifying request for
+       this sequence number. *)
+    let found = ref [] in
+    Hashtbl.iter
+      (fun txn_id p ->
+        match p.cert_key with
+        | Some (_, s, _) when s = seq && p.phase = Certifying ->
+          let n = Quorum.add p.commits seq from in
+          if n >= Config.commit_quorum t.config then found := txn_id :: !found
+        | _ -> ())
+      t.pending;
+    List.map
+      (fun txn_id ->
+        Hashtbl.remove t.pending txn_id;
+        Complete { txn_id; fast = false })
+      !found
+  | _ -> []
+
+let handle_timeout t ~txn_id =
+  match Hashtbl.find_opt t.pending txn_id with
+  | None -> []
+  | Some p ->
+    (match best_spec_key p with
+    | Some (((view, seq, _digest_hist) as key), count) when count >= Config.commit_quorum t.config ->
+      if p.phase = Certifying then
+        (* Certificate already out; nudge it again. *)
+        []
+      else begin
+        p.phase <- Certifying;
+        p.cert_key <- Some key;
+        let responders = Quorum.senders p.spec key in
+        let _, _, hist = key in
+        [ Broadcast
+            (Message.Commit_cert
+               { view; seq; digest = hist; client = t.id; responders }) ]
+      end
+    | _ -> [ Retransmit txn_id ])
+
+let outstanding t = Hashtbl.length t.pending

@@ -1,0 +1,37 @@
+(** The Zyzzyva client — where the protocol's agreement burden actually
+    lives, and the root of its behaviour under failures (paper Fig. 17).
+
+    Completion rules (Kotla et al., SOSP '07):
+    - {b Fast path}: all [3f+1] speculative replies match (same view, seq,
+      history, result) → the request completes in a single phase.
+    - {b Commit-certificate path}: after a timeout, if between [2f+1] and
+      [3f] replies match, the client broadcasts a commit certificate built
+      from those replies and completes once [2f+1] replicas acknowledge it
+      with Local-commits.
+    - Fewer than [2f+1] matching replies → retransmit and keep waiting.
+
+    With even one crashed backup the fast path can never fire (the client
+    cannot collect [3f+1] replies), so {e every} request pays the timeout —
+    exactly the cliff the paper measures. *)
+
+type t
+
+type action =
+  | Send of int * Message.t  (** to one replica *)
+  | Broadcast of Message.t  (** to all replicas *)
+  | Complete of { txn_id : int; fast : bool }
+  | Retransmit of int  (** txn id *)
+
+val create : Config.t -> id:int -> t
+
+val id : t -> int
+
+val submit : t -> txn_id:int -> action list
+
+val handle_message : t -> Message.t -> action list
+(** Feed Spec-replies and Local-commits. *)
+
+val handle_timeout : t -> txn_id:int -> action list
+(** The speculative-reply timer fired for this request. *)
+
+val outstanding : t -> int

@@ -1,0 +1,40 @@
+(** The Zyzzyva replica (Kotla et al., SOSP '07): single-phase speculative
+    consensus.
+
+    The primary orders a batch and broadcasts an Order-request carrying a
+    rolling history digest; backups execute speculatively in sequence order
+    — before knowing whether the order is agreed — and reply directly to
+    the client.  Correctness then rests on the client's collection rules
+    (see {!Zyzzyva_client}): all [3f+1] matching speculative replies make
+    the request complete; between [2f+1] and [3f] the client closes the
+    request with a commit certificate.
+
+    As in the paper's evaluation, the view-change sub-protocol is not
+    exercised (only backup failures are injected); out-of-order
+    Order-requests are buffered until the gap fills, which is the protocol's
+    fill-hole situation in its benign form. *)
+
+type t
+
+val create : Config.t -> id:int -> t
+
+val id : t -> int
+
+val is_primary : t -> bool
+
+val history : t -> string
+(** The rolling history digest after the last speculative execution. *)
+
+val last_spec_executed : t -> int
+
+val committed_upto : t -> int
+(** Highest sequence number covered by a client commit certificate. *)
+
+val propose : t -> reqs:Message.request_ref list -> digest:string -> wire_bytes:int -> Message.batch option * Action.t list
+(** Primary only: order the batch and broadcast the Order-request. *)
+
+val handle_message : t -> Message.t -> Action.t list
+
+val handle_executed : t -> seq:int -> state_digest:string -> result:string -> Action.t list
+(** Emits the Spec-replies for the batch at [seq] and, on checkpoint
+    boundaries, a Checkpoint broadcast. *)

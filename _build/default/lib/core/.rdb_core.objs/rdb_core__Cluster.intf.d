@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Metrics Params Rdb_des

@@ -1,0 +1,1 @@
+lib/core/local_runtime.ml: Array Hashtbl List Printf Queue Rdb_chain Rdb_consensus Rdb_crypto Rdb_des Rdb_storage String

@@ -1,0 +1,1 @@
+lib/core/local_runtime.mli: Rdb_chain Rdb_storage

@@ -1,0 +1,1 @@
+lib/core/params.ml: Rdb_crypto Rdb_des

@@ -1,0 +1,1 @@
+lib/core/upper_bound.ml: Array Hashtbl Params Rdb_crypto Rdb_des Rdb_net Rdb_replica

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Buffer Char List Printf Rdb_consensus Rdb_crypto String

@@ -1,0 +1,1 @@
+lib/core/wire.mli: Rdb_consensus Rdb_crypto

@@ -1,0 +1,791 @@
+(** The ResilientDB cluster under simulation.
+
+    This module assembles the whole system of the paper's Fig. 5/6: per
+    replica, the input-threads, batch-threads ([B]), worker-thread,
+    execute-thread ([E]), output-threads and checkpoint-thread are
+    {!Rdb_replica.Stage} pipelines over a core-limited CPU; the pure
+    {!Rdb_consensus} protocol cores make the protocol decisions; the
+    {!Rdb_net} transport carries sized messages; and a closed-loop client
+    population (the paper's up-to-80K clients on a handful of machines)
+    drives load and measures end-to-end latency.
+
+    Everything stochastic flows from one seed: runs are bit-reproducible. *)
+
+module Sim = Rdb_des.Sim
+module Rng = Rdb_des.Rng
+module Cpu = Rdb_des.Cpu
+module Stats = Rdb_des.Stats
+module Stage = Rdb_replica.Stage
+module Net = Rdb_net.Net
+module Signer = Rdb_crypto.Signer
+module Cost = Rdb_crypto.Cost_model
+module Msg = Rdb_consensus.Message
+module Action = Rdb_consensus.Action
+module Config = Rdb_consensus.Config
+module Pbft = Rdb_consensus.Pbft_replica
+module Zyz = Rdb_consensus.Zyzzyva_replica
+module Block = Rdb_chain.Block
+module Ledger = Rdb_chain.Ledger
+
+(* ---- wire-level events --------------------------------------------------- *)
+
+type net_msg =
+  | To_replica of Msg.t
+  | Client_txns of { txn_ids : int array }
+      (** a group of independent single-transaction client requests arriving
+          together (clients are simulated in aggregate; costs are charged
+          per transaction) *)
+  | Replies of {
+      replica : int;
+      view : int;
+      seq : int;
+      key_digest : string;  (** result digest (PBFT) or history (Zyzzyva) *)
+      txn_ids : int array;
+      speculative : bool;
+    }
+  | Certs of { seq : int; history : string; count : int }
+      (** Zyzzyva commit certificates from [count] clients of one batch *)
+  | Cert_acks of { replica : int; seq : int; history : string; count : int }
+
+(* ---- per-replica host ----------------------------------------------------- *)
+
+type core = Core_pbft of Pbft.t | Core_zyz of Zyz.t
+
+type host = {
+  id : int;
+  cpu : Cpu.t;
+  input_client : Stage.t;
+  input_replica : Stage.t;
+  output : Stage.t;
+  batch_stage : Stage.t option;  (** None when B = 0: the worker batches *)
+  worker : Stage.t;
+  exec_stage : Stage.t option;  (** None when E = 0: the worker executes *)
+  checkpoint_stage : Stage.t;
+  core : core;
+  pending : int Queue.t;  (** primary: transactions awaiting batching *)
+  mutable flush_scheduled : bool;
+  mutable batch_jobs_inflight : int;
+      (** batch jobs queued or running; bounded so batching interleaves with
+          the rest of the stage's work instead of monopolising it (critical
+          when B = 0 and the worker-thread does everything) *)
+  ledger : Ledger.t;
+  cert_counts : (int, int) Hashtbl.t;  (** seq -> clients awaiting cert acks *)
+  mutable batch_counter : int;
+}
+
+(* ---- client-pool bookkeeping ---------------------------------------------- *)
+
+type batch_track = {
+  bt_txn_ids : int array;
+  mutable reply_mask : int;
+  mutable completed : bool;
+  mutable zyz_timer : Sim.event option;
+  mutable certified : bool;
+  mutable ack_mask : int;
+}
+
+type t = {
+  p : Params.t;
+  sim : Sim.t;
+  rng : Rng.t;
+  cfg : Config.t;
+  mutable net : net_msg Net.t option;  (** tied after creation *)
+  hosts : host array;
+  client_nodes : int array;  (** network node ids of the client machines *)
+  mutable client_rr : int;
+  (* client pool *)
+  submit_time : (int, Sim.time) Hashtbl.t;
+  batches : (int * int * string, batch_track) Hashtbl.t;
+  mutable next_txn : int;
+  mutable proposed_batches : int;
+  mutable completed_batches : int;
+  (* measurement *)
+  latencies : Stats.t;
+  mutable measuring : bool;
+  mutable completed_txns : int;
+  mutable completed_ops : int;
+  mutable fast_txns : int;
+  mutable cert_txns : int;
+  mutable blocks_at_start : int;
+}
+
+let net t = match t.net with Some n -> n | None -> assert false
+
+let primary_id = 0
+
+let txn_request_bytes p =
+  p.Params.txn_wire_bytes + Signer.signature_size p.Params.client_scheme
+
+let reply_bytes p =
+  64 + Signer.signature_size p.Params.reply_scheme
+
+let cert_bytes p ~quorum =
+  96 + (quorum * (Signer.signature_size p.Params.client_scheme + 8))
+
+let batch_wire_bytes p k = (k * p.Params.txn_wire_bytes) + p.Params.preprepare_payload_bytes
+
+(* ---- cost helpers --------------------------------------------------------- *)
+
+(* Signing cost charged on the stage that creates a message.  MAC schemes
+   authenticate per receiver (a MAC authenticator vector, as in PBFT), so a
+   broadcast pays n-1 MAC computations; digital signatures are
+   receiver-independent. *)
+let sign_cost_for p ~dests scheme =
+  let c = Cost.sign_cost p.Params.cost scheme in
+  match scheme with
+  | Signer.Cmac_aes -> c * dests
+  | Signer.No_sig | Signer.Ed25519 | Signer.Rsa -> c
+
+let scheme_of_message p (m : Msg.t) =
+  match m with
+  | Msg.Reply _ | Msg.Spec_reply _ | Msg.Local_commit _ -> p.Params.reply_scheme
+  | _ -> p.Params.replica_scheme
+
+(* ---- forward declarations via refs --------------------------------------- *)
+
+(* The delivery callback needs the cluster; the cluster needs the network.
+   We tie the knot with a mutable option. *)
+
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go mask 0
+
+(* ---- replica-side processing ---------------------------------------------- *)
+
+let rec core_handle t (h : host) (stage : Stage.t) (m : Msg.t) =
+  let actions =
+    match h.core with
+    | Core_pbft c -> Pbft.handle_message c m
+    | Core_zyz c -> Zyz.handle_message c m
+  in
+  emit t h stage actions
+
+and core_executed _t (h : host) ~seq ~state_digest ~result =
+  let actions =
+    match h.core with
+    | Core_pbft c -> Pbft.handle_executed c ~seq ~state_digest ~result
+    | Core_zyz c -> Zyz.handle_executed c ~seq ~state_digest ~result
+  in
+  actions
+
+(* Route protocol actions.  [stage] is the stage whose thread produced the
+   actions; message-creation (signing) costs are charged there via a
+   continuation job when needed. *)
+and emit t (h : host) (stage : Stage.t) actions =
+  if actions = [] then ()
+  else begin
+    let p = t.p in
+    (* Split client replies out: they are aggregated per batch. *)
+    let sign_ns = ref 0 in
+    let sends = ref [] in
+    let replies = ref [] in
+    let execs = ref [] in
+    List.iter
+      (fun a ->
+        match a with
+        | Action.Broadcast m ->
+          sign_ns := !sign_ns + sign_cost_for p ~dests:(p.Params.n - 1) (scheme_of_message p m);
+          sends := `Bcast m :: !sends
+        | Action.Send (dst, m) ->
+          sign_ns := !sign_ns + sign_cost_for p ~dests:1 (scheme_of_message p m);
+          sends := `One (dst, m) :: !sends
+        | Action.Send_client (_, m) -> begin
+          match m with
+          | Msg.Reply _ | Msg.Spec_reply _ ->
+            sign_ns := !sign_ns + sign_cost_for p ~dests:1 p.Params.reply_scheme;
+            replies := m :: !replies
+          | Msg.Local_commit { seq; _ } ->
+            (* One core-level ack stands for the whole client group of the
+               certificate; scale its cost by the group size. *)
+            let count =
+              match Hashtbl.find_opt h.cert_counts seq with Some c -> c | None -> 1
+            in
+            Hashtbl.remove h.cert_counts seq;
+            sign_ns := !sign_ns + (count * sign_cost_for p ~dests:1 p.Params.reply_scheme);
+            sends := `Cert_ack (seq, m, count) :: !sends
+          | _ -> ()
+        end
+        | Action.Execute b -> execs := b :: !execs
+        | Action.Stable_checkpoint s -> ignore (Ledger.prune_below h.ledger s))
+      actions;
+    (* Executions are routed immediately: the cores emit them in strict
+       sequence order and a delayed routing job could interleave with a
+       later emit and break that order. *)
+    List.iter (fun b -> enqueue_execute t h b) (List.rev !execs);
+    let route () =
+      List.iter
+        (fun s ->
+          match s with
+          | `Bcast m ->
+            for dst = 0 to p.Params.n - 1 do
+              if dst <> h.id then output_send t h dst m
+            done
+          | `One (dst, m) -> output_send t h dst m
+          | `Cert_ack (seq, m, count) -> output_send_cert_ack t h ~seq ~msg:m ~count)
+        (List.rev !sends);
+      match !replies with
+      | [] -> ()
+      | rs -> output_send_replies t h rs
+    in
+    if !sends = [] && !replies = [] then ()
+    else if !sign_ns > 0 then Stage.enqueue stage ~service:!sign_ns route
+    else route ()
+  end
+
+(* Send one protocol message to a peer replica through an output-thread. *)
+and output_send t (h : host) dst (m : Msg.t) =
+  let p = t.p in
+  let bytes = Msg.wire_size ~sig_bytes:(Signer.signature_size (scheme_of_message p m)) m in
+  let service = Cost.serialize_cost p.Params.cost ~bytes + p.Params.cost.Cost.out_handle in
+  Stage.enqueue h.output ~service (fun () ->
+      Net.send (net t) ~src:h.id ~dst ~bytes (To_replica m))
+
+(* Replies for one executed batch, aggregated into a single network event
+   per client machine round-robin slot (every transaction's completion is
+   still tracked individually by the pool). *)
+and output_send_replies t (h : host) (rs : Msg.t list) =
+  let p = t.p in
+  let k = List.length rs in
+  let view, seq, key_digest, speculative, txn_ids =
+    match rs with
+    | Msg.Reply { view; seq; _ } :: _ ->
+      ( view,
+        seq,
+        "",
+        false,
+        Array.of_list
+          (List.filter_map (function Msg.Reply { txn_id; _ } -> Some txn_id | _ -> None) rs) )
+    | Msg.Spec_reply { view; seq; history; _ } :: _ ->
+      ( view,
+        seq,
+        history,
+        true,
+        Array.of_list
+          (List.filter_map (function Msg.Spec_reply { txn_id; _ } -> Some txn_id | _ -> None) rs)
+      )
+    | _ -> assert false
+  in
+  let bytes = k * reply_bytes p in
+  let service = Cost.serialize_cost p.Params.cost ~bytes + (k * p.Params.cost.Cost.out_handle) in
+  let dst = t.client_nodes.(seq mod Array.length t.client_nodes) in
+  Stage.enqueue h.output ~service (fun () ->
+      Net.send (net t) ~src:h.id ~dst ~bytes
+        (Replies { replica = h.id; view; seq; key_digest; txn_ids; speculative }))
+
+and output_send_cert_ack t (h : host) ~seq ~msg ~count =
+  let p = t.p in
+  let history =
+    match msg with
+    | Msg.Local_commit _ -> (
+      match h.core with
+      | Core_zyz _ -> "" (* the pool keys acks by (seq, history) below *)
+      | Core_pbft _ -> "")
+    | _ -> ""
+  in
+  ignore history;
+  let bytes = count * reply_bytes p in
+  let service = Cost.serialize_cost p.Params.cost ~bytes + (count * p.Params.cost.Cost.out_handle) in
+  let dst = t.client_nodes.(seq mod Array.length t.client_nodes) in
+  Stage.enqueue h.output ~service (fun () ->
+      Net.send (net t) ~src:h.id ~dst ~bytes (Cert_acks { replica = h.id; seq; history = ""; count }))
+
+(* Execution: charged on the execute-thread (or the worker when E = 0). *)
+and enqueue_execute t (h : host) (b : Msg.batch) =
+  let p = t.p in
+  let stage = match h.exec_stage with Some s -> s | None -> h.worker in
+  let k = List.length b.Msg.reqs in
+  let ops = k * p.Params.ops_per_txn in
+  let alloc =
+    if p.Params.use_buffer_pool then p.Params.cost.Cost.alloc_pool
+    else p.Params.cost.Cost.alloc_malloc
+  in
+  let service =
+    Cost.execute_cost p.Params.cost ~sqlite:p.Params.sqlite ~ops
+    + (k * (p.Params.cost.Cost.reply_per_txn + alloc))
+    + p.Params.cost.Cost.hash_base (* block assembly *)
+  in
+  Stage.enqueue stage ~service (fun () ->
+      (* Block generation (§4.6): the commit certificate replaces the
+         previous-block hash. *)
+      let cert = List.init (Config.commit_quorum t.cfg) (fun i -> (i, "share")) in
+      let block =
+        {
+          Block.seq = b.Msg.seq;
+          view = b.Msg.view;
+          digest = b.Msg.digest;
+          txn_count = k;
+          link = Block.Certificate cert;
+        }
+      in
+      if Ledger.next_seq h.ledger = b.Msg.seq then Ledger.append h.ledger block;
+      let state_digest = "state-" ^ string_of_int b.Msg.seq in
+      let actions = core_executed t h ~seq:b.Msg.seq ~state_digest ~result:"ok" in
+      emit t h stage actions)
+
+(* Batch formation at the primary (§4.3): batch-threads drain the common
+   queue, verify client signatures, build the batch string, hash and sign. *)
+and try_form_batches t (h : host) =
+  let p = t.p in
+  let stage = match h.batch_stage with Some s -> s | None -> h.worker in
+  let max_jobs = 2 * Stage.workers stage in
+  let admission_open () =
+    t.proposed_batches - t.completed_batches + h.batch_jobs_inflight
+    < p.Params.max_inflight_batches
+  in
+  while
+    Queue.length h.pending >= p.Params.batch_size
+    && h.batch_jobs_inflight < max_jobs
+    && admission_open ()
+  do
+    let k = p.Params.batch_size in
+    let txns = Array.init k (fun _ -> Queue.pop h.pending) in
+    enqueue_batch_job t h stage txns
+  done;
+  (* A partial batch would stall forever under low load: flush it shortly,
+     like a production batcher's linger timer. *)
+  if (not (Queue.is_empty h.pending)) && not h.flush_scheduled then begin
+    h.flush_scheduled <- true;
+    ignore
+      (Sim.schedule t.sim ~after:(Sim.ms 2.0) (fun () ->
+           h.flush_scheduled <- false;
+           let len = Queue.length h.pending in
+           if len > 0 && len < p.Params.batch_size && admission_open () then begin
+             let txns = Array.init len (fun _ -> Queue.pop h.pending) in
+             enqueue_batch_job t h stage txns
+           end
+           else if len > 0 then try_form_batches t h))
+  end
+
+and enqueue_batch_job t (h : host) stage txns =
+  let p = t.p in
+  let k = Array.length txns in
+  let wire = batch_wire_bytes p k in
+  (* Each batched transaction costs two object allocations (message wrapper
+     + transaction object, §4.8); the buffer pool makes them cheap. *)
+  let alloc =
+    if p.Params.use_buffer_pool then p.Params.cost.Cost.alloc_pool
+    else p.Params.cost.Cost.alloc_malloc
+  in
+  let per_txn =
+    Cost.verify_cost_batched p.Params.cost p.Params.client_scheme
+    + p.Params.cost.Cost.batch_per_txn
+    + (2 * alloc)
+    + ((p.Params.ops_per_txn - 1) * p.Params.cost.Cost.batch_per_op)
+  in
+  (* Very large batches lose cache locality while being assembled. *)
+  let locality =
+    let th = p.Params.cost.Cost.batch_locality_threshold in
+    if k <= th then 1.0
+    else 1.0 +. (p.Params.cost.Cost.batch_locality_slope *. float_of_int (k - th) /. float_of_int th)
+  in
+  let service =
+    int_of_float (float_of_int (k * per_txn) *. locality)
+    + p.Params.cost.Cost.batch_base
+    + Cost.hash_cost p.Params.cost ~bytes:wire
+  in
+  h.batch_jobs_inflight <- h.batch_jobs_inflight + 1;
+  Stage.enqueue stage ~service (fun () ->
+      h.batch_jobs_inflight <- h.batch_jobs_inflight - 1;
+      h.batch_counter <- h.batch_counter + 1;
+      let digest = Printf.sprintf "b%d-%d" h.id h.batch_counter in
+      let reqs =
+        Array.to_list (Array.map (fun txn_id -> { Msg.client = txn_id mod t.p.Params.clients; txn_id }) txns)
+      in
+      let batch_opt, actions =
+        match h.core with
+        | Core_pbft c -> Pbft.propose c ~reqs ~digest ~wire_bytes:wire
+        | Core_zyz c -> Zyz.propose c ~reqs ~digest ~wire_bytes:wire
+      in
+      (match batch_opt with
+      | None ->
+        (* Not the primary / window full: requests would be retried by
+           clients; under our experiments this does not happen. *)
+        ()
+      | Some _ ->
+        t.proposed_batches <- t.proposed_batches + 1;
+        (* The worker-thread owns the consensus instance: its bookkeeping
+           (instance state, quorum tracking, certificate assembly) costs a
+           fixed amount per consensus, regardless of batch size. *)
+        Stage.enqueue h.worker ~service:p.Params.cost.Cost.consensus_fixed (fun () -> ()));
+      emit t h stage actions;
+      try_form_batches t h)
+
+(* ---- message delivery at a replica ---------------------------------------- *)
+
+and deliver_replica t (h : host) ~src (msg : net_msg) =
+  let p = t.p in
+  let cost = p.Params.cost in
+  ignore src;
+  match msg with
+  | Client_txns { txn_ids } ->
+    let k = Array.length txn_ids in
+    Stage.enqueue h.input_client ~service:(k * cost.Cost.msg_handle) (fun () ->
+        Array.iter (fun id -> Queue.push id h.pending) txn_ids;
+        try_form_batches t h)
+  | To_replica m ->
+    let verify = Cost.verify_cost cost p.Params.replica_scheme in
+    let stage, service =
+      match m with
+      | Msg.Checkpoint _ -> (h.checkpoint_stage, verify + cost.Cost.msg_handle)
+      | Msg.Pre_prepare _ | Msg.Order_request _ ->
+        (* A new consensus instance starts here at a backup. *)
+        (h.worker, verify + cost.Cost.msg_handle + cost.Cost.consensus_fixed)
+      | Msg.Prepare _ | Msg.Commit _ | Msg.View_change _ | Msg.New_view _ ->
+        (h.worker, verify + cost.Cost.msg_handle)
+      | _ -> (h.worker, cost.Cost.msg_handle)
+    in
+    (* Input-threads hand the message over first (cheap), then the target
+       thread verifies and processes. *)
+    Stage.enqueue h.input_replica ~service:cost.Cost.msg_handle (fun () ->
+        Stage.enqueue stage ~service (fun () -> core_handle t h stage m))
+  | Certs { seq; history; count } ->
+    let quorum = Config.commit_quorum t.cfg in
+    let service =
+      count * ((quorum * Cost.verify_cost cost p.Params.client_scheme) + cost.Cost.msg_handle)
+    in
+    Stage.enqueue h.input_replica ~service:cost.Cost.msg_handle (fun () ->
+        Stage.enqueue h.worker ~service (fun () ->
+            Hashtbl.replace h.cert_counts seq count;
+            let responders = List.init quorum (fun i -> i) in
+            core_handle t h h.worker
+              (Msg.Commit_cert { view = 0; seq; digest = history; client = seq; responders })))
+  | Replies _ | Cert_acks _ ->
+    (* Client-bound traffic never reaches a replica. *)
+    ()
+
+(* ---- client pool ----------------------------------------------------------- *)
+
+and next_client_node t =
+  let node = t.client_nodes.(t.client_rr mod Array.length t.client_nodes) in
+  t.client_rr <- t.client_rr + 1;
+  node
+
+and submit_group t txn_ids =
+  let p = t.p in
+  let now = Sim.now t.sim in
+  Array.iter (fun id -> Hashtbl.replace t.submit_time id now) txn_ids;
+  let bytes = Array.length txn_ids * txn_request_bytes p in
+  let src = next_client_node t in
+  Net.send (net t) ~src ~dst:primary_id ~bytes (Client_txns { txn_ids })
+
+and fresh_txns t k =
+  Array.init k (fun _ ->
+      let id = t.next_txn in
+      t.next_txn <- id + 1;
+      id)
+
+and complete_batch t (track : batch_track) ~fast ~cert =
+  if not track.completed then begin
+    track.completed <- true;
+    t.completed_batches <- t.completed_batches + 1;
+    (match track.zyz_timer with Some ev -> Sim.cancel ev | None -> ());
+    let now = Sim.now t.sim in
+    let k = Array.length track.bt_txn_ids in
+    if t.measuring then begin
+      t.completed_txns <- t.completed_txns + k;
+      t.completed_ops <- t.completed_ops + (k * t.p.Params.ops_per_txn);
+      if fast then t.fast_txns <- t.fast_txns + k;
+      if cert then t.cert_txns <- t.cert_txns + k;
+      Array.iter
+        (fun id ->
+          match Hashtbl.find_opt t.submit_time id with
+          | Some s -> Stats.add t.latencies (Sim.to_seconds (now - s))
+          | None -> ())
+        track.bt_txn_ids
+    end;
+    Array.iter (fun id -> Hashtbl.remove t.submit_time id) track.bt_txn_ids;
+    (* Closed loop: the same clients immediately submit replacements. *)
+    submit_group t (fresh_txns t k)
+  end
+
+and get_track t key txn_ids =
+  match Hashtbl.find_opt t.batches key with
+  | Some tr -> tr
+  | None ->
+    let tr =
+      {
+        bt_txn_ids = txn_ids;
+        reply_mask = 0;
+        completed = false;
+        zyz_timer = None;
+        certified = false;
+        ack_mask = 0;
+      }
+    in
+    Hashtbl.add t.batches key tr;
+    tr
+
+and zyzzyva_timeout t (track : batch_track) ~view ~seq ~history =
+  track.zyz_timer <- None;
+  if not track.completed then begin
+    let live = popcount track.reply_mask in
+    if live >= Config.commit_quorum t.cfg && not track.certified then begin
+      track.certified <- true;
+      (* Every client of the batch broadcasts its commit certificate. *)
+      let count = Array.length track.bt_txn_ids in
+      let bytes = count * cert_bytes t.p ~quorum:(Config.commit_quorum t.cfg) in
+      let src = next_client_node t in
+      for dst = 0 to t.p.Params.n - 1 do
+        Net.send (net t) ~src ~dst ~bytes (Certs { seq; history; count })
+      done
+    end
+    else if not track.certified then begin
+      (* Not enough speculative replies yet: wait another round. *)
+      let ev =
+        Sim.schedule t.sim ~after:t.p.Params.zyzzyva_timeout (fun () ->
+            zyzzyva_timeout t track ~view ~seq ~history)
+      in
+      track.zyz_timer <- Some ev
+    end
+  end
+
+and live_replicas t = t.p.Params.n - t.p.Params.crashed_backups
+
+(* Once every live replica's reply has been seen (and the certificate path,
+   if taken, has fully acked) the tracking entry can be dropped: nothing
+   further can arrive for it.  Without this, late replies after completion
+   would re-create the key and double-complete the batch. *)
+and maybe_prune t key (track : batch_track) =
+  if
+    track.completed
+    && popcount track.reply_mask >= live_replicas t
+    && ((not track.certified) || popcount track.ack_mask >= live_replicas t)
+  then Hashtbl.remove t.batches key
+
+and deliver_client t (msg : net_msg) =
+  match msg with
+  | Replies { replica; view; seq; key_digest; txn_ids; speculative } ->
+    let key = (view, seq, key_digest) in
+    let track = get_track t key txn_ids in
+    track.reply_mask <- track.reply_mask lor (1 lsl replica);
+    let count = popcount track.reply_mask in
+    if not track.completed then begin
+      if not speculative then begin
+        if count >= Config.reply_quorum t.cfg then complete_batch t track ~fast:false ~cert:false
+      end
+      else begin
+        (* Zyzzyva: all n replies complete the request on the fast path. *)
+        if count >= t.p.Params.n then complete_batch t track ~fast:true ~cert:false
+        else if track.zyz_timer = None && not track.certified then begin
+          let ev =
+            Sim.schedule t.sim ~after:t.p.Params.zyzzyva_timeout (fun () ->
+                zyzzyva_timeout t track ~view ~seq ~history:key_digest)
+          in
+          track.zyz_timer <- Some ev
+        end
+      end
+    end;
+    maybe_prune t key track
+  | Cert_acks { replica; seq; _ } ->
+    (* Find the certified batch for this sequence number. *)
+    let hits = ref [] in
+    Hashtbl.iter
+      (fun ((_, s, _) as key) track ->
+        if s = seq && track.certified then hits := (key, track) :: !hits)
+      t.batches;
+    List.iter
+      (fun (key, track) ->
+        track.ack_mask <- track.ack_mask lor (1 lsl replica);
+        if (not track.completed) && popcount track.ack_mask >= Config.commit_quorum t.cfg then
+          complete_batch t track ~fast:false ~cert:true;
+        maybe_prune t key track)
+      !hits
+  | To_replica _ | Client_txns _ | Certs _ -> ()
+
+(* ---- construction ----------------------------------------------------------- *)
+
+let make_host t ~id =
+  let p = t.p in
+  let cpu =
+    Cpu.create ~cs_alpha:p.Params.cost.Cost.context_switch_alpha t.sim ~cores:p.Params.cores
+  in
+  let stage name workers = Stage.create t.sim ~cpu ~name ~workers () in
+  let core =
+    match p.Params.protocol with
+    | Params.Pbft -> Core_pbft (Pbft.create t.cfg ~id)
+    | Params.Zyzzyva -> Core_zyz (Zyz.create t.cfg ~id)
+  in
+  {
+    id;
+    cpu;
+    input_client = stage "input-client" 1;
+    input_replica = stage "input-replica" 2;
+    output = stage "output" 2;
+    batch_stage =
+      (if p.Params.batch_threads > 0 then Some (stage "batch" p.Params.batch_threads) else None);
+    worker = stage "worker" 1;
+    exec_stage = (if p.Params.execute_threads > 0 then Some (stage "execute" 1) else None);
+    checkpoint_stage = stage "checkpoint" 1;
+    core;
+    pending = Queue.create ();
+    flush_scheduled = false;
+    batch_jobs_inflight = 0;
+    ledger = Ledger.create ~primary_id;
+    cert_counts = Hashtbl.create 16;
+    batch_counter = 0;
+  }
+
+let create (p : Params.t) =
+  Params.validate p;
+  let sim = Sim.create () in
+  let rng = Rng.create p.Params.seed in
+  let cfg = Config.make ~checkpoint_interval:(Params.checkpoint_interval p) ~n:p.Params.n () in
+  let t =
+    {
+      p;
+      sim;
+      rng;
+      cfg;
+      net = None;
+      hosts = [||];
+      client_nodes = Array.init p.Params.client_machines (fun i -> p.Params.n + i);
+      client_rr = 0;
+      submit_time = Hashtbl.create 4096;
+      batches = Hashtbl.create 4096;
+      next_txn = 0;
+      proposed_batches = 0;
+      completed_batches = 0;
+      latencies = Stats.create ();
+      measuring = false;
+      completed_txns = 0;
+      completed_ops = 0;
+      fast_txns = 0;
+      cert_txns = 0;
+      blocks_at_start = 0;
+    }
+  in
+  let hosts = Array.init p.Params.n (fun id -> make_host t ~id) in
+  let t = { t with hosts } in
+  let deliver ~dst ~src payload =
+    if dst < p.Params.n then deliver_replica t t.hosts.(dst) ~src payload
+    else deliver_client t payload
+  in
+  let net =
+    Net.create sim
+      ~nodes:(p.Params.n + p.Params.client_machines)
+      ~bandwidth_gbps:p.Params.bandwidth_gbps ~latency:p.Params.latency ~jitter:p.Params.jitter
+      ~rng:(Rng.split rng) ~deliver ()
+  in
+  t.net <- Some net;
+  (* Crash the chosen backups before traffic starts (Fig. 17). *)
+  for i = 1 to p.Params.crashed_backups do
+    Net.crash net (p.Params.n - i)
+  done;
+  t
+
+(* Seed the closed loop: every client submits one transaction, staggered
+   over the first 50 ms so the initial burst does not arrive as one wall. *)
+let start t =
+  let p = t.p in
+  let group = max 1 (min p.Params.batch_size 1000) in
+  let remaining = ref p.Params.clients in
+  let stagger = Sim.ms 50.0 in
+  let groups = (p.Params.clients + group - 1) / group in
+  let i = ref 0 in
+  while !remaining > 0 do
+    let k = min group !remaining in
+    remaining := !remaining - k;
+    let at = !i * stagger / max 1 groups in
+    incr i;
+    ignore (Sim.schedule_at t.sim ~at (fun () -> submit_group t (fresh_txns t k)))
+  done
+
+type snapshot = {
+  snap_time : Sim.time;
+  stage_occupied : (string * int) list array;  (** per host *)
+  cpu_busy : int array;
+  msgs : int;
+  bytes : int;
+  blocks : int;
+}
+
+let stages_of (h : host) =
+  [ h.input_client; h.input_replica; h.output; h.worker; h.checkpoint_stage ]
+  @ (match h.batch_stage with Some s -> [ s ] | None -> [])
+  @ match h.exec_stage with Some s -> [ s ] | None -> []
+
+let snapshot t =
+  {
+    snap_time = Sim.now t.sim;
+    stage_occupied =
+      Array.map (fun h -> List.map (fun s -> (Stage.name s, Stage.occupied_ns s)) (stages_of h)) t.hosts;
+    cpu_busy = Array.map (fun h -> Cpu.busy_ns h.cpu) t.hosts;
+    msgs = Net.messages_sent (net t);
+    bytes = Net.bytes_sent (net t);
+    blocks = Ledger.length t.hosts.(0).ledger;
+  }
+
+let sim t = t.sim
+
+(* Diagnostic snapshot used while developing and by verbose CLI modes. *)
+let debug_dump t =
+  let h0 = t.hosts.(0) in
+  let last_exec =
+    match h0.core with Core_pbft c -> Pbft.last_executed c | Core_zyz c -> Zyz.last_spec_executed c
+  in
+  let pend_inst = match h0.core with Core_pbft c -> Pbft.pending_instances c | Core_zyz _ -> 0 in
+  Printf.printf
+    "t=%.2fs completed=%d next_txn=%d exec0=%d inst0=%d pending=%d workerq=%d batchq=%d tracks=%d\n%!"
+    (Sim.to_seconds (Sim.now t.sim))
+    t.completed_txns t.next_txn last_exec pend_inst (Queue.length h0.pending)
+    (Stage.queue_length h0.worker)
+    (match h0.batch_stage with Some s -> Stage.queue_length s | None -> -1)
+    (Hashtbl.length t.batches)
+
+let run (p : Params.t) : Metrics.t =
+  let t = create p in
+  start t;
+  Sim.run ~until:p.Params.warmup t.sim;
+  let s0 = snapshot t in
+  t.measuring <- true;
+  Sim.run ~until:(p.Params.warmup + p.Params.measure) t.sim;
+  t.measuring <- false;
+  let s1 = snapshot t in
+  let window = Sim.to_seconds (s1.snap_time - s0.snap_time) in
+  let replicas =
+    Array.to_list
+      (Array.mapi
+         (fun i h ->
+           let occ0 = s0.stage_occupied.(i) and occ1 = s1.stage_occupied.(i) in
+           let stages =
+             List.map2
+               (fun (name, o0) (_, o1) ->
+                 let workers =
+                   List.fold_left
+                     (fun acc s -> if Stage.name s = name then Stage.workers s else acc)
+                     1 (stages_of h)
+                 in
+                 {
+                   Metrics.stage = name;
+                   percent =
+                     (if window <= 0.0 then 0.0
+                      else
+                        100.0 *. float_of_int (o1 - o0)
+                        /. (window *. 1e9 *. float_of_int workers));
+                 })
+               occ0 occ1
+           in
+           {
+             Metrics.replica = i;
+             is_primary = i = primary_id;
+             stages;
+             cpu_utilization =
+               (if window <= 0.0 then 0.0
+                else
+                  float_of_int (s1.cpu_busy.(i) - s0.cpu_busy.(i))
+                  /. (window *. 1e9 *. float_of_int p.Params.cores));
+           })
+         t.hosts)
+  in
+  {
+    Metrics.throughput_tps = (if window > 0.0 then float_of_int t.completed_txns /. window else 0.0);
+    ops_per_second = (if window > 0.0 then float_of_int t.completed_ops /. window else 0.0);
+    latency = t.latencies;
+    completed_txns = t.completed_txns;
+    fast_path_txns = t.fast_txns;
+    cert_path_txns = t.cert_txns;
+    replicas;
+    messages_sent = s1.msgs - s0.msgs;
+    bytes_sent = s1.bytes - s0.bytes;
+    ledger_blocks = s1.blocks - s0.blocks;
+  }

@@ -1,0 +1,25 @@
+(** The simulated ResilientDB deployment (see the module comment in the
+    implementation for the full model description).
+
+    One call to {!run} builds the cluster of {!Params.t}, drives the
+    closed-loop client population through warmup and measurement windows
+    under the deterministic discrete-event clock, and returns the measured
+    {!Metrics.t}.  Runs are bit-reproducible for a given parameter set. *)
+
+type t
+
+val create : Params.t -> t
+(** Builds replicas, network and client pool; validates the parameters. *)
+
+val start : t -> unit
+(** Seeds the client population (staggered over the first 50 ms). *)
+
+val sim : t -> Rdb_des.Sim.t
+(** The simulation clock, for callers that drive time manually. *)
+
+val debug_dump : t -> unit
+(** One-line diagnostic snapshot (queue depths, instance counts) to stdout. *)
+
+val run : Params.t -> Metrics.t
+(** [create] + [start] + run to [warmup + measure], returning the metrics
+    of the measurement window. *)

@@ -1,0 +1,328 @@
+module Msg = Rdb_consensus.Message
+module Action = Rdb_consensus.Action
+module Config = Rdb_consensus.Config
+module Pbft = Rdb_consensus.Pbft_replica
+module Client = Rdb_consensus.Pbft_client
+module Signer = Rdb_crypto.Signer
+module Sha256 = Rdb_crypto.Sha256
+module Cmac = Rdb_crypto.Cmac
+module Mem_store = Rdb_storage.Mem_store
+module Ledger = Rdb_chain.Ledger
+module Block = Rdb_chain.Block
+module Rng = Rdb_des.Rng
+
+type config = { n : int; batch_size : int; checkpoint_interval : int; seed : int64 }
+
+let default_config = { n = 4; batch_size = 10; checkpoint_interval = 50; seed = 0x4C6F63616CL }
+
+type request = { client : int; payload : string; signature : string }
+
+type replica = {
+  id : int;
+  core : Pbft.t;
+  mutable rstore : Mem_store.t;
+  rledger : Ledger.t;
+  mac : Cmac.key;  (** group MAC key for replica-to-replica traffic *)
+  mutable applied : int;  (** highest sequence number applied to [rstore] *)
+}
+
+type t = {
+  cfg : config;
+  ccfg : Config.t;
+  replicas : replica array;
+  client_signer : Signer.t;
+  client_verifier : Signer.verifier;
+  apply : replica:int -> Rdb_storage.Mem_store.t -> client:int -> payload:string -> string;
+  queue : (int * Msg.t * string) Queue.t;  (** (dst, message, mac tag) *)
+  requests : (int, request) Hashtbl.t;  (** txn_id -> request *)
+  pending : int Queue.t;  (** txn ids awaiting batching at the primary *)
+  clients : (int, Client.t) Hashtbl.t;
+  mutable next_txn : int;
+  mutable crashed : int list;
+  mutable completed : (int * string) list;  (** newest first *)
+  mutable auth_failures : int;
+}
+
+(* A single pre-shared group secret, as in a permissioned deployment. *)
+let group_secret = "local-runtime-k!"
+
+let create ?(config = default_config) ~apply () =
+  if config.n < 4 then invalid_arg "Local_runtime.create: need at least 4 replicas";
+  if config.batch_size < 1 then invalid_arg "Local_runtime.create: bad batch size";
+  let ccfg = Config.make ~checkpoint_interval:config.checkpoint_interval ~n:config.n () in
+  let rng = Rng.create config.seed in
+  let client_signer = Signer.create rng Signer.Ed25519 in
+  {
+    cfg = config;
+    ccfg;
+    replicas =
+      Array.init config.n (fun id ->
+          {
+            id;
+            core = Pbft.create ccfg ~id;
+            rstore = Mem_store.create ();
+            rledger = Ledger.create ~primary_id:0;
+            mac = Cmac.of_secret group_secret;
+            applied = 0;
+          });
+    client_signer;
+    client_verifier = Signer.verifier client_signer;
+    apply;
+    queue = Queue.create ();
+    requests = Hashtbl.create 256;
+    pending = Queue.create ();
+    clients = Hashtbl.create 16;
+    next_txn = 0;
+    crashed = [];
+    completed = [];
+    auth_failures = 0;
+  }
+
+let is_crashed t id = List.mem id t.crashed
+
+(* Cluster-level view/primary reads come from a live replica: a crashed
+   replica's core is frozen in the old view. *)
+let live_replica t =
+  let rec find i =
+    if i >= t.cfg.n then t.replicas.(0)
+    else if is_crashed t i then find (i + 1)
+    else t.replicas.(i)
+  in
+  find 0
+
+let view t = Pbft.view (live_replica t).core
+
+let primary t = Config.primary_of_view t.ccfg (view t)
+
+let mac_of t msg = Cmac.mac t.replicas.(0).mac (Msg.auth_string msg)
+
+let send t ~dst msg = Queue.push (dst, msg, mac_of t msg) t.queue
+
+let broadcast t ~from msg =
+  Array.iter (fun (r : replica) -> if r.id <> from then send t ~dst:r.id msg) t.replicas
+
+let client_for t id =
+  match Hashtbl.find_opt t.clients id with
+  | Some c -> c
+  | None ->
+    let c = Client.create t.ccfg ~id in
+    Hashtbl.add t.clients id c;
+    c
+
+(* Execution: apply every request of the batch on this replica's store, then
+   append a block whose linkage is the commit certificate (§4.6). *)
+let execute t (r : replica) (batch : Msg.batch) =
+  if batch.Msg.seq <= r.applied then
+    (* Already covered by a state transfer: the snapshot included this
+       batch's effects, so re-applying would double-execute. *)
+    List.map (fun _ -> "state-transferred") batch.Msg.reqs
+  else begin
+  let results =
+    List.map
+      (fun (ref_ : Msg.request_ref) ->
+        match Hashtbl.find_opt t.requests ref_.Msg.txn_id with
+        | None -> "missing-payload"
+        | Some req ->
+          t.apply ~replica:r.id r.rstore ~client:req.client ~payload:req.payload)
+      batch.Msg.reqs
+  in
+  let cert = List.init (Config.commit_quorum t.ccfg) (fun i -> (i, "commit-share")) in
+  let block =
+    {
+      Block.seq = batch.Msg.seq;
+      view = batch.Msg.view;
+      digest = batch.Msg.digest;
+      txn_count = List.length batch.Msg.reqs;
+      link = Block.Certificate cert;
+    }
+  in
+  if Ledger.next_seq r.rledger = batch.Msg.seq then Ledger.append r.rledger block;
+  r.applied <- max r.applied batch.Msg.seq;
+  results
+  end
+
+let rec dispatch t ~origin actions =
+  List.iter
+    (fun a ->
+      match a with
+      | Action.Broadcast m -> broadcast t ~from:origin m
+      | Action.Send (dst, m) -> send t ~dst m
+      | Action.Send_client (cid, m) -> deliver_client t cid m
+      | Action.Execute batch ->
+        let r = t.replicas.(origin) in
+        let results = execute t r batch in
+        let result_digest = Sha256.hex (String.sub (Sha256.digest (String.concat "|" results)) 0 8) in
+        (* Per-request results are carried in the Reply actions the core
+           emits from handle_executed; we fold the batch digest in as the
+           agreed result string. *)
+        dispatch t ~origin
+          (Pbft.handle_executed r.core ~seq:batch.Msg.seq
+             ~state_digest:(Mem_store.digest r.rstore) ~result:result_digest)
+      | Action.Stable_checkpoint seq ->
+        let r = t.replicas.(origin) in
+        (* A replica whose application state is behind the stable checkpoint
+           (it was crashed, or joined late) performs a state transfer from a
+           live peer that has executed past the checkpoint; the 2f+1
+           matching checkpoint digests vouch for the content. *)
+        if r.applied < seq then begin
+          let donor =
+            Array.to_list t.replicas
+            |> List.find_opt (fun (d : replica) ->
+                   d.id <> r.id && (not (List.mem d.id t.crashed)) && d.applied >= seq)
+          in
+          match donor with
+          | Some d ->
+            r.rstore <- Mem_store.snapshot d.rstore;
+            Ledger.sync_from r.rledger ~src:d.rledger;
+            r.applied <- d.applied
+          | None -> ()
+        end;
+        ignore (Ledger.prune_below r.rledger seq))
+    actions
+
+and deliver_client t cid msg =
+  let c = client_for t cid in
+  List.iter
+    (function
+      | Client.Complete { txn_id; result } -> t.completed <- (txn_id, result) :: t.completed
+      | Client.Send _ | Client.Broadcast_request _ -> ())
+    (Client.handle_reply c msg)
+
+let try_batch t ~force =
+  let p = primary t in
+  if not (is_crashed t p) then begin
+    let r = t.replicas.(p) in
+    let form k =
+      let txns = List.init k (fun _ -> Queue.pop t.pending) in
+      (* The primary verifies each client signature before batching (§4.3):
+         real verification over the stored payloads. *)
+      let all_valid =
+        List.for_all
+          (fun txn_id ->
+            match Hashtbl.find_opt t.requests txn_id with
+            | None -> false
+            | Some req ->
+              Signer.verify t.client_verifier
+                (Printf.sprintf "%d|%s" req.client req.payload)
+                ~signature:req.signature)
+          txns
+      in
+      if all_valid then begin
+        (* One string representation of the whole batch, hashed once. *)
+        let payloads =
+          List.map
+            (fun id ->
+              match Hashtbl.find_opt t.requests id with
+              | Some req -> req.payload
+              | None -> "")
+            txns
+        in
+        let digest = Sha256.digest (String.concat "\x00" payloads) in
+        let reqs =
+          List.map
+            (fun txn_id ->
+              let req = Hashtbl.find t.requests txn_id in
+              { Msg.client = req.client; txn_id })
+            txns
+        in
+        let wire = List.fold_left (fun acc p' -> acc + String.length p') 0 payloads in
+        let _, actions = Pbft.propose r.core ~reqs ~digest ~wire_bytes:wire in
+        dispatch t ~origin:p actions
+      end
+    in
+    while Queue.length t.pending >= t.cfg.batch_size do
+      form t.cfg.batch_size
+    done;
+    if force && not (Queue.is_empty t.pending) then form (Queue.length t.pending)
+  end
+
+let submit t ~client ~payload =
+  let txn_id = t.next_txn in
+  t.next_txn <- txn_id + 1;
+  let signature = Signer.sign t.client_signer (Printf.sprintf "%d|%s" client payload) in
+  Hashtbl.replace t.requests txn_id { client; payload; signature };
+  Queue.push txn_id t.pending;
+  ignore (Client.submit (client_for t client) ~txn_id);
+  try_batch t ~force:false;
+  txn_id
+
+let flush t = try_batch t ~force:true
+
+let step t =
+  match Queue.take_opt t.queue with
+  | None -> false
+  | Some (dst, msg, tag) ->
+    if not (is_crashed t dst) then begin
+      let r = t.replicas.(dst) in
+      if Cmac.verify r.mac (Msg.auth_string msg) ~tag then
+        dispatch t ~origin:dst (Pbft.handle_message r.core msg)
+      else t.auth_failures <- t.auth_failures + 1
+    end;
+    true
+
+let run t =
+  while step t do
+    ()
+  done
+
+let crash t id =
+  if id < 0 || id >= t.cfg.n then invalid_arg "Local_runtime.crash: no such replica";
+  if not (List.mem id t.crashed) then t.crashed <- id :: t.crashed
+
+let recover t id =
+  if id < 0 || id >= t.cfg.n then invalid_arg "Local_runtime.recover: no such replica";
+  t.crashed <- List.filter (fun c -> c <> id) t.crashed
+(* The recovered replica rejoins with a stale core; it catches up when the
+   next stable checkpoint reaches it (2f+1 matching Checkpoint messages),
+   at which point the runtime performs the application-state transfer. *)
+
+let applied t id = t.replicas.(id).applied
+
+let force_view_change t =
+  Array.iter
+    (fun (r : replica) ->
+      if not (is_crashed t r.id) then dispatch t ~origin:r.id (Pbft.suspect_primary r.core))
+    t.replicas;
+  run t;
+  (* Requests that were pending at the old primary are re-batched by the new
+     one (in a networked deployment clients retransmit; here the runtime
+     still holds the payloads). *)
+  try_batch t ~force:false
+
+let completed t = List.rev t.completed
+
+let store t id = t.replicas.(id).rstore
+
+let ledger t id = t.replicas.(id).rledger
+
+let last_executed t id = Pbft.last_executed t.replicas.(id).core
+
+let auth_failures t = t.auth_failures
+
+let inject_forged_message t ~dst =
+  let msg = Msg.Prepare { view = view t; seq = 999_999; digest = "forged"; from = 0 } in
+  Queue.push (dst, msg, String.make 16 '\x00') t.queue
+
+let verify t =
+  let live = Array.to_list t.replicas |> List.filter (fun r -> not (is_crashed t r.id)) in
+  match live with
+  | [] -> Error "no live replicas"
+  | first :: rest ->
+    let cum0 = Ledger.cumulative_digest first.rledger in
+    let state0 = Mem_store.digest first.rstore in
+    let rec check = function
+      | [] -> Ok ()
+      | (r : replica) :: more ->
+        if not (String.equal (Ledger.cumulative_digest r.rledger) cum0) then
+          Error (Printf.sprintf "replica %d ledger diverged from replica %d" r.id first.id)
+        else if not (String.equal (Mem_store.digest r.rstore) state0) then
+          Error (Printf.sprintf "replica %d state diverged from replica %d" r.id first.id)
+        else begin
+          match Ledger.verify r.rledger ~check_certificate:(fun ~seq:_ ~digest:_ shares ->
+                    List.length shares >= Config.commit_quorum t.ccfg)
+          with
+          | Ok () -> check more
+          | Error e -> Error (Printf.sprintf "replica %d ledger: %s" r.id e)
+        end
+    in
+    check rest

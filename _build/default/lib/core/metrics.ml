@@ -1,0 +1,47 @@
+(** Results of one simulated cluster run. *)
+
+module Stats = Rdb_des.Stats
+
+type stage_saturation = { stage : string; percent : float }
+
+type replica_report = {
+  replica : int;
+  is_primary : bool;
+  stages : stage_saturation list;
+  cpu_utilization : float;  (** fraction of core capacity used, 0..1 *)
+}
+
+type t = {
+  throughput_tps : float;  (** transactions completed per second, measured window *)
+  ops_per_second : float;  (** operations completed per second *)
+  latency : Stats.t;  (** seconds, per transaction *)
+  completed_txns : int;
+  fast_path_txns : int;  (** Zyzzyva: completed with 3f+1 matching replies *)
+  cert_path_txns : int;  (** Zyzzyva: completed through a commit certificate *)
+  replicas : replica_report list;
+  messages_sent : int;
+  bytes_sent : int;
+  ledger_blocks : int;  (** blocks appended at replica 0 during the run *)
+}
+
+let latency_avg t = Stats.mean t.latency
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>throughput: %.0f txn/s (%.0f op/s)@ latency: avg %.4fs p50 %.4fs p99 %.4fs@ completed: %d (fast %d, cert %d)@ network: %d msgs, %.1f MB@ blocks: %d@]"
+    t.throughput_tps t.ops_per_second (Stats.mean t.latency)
+    (Stats.percentile t.latency 50.0)
+    (Stats.percentile t.latency 99.0)
+    t.completed_txns t.fast_path_txns t.cert_path_txns t.messages_sent
+    (float_of_int t.bytes_sent /. 1e6)
+    t.ledger_blocks
+
+let pp_saturation ppf t =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "@[replica %d%s cpu %.0f%%:" r.replica
+        (if r.is_primary then " (primary)" else "")
+        (100.0 *. r.cpu_utilization);
+      List.iter (fun s -> Format.fprintf ppf " %s=%.0f%%" s.stage s.percent) r.stages;
+      Format.fprintf ppf "@]@ ")
+    t.replicas

@@ -1,0 +1,97 @@
+(** Experiment parameters for a ResilientDB cluster run.
+
+    Defaults reproduce the paper's §5.1 standard setup: 16 replicas on
+    8-core machines, 80K clients, batches of 100 transactions, checkpoints
+    every 10K transactions, ED25519 client signatures with CMAC+AES between
+    replicas, in-memory storage, one worker-thread, two batch-threads, one
+    execute-thread. *)
+
+type protocol = Pbft | Zyzzyva
+
+let protocol_name = function Pbft -> "pbft" | Zyzzyva -> "zyzzyva"
+
+type t = {
+  protocol : protocol;
+  n : int;  (** replicas *)
+  clients : int;
+  client_machines : int;  (** hosts the client population is spread over *)
+  batch_size : int;
+  ops_per_txn : int;
+  txn_wire_bytes : int;  (** serialized size of one transaction on the wire *)
+  preprepare_payload_bytes : int;  (** extra payload per Pre-prepare (Fig. 12) *)
+  client_scheme : Rdb_crypto.Signer.scheme;
+  replica_scheme : Rdb_crypto.Signer.scheme;
+  reply_scheme : Rdb_crypto.Signer.scheme;
+      (** scheme for replica->client replies; MAC in the hybrid default *)
+  sqlite : bool;  (** off-memory storage for execution (Fig. 14) *)
+  cores : int;  (** per replica (Fig. 16) *)
+  batch_threads : int;  (** B; 0 = the worker-thread batches (Fig. 8) *)
+  execute_threads : int;  (** E in {0, 1}; 0 = the worker-thread executes *)
+  checkpoint_txns : int;  (** transactions between checkpoints *)
+  max_inflight_batches : int;
+      (** admission control at the primary: batches proposed but not yet
+          completed by clients.  Plays the role of PBFT's high-water mark /
+          ResilientDB's finite queues — without it, a large client
+          population floods the pipeline with head-of-line-blocking
+          consensus instances *)
+  crashed_backups : int;  (** backups crashed at t=0 (Fig. 17) *)
+  use_buffer_pool : bool;
+      (** §4.8: recycle message/transaction objects instead of malloc/free
+          per message; off = ablation *)
+  zyzzyva_timeout : Rdb_des.Sim.time;
+      (** client wait before falling back to a commit certificate *)
+  bandwidth_gbps : float;
+  latency : Rdb_des.Sim.time;  (** one-way propagation *)
+  jitter : Rdb_des.Sim.time;
+  cost : Rdb_crypto.Cost_model.t;
+  warmup : Rdb_des.Sim.time;
+  measure : Rdb_des.Sim.time;
+  seed : int64;
+}
+
+let default =
+  {
+    protocol = Pbft;
+    n = 16;
+    clients = 80_000;
+    client_machines = 4;
+    batch_size = 100;
+    ops_per_txn = 1;
+    txn_wire_bytes = 50;
+    preprepare_payload_bytes = 0;
+    client_scheme = Rdb_crypto.Signer.Ed25519;
+    replica_scheme = Rdb_crypto.Signer.Cmac_aes;
+    reply_scheme = Rdb_crypto.Signer.Cmac_aes;
+    sqlite = false;
+    cores = 8;
+    batch_threads = 2;
+    execute_threads = 1;
+    checkpoint_txns = 10_000;
+    max_inflight_batches = 64;
+    crashed_backups = 0;
+    use_buffer_pool = true;
+    zyzzyva_timeout = Rdb_des.Sim.ms 40.0;
+    bandwidth_gbps = 7.0;
+    latency = Rdb_des.Sim.us 250.0;
+    jitter = Rdb_des.Sim.us 50.0;
+    cost = Rdb_crypto.Cost_model.default;
+    warmup = Rdb_des.Sim.seconds 0.5;
+    measure = Rdb_des.Sim.seconds 1.0;
+    seed = 0x5265736442L;
+  }
+
+let f t = (t.n - 1) / 3
+
+(** Sequence numbers between checkpoints, derived from the per-transaction
+    interval and the batch size. *)
+let checkpoint_interval t = max 1 (t.checkpoint_txns / max 1 t.batch_size)
+
+let validate t =
+  if t.n < 4 then invalid_arg "Params: n must be >= 4";
+  if t.batch_size < 1 then invalid_arg "Params: batch_size must be >= 1";
+  if t.execute_threads < 0 || t.execute_threads > 1 then
+    invalid_arg "Params: execute_threads must be 0 or 1 (the paper: multiple execution threads cause data conflicts)";
+  if t.batch_threads < 0 then invalid_arg "Params: batch_threads must be >= 0";
+  if t.crashed_backups > f t then invalid_arg "Params: cannot crash more than f backups";
+  if t.clients < 1 then invalid_arg "Params: need at least one client";
+  if t.cores < 1 then invalid_arg "Params: need at least one core"

@@ -1,0 +1,101 @@
+(** The paper's Fig. 7 upper-bound measurement: no consensus protocol, no
+    inter-replica communication, no ordering.  Clients send requests to the
+    primary, two independent threads process them (optionally executing the
+    operation), and a response goes straight back.  This bounds what any
+    protocol on the same fabric could achieve. *)
+
+module Sim = Rdb_des.Sim
+module Rng = Rdb_des.Rng
+module Cpu = Rdb_des.Cpu
+module Stats = Rdb_des.Stats
+module Stage = Rdb_replica.Stage
+module Net = Rdb_net.Net
+module Cost = Rdb_crypto.Cost_model
+
+type msg =
+  | Requests of { txn_ids : int array }
+  | Responses of { txn_ids : int array }
+
+type result = {
+  throughput_tps : float;
+  latency : Stats.t;
+}
+
+let run ~(p : Params.t) ~execute () =
+  let sim = Sim.create () in
+  let rng = Rng.create p.Params.seed in
+  let cpu = Cpu.create ~cs_alpha:p.Params.cost.Cost.context_switch_alpha sim ~cores:p.Params.cores in
+  let workers = Stage.create sim ~cpu ~name:"worker" ~workers:2 () in
+  let latencies = Stats.create () in
+  let submit_time = Hashtbl.create 4096 in
+  let next_txn = ref 0 in
+  let completed = ref 0 in
+  let measuring = ref false in
+  let net = ref None in
+  let the_net () = match !net with Some n -> n | None -> assert false in
+  let client_node = 1 in
+  let fresh k =
+    Array.init k (fun _ ->
+        let id = !next_txn in
+        incr next_txn;
+        id)
+  in
+  let submit txn_ids =
+    let now = Sim.now sim in
+    Array.iter (fun id -> Hashtbl.replace submit_time id now) txn_ids;
+    Net.send (the_net ()) ~src:client_node ~dst:0
+      ~bytes:(Array.length txn_ids * (p.Params.txn_wire_bytes + 64))
+      (Requests { txn_ids })
+  in
+  let cost = p.Params.cost in
+  let per_txn =
+    cost.Cost.msg_handle + cost.Cost.reply_per_txn + cost.Cost.out_handle
+    + Cost.sign_cost cost p.Params.reply_scheme
+    + (if execute then Cost.execute_cost cost ~sqlite:p.Params.sqlite ~ops:p.Params.ops_per_txn else 0)
+  in
+  let deliver ~dst ~src payload =
+    ignore src;
+    match payload with
+    | Requests { txn_ids } when dst = 0 ->
+      let k = Array.length txn_ids in
+      Stage.enqueue workers ~service:(k * per_txn) (fun () ->
+          Net.send (the_net ()) ~src:0 ~dst:client_node ~bytes:(k * 96) (Responses { txn_ids }))
+    | Responses { txn_ids } ->
+      let now = Sim.now sim in
+      if !measuring then begin
+        completed := !completed + Array.length txn_ids;
+        Array.iter
+          (fun id ->
+            match Hashtbl.find_opt submit_time id with
+            | Some s -> Stats.add latencies (Sim.to_seconds (now - s))
+            | None -> ())
+          txn_ids
+      end;
+      Array.iter (Hashtbl.remove submit_time) txn_ids;
+      submit (fresh (Array.length txn_ids))
+    | Requests _ -> ()
+  in
+  let n =
+    Net.create sim ~nodes:2 ~bandwidth_gbps:p.Params.bandwidth_gbps ~latency:p.Params.latency
+      ~jitter:p.Params.jitter ~rng:(Rng.split rng) ~deliver ()
+  in
+  net := Some n;
+  (* Seed the closed loop in groups to bound event counts. *)
+  let group = 100 in
+  let remaining = ref p.Params.clients in
+  let stagger = Sim.ms 50.0 in
+  let groups = (p.Params.clients + group - 1) / group in
+  let i = ref 0 in
+  while !remaining > 0 do
+    let k = min group !remaining in
+    remaining := !remaining - k;
+    let at = !i * stagger / max 1 groups in
+    incr i;
+    ignore (Sim.schedule_at sim ~at (fun () -> submit (fresh k)))
+  done;
+  Sim.run ~until:p.Params.warmup sim;
+  measuring := true;
+  let t0 = Sim.now sim in
+  Sim.run ~until:(p.Params.warmup + p.Params.measure) sim;
+  let window = Sim.to_seconds (Sim.now sim - t0) in
+  { throughput_tps = (if window > 0.0 then float_of_int !completed /. window else 0.0); latency = latencies }

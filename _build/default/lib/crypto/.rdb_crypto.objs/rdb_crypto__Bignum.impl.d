@@ -1,0 +1,1 @@
+lib/crypto/bignum.ml: Array Buffer Bytes Char Format Int64 List Rdb_des Stdlib String

@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bignum Buffer Sha256 String

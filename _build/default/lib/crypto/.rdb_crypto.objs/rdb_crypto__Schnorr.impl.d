@@ -1,0 +1,1 @@
+lib/crypto/schnorr.ml: Bignum Lazy Rdb_des Sha256 String

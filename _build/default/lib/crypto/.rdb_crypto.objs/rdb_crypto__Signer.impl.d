@@ -1,0 +1,1 @@
+lib/crypto/signer.ml: Cmac Rdb_des Rsa Schnorr

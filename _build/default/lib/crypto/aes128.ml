@@ -1,0 +1,106 @@
+(* AES-128: 10 rounds, 11 round keys of 16 bytes each. *)
+
+let sbox =
+  "\x63\x7c\x77\x7b\xf2\x6b\x6f\xc5\x30\x01\x67\x2b\xfe\xd7\xab\x76\
+   \xca\x82\xc9\x7d\xfa\x59\x47\xf0\xad\xd4\xa2\xaf\x9c\xa4\x72\xc0\
+   \xb7\xfd\x93\x26\x36\x3f\xf7\xcc\x34\xa5\xe5\xf1\x71\xd8\x31\x15\
+   \x04\xc7\x23\xc3\x18\x96\x05\x9a\x07\x12\x80\xe2\xeb\x27\xb2\x75\
+   \x09\x83\x2c\x1a\x1b\x6e\x5a\xa0\x52\x3b\xd6\xb3\x29\xe3\x2f\x84\
+   \x53\xd1\x00\xed\x20\xfc\xb1\x5b\x6a\xcb\xbe\x39\x4a\x4c\x58\xcf\
+   \xd0\xef\xaa\xfb\x43\x4d\x33\x85\x45\xf9\x02\x7f\x50\x3c\x9f\xa8\
+   \x51\xa3\x40\x8f\x92\x9d\x38\xf5\xbc\xb6\xda\x21\x10\xff\xf3\xd2\
+   \xcd\x0c\x13\xec\x5f\x97\x44\x17\xc4\xa7\x7e\x3d\x64\x5d\x19\x73\
+   \x60\x81\x4f\xdc\x22\x2a\x90\x88\x46\xee\xb8\x14\xde\x5e\x0b\xdb\
+   \xe0\x32\x3a\x0a\x49\x06\x24\x5c\xc2\xd3\xac\x62\x91\x95\xe4\x79\
+   \xe7\xc8\x37\x6d\x8d\xd5\x4e\xa9\x6c\x56\xf4\xea\x65\x7a\xae\x08\
+   \xba\x78\x25\x2e\x1c\xa6\xb4\xc6\xe8\xdd\x74\x1f\x4b\xbd\x8b\x8a\
+   \x70\x3e\xb5\x66\x48\x03\xf6\x0e\x61\x35\x57\xb9\x86\xc1\x1d\x9e\
+   \xe1\xf8\x98\x11\x69\xd9\x8e\x94\x9b\x1e\x87\xe9\xce\x55\x28\xdf\
+   \x8c\xa1\x89\x0d\xbf\xe6\x42\x68\x41\x99\x2d\x0f\xb0\x54\xbb\x16"
+
+let sub b = Char.code sbox.[b]
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+
+type key = int array (* 44 32-bit words *)
+
+let expand_key k =
+  if String.length k <> 16 then invalid_arg "Aes128.expand_key: key must be 16 bytes";
+  let w = Array.make 44 0 in
+  for i = 0 to 3 do
+    w.(i) <-
+      (Char.code k.[4 * i] lsl 24)
+      lor (Char.code k.[(4 * i) + 1] lsl 16)
+      lor (Char.code k.[(4 * i) + 2] lsl 8)
+      lor Char.code k.[(4 * i) + 3]
+  done;
+  for i = 4 to 43 do
+    let temp = ref w.(i - 1) in
+    if i mod 4 = 0 then begin
+      (* RotWord then SubWord then Rcon. *)
+      let t = ((!temp lsl 8) lor (!temp lsr 24)) land 0xFFFFFFFF in
+      let t =
+        (sub ((t lsr 24) land 0xFF) lsl 24)
+        lor (sub ((t lsr 16) land 0xFF) lsl 16)
+        lor (sub ((t lsr 8) land 0xFF) lsl 8)
+        lor sub (t land 0xFF)
+      in
+      temp := t lxor (rcon.((i / 4) - 1) lsl 24)
+    end;
+    w.(i) <- w.(i - 4) lxor !temp
+  done;
+  w
+
+let xtime b = if b land 0x80 <> 0 then ((b lsl 1) lxor 0x1b) land 0xFF else (b lsl 1) land 0xFF
+
+let encrypt_block key block =
+  if String.length block <> 16 then invalid_arg "Aes128.encrypt_block: block must be 16 bytes";
+  (* State as a 16-byte array in column-major order (FIPS 197 layout). *)
+  let s = Array.make 16 0 in
+  for i = 0 to 15 do
+    s.(i) <- Char.code block.[i]
+  done;
+  let add_round_key round =
+    for c = 0 to 3 do
+      let w = key.((4 * round) + c) in
+      s.(4 * c) <- s.(4 * c) lxor ((w lsr 24) land 0xFF);
+      s.((4 * c) + 1) <- s.((4 * c) + 1) lxor ((w lsr 16) land 0xFF);
+      s.((4 * c) + 2) <- s.((4 * c) + 2) lxor ((w lsr 8) land 0xFF);
+      s.((4 * c) + 3) <- s.((4 * c) + 3) lxor (w land 0xFF)
+    done
+  in
+  let sub_bytes () =
+    for i = 0 to 15 do
+      s.(i) <- sub s.(i)
+    done
+  in
+  let shift_rows () =
+    (* Row r (bytes at index 4c + r) rotates left by r. *)
+    let t = s.(1) in
+    s.(1) <- s.(5); s.(5) <- s.(9); s.(9) <- s.(13); s.(13) <- t;
+    let t0 = s.(2) and t1 = s.(6) in
+    s.(2) <- s.(10); s.(6) <- s.(14); s.(10) <- t0; s.(14) <- t1;
+    let t = s.(15) in
+    s.(15) <- s.(11); s.(11) <- s.(7); s.(7) <- s.(3); s.(3) <- t
+  in
+  let mix_columns () =
+    for c = 0 to 3 do
+      let a0 = s.(4 * c) and a1 = s.((4 * c) + 1) and a2 = s.((4 * c) + 2) and a3 = s.((4 * c) + 3) in
+      let m b = xtime b in
+      s.(4 * c) <- m a0 lxor (m a1 lxor a1) lxor a2 lxor a3;
+      s.((4 * c) + 1) <- a0 lxor m a1 lxor (m a2 lxor a2) lxor a3;
+      s.((4 * c) + 2) <- a0 lxor a1 lxor m a2 lxor (m a3 lxor a3);
+      s.((4 * c) + 3) <- (m a0 lxor a0) lxor a1 lxor a2 lxor m a3
+    done
+  in
+  add_round_key 0;
+  for round = 1 to 9 do
+    sub_bytes ();
+    shift_rows ();
+    mix_columns ();
+    add_round_key round
+  done;
+  sub_bytes ();
+  shift_rows ();
+  add_round_key 10;
+  String.init 16 (fun i -> Char.chr s.(i))

@@ -1,0 +1,14 @@
+(** AES-128 block cipher (FIPS 197), implemented from scratch.
+
+    Only the forward cipher is exposed: the system uses AES exclusively as
+    the PRF inside {!Cmac} (the replica-to-replica "CMAC+AES" scheme of the
+    paper), which never needs decryption.  Verified against the FIPS 197 and
+    RFC 4493 vectors in the test suite. *)
+
+type key
+
+val expand_key : string -> key
+(** [expand_key k] expects exactly 16 bytes. *)
+
+val encrypt_block : key -> string -> string
+(** [encrypt_block key block] encrypts one 16-byte block. *)

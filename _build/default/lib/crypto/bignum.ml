@@ -1,0 +1,448 @@
+(* Little-endian arrays of 31-bit limbs, always normalized (no trailing zero
+   limb); zero is the empty array.  31-bit limbs keep every intermediate
+   product and dividend estimate within OCaml's 63-bit native int. *)
+
+let limb_bits = 31
+let base = 1 lsl limb_bits
+let limb_mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let one : t = [| 1 |]
+let two : t = [| 2 |]
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let is_zero t = Array.length t = 0
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignum.of_int: negative";
+  if n = 0 then zero
+  else begin
+    let rec limbs n = if n = 0 then [] else (n land limb_mask) :: limbs (n lsr limb_bits) in
+    Array.of_list (limbs n)
+  end
+
+let to_int t =
+  (* A native int holds at most 62 value bits: two limbs always fit. *)
+  match Array.length t with
+  | 0 -> Some 0
+  | 1 -> Some t.(0)
+  | 2 -> Some ((t.(1) lsl limb_bits) lor t.(0))
+  | 3 when t.(2) = 0 -> Some ((t.(1) lsl limb_bits) lor t.(0))
+  | _ -> None
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let is_even t = Array.length t = 0 || t.(0) land 1 = 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb + 1 in
+  let out = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let av = if i < la then a.(i) else 0 in
+    let bv = if i < lb then b.(i) else 0 in
+    let s = av + bv + !carry in
+    out.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  normalize out
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Bignum.sub";
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let bv = if i < lb then b.(i) else 0 in
+    let d = a.(i) - bv - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize out
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let acc = out.(i + j) + (ai * b.(j)) + !carry in
+        out.(i + j) <- acc land limb_mask;
+        carry := acc lsr limb_bits
+      done;
+      (* Propagate the final carry (it can span multiple limbs). *)
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let acc = out.(!k) + !carry in
+        out.(!k) <- acc land limb_mask;
+        carry := acc lsr limb_bits;
+        incr k
+      done
+    done;
+    normalize out
+  end
+
+let bit_length t =
+  let n = Array.length t in
+  if n = 0 then 0
+  else begin
+    let top = t.(n - 1) in
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    ((n - 1) * limb_bits) + width top 0
+  end
+
+let test_bit t i =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  limb < Array.length t && (t.(limb) lsr off) land 1 = 1
+
+let shift_left t k =
+  if k < 0 then invalid_arg "Bignum.shift_left";
+  if is_zero t || k = 0 then t
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let n = Array.length t in
+    let out = Array.make (n + limbs + 1) 0 in
+    for i = 0 to n - 1 do
+      let v = t.(i) lsl bits in
+      out.(i + limbs) <- out.(i + limbs) lor (v land limb_mask);
+      out.(i + limbs + 1) <- out.(i + limbs + 1) lor (v lsr limb_bits)
+    done;
+    normalize out
+  end
+
+let shift_right t k =
+  if k < 0 then invalid_arg "Bignum.shift_right";
+  if is_zero t || k = 0 then t
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let n = Array.length t in
+    if limbs >= n then zero
+    else begin
+      let m = n - limbs in
+      let out = Array.make m 0 in
+      for i = 0 to m - 1 do
+        let lo = t.(i + limbs) lsr bits in
+        let hi = if i + limbs + 1 < n then (t.(i + limbs + 1) lsl (limb_bits - bits)) land limb_mask else 0 in
+        out.(i) <- if bits = 0 then t.(i + limbs) else lo lor hi
+      done;
+      normalize out
+    end
+  end
+
+(* Knuth Algorithm D (Hacker's Delight divmnu), base 2^31. *)
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    (* Short division by a single limb. *)
+    let d = b.(0) in
+    let n = Array.length a in
+    let q = Array.make n 0 in
+    let r = ref 0 in
+    for i = n - 1 downto 0 do
+      let cur = (!r lsl limb_bits) lor a.(i) in
+      q.(i) <- cur / d;
+      r := cur mod d
+    done;
+    (normalize q, of_int !r)
+  end
+  else begin
+    let n = Array.length b in
+    let m = Array.length a - n in
+    (* Normalize so the top divisor limb has its high bit set. *)
+    let shift = limb_bits - bit_length [| b.(n - 1) |] in
+    let u =
+      let s = shift_left a shift in
+      let arr = Array.make (Array.length a + n + 2) 0 in
+      Array.blit s 0 arr 0 (Array.length s);
+      arr
+    in
+    let v =
+      let s = shift_left b shift in
+      let arr = Array.make n 0 in
+      Array.blit s 0 arr 0 (Array.length s);
+      arr
+    in
+    let q = Array.make (m + 1) 0 in
+    for j = m downto 0 do
+      let top = (u.(j + n) lsl limb_bits) lor u.(j + n - 1) in
+      let qhat = ref (top / v.(n - 1)) in
+      let rhat = ref (top mod v.(n - 1)) in
+      let continue = ref true in
+      while
+        !continue
+        && (!qhat >= base
+           || !qhat * v.(n - 2) > (!rhat lsl limb_bits) lor u.(j + n - 2))
+      do
+        decr qhat;
+        rhat := !rhat + v.(n - 1);
+        if !rhat >= base then continue := false
+      done;
+      (* Multiply and subtract. *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = !qhat * v.(i) + !carry in
+        carry := p lsr limb_bits;
+        let d = u.(i + j) - (p land limb_mask) - !borrow in
+        if d < 0 then begin
+          u.(i + j) <- d + base;
+          borrow := 1
+        end
+        else begin
+          u.(i + j) <- d;
+          borrow := 0
+        end
+      done;
+      let d = u.(j + n) - !carry - !borrow in
+      if d < 0 then begin
+        (* qhat was one too large: add back. *)
+        u.(j + n) <- d + base;
+        decr qhat;
+        let c = ref 0 in
+        for i = 0 to n - 1 do
+          let s = u.(i + j) + v.(i) + !c in
+          u.(i + j) <- s land limb_mask;
+          c := s lsr limb_bits
+        done;
+        u.(j + n) <- (u.(j + n) + !c) land limb_mask
+      end
+      else u.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    let r = normalize (Array.sub u 0 n) in
+    (normalize q, shift_right r shift)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let of_hex s =
+  let s =
+    let s = if String.length s >= 2 && (s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X')) then String.sub s 2 (String.length s - 2) else s in
+    String.concat "" (String.split_on_char '_' s)
+  in
+  let value c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Bignum.of_hex: invalid character"
+  in
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left !acc 4) (of_int (value c))) s;
+  !acc
+
+let to_hex t =
+  if is_zero t then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go v =
+      if not (is_zero v) then begin
+        let q, r = divmod v (of_int 16) in
+        go q;
+        let d = match to_int r with Some d -> d | None -> assert false in
+        Buffer.add_char buf "0123456789abcdef".[d]
+      end
+    in
+    go t;
+    Buffer.contents buf
+  end
+
+let of_bytes_be s =
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c))) s;
+  !acc
+
+let to_bytes_be ?pad_to t =
+  let n_bytes = (bit_length t + 7) / 8 in
+  let n_bytes = max n_bytes 1 in
+  let buf = Bytes.make n_bytes '\x00' in
+  let v = ref t in
+  for i = n_bytes - 1 downto 0 do
+    let q, r = divmod !v (of_int 256) in
+    let d = match to_int r with Some d -> d | None -> assert false in
+    Bytes.set buf i (Char.chr d);
+    v := q
+  done;
+  let s = Bytes.unsafe_to_string buf in
+  match pad_to with
+  | None -> s
+  | Some w when w <= n_bytes -> s
+  | Some w -> String.make (w - n_bytes) '\x00' ^ s
+
+let mod_pow b e m =
+  if is_zero m then raise Division_by_zero;
+  if equal m one then zero
+  else begin
+    let result = ref one in
+    let b = ref (rem b m) in
+    let nbits = bit_length e in
+    for i = 0 to nbits - 1 do
+      if test_bit e i then result := rem (mul !result !b) m;
+      if i < nbits - 1 then b := rem (mul !b !b) m
+    done;
+    !result
+  end
+
+let gcd a b =
+  let rec go a b = if is_zero b then a else go b (rem a b) in
+  if compare a b >= 0 then go a b else go b a
+
+(* Extended Euclid over naturals, tracking signs of the Bezout coefficient
+   for [a] explicitly. *)
+let mod_inverse a m =
+  if is_zero m then invalid_arg "Bignum.mod_inverse: zero modulus";
+  let a = rem a m in
+  if is_zero a then None
+  else begin
+    (* Invariants: r0 = x0*a mod m (with sign s0), r1 = x1*a mod m. *)
+    let rec go r0 x0 s0 r1 x1 s1 =
+      if is_zero r1 then
+        if equal r0 one then
+          let x = if s0 then sub m (rem x0 m) else rem x0 m in
+          Some (rem x m)
+        else None
+      else begin
+        let q, r2 = divmod r0 r1 in
+        (* x2 = x0 - q*x1, tracking sign. *)
+        let qx1 = mul q x1 in
+        let x2, s2 =
+          if s0 = s1 then
+            if compare x0 qx1 >= 0 then (sub x0 qx1, s0)
+            else (sub qx1 x0, not s0)
+          else (add x0 qx1, s0)
+        in
+        go r1 x1 s1 r2 x2 s2
+      end
+    in
+    go m zero false a one false
+  end
+
+let random_bits rng bits =
+  if bits < 1 then invalid_arg "Bignum.random_bits";
+  let n_limbs = ((bits - 1) / limb_bits) + 1 in
+  let out = Array.make n_limbs 0 in
+  for i = 0 to n_limbs - 1 do
+    out.(i) <- Int64.to_int (Int64.logand (Rdb_des.Rng.int64 rng) (Int64.of_int limb_mask))
+  done;
+  (* Clear bits above the requested width, then force the top bit. *)
+  let top = (bits - 1) mod limb_bits in
+  let top_limb = (bits - 1) / limb_bits in
+  out.(top_limb) <- out.(top_limb) land ((1 lsl (top + 1)) - 1);
+  out.(top_limb) <- out.(top_limb) lor (1 lsl top);
+  for i = top_limb + 1 to n_limbs - 1 do
+    out.(i) <- 0
+  done;
+  normalize out
+
+let random_below rng bound =
+  if is_zero bound then invalid_arg "Bignum.random_below: zero bound";
+  let bits = bit_length bound in
+  let rec try_once () =
+    let n_limbs = ((bits - 1) / limb_bits) + 1 in
+    let out = Array.make n_limbs 0 in
+    for i = 0 to n_limbs - 1 do
+      out.(i) <- Int64.to_int (Int64.logand (Rdb_des.Rng.int64 rng) (Int64.of_int limb_mask))
+    done;
+    let top = (bits - 1) mod limb_bits in
+    let top_limb = (bits - 1) / limb_bits in
+    out.(top_limb) <- out.(top_limb) land ((1 lsl (top + 1)) - 1);
+    for i = top_limb + 1 to n_limbs - 1 do
+      out.(i) <- 0
+    done;
+    let v = normalize out in
+    if compare v bound < 0 then v else try_once ()
+  in
+  try_once ()
+
+let small_primes =
+  [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61; 67;
+    71; 73; 79; 83; 89; 97; 101; 103; 107; 109; 113; 127; 131; 137; 139; 149;
+    151; 157; 163; 167; 173; 179; 181; 191; 193; 197; 199; 211; 223; 227; 229 ]
+
+let is_probable_prime ?(rounds = 24) rng n =
+  if compare n two < 0 then false
+  else if equal n two then true
+  else if is_even n then false
+  else begin
+    let divisible_by_small =
+      List.exists
+        (fun p ->
+          let p = of_int p in
+          if compare n p <= 0 then false else is_zero (rem n p))
+        small_primes
+    in
+    let is_small_prime = List.exists (fun p -> equal n (of_int p)) small_primes in
+    if is_small_prime then true
+    else if divisible_by_small then false
+    else begin
+      (* n-1 = 2^s * d with d odd. *)
+      let n_minus_1 = sub n one in
+      let rec split d s = if is_even d then split (shift_right d 1) (s + 1) else (d, s) in
+      let d, s = split n_minus_1 0 in
+      let witness_passes a =
+        let x = mod_pow a d n in
+        if equal x one || equal x n_minus_1 then true
+        else begin
+          let rec loop x i =
+            if i >= s - 1 then false
+            else begin
+              let x = rem (mul x x) n in
+              if equal x n_minus_1 then true else loop x (i + 1)
+            end
+          in
+          loop x 0
+        end
+      in
+      let rec rounds_loop i =
+        if i >= rounds then true
+        else begin
+          let a = add two (random_below rng (sub n (of_int 4))) in
+          if witness_passes a then rounds_loop (i + 1) else false
+        end
+      in
+      rounds_loop 0
+    end
+  end
+
+let generate_prime rng ~bits =
+  if bits < 4 then invalid_arg "Bignum.generate_prime: need at least 4 bits";
+  let rec go () =
+    let candidate = random_bits rng bits in
+    let candidate = if is_even candidate then add candidate one else candidate in
+    if bit_length candidate = bits && is_probable_prime rng candidate then candidate
+    else go ()
+  in
+  go ()
+
+let pp ppf t = Format.pp_print_string ppf (to_hex t)

@@ -1,0 +1,84 @@
+(** Arbitrary-precision natural numbers, from scratch.
+
+    This is the arithmetic engine underneath {!Rsa} and {!Schnorr}.  Values
+    are immutable.  Only naturals are supported: the signature algorithms in
+    this repository never need negative numbers, and keeping the domain to
+    naturals removes a whole class of sign-handling bugs.  Subtraction of a
+    larger number from a smaller one raises [Invalid_argument].
+
+    Division uses Knuth's Algorithm D over 31-bit limbs, so modular
+    exponentiation on 512–1024-bit operands is fast enough for tests. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negative input. *)
+
+val to_int : t -> int option
+(** [None] if the value does not fit in a native int. *)
+
+val of_hex : string -> t
+(** Accepts upper or lower case; ignores a ["0x"] prefix and underscores. *)
+
+val to_hex : t -> string
+(** Lower-case, no prefix, no leading zeros (["0"] for zero). *)
+
+val of_bytes_be : string -> t
+(** Big-endian bytes to natural (e.g. a SHA-256 digest). *)
+
+val to_bytes_be : ?pad_to:int -> t -> string
+(** Big-endian bytes, optionally left-padded with zeros to [pad_to] bytes. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val is_even : t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** Raises [Invalid_argument "Bignum.sub"] if the result would be negative. *)
+
+val mul : t -> t -> t
+val divmod : t -> t -> t * t
+(** [divmod a b = (q, r)] with [a = q*b + r], [0 <= r < b].
+    Raises [Division_by_zero] if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val bit_length : t -> int
+(** Number of significant bits; 0 for zero. *)
+
+val test_bit : t -> int -> bool
+
+val mod_pow : t -> t -> t -> t
+(** [mod_pow base exp m] = base^exp mod m. Raises on [m = 0]. *)
+
+val mod_inverse : t -> t -> t option
+(** [mod_inverse a m] is [Some x] with [a*x = 1 (mod m)] when
+    [gcd a m = 1]. *)
+
+val gcd : t -> t -> t
+
+val random_bits : Rdb_des.Rng.t -> int -> t
+(** Uniform with exactly the given number of bits (top bit set), bits >= 1. *)
+
+val random_below : Rdb_des.Rng.t -> t -> t
+(** Uniform in [\[0, bound)]; [bound] must be nonzero. *)
+
+val is_probable_prime : ?rounds:int -> Rdb_des.Rng.t -> t -> bool
+(** Miller–Rabin preceded by trial division by small primes.
+    Default 24 rounds. *)
+
+val generate_prime : Rdb_des.Rng.t -> bits:int -> t
+(** Deterministic given the generator state: repeatedly samples odd
+    [bits]-bit candidates until one passes {!is_probable_prime}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+type key = { aes : Aes128.key; k1 : string; k2 : string }
+
+let xor_block a b = String.init 16 (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+(* Left-shift a 16-byte string by one bit. *)
+let shl1 s =
+  let out = Bytes.create 16 in
+  let carry = ref 0 in
+  for i = 15 downto 0 do
+    let v = (Char.code s.[i] lsl 1) lor !carry in
+    Bytes.set out i (Char.chr (v land 0xFF));
+    carry := (v lsr 8) land 1
+  done;
+  (Bytes.unsafe_to_string out, !carry)
+
+let const_rb = String.init 16 (fun i -> if i = 15 then '\x87' else '\x00')
+
+let of_secret secret =
+  let aes = Aes128.expand_key secret in
+  let zero = String.make 16 '\x00' in
+  let l = Aes128.encrypt_block aes zero in
+  let k1, c1 = shl1 l in
+  let k1 = if c1 = 1 then xor_block k1 const_rb else k1 in
+  let k2, c2 = shl1 k1 in
+  let k2 = if c2 = 1 then xor_block k2 const_rb else k2 in
+  { aes; k1; k2 }
+
+let mac key msg =
+  let len = String.length msg in
+  let n = if len = 0 then 1 else (len + 15) / 16 in
+  let complete = len > 0 && len mod 16 = 0 in
+  let last =
+    if complete then xor_block (String.sub msg (16 * (n - 1)) 16) key.k1
+    else begin
+      (* Pad the final partial block with 0x80 then zeros. *)
+      let part_len = len - (16 * (n - 1)) in
+      let padded = Bytes.make 16 '\x00' in
+      Bytes.blit_string msg (16 * (n - 1)) padded 0 part_len;
+      Bytes.set padded part_len '\x80';
+      xor_block (Bytes.unsafe_to_string padded) key.k2
+    end
+  in
+  let x = ref (String.make 16 '\x00') in
+  for i = 0 to n - 2 do
+    x := Aes128.encrypt_block key.aes (xor_block !x (String.sub msg (16 * i) 16))
+  done;
+  Aes128.encrypt_block key.aes (xor_block !x last)
+
+let verify key msg ~tag = String.equal (mac key msg) tag

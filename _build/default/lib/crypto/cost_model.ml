@@ -1,0 +1,90 @@
+type t = {
+  sign_cmac : int;
+  verify_cmac : int;
+  sign_ed25519 : int;
+  verify_ed25519 : int;
+  verify_ed25519_batch : int;
+  sign_rsa : int;
+  verify_rsa : int;
+  hash_base : int;
+  hash_per_byte : int;
+  batch_base : int;
+  batch_per_txn : int;
+  batch_per_op : int;
+  batch_locality_threshold : int;
+  batch_locality_slope : float;
+  consensus_fixed : int;
+  exec_base : int;
+  exec_per_op_mem : int;
+  exec_per_op_sqlite : int;
+  msg_handle : int;
+  out_handle : int;
+  serialize_per_byte : int;
+  reply_per_txn : int;
+  context_switch_alpha : float;
+  alloc_malloc : int;
+  alloc_pool : int;
+}
+
+(* Representative figures for a 3.8 GHz Cascade Lake core:
+   - AES-CMAC over a small message with AES-NI: ~0.4 us
+   - ED25519 (libsodium): sign ~21 us, verify ~58 us
+   - RSA-1024-class (OpenSSL): sign ~0.6 ms, verify ~25 us
+   - SHA-256: ~3 ns/byte software, ~0.2 us fixed
+   - malloc/free pair on the hot path: ~0.25 us vs pool reuse ~0.04 us
+   - in-memory hashtable op ~0.35 us; SQLite API call round trip ~45 us *)
+let default =
+  {
+    sign_cmac = 400;
+    verify_cmac = 400;
+    sign_ed25519 = 21_000;
+    verify_ed25519 = 20_000;
+    verify_ed25519_batch = 8_000;
+    sign_rsa = 600_000;
+    verify_rsa = 25_000;
+    hash_base = 200;
+    hash_per_byte = 3;
+    batch_base = 1_000;
+    batch_per_txn = 3_000;
+    batch_per_op = 1_000;
+    batch_locality_threshold = 1_000;
+    batch_locality_slope = 0.15;
+    consensus_fixed = 250_000;
+    exec_base = 500;
+    exec_per_op_mem = 350;
+    exec_per_op_sqlite = 90_000;
+    msg_handle = 1_500;
+    out_handle = 600;
+    serialize_per_byte = 1;
+    reply_per_txn = 1_000;
+    context_switch_alpha = 0.72;
+    alloc_malloc = 250;
+    alloc_pool = 40;
+  }
+
+let sign_cost t = function
+  | Signer.No_sig -> 0
+  | Signer.Cmac_aes -> t.sign_cmac
+  | Signer.Ed25519 -> t.sign_ed25519
+  | Signer.Rsa -> t.sign_rsa
+
+let verify_cost t = function
+  | Signer.No_sig -> 0
+  | Signer.Cmac_aes -> t.verify_cmac
+  | Signer.Ed25519 -> t.verify_ed25519
+  | Signer.Rsa -> t.verify_rsa
+
+let verify_cost_batched t = function
+  | Signer.No_sig -> 0
+  | Signer.Cmac_aes -> t.verify_cmac
+  | Signer.Ed25519 -> t.verify_ed25519_batch
+  | Signer.Rsa -> t.verify_rsa
+
+let hash_cost t ~bytes = t.hash_base + (t.hash_per_byte * bytes)
+
+let batch_cost t ~txns = t.batch_base + (t.batch_per_txn * txns)
+
+let execute_cost t ~sqlite ~ops =
+  t.exec_base + (ops * if sqlite then t.exec_per_op_sqlite else t.exec_per_op_mem)
+
+let serialize_cost t ~bytes = t.serialize_per_byte * bytes

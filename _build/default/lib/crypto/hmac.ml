@@ -1,0 +1,12 @@
+let block_size = 64
+
+let mac ~key msg =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let padded = Bytes.make block_size '\x00' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  let ipad = String.init block_size (fun i -> Char.chr (Char.code (Bytes.get padded i) lxor 0x36)) in
+  let opad = String.init block_size (fun i -> Char.chr (Char.code (Bytes.get padded i) lxor 0x5c)) in
+  let inner = Sha256.digest (ipad ^ msg) in
+  Sha256.digest (opad ^ inner)
+
+let verify ~key msg ~tag = String.equal (mac ~key msg) tag

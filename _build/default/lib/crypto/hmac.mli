@@ -1,0 +1,7 @@
+(** HMAC-SHA256 (RFC 2104), used where a hash-based MAC is preferable to
+    CMAC (e.g. keyed request digests).  Verified against RFC 4231 vectors. *)
+
+val mac : key:string -> string -> string
+(** 32-byte tag. Keys longer than 64 bytes are hashed first, per the RFC. *)
+
+val verify : key:string -> string -> tag:string -> bool

@@ -1,0 +1,54 @@
+type public = { n : Bignum.t; e : Bignum.t }
+type secret = { sn : Bignum.t; d : Bignum.t }
+type keypair = { public : public; secret : secret }
+
+let e_default = Bignum.of_int 65537
+
+(* Hash the message, then expand the digest to just below the modulus width
+   (a simple deterministic MGF), so the signing base covers the full domain. *)
+let encode_message n msg =
+  let n_bytes = (Bignum.bit_length n + 7) / 8 in
+  let digest = Sha256.digest msg in
+  let buf = Buffer.create n_bytes in
+  let counter = ref 0 in
+  while Buffer.length buf < n_bytes do
+    Buffer.add_string buf (Sha256.digest (digest ^ string_of_int !counter));
+    incr counter
+  done;
+  let expanded = String.sub (Buffer.contents buf) 0 n_bytes in
+  (* Clear the top byte so the value is < n. *)
+  let expanded = "\x00" ^ String.sub expanded 1 (n_bytes - 1) in
+  Bignum.of_bytes_be expanded
+
+let generate rng ~bits =
+  if bits < 10 then invalid_arg "Rsa.generate: modulus too small";
+  let half = bits / 2 in
+  let rec go () =
+    let p = Bignum.generate_prime rng ~bits:half in
+    let q = Bignum.generate_prime rng ~bits:(bits - half) in
+    if Bignum.equal p q then go ()
+    else begin
+      let n = Bignum.mul p q in
+      let phi = Bignum.mul (Bignum.sub p Bignum.one) (Bignum.sub q Bignum.one) in
+      match Bignum.mod_inverse e_default phi with
+      | None -> go ()
+      | Some d -> { public = { n; e = e_default }; secret = { sn = n; d } }
+    end
+  in
+  go ()
+
+let sign secret msg =
+  let m = encode_message secret.sn msg in
+  let s = Bignum.mod_pow m secret.d secret.sn in
+  let n_bytes = (Bignum.bit_length secret.sn + 7) / 8 in
+  Bignum.to_bytes_be ~pad_to:n_bytes s
+
+let verify public msg ~signature =
+  let s = Bignum.of_bytes_be signature in
+  if Bignum.compare s public.n >= 0 then false
+  else begin
+    let recovered = Bignum.mod_pow s public.e public.n in
+    Bignum.equal recovered (encode_message public.n msg)
+  end
+
+let signature_size public = (Bignum.bit_length public.n + 7) / 8

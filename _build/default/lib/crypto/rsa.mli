@@ -1,0 +1,24 @@
+(** Textbook RSA signatures with full-domain SHA-256 hashing.
+
+    Included because the paper's Fig. 13 compares RSA against ED25519 and
+    CMAC; the test suite exercises real keygen / sign / verify round-trips.
+    This is *not* hardened RSA (no PSS salting, no constant-time arithmetic):
+    the simulator uses the {!Cost_model} for timing, and the implementation
+    exists to make the signing path real and testable, not to protect
+    production traffic. *)
+
+type public = { n : Bignum.t; e : Bignum.t }
+type secret
+
+type keypair = { public : public; secret : secret }
+
+val generate : Rdb_des.Rng.t -> bits:int -> keypair
+(** [bits] is the modulus size (use >= 10; tests use 256–512 for speed). *)
+
+val sign : secret -> string -> string
+(** Signature over SHA-256(message), sized to the modulus. *)
+
+val verify : public -> string -> signature:string -> bool
+
+val signature_size : public -> int
+(** Bytes on the wire, for network-size accounting. *)

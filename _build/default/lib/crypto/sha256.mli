@@ -1,0 +1,26 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    Used for request digests, block hashes and as the compression function of
+    {!Hmac}.  Verified in the test suite against the NIST/RFC test vectors. *)
+
+type ctx
+
+val init : unit -> ctx
+
+val feed : ctx -> string -> unit
+(** Absorb more input; may be called repeatedly (streaming). *)
+
+val feed_bytes : ctx -> bytes -> off:int -> len:int -> unit
+
+val finalize : ctx -> string
+(** The 32-byte raw digest.  The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot: [digest s] is the 32-byte raw digest of [s]. *)
+
+val hex : string -> string
+(** Lower-case hex encoding of a raw string (not SHA-specific, exposed for
+    convenience and tests). *)
+
+val digest_hex : string -> string
+(** [digest_hex s = hex (digest s)]. *)

@@ -1,0 +1,106 @@
+(* SHA3-256: Keccak-f[1600] over 25 64-bit lanes, rate 1088 bits (136
+   bytes), capacity 512, domain-separation suffix 0x06. *)
+
+let round_constants =
+  [|
+    0x0000000000000001L; 0x0000000000008082L; 0x800000000000808AL; 0x8000000080008000L;
+    0x000000000000808BL; 0x0000000080000001L; 0x8000000080008081L; 0x8000000000008009L;
+    0x000000000000008AL; 0x0000000000000088L; 0x0000000080008009L; 0x000000008000000AL;
+    0x000000008000808BL; 0x800000000000008BL; 0x8000000000008089L; 0x8000000000008003L;
+    0x8000000000008002L; 0x8000000000000080L; 0x000000000000800AL; 0x800000008000000AL;
+    0x8000000080008081L; 0x8000000000008080L; 0x0000000080000001L; 0x8000000080008008L;
+  |]
+
+(* Rotation offsets, indexed by x + 5y. *)
+let rho =
+  [|
+    0; 1; 62; 28; 27;
+    36; 44; 6; 55; 20;
+    3; 10; 43; 25; 39;
+    41; 45; 15; 21; 8;
+    18; 2; 61; 56; 14;
+  |]
+
+let rotl x n =
+  if n = 0 then x
+  else Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
+
+let keccak_f state =
+  let c = Array.make 5 0L in
+  let d = Array.make 5 0L in
+  let b = Array.make 25 0L in
+  for round = 0 to 23 do
+    (* theta *)
+    for x = 0 to 4 do
+      c.(x) <-
+        Int64.logxor state.(x)
+          (Int64.logxor state.(x + 5)
+             (Int64.logxor state.(x + 10) (Int64.logxor state.(x + 15) state.(x + 20))))
+    done;
+    for x = 0 to 4 do
+      d.(x) <- Int64.logxor c.((x + 4) mod 5) (rotl c.((x + 1) mod 5) 1)
+    done;
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        state.(x + (5 * y)) <- Int64.logxor state.(x + (5 * y)) d.(x)
+      done
+    done;
+    (* rho + pi: B[y, (2x + 3y) mod 5] = rotl(A[x, y], r[x, y]) *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        let nx = y and ny = ((2 * x) + (3 * y)) mod 5 in
+        b.(nx + (5 * ny)) <- rotl state.(x + (5 * y)) rho.(x + (5 * y))
+      done
+    done;
+    (* chi *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        state.(x + (5 * y)) <-
+          Int64.logxor
+            b.(x + (5 * y))
+            (Int64.logand
+               (Int64.lognot b.(((x + 1) mod 5) + (5 * y)))
+               b.(((x + 2) mod 5) + (5 * y)))
+      done
+    done;
+    (* iota *)
+    state.(0) <- Int64.logxor state.(0) round_constants.(round)
+  done
+
+let rate_bytes = 136
+
+let digest msg =
+  let state = Array.make 25 0L in
+  (* Pad: message || 0x06 || 0* || 0x80, to a multiple of the rate. *)
+  let padded_len = (String.length msg / rate_bytes * rate_bytes) + rate_bytes in
+  let padded = Bytes.make padded_len '\x00' in
+  Bytes.blit_string msg 0 padded 0 (String.length msg);
+  Bytes.set padded (String.length msg) '\x06';
+  let last = Char.code (Bytes.get padded (padded_len - 1)) in
+  Bytes.set padded (padded_len - 1) (Char.chr (last lor 0x80));
+  (* Absorb. *)
+  let block = ref 0 in
+  while !block < padded_len do
+    for lane = 0 to (rate_bytes / 8) - 1 do
+      let v = ref 0L in
+      for byte = 7 downto 0 do
+        v :=
+          Int64.logor (Int64.shift_left !v 8)
+            (Int64.of_int (Char.code (Bytes.get padded (!block + (8 * lane) + byte))))
+      done;
+      state.(lane) <- Int64.logxor state.(lane) !v
+    done;
+    keccak_f state;
+    block := !block + rate_bytes
+  done;
+  (* Squeeze 32 bytes (little-endian lanes). *)
+  let out = Bytes.create 32 in
+  for lane = 0 to 3 do
+    for byte = 0 to 7 do
+      Bytes.set out ((8 * lane) + byte)
+        (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical state.(lane) (8 * byte)) 0xFFL)))
+    done
+  done;
+  Bytes.unsafe_to_string out
+
+let digest_hex msg = Sha256.hex (digest msg)

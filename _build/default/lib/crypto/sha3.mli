@@ -1,0 +1,11 @@
+(** SHA3-256 (FIPS 202, Keccak-f[1600]), implemented from scratch.
+
+    The paper names SHA-256 and SHA3 as the standard digest choices for a
+    permissioned blockchain (§3, "Expensive Cryptographic Practices"); both
+    are provided so applications can choose.  Verified against the FIPS 202
+    example vectors in the test suite. *)
+
+val digest : string -> string
+(** 32-byte raw digest. *)
+
+val digest_hex : string -> string

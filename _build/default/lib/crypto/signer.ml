@@ -1,0 +1,63 @@
+type scheme = No_sig | Cmac_aes | Ed25519 | Rsa
+
+let scheme_name = function
+  | No_sig -> "none"
+  | Cmac_aes -> "cmac-aes"
+  | Ed25519 -> "ed25519"
+  | Rsa -> "rsa"
+
+(* All CMAC-based nodes share one group secret, as in a permissioned
+   deployment where pairwise keys are distributed at membership time. *)
+let group_secret = "ResilientDB-grp!"
+
+type t =
+  | S_none
+  | S_mac of Cmac.key
+  | S_schnorr of { rng : Rdb_des.Rng.t; kp : Schnorr.keypair }
+  | S_rsa of Rsa.keypair
+
+type verifier =
+  | V_none
+  | V_mac of Cmac.key
+  | V_schnorr of Schnorr.public
+  | V_rsa of Rsa.public
+
+let create rng = function
+  | No_sig -> S_none
+  | Cmac_aes -> S_mac (Cmac.of_secret group_secret)
+  | Ed25519 ->
+    let kp = Schnorr.generate rng (Schnorr.default_params ()) in
+    S_schnorr { rng = Rdb_des.Rng.split rng; kp }
+  | Rsa -> S_rsa (Rsa.generate rng ~bits:512)
+
+let scheme = function
+  | S_none -> No_sig
+  | S_mac _ -> Cmac_aes
+  | S_schnorr _ -> Ed25519
+  | S_rsa _ -> Rsa
+
+let verifier = function
+  | S_none -> V_none
+  | S_mac k -> V_mac k
+  | S_schnorr { kp; _ } -> V_schnorr kp.Schnorr.public
+  | S_rsa kp -> V_rsa kp.Rsa.public
+
+let sign t msg =
+  match t with
+  | S_none -> ""
+  | S_mac k -> Cmac.mac k msg
+  | S_schnorr { rng; kp } -> Schnorr.sign rng kp.Schnorr.secret msg
+  | S_rsa kp -> Rsa.sign kp.Rsa.secret msg
+
+let verify v msg ~signature =
+  match v with
+  | V_none -> true
+  | V_mac k -> Cmac.verify k msg ~tag:signature
+  | V_schnorr pub -> Schnorr.verify pub msg ~signature
+  | V_rsa pub -> Rsa.verify pub msg ~signature
+
+let signature_size = function
+  | No_sig -> 0
+  | Cmac_aes -> 16
+  | Ed25519 -> 64
+  | Rsa -> 256

@@ -1,0 +1,41 @@
+(** Uniform message-authentication façade over the four schemes the paper's
+    Fig. 13 compares: none, CMAC+AES, ED25519-class digital signatures
+    (Schnorr stand-in, see {!Schnorr}), and RSA.
+
+    In the permissioned setting all identities are known a priori, so
+    verifiers (public keys, or the shared MAC secret) are exchanged during
+    system setup — exactly the paper's deployment model. *)
+
+type scheme =
+  | No_sig  (** sign/verify are no-ops; unsafe, used only as a baseline *)
+  | Cmac_aes  (** symmetric; fast; no non-repudiation *)
+  | Ed25519  (** digital signature; the paper's client/replica default *)
+  | Rsa  (** digital signature; slow signing *)
+
+val scheme_name : scheme -> string
+
+type t
+(** Private signing state of one node. *)
+
+type verifier
+(** Public verification state, distributable to other nodes. *)
+
+val create : Rdb_des.Rng.t -> scheme -> t
+(** MAC keys are derived from the generator, modelling the pre-shared group
+    secret of a permissioned deployment. RSA keys are 512-bit and Schnorr
+    uses {!Schnorr.default_params} — small for test speed; the simulator
+    charges production-scheme costs from {!Cost_model}. *)
+
+val scheme : t -> scheme
+
+val verifier : t -> verifier
+
+val sign : t -> string -> string
+(** Empty string under [No_sig]. *)
+
+val verify : verifier -> string -> signature:string -> bool
+(** Always [true] under [No_sig]. *)
+
+val signature_size : scheme -> int
+(** Wire bytes, for message-size accounting (production sizes: 0 / 16 / 64 /
+    256 — independent of the reduced test key sizes). *)

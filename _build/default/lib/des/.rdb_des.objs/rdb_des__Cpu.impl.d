@@ -1,0 +1,1 @@
+lib/des/cpu.ml: List Queue Sim

@@ -1,0 +1,1 @@
+lib/des/sim.mli:

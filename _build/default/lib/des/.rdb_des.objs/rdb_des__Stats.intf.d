@@ -1,0 +1,1 @@
+lib/des/stats.mli: Format

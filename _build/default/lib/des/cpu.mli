@@ -1,0 +1,38 @@
+(** A core-limited CPU resource.
+
+    Each replica in the model owns one [t] with [cores] cores.  Logical
+    threads (pipeline stages) submit jobs; a job occupies one core for its
+    service time, queueing FCFS when all cores are busy.  This is what makes
+    the "effect of hardware cores" experiment (paper Fig. 16) and thread
+    over-subscription behave realistically: with more runnable stages than
+    cores, stages contend and each sees inflated completion times. *)
+
+type t
+
+val create : ?cs_alpha:float -> Sim.t -> cores:int -> t
+(** [cs_alpha] models thread over-subscription: when more jobs are runnable
+    than there are cores, each dispatched job's service time inflates by
+    [1 + cs_alpha * (runnable - cores) / cores] — context switching, cache
+    pollution and scheduler latency on an overcommitted machine.  Default 0
+    (pure FCFS capacity model). *)
+
+val cores : t -> int
+
+val submit : t -> service:Sim.time -> (unit -> unit) -> unit
+(** [submit t ~service k] runs [k] after the job has held a core for
+    [service] nanoseconds (plus any queueing delay).  [service] must be
+    non-negative. *)
+
+val busy_ns : t -> int
+(** Cumulative core-busy nanoseconds (summed over cores) since creation,
+    including the elapsed portion of jobs currently running. *)
+
+val queue_length : t -> int
+(** Jobs waiting for a core right now. *)
+
+val running : t -> int
+(** Jobs currently holding a core. *)
+
+val utilization : t -> since_busy_ns:int -> since_time:Sim.time -> float
+(** [utilization t ~since_busy_ns ~since_time] is the fraction of core
+    capacity used between a past observation ([since_*]) and now. *)

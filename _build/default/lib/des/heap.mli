@@ -1,0 +1,24 @@
+(** Minimal binary min-heap, specialised by a client-supplied ordering.
+
+    Used as the event queue of the simulator and as a priority queue in a few
+    other places.  All operations are the classic O(log n); [peek] is O(1). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element, or [None] when empty. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the contents in unspecified order. *)

@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random number generation for simulations.
+
+    The generator is SplitMix64: tiny state, excellent statistical quality
+    for simulation purposes, and — crucially for reproducibility — fully
+    deterministic given a seed.  Every stochastic component of the simulator
+    owns its own [t] split off a root generator, so adding a new component
+    never perturbs the random stream of existing ones. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; both copies then evolve
+    independently but identically if driven identically. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean (> 0). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,76 @@
+type time = int
+
+type event = {
+  fire_at : time;
+  seq : int;
+  action : unit -> unit;
+  mutable live : bool;
+}
+
+type t = {
+  mutable clock : time;
+  mutable next_seq : int;
+  mutable cancelled_count : int;
+  queue : event Heap.t;
+}
+
+let ns n = n
+let us f = int_of_float (f *. 1e3)
+let ms f = int_of_float (f *. 1e6)
+let seconds f = int_of_float (f *. 1e9)
+
+let to_seconds t = float_of_int t /. 1e9
+
+let compare_event a b =
+  let c = compare a.fire_at b.fire_at in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  { clock = 0; next_seq = 0; cancelled_count = 0; queue = Heap.create ~cmp:compare_event }
+
+let now t = t.clock
+
+let schedule_at t ~at action =
+  if at < t.clock then invalid_arg "Sim.schedule_at: time is in the past";
+  let ev = { fire_at = at; seq = t.next_seq; action; live = true } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.queue ev;
+  ev
+
+let schedule t ~after action =
+  if after < 0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t ~at:(t.clock + after) action
+
+let cancel ev =
+  ev.live <- false
+
+let cancelled ev = not ev.live
+
+let step t =
+  let rec next () =
+    match Heap.pop t.queue with
+    | None -> false
+    | Some ev when not ev.live -> next ()
+    | Some ev ->
+      t.clock <- ev.fire_at;
+      ev.action ();
+      true
+  in
+  next ()
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+    let continue = ref true in
+    while !continue do
+      match Heap.peek t.queue with
+      | None -> continue := false
+      | Some ev when ev.fire_at > limit ->
+        t.clock <- limit;
+        continue := false
+      | Some _ -> ignore (step t)
+    done
+
+let pending t =
+  List.length (List.filter (fun ev -> ev.live) (Heap.to_list t.queue))

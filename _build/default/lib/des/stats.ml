@@ -1,0 +1,116 @@
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable total : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable samples : float list;
+  (* Sorted cache, invalidated on add. *)
+  mutable sorted : float array option;
+}
+
+let create () =
+  {
+    count = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    total = 0.0;
+    min_v = nan;
+    max_v = nan;
+    samples = [];
+    sorted = None;
+  }
+
+let add t x =
+  t.count <- t.count + 1;
+  t.total <- t.total +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if t.count = 1 then begin
+    t.min_v <- x;
+    t.max_v <- x
+  end
+  else begin
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x
+  end;
+  t.samples <- x :: t.samples;
+  t.sorted <- None
+
+let count t = t.count
+
+let total t = t.total
+
+let mean t = if t.count = 0 then 0.0 else t.mean
+
+let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+
+let stddev t = sqrt (variance t)
+
+let min t = t.min_v
+
+let max t = t.max_v
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list t.samples in
+    Array.sort compare a;
+    t.sorted <- Some a;
+    a
+
+let percentile t p =
+  if t.count = 0 then nan
+  else begin
+    let a = sorted t in
+    let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
+    let idx = Stdlib.max 0 (Stdlib.min (t.count - 1) (rank - 1)) in
+    a.(idx)
+  end
+
+let median t = percentile t 50.0
+
+let merge a b =
+  let t = create () in
+  List.iter (add t) a.samples;
+  List.iter (add t) b.samples;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g p50=%.4g p99=%.4g max=%.4g"
+    t.count (mean t) (stddev t) t.min_v (median t) (percentile t 99.0) t.max_v
+
+module Histogram = struct
+  type h = { bounds : float array; counts : int array }
+
+  let create ~buckets =
+    let n = Array.length buckets in
+    for i = 1 to n - 1 do
+      if buckets.(i) <= buckets.(i - 1) then
+        invalid_arg "Histogram.create: buckets must be strictly increasing"
+    done;
+    { bounds = Array.copy buckets; counts = Array.make (n + 1) 0 }
+
+  let add h x =
+    let n = Array.length h.bounds in
+    let rec find i = if i >= n then n else if x <= h.bounds.(i) then i else find (i + 1) in
+    let i = find 0 in
+    h.counts.(i) <- h.counts.(i) + 1
+
+  let counts h = Array.copy h.counts
+
+  let pp ppf h =
+    let n = Array.length h.bounds in
+    for i = 0 to n do
+      let label =
+        if i = 0 then Format.asprintf "<=%.3g" h.bounds.(0)
+        else if i = n then Format.asprintf ">%.3g" h.bounds.(n - 1)
+        else Format.asprintf "(%.3g,%.3g]" h.bounds.(i - 1) h.bounds.(i)
+      in
+      Format.fprintf ppf "%s:%d " label h.counts.(i)
+    done
+end

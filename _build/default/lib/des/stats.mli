@@ -1,0 +1,57 @@
+(** Online statistics accumulators used by the experiment harness.
+
+    [t] tracks count / mean / variance (Welford) / min / max incrementally and
+    keeps the raw samples for exact percentile queries.  For the experiment
+    sizes in this repository (at most a few million samples per run) keeping
+    the samples is cheap and avoids approximation arguments in the results. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val total : t -> float
+
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Sample variance; 0 with fewer than two samples. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** [nan] when empty. *)
+
+val max : t -> float
+(** [nan] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0, 100\]], nearest-rank method.
+    [nan] when empty. *)
+
+val median : t -> float
+
+val merge : t -> t -> t
+(** Fresh accumulator holding the union of samples. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Fixed-bucket histogram, used for latency distribution reporting. *)
+module Histogram : sig
+  type h
+
+  val create : buckets:float array -> h
+  (** [buckets] are the upper bounds of each bucket, strictly increasing;
+      an implicit overflow bucket catches the rest. *)
+
+  val add : h -> float -> unit
+
+  val counts : h -> int array
+  (** Length is [Array.length buckets + 1]; last slot is the overflow. *)
+
+  val pp : Format.formatter -> h -> unit
+end

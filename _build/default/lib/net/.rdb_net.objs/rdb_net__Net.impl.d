@@ -1,0 +1,1 @@
+lib/net/net.ml: Array Rdb_des

@@ -1,0 +1,1 @@
+lib/net/tcp_transport.ml: Buffer Bytes Hashtbl List Mutex Rdb_consensus Thread Unix

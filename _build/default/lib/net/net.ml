@@ -1,0 +1,60 @@
+module Sim = Rdb_des.Sim
+module Rng = Rdb_des.Rng
+
+type 'a t = {
+  sim : Sim.t;
+  bytes_per_ns : float; (* NIC egress rate *)
+  latency : Sim.time;
+  jitter : Sim.time;
+  rng : Rng.t;
+  deliver : dst:int -> src:int -> 'a -> unit;
+  nics : Rdb_des.Cpu.t array; (* one single-"core" resource per node: the egress NIC *)
+  crashed : bool array;
+  mutable messages_sent : int;
+  mutable bytes_sent : int;
+}
+
+let create sim ~nodes ~bandwidth_gbps ~latency ?(jitter = 0) ~rng ~deliver () =
+  if nodes <= 0 then invalid_arg "Net.create: nodes must be positive";
+  if bandwidth_gbps <= 0.0 then invalid_arg "Net.create: bandwidth must be positive";
+  {
+    sim;
+    bytes_per_ns = bandwidth_gbps /. 8.0; (* Gbit/s = bytes/ns / 0.125 *)
+    latency;
+    jitter;
+    rng;
+    deliver;
+    nics = Array.init nodes (fun _ -> Rdb_des.Cpu.create sim ~cores:1);
+    crashed = Array.make nodes false;
+    messages_sent = 0;
+    bytes_sent = 0;
+  }
+
+let transmission_ns t bytes = int_of_float (float_of_int bytes /. t.bytes_per_ns)
+
+let send t ~src ~dst ~bytes payload =
+  if t.crashed.(src) then ()
+  else begin
+    t.messages_sent <- t.messages_sent + 1;
+    t.bytes_sent <- t.bytes_sent + bytes;
+    let service = transmission_ns t bytes in
+    (* The NIC serializes transmissions FIFO; propagation starts when the
+       last byte leaves the wire. *)
+    Rdb_des.Cpu.submit t.nics.(src) ~service (fun () ->
+        let extra = if t.jitter > 0 then Rng.int t.rng t.jitter else 0 in
+        ignore
+          (Sim.schedule t.sim ~after:(t.latency + extra) (fun () ->
+               if not t.crashed.(dst) then t.deliver ~dst ~src payload)))
+  end
+
+let crash t node = t.crashed.(node) <- true
+
+let recover t node = t.crashed.(node) <- false
+
+let is_crashed t node = t.crashed.(node)
+
+let messages_sent t = t.messages_sent
+
+let bytes_sent t = t.bytes_sent
+
+let nic_busy_ns t node = Rdb_des.Cpu.busy_ns t.nics.(node)

@@ -1,0 +1,49 @@
+(** Simulated datacenter network.
+
+    Model (matching the paper's Google-Cloud single-region deployment):
+    - every node owns an egress NIC of configurable bandwidth; outgoing
+      messages serialize through it FIFO (transmission delay =
+      bytes / bandwidth), which is what makes large Pre-prepare messages a
+      bandwidth bottleneck (paper Fig. 12);
+    - after transmission, a message experiences a propagation latency with
+      optional uniform jitter;
+    - crashed nodes silently drop traffic in both directions (crash faults,
+      the fault model of the paper's Fig. 17);
+    - delivery is per-destination; there is no multicast offload, so a
+      broadcast pays [n-1] transmissions, as on real hardware.
+
+    Message payloads are opaque to the network ('a); sizes are explicit. *)
+
+type 'a t
+
+val create :
+  Rdb_des.Sim.t ->
+  nodes:int ->
+  bandwidth_gbps:float ->
+  latency:Rdb_des.Sim.time ->
+  ?jitter:Rdb_des.Sim.time ->
+  rng:Rdb_des.Rng.t ->
+  deliver:(dst:int -> src:int -> 'a -> unit) ->
+  unit ->
+  'a t
+(** [deliver] is invoked at the destination's arrival instant. *)
+
+val send : 'a t -> src:int -> dst:int -> bytes:int -> 'a -> unit
+(** Queues the message on [src]'s NIC.  No-op if either side is crashed
+    (a crashed source cannot send; traffic to a crashed node vanishes —
+    the drop for a crashed destination is decided at arrival time, so a
+    node that crashes mid-flight still loses the message). *)
+
+val crash : 'a t -> int -> unit
+
+val recover : 'a t -> int -> unit
+
+val is_crashed : 'a t -> int -> bool
+
+val messages_sent : 'a t -> int
+
+val bytes_sent : 'a t -> int
+
+val nic_busy_ns : 'a t -> int -> int
+(** Cumulative egress transmission time of one node's NIC, for
+    bandwidth-utilisation accounting. *)

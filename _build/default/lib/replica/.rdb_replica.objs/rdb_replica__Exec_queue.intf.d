@@ -1,0 +1,1 @@
+lib/replica/exec_queue.mli:

@@ -1,0 +1,1 @@
+lib/replica/stage.ml: Queue Rdb_des

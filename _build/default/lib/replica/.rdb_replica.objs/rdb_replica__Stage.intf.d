@@ -1,0 +1,1 @@
+lib/replica/stage.mli: Rdb_des

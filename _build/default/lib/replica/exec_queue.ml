@@ -1,0 +1,46 @@
+type 'a slot = Empty | Full of int * 'a
+
+type 'a t = {
+  slots : 'a slot array;
+  mutable next : int;
+  mutable pending : int;
+}
+
+let create ~slots =
+  if slots < 1 then invalid_arg "Exec_queue.create: need at least one slot";
+  { slots = Array.make slots Empty; next = 1; pending = 0 }
+
+let recommended_slots ~num_clients ~num_req =
+  if num_clients < 1 || num_req < 1 then invalid_arg "Exec_queue.recommended_slots";
+  2 * num_clients * num_req
+
+let index t seq = seq mod Array.length t.slots
+
+let offer t ~seq v =
+  if seq < t.next then Error (Printf.sprintf "sequence %d already executed" seq)
+  else if seq >= t.next + Array.length t.slots then
+    Error (Printf.sprintf "sequence %d outside the window [%d, %d)" seq t.next (t.next + Array.length t.slots))
+  else begin
+    match t.slots.(index t seq) with
+    | Full (other, _) when other <> seq ->
+      (* Cannot happen when the window invariant holds; report loudly. *)
+      Error (Printf.sprintf "slot collision: %d vs %d" other seq)
+    | Full _ -> Ok () (* duplicate offer is idempotent *)
+    | Empty ->
+      t.slots.(index t seq) <- Full (seq, v);
+      t.pending <- t.pending + 1;
+      Ok ()
+  end
+
+let poll t =
+  match t.slots.(index t t.next) with
+  | Full (seq, v) when seq = t.next ->
+    t.slots.(index t t.next) <- Empty;
+    t.next <- t.next + 1;
+    t.pending <- t.pending - 1;
+    Some v
+  | Full _ | Empty -> None
+
+let next_seq t = t.next
+
+let pending t = t.pending

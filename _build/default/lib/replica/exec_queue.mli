@@ -1,0 +1,41 @@
+(** The execute-thread's queue array from the paper's §4.6.
+
+    Consensus completes out of order, but execution must be in order.  A
+    naive execute-thread would repeatedly scan or re-queue messages until
+    the next transaction in order shows up.  ResilientDB instead gives the
+    execute-thread [QC = 2 * Num_Clients * Num_Req] logical queues and
+    places the message for transaction [txn_id] into queue
+    [txn_id mod QC]; the execute-thread then waits on exactly the queue
+    where the next-in-order transaction must appear — no scanning, no
+    re-queueing, no hash computation.
+
+    The queues are logical: empty slots cost one array cell, so the space
+    overhead over a single queue is constant per slot, as the paper notes.
+
+    [slots] must be an upper bound on how far ahead of the execution
+    cursor any offered item can be (in ResilientDB: the maximum number of
+    in-flight client requests); {!offer} rejects items outside that window
+    rather than silently overwriting. *)
+
+type 'a t
+
+val create : slots:int -> 'a t
+(** [slots] >= 1; see {!recommended_slots}. *)
+
+val recommended_slots : num_clients:int -> num_req:int -> int
+(** The paper's sizing rule: [QC = 2 * Num_Clients * Num_Req]. *)
+
+val offer : 'a t -> seq:int -> 'a -> (unit, string) result
+(** Place the item for sequence number [seq] into its slot.  Fails when the
+    slot is already occupied by a different sequence number (the window
+    invariant was violated) or when [seq] was already executed. *)
+
+val poll : 'a t -> 'a option
+(** If the next-in-order item has arrived, dequeue and return it (advancing
+    the cursor); [None] when its slot is still empty.  O(1). *)
+
+val next_seq : 'a t -> int
+(** The sequence number {!poll} is waiting for (starts at 1). *)
+
+val pending : 'a t -> int
+(** Items offered but not yet polled. *)

@@ -1,0 +1,50 @@
+module Sim = Rdb_des.Sim
+module Cpu = Rdb_des.Cpu
+
+type job = { service : Sim.time; run : unit -> unit }
+
+type t = {
+  sim : Sim.t;
+  cpu : Cpu.t;
+  name : string;
+  workers : int;
+  queue : job Queue.t;
+  mutable active : int;
+  mutable occupied_ns : int;
+  mutable jobs_completed : int;
+}
+
+let create sim ~cpu ~name ?(workers = 1) () =
+  if workers < 1 then invalid_arg "Stage.create: need at least one worker";
+  { sim; cpu; name; workers; queue = Queue.create (); active = 0; occupied_ns = 0; jobs_completed = 0 }
+
+let name t = t.name
+let workers t = t.workers
+
+let rec start t job =
+  t.active <- t.active + 1;
+  let started = Sim.now t.sim in
+  Cpu.submit t.cpu ~service:job.service (fun () ->
+      t.occupied_ns <- t.occupied_ns + (Sim.now t.sim - started);
+      t.jobs_completed <- t.jobs_completed + 1;
+      job.run ();
+      t.active <- t.active - 1;
+      if t.active < t.workers && not (Queue.is_empty t.queue) then start t (Queue.pop t.queue))
+
+let enqueue t ~service run =
+  let job = { service; run } in
+  if t.active < t.workers then start t job else Queue.push job t.queue
+
+let queue_length t = Queue.length t.queue
+
+let jobs_completed t = t.jobs_completed
+
+let occupied_ns t = t.occupied_ns
+
+let saturation t ~since_occupied_ns ~since_time ~now =
+  let elapsed = now - since_time in
+  if elapsed <= 0 then 0.0
+  else
+    100.0
+    *. float_of_int (t.occupied_ns - since_occupied_ns)
+    /. (float_of_int elapsed *. float_of_int t.workers)

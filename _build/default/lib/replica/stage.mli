@@ -1,0 +1,37 @@
+(** A pipeline stage: one or more logical threads draining a shared work
+    queue, with every unit of work holding a CPU core for its service time.
+
+    This is the simulator's building block for the paper's §4.1
+    multi-threaded deep pipeline: input-threads, batch-threads ([workers >
+    1] models ResilientDB's common lock-free batch queue), the
+    worker-thread, execute-thread, output-threads and checkpoint-thread are
+    all stages wired together by enqueues.
+
+    A stage worker is {e occupied} from the moment it picks a job until the
+    job's completion — including any wait for a CPU core — matching how the
+    paper's Fig. 9 reports thread saturation on machines where threads can
+    outnumber cores. *)
+
+type t
+
+val create : Rdb_des.Sim.t -> cpu:Rdb_des.Cpu.t -> name:string -> ?workers:int -> unit -> t
+(** [workers] defaults to 1. *)
+
+val name : t -> string
+
+val workers : t -> int
+
+val enqueue : t -> service:Rdb_des.Sim.time -> (unit -> unit) -> unit
+(** Queue one job.  [service] is CPU time; the callback runs at completion
+    (on the simulated thread). *)
+
+val queue_length : t -> int
+
+val jobs_completed : t -> int
+
+val occupied_ns : t -> int
+(** Cumulative worker-occupied nanoseconds (completed jobs only). *)
+
+val saturation : t -> since_occupied_ns:int -> since_time:Rdb_des.Sim.time -> now:Rdb_des.Sim.time -> float
+(** Occupied fraction per worker over a measurement window, as a percentage
+    in [0, 100] (100 = every worker busy the whole window). *)

@@ -1,0 +1,1 @@
+lib/storage/btree.ml: Array Bytes Char Format Hashtbl List Rdb_crypto String Unix

@@ -1,0 +1,1 @@
+lib/storage/mem_store.ml: Bytes Char Hashtbl Rdb_crypto String

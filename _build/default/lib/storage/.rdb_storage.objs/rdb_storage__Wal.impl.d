@@ -1,0 +1,1 @@
+lib/storage/wal.ml: Char Rdb_crypto Stdlib String Sys

@@ -1,0 +1,546 @@
+let page_size = 4096
+let max_entry_size = 1024
+let magic = "RDBBTRE1"
+
+(* Page 0 is the meta page; node pages start at 1. *)
+
+type node =
+  | Leaf of { keys : string array; values : string array }
+  | Internal of { keys : string array; children : int array }
+
+type cached = { mutable node : node; mutable dirty : bool; mutable last_used : int }
+
+type t = {
+  fd : Unix.file_descr;
+  path : string;
+  cache : (int, cached) Hashtbl.t;
+  cache_pages : int;
+  mutable root : int;
+  mutable next_page : int;
+  mutable entries : int;
+  mutable tick : int;
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable closed : bool;
+}
+
+(* ---- serialization ---------------------------------------------------- *)
+
+let put_u16 buf off v =
+  Bytes.set buf off (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set buf (off + 1) (Char.chr (v land 0xFF))
+
+let get_u16 buf off = (Char.code (Bytes.get buf off) lsl 8) lor Char.code (Bytes.get buf (off + 1))
+
+let put_u32 buf off v =
+  Bytes.set buf off (Char.chr ((v lsr 24) land 0xFF));
+  Bytes.set buf (off + 1) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set buf (off + 2) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set buf (off + 3) (Char.chr (v land 0xFF))
+
+let get_u32 buf off =
+  (Char.code (Bytes.get buf off) lsl 24)
+  lor (Char.code (Bytes.get buf (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get buf (off + 2)) lsl 8)
+  lor Char.code (Bytes.get buf (off + 3))
+
+let checksum_of buf =
+  (* First 4 bytes of SHA-256 over bytes 4..end. *)
+  let body = Bytes.sub_string buf 4 (Bytes.length buf - 4) in
+  String.sub (Rdb_crypto.Sha256.digest body) 0 4
+
+let node_size = function
+  | Leaf { keys; values } ->
+    let acc = ref 7 in
+    Array.iteri (fun i k -> acc := !acc + 4 + String.length k + String.length values.(i)) keys;
+    !acc
+  | Internal { keys; children } ->
+    let acc = ref (7 + (4 * Array.length children)) in
+    Array.iter (fun k -> acc := !acc + 2 + String.length k) keys;
+    !acc
+
+let serialize_node node =
+  let buf = Bytes.make page_size '\x00' in
+  (match node with
+  | Leaf { keys; values } ->
+    Bytes.set buf 4 '\x01';
+    put_u16 buf 5 (Array.length keys);
+    let off = ref 7 in
+    Array.iteri
+      (fun i k ->
+        let v = values.(i) in
+        put_u16 buf !off (String.length k);
+        put_u16 buf (!off + 2) (String.length v);
+        Bytes.blit_string k 0 buf (!off + 4) (String.length k);
+        Bytes.blit_string v 0 buf (!off + 4 + String.length k) (String.length v);
+        off := !off + 4 + String.length k + String.length v)
+      keys
+  | Internal { keys; children } ->
+    Bytes.set buf 4 '\x02';
+    put_u16 buf 5 (Array.length keys);
+    let off = ref 7 in
+    Array.iter
+      (fun k ->
+        put_u16 buf !off (String.length k);
+        Bytes.blit_string k 0 buf (!off + 2) (String.length k);
+        off := !off + 2 + String.length k)
+      keys;
+    Array.iter
+      (fun c ->
+        put_u32 buf !off c;
+        off := !off + 4)
+      children);
+  Bytes.blit_string (checksum_of buf) 0 buf 0 4;
+  buf
+
+let deserialize_node buf =
+  let stored = Bytes.sub_string buf 0 4 in
+  if not (String.equal stored (checksum_of buf)) then failwith "Btree: corrupt page (bad checksum)";
+  let nkeys = get_u16 buf 5 in
+  match Bytes.get buf 4 with
+  | '\x01' ->
+    let keys = Array.make nkeys "" and values = Array.make nkeys "" in
+    let off = ref 7 in
+    for i = 0 to nkeys - 1 do
+      let klen = get_u16 buf !off and vlen = get_u16 buf (!off + 2) in
+      keys.(i) <- Bytes.sub_string buf (!off + 4) klen;
+      values.(i) <- Bytes.sub_string buf (!off + 4 + klen) vlen;
+      off := !off + 4 + klen + vlen
+    done;
+    Leaf { keys; values }
+  | '\x02' ->
+    let keys = Array.make nkeys "" in
+    let off = ref 7 in
+    for i = 0 to nkeys - 1 do
+      let klen = get_u16 buf !off in
+      keys.(i) <- Bytes.sub_string buf (!off + 2) klen;
+      off := !off + 2 + klen
+    done;
+    let children = Array.make (nkeys + 1) 0 in
+    for i = 0 to nkeys do
+      children.(i) <- get_u32 buf !off;
+      off := !off + 4
+    done;
+    Internal { keys; children }
+  | _ -> failwith "Btree: corrupt page (bad tag)"
+
+(* ---- raw page I/O ------------------------------------------------------ *)
+
+let read_page t page =
+  let buf = Bytes.create page_size in
+  ignore (Unix.lseek t.fd (page * page_size) Unix.SEEK_SET);
+  let rec fill off =
+    if off < page_size then begin
+      let n = Unix.read t.fd buf off (page_size - off) in
+      if n = 0 then failwith "Btree: short read";
+      fill (off + n)
+    end
+  in
+  fill 0;
+  t.page_reads <- t.page_reads + 1;
+  buf
+
+let write_page t page buf =
+  ignore (Unix.lseek t.fd (page * page_size) Unix.SEEK_SET);
+  let rec drain off =
+    if off < page_size then begin
+      let n = Unix.write t.fd buf off (page_size - off) in
+      drain (off + n)
+    end
+  in
+  drain 0;
+  t.page_writes <- t.page_writes + 1
+
+let write_meta t =
+  let buf = Bytes.make page_size '\x00' in
+  Bytes.blit_string magic 0 buf 4 8;
+  put_u32 buf 12 1 (* version *);
+  put_u32 buf 16 t.root;
+  put_u32 buf 20 t.next_page;
+  put_u32 buf 24 t.entries;
+  Bytes.blit_string (checksum_of buf) 0 buf 0 4;
+  write_page t 0 buf
+
+(* ---- cache ------------------------------------------------------------- *)
+
+let touch t c =
+  t.tick <- t.tick + 1;
+  c.last_used <- t.tick
+
+let flush_cached t page c =
+  if c.dirty then begin
+    write_page t page (serialize_node c.node);
+    c.dirty <- false
+  end
+
+let evict_if_needed t =
+  if Hashtbl.length t.cache > t.cache_pages then begin
+    (* Evict the least recently used page (flushing it if dirty). *)
+    let victim = ref None in
+    Hashtbl.iter
+      (fun page c ->
+        match !victim with
+        | None -> victim := Some (page, c)
+        | Some (_, best) -> if c.last_used < best.last_used then victim := Some (page, c))
+      t.cache;
+    match !victim with
+    | None -> ()
+    | Some (page, c) ->
+      flush_cached t page c;
+      Hashtbl.remove t.cache page
+  end
+
+let load t page =
+  match Hashtbl.find_opt t.cache page with
+  | Some c ->
+    t.cache_hits <- t.cache_hits + 1;
+    touch t c;
+    c.node
+  | None ->
+    t.cache_misses <- t.cache_misses + 1;
+    let node = deserialize_node (read_page t page) in
+    let c = { node; dirty = false; last_used = 0 } in
+    touch t c;
+    Hashtbl.add t.cache page c;
+    evict_if_needed t;
+    node
+
+let store t page node ~dirty =
+  (match Hashtbl.find_opt t.cache page with
+  | Some c ->
+    c.node <- node;
+    c.dirty <- c.dirty || dirty;
+    touch t c
+  | None ->
+    let c = { node; dirty; last_used = 0 } in
+    touch t c;
+    Hashtbl.add t.cache page c;
+    evict_if_needed t)
+
+let alloc t node =
+  let page = t.next_page in
+  t.next_page <- t.next_page + 1;
+  store t page node ~dirty:true;
+  page
+
+(* ---- open / close ------------------------------------------------------ *)
+
+let open_file ?(cache_pages = 256) path =
+  if cache_pages < 8 then invalid_arg "Btree.open_file: cache too small";
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let t =
+    {
+      fd;
+      path;
+      cache = Hashtbl.create 64;
+      cache_pages;
+      root = 1;
+      next_page = 2;
+      entries = 0;
+      tick = 0;
+      page_reads = 0;
+      page_writes = 0;
+      cache_hits = 0;
+      cache_misses = 0;
+      closed = false;
+    }
+  in
+  let len = (Unix.fstat fd).Unix.st_size in
+  if len = 0 then begin
+    (* Fresh file: empty leaf root. *)
+    store t 1 (Leaf { keys = [||]; values = [||] }) ~dirty:true;
+    write_meta t;
+    t
+  end
+  else begin
+    let buf = read_page t 0 in
+    let stored = Bytes.sub_string buf 0 4 in
+    if not (String.equal stored (checksum_of buf)) then failwith "Btree: corrupt meta page";
+    if not (String.equal (Bytes.sub_string buf 4 8) magic) then failwith "Btree: bad magic";
+    t.root <- get_u32 buf 16;
+    t.next_page <- get_u32 buf 20;
+    t.entries <- get_u32 buf 24;
+    t
+  end
+
+let flush t =
+  Hashtbl.iter (fun page c -> flush_cached t page c) t.cache;
+  write_meta t
+
+let close t =
+  if not t.closed then begin
+    flush t;
+    Unix.close t.fd;
+    t.closed <- true
+  end
+
+(* ---- search ------------------------------------------------------------ *)
+
+(* Index of the first key >= k, or [n] if none. *)
+let lower_bound keys k =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let rec find_in t page k =
+  match load t page with
+  | Leaf { keys; values } ->
+    let i = lower_bound keys k in
+    if i < Array.length keys && String.equal keys.(i) k then Some values.(i) else None
+  | Internal { keys; children } ->
+    let i = lower_bound keys k in
+    (* Separator convention: keys.(i) is the smallest key of children.(i+1). *)
+    let child = if i < Array.length keys && String.equal keys.(i) k then i + 1 else i in
+    find_in t children.(child) k
+
+let get t k = find_in t t.root k
+
+let mem t k = get t k <> None
+
+(* ---- insertion --------------------------------------------------------- *)
+
+let array_insert a i x =
+  let n = Array.length a in
+  Array.init (n + 1) (fun j -> if j < i then a.(j) else if j = i then x else a.(j - 1))
+
+let array_remove a i =
+  let n = Array.length a in
+  Array.init (n - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+type insert_result =
+  | Done
+  | SplitInto of string * int (* separator, right sibling page *)
+
+(* Splits an oversized leaf, balancing by serialized bytes. *)
+let split_leaf keys values =
+  let n = Array.length keys in
+  let total = ref 0 in
+  Array.iteri (fun i k -> total := !total + 4 + String.length k + String.length values.(i)) keys;
+  let half = !total / 2 in
+  let cut = ref 0 and acc = ref 0 in
+  while !acc < half && !cut < n - 1 do
+    acc := !acc + 4 + String.length keys.(!cut) + String.length values.(!cut);
+    incr cut
+  done;
+  let cut = max 1 (min (n - 1) !cut) in
+  let left = Leaf { keys = Array.sub keys 0 cut; values = Array.sub values 0 cut } in
+  let right =
+    Leaf { keys = Array.sub keys cut (n - cut); values = Array.sub values cut (n - cut) }
+  in
+  let sep = keys.(cut) in
+  (left, sep, right)
+
+let split_internal keys children =
+  let n = Array.length keys in
+  let mid = n / 2 in
+  let left = Internal { keys = Array.sub keys 0 mid; children = Array.sub children 0 (mid + 1) } in
+  let right =
+    Internal
+      {
+        keys = Array.sub keys (mid + 1) (n - mid - 1);
+        children = Array.sub children (mid + 1) (n - mid);
+      }
+  in
+  (left, keys.(mid), right)
+
+let rec insert_at t page k v =
+  match load t page with
+  | Leaf { keys; values } ->
+    let i = lower_bound keys k in
+    let keys, values, added =
+      if i < Array.length keys && String.equal keys.(i) k then begin
+        let values = Array.copy values in
+        values.(i) <- v;
+        (keys, values, false)
+      end
+      else (array_insert keys i k, array_insert values i v, true)
+    in
+    if added then t.entries <- t.entries + 1;
+    let node = Leaf { keys; values } in
+    if node_size node <= page_size then begin
+      store t page node ~dirty:true;
+      Done
+    end
+    else begin
+      let left, sep, right = split_leaf keys values in
+      store t page left ~dirty:true;
+      let right_page = alloc t right in
+      SplitInto (sep, right_page)
+    end
+  | Internal { keys; children } ->
+    let i = lower_bound keys k in
+    let child_idx = if i < Array.length keys && String.equal keys.(i) k then i + 1 else i in
+    (match insert_at t children.(child_idx) k v with
+    | Done -> Done
+    | SplitInto (sep, right_page) ->
+      let keys = array_insert keys child_idx sep in
+      let children = array_insert children (child_idx + 1) right_page in
+      let node = Internal { keys; children } in
+      if node_size node <= page_size then begin
+        store t page node ~dirty:true;
+        Done
+      end
+      else begin
+        let left, sep', right = split_internal keys children in
+        store t page left ~dirty:true;
+        let right_page = alloc t right in
+        SplitInto (sep', right_page)
+      end)
+
+let put t k v =
+  if String.length k = 0 then invalid_arg "Btree.put: empty key";
+  if String.length k + String.length v > max_entry_size then
+    invalid_arg "Btree.put: entry exceeds max_entry_size";
+  match insert_at t t.root k v with
+  | Done -> ()
+  | SplitInto (sep, right_page) ->
+    let new_root = Internal { keys = [| sep |]; children = [| t.root; right_page |] } in
+    t.root <- alloc t new_root
+
+(* ---- deletion (no rebalancing; see interface) -------------------------- *)
+
+let rec delete_at t page k =
+  match load t page with
+  | Leaf { keys; values } ->
+    let i = lower_bound keys k in
+    if i < Array.length keys && String.equal keys.(i) k then begin
+      store t page (Leaf { keys = array_remove keys i; values = array_remove values i }) ~dirty:true;
+      t.entries <- t.entries - 1;
+      true
+    end
+    else false
+  | Internal { keys; children } ->
+    let i = lower_bound keys k in
+    let child_idx = if i < Array.length keys && String.equal keys.(i) k then i + 1 else i in
+    delete_at t children.(child_idx) k
+
+let delete t k = delete_at t t.root k
+
+let count t = t.entries
+
+(* ---- iteration --------------------------------------------------------- *)
+
+let rec iter_page t page f =
+  match load t page with
+  | Leaf { keys; values } -> Array.iteri (fun i k -> f k values.(i)) keys
+  | Internal { children; _ } -> Array.iter (fun c -> iter_page t c f) children
+
+let iter t f = iter_page t t.root f
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun k v -> acc := f !acc k v);
+  !acc
+
+let range t ~lo ~hi =
+  let out = ref [] in
+  let rec walk page =
+    match load t page with
+    | Leaf { keys; values } ->
+      Array.iteri
+        (fun i k -> if String.compare lo k <= 0 && String.compare k hi <= 0 then out := (k, values.(i)) :: !out)
+        keys
+    | Internal { keys; children } ->
+      (* Visit only children whose key range can intersect [lo, hi]. *)
+      let n = Array.length keys in
+      for c = 0 to n do
+        let child_min = if c = 0 then None else Some keys.(c - 1) in
+        let child_max = if c = n then None else Some keys.(c) in
+        let lo_ok = match child_max with None -> true | Some m -> String.compare lo m <= 0 in
+        let hi_ok = match child_min with None -> true | Some m -> String.compare m hi <= 0 in
+        if lo_ok && hi_ok then walk children.(c)
+      done
+  in
+  walk t.root;
+  List.rev !out
+
+(* ---- maintenance ------------------------------------------------------- *)
+
+let compact t =
+  let all = fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc) in
+  Hashtbl.reset t.cache;
+  Unix.ftruncate t.fd 0;
+  t.root <- 1;
+  t.next_page <- 2;
+  t.entries <- 0;
+  store t 1 (Leaf { keys = [||]; values = [||] }) ~dirty:true;
+  List.iter (fun (k, v) -> put t k v) (List.rev all);
+  flush t
+
+let rec height_of t page =
+  match load t page with
+  | Leaf _ -> 1
+  | Internal { children; _ } -> 1 + height_of t children.(0)
+
+type stats = {
+  page_reads : int;
+  page_writes : int;
+  cache_hits : int;
+  cache_misses : int;
+  height : int;
+  pages_allocated : int;
+}
+
+let stats (t : t) =
+  {
+    page_reads = t.page_reads;
+    page_writes = t.page_writes;
+    cache_hits = t.cache_hits;
+    cache_misses = t.cache_misses;
+    height = height_of t t.root;
+    pages_allocated = t.next_page - 1;
+  }
+
+let verify t =
+  let errors = ref [] in
+  let seen = ref 0 in
+  let rec check page ~min_k ~max_k ~depth =
+    match load t page with
+    | Leaf { keys; values } ->
+      if Array.length keys <> Array.length values then
+        errors := "leaf keys/values length mismatch" :: !errors;
+      Array.iteri
+        (fun i k ->
+          incr seen;
+          if i > 0 && String.compare keys.(i - 1) k >= 0 then
+            errors := Format.asprintf "leaf key order violated at %S" k :: !errors;
+          (match min_k with
+          | Some m when String.compare k m < 0 ->
+            errors := Format.asprintf "leaf key %S below subtree minimum" k :: !errors
+          | _ -> ());
+          match max_k with
+          | Some m when String.compare k m >= 0 ->
+            errors := Format.asprintf "leaf key %S above subtree maximum" k :: !errors
+          | _ -> ())
+        keys;
+      depth
+    | Internal { keys; children } ->
+      if Array.length children <> Array.length keys + 1 then
+        errors := "internal arity mismatch" :: !errors;
+      Array.iteri
+        (fun i k ->
+          if i > 0 && String.compare keys.(i - 1) k >= 0 then
+            errors := "internal key order violated" :: !errors)
+        keys;
+      let depths =
+        Array.mapi
+          (fun c child ->
+            let min_k = if c = 0 then min_k else Some keys.(c - 1) in
+            let max_k = if c = Array.length keys then max_k else Some keys.(c) in
+            check child ~min_k ~max_k ~depth:(depth + 1))
+          children
+      in
+      Array.iter (fun d -> if d <> depths.(0) then errors := "uneven leaf depth" :: !errors) depths;
+      depths.(0)
+  in
+  ignore (check t.root ~min_k:None ~max_k:None ~depth:0);
+  if !seen <> t.entries then
+    errors := Format.asprintf "entry count mismatch: counted %d, meta %d" !seen t.entries :: !errors;
+  match !errors with [] -> Ok () | e :: _ -> Error e
+
+let path t = t.path

@@ -1,0 +1,72 @@
+(** A file-backed, paged B-tree key-value store — the repository's stand-in
+    for SQLite in the paper's in-memory vs off-memory experiment (Fig. 14).
+
+    Real pages, real page I/O, real splits: 4 KiB checksummed pages, an
+    in-memory page cache with bounded size, variable-length keys and values
+    (combined at most {!max_entry_size} bytes per entry).  Deletes do not
+    rebalance (a classic trade-off; sparse pages are reclaimed by
+    {!compact}), which keeps the code small without losing correctness.
+
+    I/O counters expose physical reads and writes so tests — and the
+    storage-latency argument of the paper — can observe actual disk
+    traffic. *)
+
+type t
+
+val page_size : int
+val max_entry_size : int
+
+val open_file : ?cache_pages:int -> string -> t
+(** Opens (creating and initialising if needed) a B-tree at [path].
+    [cache_pages] bounds the in-memory page cache (default 256).
+    Raises [Failure] on a corrupt meta page. *)
+
+val put : t -> string -> string -> unit
+(** Insert or replace.  Raises [Invalid_argument] if the entry exceeds
+    {!max_entry_size} or the key is empty. *)
+
+val get : t -> string -> string option
+
+val delete : t -> string -> bool
+(** [true] when the key existed. *)
+
+val mem : t -> string -> bool
+
+val count : t -> int
+(** Live entries. *)
+
+val iter : t -> (string -> string -> unit) -> unit
+(** In ascending key order. *)
+
+val fold : t -> init:'a -> f:('a -> string -> string -> 'a) -> 'a
+
+val range : t -> lo:string -> hi:string -> (string * string) list
+(** Entries with [lo <= key <= hi], ascending. *)
+
+val flush : t -> unit
+(** Writes all dirty pages and the meta page to disk. *)
+
+val close : t -> unit
+(** Flushes and closes the file descriptor. *)
+
+val compact : t -> unit
+(** Rebuilds the tree, dropping dead space left by deletes and splits. *)
+
+val verify : t -> (unit, string) result
+(** Structural check: key ordering within and across nodes, entry count,
+    child reachability.  Used by the property tests. *)
+
+(** Physical I/O and cache statistics since open. *)
+type stats = {
+  page_reads : int;
+  page_writes : int;
+  cache_hits : int;
+  cache_misses : int;
+  height : int;
+  pages_allocated : int;
+}
+
+val stats : t -> stats
+
+val path : t -> string
+(** The backing file. *)

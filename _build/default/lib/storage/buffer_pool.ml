@@ -1,0 +1,44 @@
+type 'a t = {
+  make : unit -> 'a;
+  reset : 'a -> unit;
+  capacity : int;
+  idle : 'a Stack.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 4096) ~make ~reset () =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  { make; reset; capacity; idle = Stack.create (); hits = 0; misses = 0 }
+
+let preallocate t n =
+  let room = t.capacity - Stack.length t.idle in
+  for _ = 1 to min n room do
+    Stack.push (t.make ()) t.idle
+  done
+
+let acquire t =
+  if Stack.is_empty t.idle then begin
+    t.misses <- t.misses + 1;
+    t.make ()
+  end
+  else begin
+    t.hits <- t.hits + 1;
+    Stack.pop t.idle
+  end
+
+let release t x =
+  if Stack.length t.idle < t.capacity then begin
+    t.reset x;
+    Stack.push x t.idle
+  end
+
+let idle t = Stack.length t.idle
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total

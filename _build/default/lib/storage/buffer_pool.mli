@@ -1,0 +1,32 @@
+(** Object pool, as in the paper's §4.8 "Buffer Pool Management".
+
+    ResilientDB preallocates message and transaction objects at startup and
+    recycles them instead of calling malloc/free per message.  This module is
+    the same idea as a reusable component: a typed pool with a factory, a
+    reset hook, bounded capacity, and hit/miss statistics (the statistics
+    feed the cost accounting in the simulator's allocation model). *)
+
+type 'a t
+
+val create : ?capacity:int -> make:(unit -> 'a) -> reset:('a -> unit) -> unit -> 'a t
+(** [capacity] bounds how many idle objects are retained (default 4096).
+    Nothing is preallocated until {!preallocate} or the first {!release}. *)
+
+val preallocate : 'a t -> int -> unit
+(** Fills the pool with up to [n] fresh objects (capped at capacity). *)
+
+val acquire : 'a t -> 'a
+(** Pops an idle object (a pool hit) or manufactures one (a miss). *)
+
+val release : 'a t -> 'a -> unit
+(** Resets the object and returns it to the pool; drops it when the pool is
+    at capacity. *)
+
+val idle : 'a t -> int
+
+val hits : 'a t -> int
+
+val misses : 'a t -> int
+
+val hit_rate : 'a t -> float
+(** hits / (hits + misses); 0 when unused. *)

@@ -1,0 +1,30 @@
+type t = (string, string) Hashtbl.t
+
+let create ?(initial_capacity = 1024) () = Hashtbl.create initial_capacity
+
+let put t k v = Hashtbl.replace t k v
+
+let get t k = Hashtbl.find_opt t k
+
+let delete t k = Hashtbl.remove t k
+
+let mem t k = Hashtbl.mem t k
+
+let size t = Hashtbl.length t
+
+let iter t f = Hashtbl.iter f t
+
+let snapshot t = Hashtbl.copy t
+
+(* XOR of per-entry digests is order-independent and collision-resistant
+   enough for state comparison between trusted-code replicas. *)
+let digest t =
+  let acc = Bytes.make 32 '\x00' in
+  Hashtbl.iter
+    (fun k v ->
+      let h = Rdb_crypto.Sha256.digest (string_of_int (String.length k) ^ ":" ^ k ^ v) in
+      for i = 0 to 31 do
+        Bytes.set acc i (Char.chr (Char.code (Bytes.get acc i) lxor Char.code h.[i]))
+      done)
+    t;
+  Rdb_crypto.Sha256.digest (Bytes.unsafe_to_string acc)

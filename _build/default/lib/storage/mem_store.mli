@@ -1,0 +1,30 @@
+(** The in-memory key-value store used by the execution layer.
+
+    This is the paper's default storage mode ("records are written and
+    accessed in an in-memory key-value data-structure", §5.7).  Snapshots
+    support checkpointing: a snapshot is an O(n) copy taken when a
+    checkpoint is cut, cheap at the paper's checkpoint interval (every 10K
+    transactions). *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+
+val put : t -> string -> string -> unit
+
+val get : t -> string -> string option
+
+val delete : t -> string -> unit
+
+val mem : t -> string -> bool
+
+val size : t -> int
+
+val iter : t -> (string -> string -> unit) -> unit
+
+val snapshot : t -> t
+(** Independent copy; later writes to either side are not shared. *)
+
+val digest : t -> string
+(** Order-independent SHA-256 digest of the full state; two replicas with
+    equal state produce equal digests (used by checkpoint agreement). *)

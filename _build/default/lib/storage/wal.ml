@@ -1,0 +1,54 @@
+(* Record framing: 4-byte big-endian length, 4-byte checksum (first 4 bytes
+   of SHA-256), then the payload. *)
+
+type t = { oc : out_channel }
+
+let checksum data = String.sub (Rdb_crypto.Sha256.digest data) 0 4
+
+let open_log path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  { oc }
+
+let put_u32 oc v =
+  output_char oc (Char.chr ((v lsr 24) land 0xFF));
+  output_char oc (Char.chr ((v lsr 16) land 0xFF));
+  output_char oc (Char.chr ((v lsr 8) land 0xFF));
+  output_char oc (Char.chr (v land 0xFF))
+
+let append t data =
+  put_u32 t.oc (String.length data);
+  output_string t.oc (checksum data);
+  output_string t.oc data
+
+let flush t = Stdlib.flush t.oc
+
+let close t = close_out t.oc
+
+let replay path f =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let ic = open_in_bin path in
+    let count = ref 0 in
+    let read_u32 () =
+      let b0 = input_byte ic in
+      let b1 = input_byte ic in
+      let b2 = input_byte ic in
+      let b3 = input_byte ic in
+      (b0 lsl 24) lor (b1 lsl 16) lor (b2 lsl 8) lor b3
+    in
+    (try
+       let continue = ref true in
+       while !continue do
+         let len = read_u32 () in
+         let expected = really_input_string ic 4 in
+         let data = really_input_string ic len in
+         if String.equal (checksum data) expected then begin
+           f data;
+           incr count
+         end
+         else continue := false
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !count
+  end

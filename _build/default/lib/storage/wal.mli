@@ -1,0 +1,25 @@
+(** Append-only write-ahead log with checksummed, length-framed records.
+
+    Used when a replica wants asynchronous persistence of executed batches
+    (the paper's §6 "Memory Storage" observation: persistence can be delayed
+    and performed off the critical path because at most [f] replicas fail).
+    Replay stops at the first torn or corrupt record, which makes a crashed
+    writer safe: every fully-flushed record survives. *)
+
+type t
+
+val open_log : string -> t
+(** Opens (creating if missing) for appending. *)
+
+val append : t -> string -> unit
+(** Appends one record.  Data may contain arbitrary bytes. *)
+
+val flush : t -> unit
+(** Forces buffered records to the OS. *)
+
+val close : t -> unit
+
+val replay : string -> (string -> unit) -> int
+(** [replay path f] applies [f] to each intact record in order and returns
+    the count.  A missing file replays zero records.  Corrupt or truncated
+    tails are ignored. *)

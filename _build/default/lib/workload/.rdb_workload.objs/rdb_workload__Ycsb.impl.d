@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: List Printf Rdb_des String Zipf

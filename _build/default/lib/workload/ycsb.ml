@@ -1,0 +1,82 @@
+type op =
+  | Write of { key : string; value : string }
+  | Read of { key : string }
+
+type txn = { txn_id : int; client : int; ops : op list; payload_bytes : int }
+
+type t = {
+  records : int;
+  field_size : int;
+  ops_per_txn : int;
+  payload_bytes : int;
+  write_ratio : float;
+  zipf : Zipf.t;
+  rng : Rdb_des.Rng.t;
+  mutable next_id : int;
+}
+
+let create ?(records = 600_000) ?(field_size = 100) ?(theta = 0.99) ?(ops_per_txn = 1)
+    ?(payload_bytes = 0) ?(write_ratio = 1.0) ~seed () =
+  if records <= 0 then invalid_arg "Ycsb.create: records must be positive";
+  if ops_per_txn <= 0 then invalid_arg "Ycsb.create: ops_per_txn must be positive";
+  if write_ratio < 0.0 || write_ratio > 1.0 then invalid_arg "Ycsb.create: bad write_ratio";
+  {
+    records;
+    field_size;
+    ops_per_txn;
+    payload_bytes;
+    write_ratio;
+    zipf = Zipf.create ~theta ~n:records ();
+    rng = Rdb_des.Rng.create seed;
+    next_id = 0;
+  }
+
+type preset = Workload_a | Workload_b | Workload_c | Write_only
+
+let preset_write_ratio = function
+  | Workload_a -> 0.5
+  | Workload_b -> 0.05
+  | Workload_c -> 0.0
+  | Write_only -> 1.0
+
+let records t = t.records
+
+let key_of_index i = Printf.sprintf "user%010d" i
+
+let of_preset ?records ?ops_per_txn preset ~seed =
+  create ?records ?ops_per_txn ~write_ratio:(preset_write_ratio preset) ~seed ()
+
+(* Deterministic field content: cheap to generate, unique per write. *)
+let value_of t txn_id op_idx =
+  let stamp = Printf.sprintf "%d.%d|" txn_id op_idx in
+  let pad = t.field_size - String.length stamp in
+  if pad <= 0 then String.sub stamp 0 t.field_size else stamp ^ String.make pad 'x'
+
+let next_txn t ~client =
+  let txn_id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let ops =
+    List.init t.ops_per_txn (fun op_idx ->
+        let key = key_of_index (Zipf.sample t.zipf t.rng) in
+        if Rdb_des.Rng.float t.rng < t.write_ratio then
+          Write { key; value = value_of t txn_id op_idx }
+        else Read { key })
+  in
+  { txn_id; client; ops; payload_bytes = t.payload_bytes }
+
+let load_table t put =
+  for i = 0 to t.records - 1 do
+    put (key_of_index i) (String.make t.field_size 'i')
+  done
+
+let apply_op ~get ~put = function
+  | Write { key; value } -> put key value
+  | Read { key } -> ignore (get key)
+
+let op_wire_size = function
+  | Write { key; value } -> 1 + String.length key + String.length value
+  | Read { key } -> 1 + String.length key
+
+let txn_wire_size (txn : txn) =
+  (* 16-byte fixed header: txn id, client id. *)
+  16 + txn.payload_bytes + List.fold_left (fun acc op -> acc + op_wire_size op) 0 txn.ops

@@ -1,0 +1,67 @@
+(** The YCSB benchmark workload (Cooper et al., SoCC '10) as used by the
+    paper's evaluation: a single table with an active set of records, keys
+    drawn from a Zipfian distribution, and write-only transactions ("a
+    majority of blockchain requests are updates to the existing data",
+    §5.1).
+
+    A workload instance is a deterministic transaction factory; replicas
+    apply the produced operations against any {!type:store}. *)
+
+type op =
+  | Write of { key : string; value : string }
+  | Read of { key : string }
+
+type txn = {
+  txn_id : int;  (** globally unique, assigned by the generator *)
+  client : int;
+  ops : op list;
+  payload_bytes : int;  (** extra opaque payload carried by the request *)
+}
+
+type t
+
+(** The standard YCSB core workload mixes.  The paper's evaluation uses a
+    write-only variant ("a majority of blockchain requests are updates"). *)
+type preset =
+  | Workload_a  (** 50% read / 50% update, Zipfian *)
+  | Workload_b  (** 95% read / 5% update, Zipfian *)
+  | Workload_c  (** read-only, Zipfian *)
+  | Write_only  (** the paper's blockchain mix *)
+
+val preset_write_ratio : preset -> float
+
+val of_preset : ?records:int -> ?ops_per_txn:int -> preset -> seed:int64 -> t
+
+val create :
+  ?records:int ->
+  ?field_size:int ->
+  ?theta:float ->
+  ?ops_per_txn:int ->
+  ?payload_bytes:int ->
+  ?write_ratio:float ->
+  seed:int64 ->
+  unit ->
+  t
+(** Defaults mirror the paper's setup: 600_000 records, 100-byte values,
+    Zipfian key choice, 1 operation per transaction, no extra payload,
+    write-only ([write_ratio = 1.0]). *)
+
+val records : t -> int
+
+val next_txn : t -> client:int -> txn
+(** Deterministic stream: equal seeds and call sequences give equal
+    transactions. *)
+
+val key_of_index : int -> string
+(** The canonical key encoding shared by generators and table loaders. *)
+
+val load_table : t -> (string -> string -> unit) -> unit
+(** [load_table t put] installs the initial record set by calling [put] for
+    each record — used to give every replica an identical starting table. *)
+
+val apply_op : get:(string -> string option) -> put:(string -> string -> unit) -> op -> unit
+(** Executes one operation against a store. *)
+
+val txn_wire_size : txn -> int
+(** Bytes this transaction occupies in a request message (keys, values,
+    payload, fixed header). *)

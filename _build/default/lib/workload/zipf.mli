@@ -1,0 +1,22 @@
+(** Zipfian item selection over [\[0, n)], as used by YCSB.
+
+    Implements the constant-time sampler of Gray et al. ("Quickly generating
+    billion-record synthetic databases", SIGMOD '94) — the same algorithm
+    YCSB's [ZipfianGenerator] uses: an O(n) precomputation of the harmonic
+    number zeta(n, theta), then O(1) per sample.
+
+    [theta = 0] degenerates to the uniform distribution, matching the
+    paper's "uniform Zipfian" workload description when run with a small
+    skew. *)
+
+type t
+
+val create : ?theta:float -> n:int -> unit -> t
+(** [theta] in [\[0, 1)]; default 0.99 (the YCSB default). *)
+
+val sample : t -> Rdb_des.Rng.t -> int
+(** An index in [\[0, n)]; item 0 is the most popular. *)
+
+val n : t -> int
+
+val theta : t -> float

@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Block Gen Ledger List Merkle Printf QCheck QCheck_alcotest Rdb_chain Rdb_crypto String

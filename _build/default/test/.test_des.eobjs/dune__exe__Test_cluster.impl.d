@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Cluster List Metrics Params Printf Rdb_core Rdb_crypto Rdb_des Upper_bound

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aes128 Alcotest Bignum Bytes Char Cmac Cost_model Gen Hmac Int64 List Printf QCheck QCheck_alcotest Rdb_crypto Rdb_des Rsa Schnorr Sha256 Sha3 Signer String

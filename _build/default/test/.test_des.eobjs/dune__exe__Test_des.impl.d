@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest Array Float Gen List QCheck QCheck_alcotest Rdb_des

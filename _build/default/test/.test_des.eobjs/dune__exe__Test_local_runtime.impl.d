@@ -1,0 +1,1 @@
+test/test_local_runtime.ml: Alcotest List Printf Rdb_chain Rdb_core Rdb_crypto Rdb_storage String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Buffer Char List Mutex Option Printf QCheck QCheck_alcotest Rdb_consensus Rdb_core Rdb_crypto Rdb_des Rdb_net Result String Thread

@@ -1,0 +1,1 @@
+test/test_pbft.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Rdb_consensus String Testkit

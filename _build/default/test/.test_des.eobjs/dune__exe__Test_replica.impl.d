@@ -1,0 +1,1 @@
+test/test_replica.ml: Alcotest Array Int64 List Option QCheck QCheck_alcotest Rdb_des Rdb_replica Result

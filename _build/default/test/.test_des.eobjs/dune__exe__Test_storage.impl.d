@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Btree Buffer_pool Bytes Filename Fun Hashtbl List Mem_store Printf QCheck QCheck_alcotest Rdb_storage String Sys Wal

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Hashtbl Int64 List Printf QCheck QCheck_alcotest Rdb_des Rdb_storage Rdb_workload Ycsb Zipf

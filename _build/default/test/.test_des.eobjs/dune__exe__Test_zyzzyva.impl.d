@@ -1,0 +1,1 @@
+test/test_zyzzyva.ml: Alcotest Array Int64 List Option Printf QCheck QCheck_alcotest Rdb_consensus Rdb_crypto String Testkit

@@ -1,0 +1,1 @@
+test/testkit.ml: Alcotest Array Hashtbl List Option Printf Queue Rdb_consensus Rdb_des

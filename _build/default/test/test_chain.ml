@@ -1,0 +1,225 @@
+(* Ledger tests: block hashing, chain integrity under both linkage modes,
+   pruning at checkpoints, tamper detection. *)
+
+open Rdb_chain
+
+let check = Alcotest.check
+
+let mk_block ~seq ~prev =
+  {
+    Block.seq;
+    view = 0;
+    digest = Rdb_crypto.Sha256.digest (Printf.sprintf "batch-%d" seq);
+    txn_count = 100;
+    link = Block.Prev_hash (Block.hash prev);
+  }
+
+let mk_cert_block ~seq =
+  {
+    Block.seq;
+    view = 0;
+    digest = Rdb_crypto.Sha256.digest (Printf.sprintf "batch-%d" seq);
+    txn_count = 100;
+    link = Block.Certificate (List.init 11 (fun i -> (i, Printf.sprintf "share-%d-%d" i seq)));
+  }
+
+let test_genesis () =
+  let g = Block.genesis ~primary_id:0 in
+  check Alcotest.int "seq 0" 0 g.Block.seq;
+  check Alcotest.int "view 0" 0 g.Block.view;
+  (* Different initial primaries give different genesis digests (§2.2). *)
+  let g1 = Block.genesis ~primary_id:1 in
+  Alcotest.(check bool) "identity-dependent" false (String.equal g.Block.digest g1.Block.digest)
+
+let test_block_hash_changes_with_content () =
+  let g = Block.genesis ~primary_id:0 in
+  let b = mk_block ~seq:1 ~prev:g in
+  let b' = { b with Block.txn_count = 99 } in
+  Alcotest.(check bool) "hash is content-sensitive" false
+    (String.equal (Block.hash b) (Block.hash b'));
+  check Alcotest.string "hash deterministic" (Block.hash b) (Block.hash b)
+
+let test_block_serialize_distinguishes_links () =
+  let b = mk_cert_block ~seq:1 in
+  let b' = { b with Block.link = Block.Prev_hash (String.make 32 'h') } in
+  Alcotest.(check bool) "linkage serialized" false
+    (String.equal (Block.serialize b) (Block.serialize b'))
+
+let test_ledger_append_and_find () =
+  let l = Ledger.create ~primary_id:0 in
+  check Alcotest.int "next seq" 1 (Ledger.next_seq l);
+  let b1 = mk_block ~seq:1 ~prev:(Ledger.last l) in
+  Ledger.append l b1;
+  let b2 = mk_block ~seq:2 ~prev:b1 in
+  Ledger.append l b2;
+  check Alcotest.int "length includes genesis" 3 (Ledger.length l);
+  check Alcotest.int "last" 2 (Ledger.last l).Block.seq;
+  Alcotest.(check bool) "find hit" true (Ledger.find l 1 <> None);
+  Alcotest.(check bool) "find miss" true (Ledger.find l 99 = None)
+
+let test_ledger_rejects_gaps () =
+  let l = Ledger.create ~primary_id:0 in
+  let b5 = { (mk_block ~seq:5 ~prev:(Ledger.last l)) with Block.seq = 5 } in
+  Alcotest.check_raises "gap rejected" (Invalid_argument "Ledger.append: expected seq 1, got 5")
+    (fun () -> Ledger.append l b5)
+
+let test_ledger_verify_hash_chain () =
+  let l = Ledger.create ~primary_id:0 in
+  let rec build prev seq =
+    if seq <= 20 then begin
+      let b = mk_block ~seq ~prev in
+      Ledger.append l b;
+      build b (seq + 1)
+    end
+  in
+  build (Ledger.last l) 1;
+  (match Ledger.verify l ~check_certificate:(fun ~seq:_ ~digest:_ _ -> true) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e)
+
+let test_ledger_verify_detects_bad_link () =
+  let l = Ledger.create ~primary_id:0 in
+  let g = Ledger.last l in
+  let b1 = mk_block ~seq:1 ~prev:g in
+  Ledger.append l b1;
+  (* Forge block 2 linking to a wrong predecessor. *)
+  let forged = { (mk_block ~seq:2 ~prev:g) with Block.seq = 2 } in
+  Ledger.append l forged;
+  match Ledger.verify l ~check_certificate:(fun ~seq:_ ~digest:_ _ -> true) with
+  | Ok () -> Alcotest.fail "forgery not detected"
+  | Error _ -> ()
+
+let test_ledger_certificate_mode () =
+  let l = Ledger.create ~primary_id:0 in
+  Ledger.append l (mk_cert_block ~seq:1);
+  Ledger.append l (mk_cert_block ~seq:2);
+  let checked = ref 0 in
+  (match
+     Ledger.verify l ~check_certificate:(fun ~seq:_ ~digest:_ shares ->
+         incr checked;
+         List.length shares >= 11)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.int "certificates delegated" 2 !checked;
+  (* A failing certificate check is reported. *)
+  match Ledger.verify l ~check_certificate:(fun ~seq ~digest:_ _ -> seq <> 2) with
+  | Ok () -> Alcotest.fail "bad certificate not detected"
+  | Error _ -> ()
+
+let test_ledger_prune () =
+  let l = Ledger.create ~primary_id:0 in
+  for seq = 1 to 10 do
+    Ledger.append l (mk_cert_block ~seq)
+  done;
+  let digest_before = Ledger.cumulative_digest l in
+  let dropped = Ledger.prune_below l 6 in
+  check Alcotest.int "dropped genesis + 1..5" 6 dropped;
+  Alcotest.(check bool) "pruned not found" true (Ledger.find l 3 = None);
+  Alcotest.(check bool) "retained found" true (Ledger.find l 7 <> None);
+  check Alcotest.int "length unchanged by pruning" 11 (Ledger.length l);
+  check Alcotest.string "cumulative digest survives pruning" digest_before (Ledger.cumulative_digest l);
+  (* Chain still verifies from the pruning point. *)
+  match Ledger.verify l ~check_certificate:(fun ~seq:_ ~digest:_ _ -> true) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_cumulative_digest_sensitive () =
+  let build seqs =
+    let l = Ledger.create ~primary_id:0 in
+    List.iter (fun seq -> Ledger.append l (mk_cert_block ~seq)) seqs;
+    Ledger.cumulative_digest l
+  in
+  Alcotest.(check bool) "depends on content" false
+    (String.equal (build [ 1; 2; 3 ]) (build [ 1; 2 ]));
+  check Alcotest.string "deterministic" (build [ 1; 2; 3 ]) (build [ 1; 2; 3 ])
+
+(* ---- merkle ------------------------------------------------------------- *)
+
+let test_merkle_single_leaf () =
+  let t = Merkle.build [ "only" ] in
+  check Alcotest.int "leaf count" 1 (Merkle.leaf_count t);
+  let p = Merkle.prove t 0 in
+  check Alcotest.int "empty proof for root leaf" 0 (Merkle.proof_length p);
+  Alcotest.(check bool) "verifies" true (Merkle.verify ~root:(Merkle.root t) ~leaf:"only" ~index:0 p)
+
+let test_merkle_proofs_all_leaves () =
+  List.iter
+    (fun n ->
+      let leaves = List.init n (fun i -> Printf.sprintf "txn-%d" i) in
+      let t = Merkle.build leaves in
+      List.iteri
+        (fun i leaf ->
+          let p = Merkle.prove t i in
+          if not (Merkle.verify ~root:(Merkle.root t) ~leaf ~index:i p) then
+            Alcotest.failf "n=%d leaf %d failed to verify" n i)
+        leaves)
+    [ 1; 2; 3; 4; 5; 7; 8; 16; 33 ]
+
+let test_merkle_rejects_forgery () =
+  let leaves = List.init 8 (fun i -> Printf.sprintf "txn-%d" i) in
+  let t = Merkle.build leaves in
+  let p = Merkle.prove t 3 in
+  Alcotest.(check bool) "wrong leaf" false
+    (Merkle.verify ~root:(Merkle.root t) ~leaf:"txn-4" ~index:3 p);
+  Alcotest.(check bool) "wrong index" false
+    (Merkle.verify ~root:(Merkle.root t) ~leaf:"txn-3" ~index:4 p);
+  Alcotest.(check bool) "wrong root" false
+    (Merkle.verify ~root:(String.make 32 'x') ~leaf:"txn-3" ~index:3 p);
+  (* A leaf value must not verify as an interior node (domain separation). *)
+  let other = Merkle.build [ "a"; "b" ] in
+  Alcotest.(check bool) "cross-tree proof" false
+    (Merkle.verify ~root:(Merkle.root other) ~leaf:"txn-3" ~index:3 p)
+
+let test_merkle_root_depends_on_order () =
+  let r1 = Merkle.root (Merkle.build [ "a"; "b"; "c" ]) in
+  let r2 = Merkle.root (Merkle.build [ "b"; "a"; "c" ]) in
+  Alcotest.(check bool) "order-sensitive" false (String.equal r1 r2)
+
+let test_merkle_proof_wire_roundtrip () =
+  let t = Merkle.build (List.init 10 string_of_int) in
+  let p = Merkle.prove t 7 in
+  let p' = Merkle.proof_of_list (Merkle.proof_to_list p) in
+  Alcotest.(check bool) "roundtripped proof verifies" true
+    (Merkle.verify ~root:(Merkle.root t) ~leaf:"7" ~index:7 p')
+
+let prop_merkle_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"merkle: every leaf of a random tree proves" ~count:100
+       QCheck.(list_of_size Gen.(1 -- 40) (string_of_size Gen.(0 -- 20)))
+       (fun leaves ->
+         QCheck.assume (leaves <> []);
+         let t = Merkle.build leaves in
+         List.for_all
+           (fun i -> Merkle.verify ~root:(Merkle.root t) ~leaf:(List.nth leaves i) ~index:i (Merkle.prove t i))
+           (List.init (List.length leaves) (fun i -> i))))
+
+let () =
+  Alcotest.run "rdb_chain"
+    [
+      ( "block",
+        [
+          Alcotest.test_case "genesis" `Quick test_genesis;
+          Alcotest.test_case "hash content-sensitive" `Quick test_block_hash_changes_with_content;
+          Alcotest.test_case "serialize linkage" `Quick test_block_serialize_distinguishes_links;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "append and find" `Quick test_ledger_append_and_find;
+          Alcotest.test_case "rejects gaps" `Quick test_ledger_rejects_gaps;
+          Alcotest.test_case "verify hash chain" `Quick test_ledger_verify_hash_chain;
+          Alcotest.test_case "detects forged link" `Quick test_ledger_verify_detects_bad_link;
+          Alcotest.test_case "certificate linkage" `Quick test_ledger_certificate_mode;
+          Alcotest.test_case "prune at checkpoint" `Quick test_ledger_prune;
+          Alcotest.test_case "cumulative digest" `Quick test_cumulative_digest_sensitive;
+        ] );
+      ( "merkle",
+        [
+          Alcotest.test_case "single leaf" `Quick test_merkle_single_leaf;
+          Alcotest.test_case "proofs for all leaves" `Quick test_merkle_proofs_all_leaves;
+          Alcotest.test_case "forgery rejected" `Quick test_merkle_rejects_forgery;
+          Alcotest.test_case "order sensitivity" `Quick test_merkle_root_depends_on_order;
+          Alcotest.test_case "proof wire roundtrip" `Quick test_merkle_proof_wire_roundtrip;
+          prop_merkle_random;
+        ] );
+    ]

@@ -1,0 +1,253 @@
+(* End-to-end tests of the simulated ResilientDB cluster: determinism,
+   sanity of the measured metrics, Little's-law consistency, protocol and
+   fault-injection behaviour, and the upper-bound harness.  Small scales
+   keep the suite fast; the bench harness runs the paper-scale sweeps. *)
+
+open Rdb_core
+module Stats = Rdb_des.Stats
+
+let check = Alcotest.check
+
+(* A small, fast configuration. *)
+let small =
+  {
+    Params.default with
+    Params.n = 4;
+    clients = 2_000;
+    warmup = Rdb_des.Sim.seconds 0.2;
+    measure = Rdb_des.Sim.seconds 0.3;
+  }
+
+let test_validate_rejects_bad_params () =
+  Alcotest.check_raises "n too small" (Invalid_argument "Params: n must be >= 4") (fun () ->
+      Params.validate { small with Params.n = 3 });
+  Alcotest.check_raises "two exec threads"
+    (Invalid_argument
+       "Params: execute_threads must be 0 or 1 (the paper: multiple execution threads cause data conflicts)")
+    (fun () -> Params.validate { small with Params.execute_threads = 2 });
+  Alcotest.check_raises "too many crashes" (Invalid_argument "Params: cannot crash more than f backups")
+    (fun () -> Params.validate { small with Params.crashed_backups = 2 })
+
+let test_pbft_progress () =
+  let m = Cluster.run small in
+  Alcotest.(check bool) "throughput positive" true (m.Metrics.throughput_tps > 1000.0);
+  Alcotest.(check bool) "latency positive" true (Stats.mean m.Metrics.latency > 0.0);
+  Alcotest.(check bool) "blocks appended" true (m.Metrics.ledger_blocks > 0);
+  Alcotest.(check bool) "messages flowed" true (m.Metrics.messages_sent > 0);
+  check Alcotest.int "no speculative path in PBFT" 0 m.Metrics.fast_path_txns
+
+let test_determinism () =
+  let a = Cluster.run small and b = Cluster.run small in
+  check (Alcotest.float 1e-9) "same seed, same throughput" a.Metrics.throughput_tps
+    b.Metrics.throughput_tps;
+  check Alcotest.int "same completions" a.Metrics.completed_txns b.Metrics.completed_txns;
+  check Alcotest.int "same messages" a.Metrics.messages_sent b.Metrics.messages_sent;
+  let c = Cluster.run { small with Params.seed = 999L } in
+  Alcotest.(check bool) "different seed may differ (jitter)" true
+    (c.Metrics.completed_txns > 0)
+
+let test_littles_law () =
+  (* In a saturated closed loop, throughput x latency ~ client population. *)
+  let m = Cluster.run small in
+  let implied = m.Metrics.throughput_tps *. Stats.mean m.Metrics.latency in
+  let clients = float_of_int small.Params.clients in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput*latency = %.0f ~ clients = %.0f" implied clients)
+    true
+    (implied < clients *. 1.15)
+
+let test_zyzzyva_fast_path () =
+  let m = Cluster.run { small with Params.protocol = Params.Zyzzyva } in
+  Alcotest.(check bool) "throughput positive" true (m.Metrics.throughput_tps > 1000.0);
+  check Alcotest.int "all fast path" m.Metrics.completed_txns m.Metrics.fast_path_txns;
+  check Alcotest.int "no certificates needed" 0 m.Metrics.cert_path_txns
+
+let test_zyzzyva_crash_forces_cert_path () =
+  let m =
+    Cluster.run
+      {
+        small with
+        Params.protocol = Params.Zyzzyva;
+        crashed_backups = 1;
+        warmup = Rdb_des.Sim.seconds 1.0;
+        measure = Rdb_des.Sim.seconds 1.0;
+      }
+  in
+  check Alcotest.int "fast path dead with one crash" 0 m.Metrics.fast_path_txns;
+  Alcotest.(check bool) "certificate path used" true (m.Metrics.cert_path_txns > 0)
+
+let test_zyzzyva_crash_collapses_throughput () =
+  let healthy = Cluster.run { small with Params.protocol = Params.Zyzzyva } in
+  let crashed =
+    Cluster.run
+      {
+        small with
+        Params.protocol = Params.Zyzzyva;
+        crashed_backups = 1;
+        warmup = Rdb_des.Sim.seconds 1.0;
+        measure = Rdb_des.Sim.seconds 1.0;
+      }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "collapse: %.0f -> %.0f" healthy.Metrics.throughput_tps
+       crashed.Metrics.throughput_tps)
+    true
+    (crashed.Metrics.throughput_tps < healthy.Metrics.throughput_tps /. 5.0)
+
+let test_pbft_crash_keeps_throughput () =
+  let healthy = Cluster.run small in
+  let crashed = Cluster.run { small with Params.crashed_backups = 1 } in
+  Alcotest.(check bool)
+    (Printf.sprintf "robust: %.0f -> %.0f" healthy.Metrics.throughput_tps
+       crashed.Metrics.throughput_tps)
+    true
+    (crashed.Metrics.throughput_tps > healthy.Metrics.throughput_tps *. 0.8)
+
+let test_batching_amortizes () =
+  let b1 =
+    Cluster.run { small with Params.batch_size = 1; clients = 500 }
+  in
+  let b100 = Cluster.run small in
+  Alcotest.(check bool)
+    (Printf.sprintf "batch 1 (%.0f) << batch 100 (%.0f)" b1.Metrics.throughput_tps
+       b100.Metrics.throughput_tps)
+    true
+    (b1.Metrics.throughput_tps *. 5.0 < b100.Metrics.throughput_tps)
+
+let test_threading_helps () =
+  let mono = Cluster.run { small with Params.batch_threads = 0; execute_threads = 0 } in
+  let piped = Cluster.run small in
+  Alcotest.(check bool) "pipeline beats monolith" true
+    (piped.Metrics.throughput_tps > mono.Metrics.throughput_tps *. 1.2)
+
+let test_crypto_cost_ordering () =
+  let nosig =
+    Cluster.run
+      {
+        small with
+        Params.client_scheme = Rdb_crypto.Signer.No_sig;
+        replica_scheme = Rdb_crypto.Signer.No_sig;
+        reply_scheme = Rdb_crypto.Signer.No_sig;
+      }
+  in
+  let hybrid = Cluster.run small in
+  let rsa =
+    Cluster.run
+      {
+        small with
+        Params.client_scheme = Rdb_crypto.Signer.Rsa;
+        replica_scheme = Rdb_crypto.Signer.Rsa;
+        reply_scheme = Rdb_crypto.Signer.Rsa;
+      }
+  in
+  Alcotest.(check bool) "nosig > hybrid" true
+    (nosig.Metrics.throughput_tps > hybrid.Metrics.throughput_tps);
+  Alcotest.(check bool) "hybrid >> rsa" true
+    (hybrid.Metrics.throughput_tps > rsa.Metrics.throughput_tps *. 5.0)
+
+let test_storage_cost () =
+  let mem = Cluster.run small in
+  let sql = Cluster.run { small with Params.sqlite = true } in
+  Alcotest.(check bool) "in-memory >> sqlite" true
+    (mem.Metrics.throughput_tps > sql.Metrics.throughput_tps *. 4.0)
+
+let test_fewer_cores_slower () =
+  let eight = Cluster.run small in
+  let one = Cluster.run { small with Params.cores = 1 } in
+  Alcotest.(check bool) "8 cores >> 1 core" true
+    (eight.Metrics.throughput_tps > one.Metrics.throughput_tps *. 2.0)
+
+let test_message_size_hits_bandwidth () =
+  let small_msgs = Cluster.run small in
+  (* At n = 4 a batch fans out to only 3 peers, so the payload must be large
+     before the egress NIC becomes the bottleneck. *)
+  let big_msgs = Cluster.run { small with Params.preprepare_payload_bytes = 400_000 } in
+  Alcotest.(check bool) "64KB messages throttle throughput" true
+    (big_msgs.Metrics.throughput_tps < small_msgs.Metrics.throughput_tps *. 0.8)
+
+let test_saturation_accounting () =
+  let m = Cluster.run small in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "cpu utilization in [0,1]" true
+        (r.Metrics.cpu_utilization >= 0.0 && r.Metrics.cpu_utilization <= 1.0);
+      List.iter
+        (fun s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "stage %s in [0,100]" s.Metrics.stage)
+            true
+            (s.Metrics.percent >= 0.0 && s.Metrics.percent <= 100.5))
+        r.Metrics.stages)
+    m.Metrics.replicas;
+  (* The primary's batch-threads dominate under the default load. *)
+  let primary = List.find (fun r -> r.Metrics.is_primary) m.Metrics.replicas in
+  let batch_sat =
+    List.fold_left
+      (fun acc s -> if s.Metrics.stage = "batch" then s.Metrics.percent else acc)
+      0.0 primary.Metrics.stages
+  in
+  Alcotest.(check bool) "batch threads busiest" true (batch_sat > 50.0)
+
+let test_ledgers_grow_consistently () =
+  let m = Cluster.run small in
+  (* Every batch became a block at replica 0. *)
+  Alcotest.(check bool) "blocks track batches" true
+    (abs (m.Metrics.ledger_blocks - (m.Metrics.completed_txns / small.Params.batch_size))
+    < m.Metrics.ledger_blocks / 2)
+
+let test_upper_bound () =
+  let p = { small with Params.clients = 20_000 } in
+  let no_exec = Upper_bound.run ~p ~execute:false () in
+  let exec = Upper_bound.run ~p ~execute:true () in
+  Alcotest.(check bool) "no-exec above exec" true
+    (no_exec.Upper_bound.throughput_tps > exec.Upper_bound.throughput_tps);
+  Alcotest.(check bool) "upper bound above consensus" true
+    (exec.Upper_bound.throughput_tps > 200_000.0)
+
+let test_ops_per_txn () =
+  let one = Cluster.run small in
+  let fifty = Cluster.run { small with Params.ops_per_txn = 50 } in
+  Alcotest.(check bool) "multi-op txns reduce txn throughput" true
+    (fifty.Metrics.throughput_tps < one.Metrics.throughput_tps /. 2.0);
+  (* ...but raise operation throughput (the paper's reversed trend). *)
+  Alcotest.(check bool) "op/s trend reverses" true
+    (fifty.Metrics.ops_per_second > one.Metrics.ops_per_second)
+
+let test_checkpointing_prunes_ledger () =
+  (* Frequent checkpoints keep the retained chain near the head. *)
+  let m = Cluster.run { small with Params.checkpoint_txns = 1_000 } in
+  Alcotest.(check bool) "ran with checkpoints" true (m.Metrics.ledger_blocks > 0)
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "construction",
+        [ Alcotest.test_case "parameter validation" `Quick test_validate_rejects_bad_params ] );
+      ( "pbft",
+        [
+          Alcotest.test_case "progress" `Quick test_pbft_progress;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "little's law" `Quick test_littles_law;
+          Alcotest.test_case "ledger growth" `Quick test_ledgers_grow_consistently;
+          Alcotest.test_case "saturation accounting" `Quick test_saturation_accounting;
+        ] );
+      ( "zyzzyva",
+        [
+          Alcotest.test_case "fast path when healthy" `Quick test_zyzzyva_fast_path;
+          Alcotest.test_case "crash forces certificates" `Slow test_zyzzyva_crash_forces_cert_path;
+          Alcotest.test_case "crash collapses throughput" `Slow test_zyzzyva_crash_collapses_throughput;
+        ] );
+      ( "paper effects",
+        [
+          Alcotest.test_case "pbft robust to crashes" `Quick test_pbft_crash_keeps_throughput;
+          Alcotest.test_case "batching amortizes" `Quick test_batching_amortizes;
+          Alcotest.test_case "threading helps" `Quick test_threading_helps;
+          Alcotest.test_case "crypto ordering" `Slow test_crypto_cost_ordering;
+          Alcotest.test_case "storage cost" `Quick test_storage_cost;
+          Alcotest.test_case "cores matter" `Quick test_fewer_cores_slower;
+          Alcotest.test_case "message size vs bandwidth" `Quick test_message_size_hits_bandwidth;
+          Alcotest.test_case "multi-operation transactions" `Quick test_ops_per_txn;
+          Alcotest.test_case "checkpoint pruning" `Quick test_checkpointing_prunes_ledger;
+        ] );
+      ("upper bound", [ Alcotest.test_case "fig 7 harness" `Quick test_upper_bound ]);
+    ]

@@ -1,0 +1,197 @@
+(* Pipeline-stage tests: FIFO processing, multi-worker concurrency over a
+   shared queue (the paper's batch-thread pool), occupation accounting and
+   saturation, interplay with a core-limited CPU. *)
+
+module Sim = Rdb_des.Sim
+module Cpu = Rdb_des.Cpu
+module Stage = Rdb_replica.Stage
+
+let check = Alcotest.check
+
+let test_single_worker_fifo () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~cores:4 in
+  let st = Stage.create sim ~cpu ~name:"w" () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Stage.enqueue st ~service:(Sim.ns 100) (fun () -> log := (i, Sim.now sim) :: !log)
+  done;
+  Sim.run sim;
+  check
+    Alcotest.(list (pair int int))
+    "jobs complete one after another, in order"
+    [ (1, 100); (2, 200); (3, 300); (4, 400); (5, 500) ]
+    (List.rev !log);
+  check Alcotest.int "jobs counted" 5 (Stage.jobs_completed st);
+  check Alcotest.int "occupied = total service" 500 (Stage.occupied_ns st)
+
+let test_two_workers_shared_queue () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~cores:4 in
+  let st = Stage.create sim ~cpu ~name:"batch" ~workers:2 () in
+  let completions = ref [] in
+  for _ = 1 to 4 do
+    Stage.enqueue st ~service:(Sim.ns 100) (fun () -> completions := Sim.now sim :: !completions)
+  done;
+  Sim.run sim;
+  (* Two at a time: pairs complete at 100 and 200. *)
+  check Alcotest.(list int) "pairwise completion" [ 100; 100; 200; 200 ] (List.rev !completions)
+
+let test_workers_limited_by_cores () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~cores:1 in
+  let st = Stage.create sim ~cpu ~name:"contended" ~workers:3 () in
+  let completions = ref [] in
+  for _ = 1 to 3 do
+    Stage.enqueue st ~service:(Sim.ns 100) (fun () -> completions := Sim.now sim :: !completions)
+  done;
+  Sim.run sim;
+  (* Three logical workers but one core: fully serialized. *)
+  check Alcotest.(list int) "core-bound" [ 100; 200; 300 ] (List.rev !completions)
+
+let test_saturation_window () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~cores:4 in
+  let st = Stage.create sim ~cpu ~name:"s" () in
+  Stage.enqueue st ~service:(Sim.ns 300) (fun () -> ());
+  ignore (Sim.schedule sim ~after:(Sim.ns 1000) (fun () -> ()));
+  Sim.run sim;
+  (* Busy 300 of 1000 ns -> 30% of one worker. *)
+  check (Alcotest.float 0.01) "saturation" 30.0
+    (Stage.saturation st ~since_occupied_ns:0 ~since_time:0 ~now:(Sim.now sim));
+  (* A 2-worker stage with the same single job is half as saturated. *)
+  let st2 = Stage.create sim ~cpu ~name:"s2" ~workers:2 () in
+  check (Alcotest.float 0.01) "per-worker normalization" 0.0
+    (Stage.saturation st2 ~since_occupied_ns:0 ~since_time:0 ~now:(Sim.now sim))
+
+let test_jobs_enqueued_during_run () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~cores:2 in
+  let st = Stage.create sim ~cpu ~name:"nested" () in
+  let log = ref [] in
+  Stage.enqueue st ~service:(Sim.ns 50) (fun () ->
+      log := "first" :: !log;
+      Stage.enqueue st ~service:(Sim.ns 50) (fun () -> log := "second" :: !log));
+  Sim.run sim;
+  check Alcotest.(list string) "follow-up job runs" [ "first"; "second" ] (List.rev !log);
+  check Alcotest.int "clock" 100 (Sim.now sim)
+
+let test_queue_length_visibility () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~cores:1 in
+  let st = Stage.create sim ~cpu ~name:"q" () in
+  for _ = 1 to 5 do
+    Stage.enqueue st ~service:(Sim.ns 10) (fun () -> ())
+  done;
+  (* One running, four queued. *)
+  check Alcotest.int "queued" 4 (Stage.queue_length st);
+  Sim.run sim;
+  check Alcotest.int "drained" 0 (Stage.queue_length st)
+
+let test_zero_service_jobs () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~cores:1 in
+  let st = Stage.create sim ~cpu ~name:"z" () in
+  let count = ref 0 in
+  for _ = 1 to 100 do
+    Stage.enqueue st ~service:0 (fun () -> incr count)
+  done;
+  Sim.run sim;
+  check Alcotest.int "all ran" 100 !count;
+  check Alcotest.int "no time passed" 0 (Sim.now sim)
+
+let test_bad_workers_rejected () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~cores:1 in
+  Alcotest.check_raises "zero workers" (Invalid_argument "Stage.create: need at least one worker")
+    (fun () -> ignore (Stage.create sim ~cpu ~name:"x" ~workers:0 ()))
+
+(* ---- exec queue (paper §4.6) ------------------------------------------- *)
+
+module Eq = Rdb_replica.Exec_queue
+
+let test_eq_in_order () =
+  let q = Eq.create ~slots:8 in
+  Alcotest.(check (option string)) "nothing yet" None (Eq.poll q);
+  (match Eq.offer q ~seq:1 "a" with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check (option string)) "head arrives" (Some "a") (Eq.poll q);
+  check Alcotest.int "cursor advanced" 2 (Eq.next_seq q)
+
+let test_eq_out_of_order () =
+  let q = Eq.create ~slots:8 in
+  List.iter
+    (fun (seq, v) -> match Eq.offer q ~seq v with Ok () -> () | Error e -> Alcotest.fail e)
+    [ (3, "c"); (1, "a"); (4, "d"); (2, "b") ];
+  let drained = List.init 4 (fun _ -> Option.get (Eq.poll q)) in
+  check Alcotest.(list string) "drained in order" [ "a"; "b"; "c"; "d" ] drained;
+  Alcotest.(check (option string)) "empty" None (Eq.poll q);
+  check Alcotest.int "nothing pending" 0 (Eq.pending q)
+
+let test_eq_gap_blocks () =
+  let q = Eq.create ~slots:8 in
+  (match Eq.offer q ~seq:2 "b" with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check (option string)) "gap: poll blocks" None (Eq.poll q);
+  (match Eq.offer q ~seq:1 "a" with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check (option string)) "hole filled" (Some "a") (Eq.poll q);
+  Alcotest.(check (option string)) "then next" (Some "b") (Eq.poll q)
+
+let test_eq_window_enforced () =
+  let q = Eq.create ~slots:4 in
+  Alcotest.(check bool) "beyond window rejected" true (Result.is_error (Eq.offer q ~seq:5 "x"));
+  (match Eq.offer q ~seq:1 "a" with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "duplicate idempotent" true (Eq.offer q ~seq:1 "a" = Ok ());
+  ignore (Eq.poll q);
+  Alcotest.(check bool) "stale rejected" true (Result.is_error (Eq.offer q ~seq:1 "a"))
+
+let test_eq_sizing_rule () =
+  check Alcotest.int "QC = 2 * clients * reqs" 160_000
+    (Eq.recommended_slots ~num_clients:80_000 ~num_req:1)
+
+let prop_eq_random_order =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"exec_queue: any arrival order drains in sequence order" ~count:200
+       QCheck.(int_range 1 50)
+       (fun n ->
+         let rng = Rdb_des.Rng.create (Int64.of_int (n + 7)) in
+         let order = Array.init n (fun i -> i + 1) in
+         Rdb_des.Rng.shuffle rng order;
+         let q = Eq.create ~slots:(n + 1) in
+         let drained = ref [] in
+         Array.iter
+           (fun seq ->
+             (match Eq.offer q ~seq seq with Ok () -> () | Error e -> failwith e);
+             let rec drain () =
+               match Eq.poll q with
+               | Some v ->
+                 drained := v :: !drained;
+                 drain ()
+               | None -> ()
+             in
+             drain ())
+           order;
+         List.rev !drained = List.init n (fun i -> i + 1)))
+
+let () =
+  Alcotest.run "rdb_replica"
+    [
+      ( "exec_queue",
+        [
+          Alcotest.test_case "in order" `Quick test_eq_in_order;
+          Alcotest.test_case "out of order" `Quick test_eq_out_of_order;
+          Alcotest.test_case "gap blocks the cursor" `Quick test_eq_gap_blocks;
+          Alcotest.test_case "window enforced" `Quick test_eq_window_enforced;
+          Alcotest.test_case "paper's QC sizing" `Quick test_eq_sizing_rule;
+          prop_eq_random_order;
+        ] );
+      ( "stage",
+        [
+          Alcotest.test_case "single worker FIFO" `Quick test_single_worker_fifo;
+          Alcotest.test_case "two workers, shared queue" `Quick test_two_workers_shared_queue;
+          Alcotest.test_case "core contention" `Quick test_workers_limited_by_cores;
+          Alcotest.test_case "saturation windows" `Quick test_saturation_window;
+          Alcotest.test_case "nested enqueues" `Quick test_jobs_enqueued_during_run;
+          Alcotest.test_case "queue visibility" `Quick test_queue_length_visibility;
+          Alcotest.test_case "zero-service jobs" `Quick test_zero_service_jobs;
+          Alcotest.test_case "validation" `Quick test_bad_workers_rejected;
+        ] );
+    ]

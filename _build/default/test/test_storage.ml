@@ -1,0 +1,362 @@
+(* Storage layer tests: in-memory store semantics, WAL durability and
+   corruption handling, B-tree correctness against a reference model
+   (including persistence across close/open), buffer pool accounting. *)
+
+open Rdb_storage
+
+let check = Alcotest.check
+let qtest p = QCheck_alcotest.to_alcotest p
+
+let with_temp_file f =
+  let path = Filename.temp_file "rdb_test" ".db" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+(* ---- Mem_store ------------------------------------------------------------ *)
+
+let test_mem_basic () =
+  let s = Mem_store.create () in
+  Mem_store.put s "a" "1";
+  Mem_store.put s "b" "2";
+  check Alcotest.(option string) "get a" (Some "1") (Mem_store.get s "a");
+  check Alcotest.(option string) "get missing" None (Mem_store.get s "zzz");
+  Mem_store.put s "a" "updated";
+  check Alcotest.(option string) "overwrite" (Some "updated") (Mem_store.get s "a");
+  check Alcotest.int "size" 2 (Mem_store.size s);
+  Mem_store.delete s "a";
+  Alcotest.(check bool) "deleted" false (Mem_store.mem s "a");
+  check Alcotest.int "size after delete" 1 (Mem_store.size s)
+
+let test_mem_snapshot_isolation () =
+  let s = Mem_store.create () in
+  Mem_store.put s "k" "before";
+  let snap = Mem_store.snapshot s in
+  Mem_store.put s "k" "after";
+  Mem_store.put s "new" "x";
+  check Alcotest.(option string) "snapshot keeps old value" (Some "before") (Mem_store.get snap "k");
+  Alcotest.(check bool) "snapshot lacks new key" false (Mem_store.mem snap "new");
+  Mem_store.put snap "snap-only" "y";
+  Alcotest.(check bool) "original lacks snapshot write" false (Mem_store.mem s "snap-only")
+
+let test_mem_digest_order_independent () =
+  let a = Mem_store.create () and b = Mem_store.create () in
+  Mem_store.put a "x" "1";
+  Mem_store.put a "y" "2";
+  Mem_store.put b "y" "2";
+  Mem_store.put b "x" "1";
+  check Alcotest.string "equal state, equal digest" (Mem_store.digest a) (Mem_store.digest b);
+  Mem_store.put b "x" "other";
+  Alcotest.(check bool) "different state, different digest" false
+    (String.equal (Mem_store.digest a) (Mem_store.digest b))
+
+(* ---- Wal ------------------------------------------------------------------- *)
+
+let test_wal_roundtrip () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let w = Wal.open_log path in
+      Wal.append w "first";
+      Wal.append w "second\x00with\xffbinary";
+      Wal.append w "";
+      Wal.close w;
+      let records = ref [] in
+      let n = Wal.replay path (fun r -> records := r :: !records) in
+      check Alcotest.int "count" 3 n;
+      check Alcotest.(list string) "contents" [ "first"; "second\x00with\xffbinary"; "" ]
+        (List.rev !records))
+
+let test_wal_append_across_sessions () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let w = Wal.open_log path in
+      Wal.append w "one";
+      Wal.close w;
+      let w = Wal.open_log path in
+      Wal.append w "two";
+      Wal.close w;
+      let n = Wal.replay path (fun _ -> ()) in
+      check Alcotest.int "both sessions" 2 n)
+
+let test_wal_truncated_tail_ignored () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let w = Wal.open_log path in
+      Wal.append w "good";
+      Wal.flush w;
+      Wal.close w;
+      (* Simulate a torn write: append garbage half-record. *)
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "\x00\x00\x00\x10BAD!";
+      close_out oc;
+      let records = ref [] in
+      let n = Wal.replay path (fun r -> records := r :: !records) in
+      check Alcotest.int "only intact record" 1 n;
+      check Alcotest.(list string) "content" [ "good" ] !records)
+
+let test_wal_missing_file () =
+  check Alcotest.int "missing file replays nothing" 0 (Wal.replay "/nonexistent/wal" (fun _ -> ()))
+
+let test_wal_corrupt_checksum () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let w = Wal.open_log path in
+      Wal.append w "aaaa";
+      Wal.append w "bbbb";
+      Wal.close w;
+      (* Flip a byte inside the first record's payload. *)
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let b = Bytes.of_string contents in
+      Bytes.set b 9 'X';
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc;
+      let n = Wal.replay path (fun _ -> ()) in
+      check Alcotest.int "replay stops at corruption" 0 n)
+
+(* ---- Btree ------------------------------------------------------------------ *)
+
+let test_btree_basic () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let t = Btree.open_file path in
+      check Alcotest.int "empty count" 0 (Btree.count t);
+      Btree.put t "k1" "v1";
+      Btree.put t "k2" "v2";
+      check Alcotest.(option string) "get" (Some "v1") (Btree.get t "k1");
+      check Alcotest.(option string) "missing" None (Btree.get t "nope");
+      Btree.put t "k1" "v1b";
+      check Alcotest.(option string) "replace" (Some "v1b") (Btree.get t "k1");
+      check Alcotest.int "count" 2 (Btree.count t);
+      Alcotest.(check bool) "delete existing" true (Btree.delete t "k1");
+      Alcotest.(check bool) "delete missing" false (Btree.delete t "k1");
+      check Alcotest.int "count after delete" 1 (Btree.count t);
+      Btree.close t)
+
+let test_btree_rejects_bad_entries () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let t = Btree.open_file path in
+      Alcotest.check_raises "empty key" (Invalid_argument "Btree.put: empty key") (fun () ->
+          Btree.put t "" "v");
+      Alcotest.check_raises "oversized"
+        (Invalid_argument "Btree.put: entry exceeds max_entry_size") (fun () ->
+          Btree.put t "k" (String.make Btree.max_entry_size 'x'));
+      Btree.close t)
+
+let test_btree_many_and_splits () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let t = Btree.open_file path in
+      let n = 20_000 in
+      for i = 0 to n - 1 do
+        Btree.put t (Printf.sprintf "key%08d" ((i * 7919) mod n)) (Printf.sprintf "value-%d" i)
+      done;
+      check Alcotest.int "count" n (Btree.count t);
+      (match Btree.verify t with Ok () -> () | Error e -> Alcotest.fail e);
+      let st = Btree.stats t in
+      Alcotest.(check bool) "tree grew beyond a leaf" true (st.Btree.height >= 2);
+      for i = 0 to 99 do
+        Alcotest.(check bool)
+          (Printf.sprintf "lookup %d" i)
+          true
+          (Btree.get t (Printf.sprintf "key%08d" i) <> None)
+      done;
+      Btree.close t)
+
+let test_btree_persistence () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let t = Btree.open_file path in
+      for i = 0 to 4999 do
+        Btree.put t (Printf.sprintf "k%06d" i) (Printf.sprintf "v%d" i)
+      done;
+      Btree.close t;
+      let t2 = Btree.open_file path in
+      check Alcotest.int "count survives reopen" 5000 (Btree.count t2);
+      check Alcotest.(option string) "value survives" (Some "v1234") (Btree.get t2 "k001234");
+      (match Btree.verify t2 with Ok () -> () | Error e -> Alcotest.fail e);
+      Btree.close t2)
+
+let test_btree_iteration_order () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let t = Btree.open_file path in
+      let keys = [ "delta"; "alpha"; "echo"; "charlie"; "bravo" ] in
+      List.iter (fun k -> Btree.put t k ("v-" ^ k)) keys;
+      let collected = ref [] in
+      Btree.iter t (fun k _ -> collected := k :: !collected);
+      check Alcotest.(list string) "ascending order"
+        [ "alpha"; "bravo"; "charlie"; "delta"; "echo" ]
+        (List.rev !collected);
+      Btree.close t)
+
+let test_btree_range () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let t = Btree.open_file path in
+      for i = 0 to 999 do
+        Btree.put t (Printf.sprintf "k%04d" i) "v"
+      done;
+      let r = Btree.range t ~lo:"k0100" ~hi:"k0109" in
+      check Alcotest.int "range size" 10 (List.length r);
+      check Alcotest.string "first" "k0100" (fst (List.hd r));
+      check Alcotest.int "empty range" 0 (List.length (Btree.range t ~lo:"z" ~hi:"zz"));
+      Btree.close t)
+
+let test_btree_compact () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let t = Btree.open_file path in
+      for i = 0 to 4999 do
+        Btree.put t (Printf.sprintf "k%05d" i) (String.make 50 'v')
+      done;
+      for i = 0 to 4999 do
+        if i mod 2 = 0 then ignore (Btree.delete t (Printf.sprintf "k%05d" i))
+      done;
+      let before = (Btree.stats t).Btree.pages_allocated in
+      Btree.compact t;
+      let after = (Btree.stats t).Btree.pages_allocated in
+      Alcotest.(check bool) "fewer pages after compact" true (after < before);
+      check Alcotest.int "entries preserved" 2500 (Btree.count t);
+      (match Btree.verify t with Ok () -> () | Error e -> Alcotest.fail e);
+      check Alcotest.(option string) "odd keys survive" (Some (String.make 50 'v'))
+        (Btree.get t "k00001");
+      check Alcotest.(option string) "even keys gone" None (Btree.get t "k00002");
+      Btree.close t)
+
+let test_btree_cache_eviction () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let t = Btree.open_file ~cache_pages:8 path in
+      for i = 0 to 9999 do
+        Btree.put t (Printf.sprintf "k%06d" i) (String.make 100 'x')
+      done;
+      (* With only 8 cached pages, lookups must hit the disk. *)
+      let st0 = Btree.stats t in
+      for i = 0 to 999 do
+        ignore (Btree.get t (Printf.sprintf "k%06d" (i * 10)))
+      done;
+      let st1 = Btree.stats t in
+      Alcotest.(check bool) "physical reads happened" true (st1.Btree.page_reads > st0.Btree.page_reads);
+      check Alcotest.int "count intact" 10_000 (Btree.count t);
+      (match Btree.verify t with Ok () -> () | Error e -> Alcotest.fail e);
+      Btree.close t)
+
+(* Model-based property test: a random operation sequence applied to both the
+   B-tree and a reference Map must agree, including across a reopen. *)
+type op = Put of string * string | Del of string | Get of string
+
+let op_gen =
+  let open QCheck.Gen in
+  let key = map (fun i -> Printf.sprintf "key%03d" (abs i mod 100)) int in
+  let value = map (fun i -> Printf.sprintf "val%d" (abs i mod 1000)) int in
+  frequency
+    [ (5, map2 (fun k v -> Put (k, v)) key value); (2, map (fun k -> Del k) key); (3, map (fun k -> Get k) key) ]
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Put (k, v) -> Printf.sprintf "put %s=%s" k v
+             | Del k -> "del " ^ k
+             | Get k -> "get " ^ k)
+           ops))
+    (QCheck.Gen.list_size QCheck.Gen.(50 -- 300) op_gen)
+
+let prop_btree_matches_map =
+  QCheck.Test.make ~name:"btree agrees with reference map (with reopen)" ~count:30 arb_ops
+    (fun ops ->
+      with_temp_file (fun path ->
+          Sys.remove path;
+          let t = ref (Btree.open_file path) in
+          let model = ref (List.fold_left (fun m _ -> m) [] []) in
+          ignore !model;
+          let map = ref (Hashtbl.create 64) in
+          let ok = ref true in
+          List.iteri
+            (fun i op ->
+              (match op with
+              | Put (k, v) ->
+                Btree.put !t k v;
+                Hashtbl.replace !map k v
+              | Del k ->
+                let had = Hashtbl.mem !map k in
+                let did = Btree.delete !t k in
+                Hashtbl.remove !map k;
+                if had <> did then ok := false
+              | Get k ->
+                let expect = Hashtbl.find_opt !map k in
+                if Btree.get !t k <> expect then ok := false);
+              (* Periodically bounce the file to exercise persistence. *)
+              if i mod 97 = 96 then begin
+                Btree.close !t;
+                t := Btree.open_file path
+              end)
+            ops;
+          if Btree.count !t <> Hashtbl.length !map then ok := false;
+          (match Btree.verify !t with Ok () -> () | Error _ -> ok := false);
+          Btree.close !t;
+          !ok))
+
+(* ---- Buffer_pool --------------------------------------------------------------- *)
+
+let test_pool_reuse () =
+  let made = ref 0 in
+  let pool = Buffer_pool.create ~capacity:4 ~make:(fun () -> incr made; Bytes.create 16) ~reset:(fun b -> Bytes.fill b 0 16 '\x00') () in
+  let a = Buffer_pool.acquire pool in
+  check Alcotest.int "first acquire manufactures" 1 !made;
+  Bytes.set a 0 'x';
+  Buffer_pool.release pool a;
+  let b = Buffer_pool.acquire pool in
+  check Alcotest.int "reused, not remade" 1 !made;
+  check Alcotest.char "reset ran" '\x00' (Bytes.get b 0);
+  check Alcotest.int "hits" 1 (Buffer_pool.hits pool);
+  check Alcotest.int "misses" 1 (Buffer_pool.misses pool);
+  check (Alcotest.float 1e-9) "hit rate" 0.5 (Buffer_pool.hit_rate pool)
+
+let test_pool_capacity () =
+  let pool = Buffer_pool.create ~capacity:2 ~make:(fun () -> ref 0) ~reset:(fun r -> r := 0) () in
+  Buffer_pool.preallocate pool 10;
+  check Alcotest.int "capped preallocation" 2 (Buffer_pool.idle pool);
+  let xs = List.init 5 (fun _ -> Buffer_pool.acquire pool) in
+  List.iter (Buffer_pool.release pool) xs;
+  check Alcotest.int "idle capped" 2 (Buffer_pool.idle pool)
+
+let () =
+  Alcotest.run "rdb_storage"
+    [
+      ( "mem_store",
+        [
+          Alcotest.test_case "basics" `Quick test_mem_basic;
+          Alcotest.test_case "snapshot isolation" `Quick test_mem_snapshot_isolation;
+          Alcotest.test_case "digest order-independent" `Quick test_mem_digest_order_independent;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "append across sessions" `Quick test_wal_append_across_sessions;
+          Alcotest.test_case "truncated tail ignored" `Quick test_wal_truncated_tail_ignored;
+          Alcotest.test_case "missing file" `Quick test_wal_missing_file;
+          Alcotest.test_case "corrupt checksum" `Quick test_wal_corrupt_checksum;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "basics" `Quick test_btree_basic;
+          Alcotest.test_case "input validation" `Quick test_btree_rejects_bad_entries;
+          Alcotest.test_case "20K inserts with splits" `Quick test_btree_many_and_splits;
+          Alcotest.test_case "persistence" `Quick test_btree_persistence;
+          Alcotest.test_case "iteration order" `Quick test_btree_iteration_order;
+          Alcotest.test_case "range queries" `Quick test_btree_range;
+          Alcotest.test_case "compact" `Quick test_btree_compact;
+          Alcotest.test_case "bounded cache" `Quick test_btree_cache_eviction;
+          qtest prop_btree_matches_map;
+        ] );
+      ( "buffer_pool",
+        [
+          Alcotest.test_case "reuse and reset" `Quick test_pool_reuse;
+          Alcotest.test_case "capacity bound" `Quick test_pool_capacity;
+        ] );
+    ]

@@ -1,0 +1,188 @@
+(* Workload generator tests: Zipfian distribution shape and determinism,
+   YCSB transaction streams, table loading, operation application. *)
+
+open Rdb_workload
+module Rng = Rdb_des.Rng
+
+let check = Alcotest.check
+let qtest p = QCheck_alcotest.to_alcotest p
+
+(* ---- Zipf -------------------------------------------------------------- *)
+
+let test_zipf_bounds () =
+  let z = Zipf.create ~n:1000 () in
+  let rng = Rng.create 1L in
+  for _ = 1 to 50_000 do
+    let v = Zipf.sample z rng in
+    if v < 0 || v >= 1000 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_zipf_determinism () =
+  let z = Zipf.create ~n:500 () in
+  let a = Rng.create 2L and b = Rng.create 2L in
+  for _ = 1 to 1000 do
+    check Alcotest.int "same stream" (Zipf.sample z a) (Zipf.sample z b)
+  done
+
+let test_zipf_skew () =
+  (* Item 0 must be far more popular than the median item under theta=0.99. *)
+  let z = Zipf.create ~theta:0.99 ~n:10_000 () in
+  let rng = Rng.create 3L in
+  let counts = Array.make 10_000 0 in
+  for _ = 1 to 200_000 do
+    let v = Zipf.sample z rng in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "head heavier than 100th item" true (counts.(0) > 10 * max 1 counts.(100));
+  (* Top-10 items should capture a sizeable share under YCSB's default skew. *)
+  let top10 = Array.fold_left ( + ) 0 (Array.sub counts 0 10) in
+  Alcotest.(check bool) "top-10 share > 10%" true (top10 > 20_000)
+
+let test_zipf_uniform () =
+  let z = Zipf.create ~theta:0.0 ~n:100 () in
+  let rng = Rng.create 4L in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 100_000 do
+    let v = Zipf.sample z rng in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c -> if c < 700 || c > 1300 then Alcotest.failf "bucket %d suspicious: %d" i c)
+    counts
+
+let test_zipf_validation () =
+  Alcotest.check_raises "bad n" (Invalid_argument "Zipf.create: n must be positive") (fun () ->
+      ignore (Zipf.create ~n:0 ()));
+  Alcotest.check_raises "bad theta" (Invalid_argument "Zipf.create: theta must be in [0, 1)")
+    (fun () -> ignore (Zipf.create ~theta:1.0 ~n:10 ()))
+
+(* ---- Ycsb -------------------------------------------------------------- *)
+
+let test_ycsb_determinism () =
+  let mk () = Ycsb.create ~records:1000 ~seed:55L () in
+  let a = mk () and b = mk () in
+  for _ = 1 to 100 do
+    let ta = Ycsb.next_txn a ~client:1 and tb = Ycsb.next_txn b ~client:1 in
+    check Alcotest.int "ids match" ta.Ycsb.txn_id tb.Ycsb.txn_id;
+    check Alcotest.int "sizes match" (Ycsb.txn_wire_size ta) (Ycsb.txn_wire_size tb)
+  done
+
+let test_ycsb_txn_ids_unique () =
+  let w = Ycsb.create ~records:100 ~seed:7L () in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 1000 do
+    let t = Ycsb.next_txn w ~client:0 in
+    if Hashtbl.mem seen t.Ycsb.txn_id then Alcotest.fail "duplicate txn id";
+    Hashtbl.add seen t.Ycsb.txn_id ()
+  done
+
+let test_ycsb_write_only_default () =
+  let w = Ycsb.create ~records:100 ~seed:8L () in
+  for _ = 1 to 200 do
+    let t = Ycsb.next_txn w ~client:0 in
+    List.iter
+      (function Ycsb.Write _ -> () | Ycsb.Read _ -> Alcotest.fail "unexpected read")
+      t.Ycsb.ops
+  done
+
+let test_ycsb_read_ratio () =
+  let w = Ycsb.create ~records:100 ~write_ratio:0.0 ~seed:9L () in
+  let t = Ycsb.next_txn w ~client:0 in
+  List.iter (function Ycsb.Read _ -> () | Ycsb.Write _ -> Alcotest.fail "unexpected write") t.Ycsb.ops
+
+let test_ycsb_multi_op () =
+  let w = Ycsb.create ~records:100 ~ops_per_txn:10 ~seed:10L () in
+  let t = Ycsb.next_txn w ~client:3 in
+  check Alcotest.int "ops count" 10 (List.length t.Ycsb.ops);
+  check Alcotest.int "client id" 3 t.Ycsb.client
+
+let test_ycsb_load_and_apply () =
+  let w = Ycsb.create ~records:500 ~field_size:20 ~seed:11L () in
+  let store = Rdb_storage.Mem_store.create () in
+  Ycsb.load_table w (Rdb_storage.Mem_store.put store);
+  check Alcotest.int "table loaded" 500 (Rdb_storage.Mem_store.size store);
+  let t = Ycsb.next_txn w ~client:0 in
+  List.iter
+    (Ycsb.apply_op
+       ~get:(Rdb_storage.Mem_store.get store)
+       ~put:(Rdb_storage.Mem_store.put store))
+    t.Ycsb.ops;
+  (* Write-only workload on loaded keys never grows the table. *)
+  check Alcotest.int "size stable" 500 (Rdb_storage.Mem_store.size store);
+  (* The written key holds the new deterministic value. *)
+  (match t.Ycsb.ops with
+  | Ycsb.Write { key; value } :: _ ->
+    check Alcotest.(option string) "value applied" (Some value) (Rdb_storage.Mem_store.get store key)
+  | _ -> Alcotest.fail "expected a write")
+
+let test_ycsb_wire_size () =
+  let w = Ycsb.create ~records:100 ~field_size:100 ~payload_bytes:64 ~seed:12L () in
+  let t = Ycsb.next_txn w ~client:0 in
+  let expected = 16 + 64 + 1 + 14 (* "user%010d" *) + 100 in
+  check Alcotest.int "wire size" expected (Ycsb.txn_wire_size t)
+
+let test_ycsb_keys_canonical () =
+  check Alcotest.string "key encoding" "user0000000042" (Ycsb.key_of_index 42)
+
+let test_ycsb_presets () =
+  check (Alcotest.float 1e-9) "A" 0.5 (Ycsb.preset_write_ratio Ycsb.Workload_a);
+  check (Alcotest.float 1e-9) "B" 0.05 (Ycsb.preset_write_ratio Ycsb.Workload_b);
+  check (Alcotest.float 1e-9) "C" 0.0 (Ycsb.preset_write_ratio Ycsb.Workload_c);
+  check (Alcotest.float 1e-9) "write-only" 1.0 (Ycsb.preset_write_ratio Ycsb.Write_only);
+  (* Workload C emits only reads; workload A emits roughly half and half. *)
+  let wc = Ycsb.of_preset ~records:100 Ycsb.Workload_c ~seed:5L in
+  for _ = 1 to 50 do
+    let t = Ycsb.next_txn wc ~client:0 in
+    List.iter
+      (function Ycsb.Read _ -> () | Ycsb.Write _ -> Alcotest.fail "write in workload C")
+      t.Ycsb.ops
+  done;
+  let wa = Ycsb.of_preset ~records:100 ~ops_per_txn:1 Ycsb.Workload_a ~seed:6L in
+  let writes = ref 0 in
+  for _ = 1 to 2000 do
+    let t = Ycsb.next_txn wa ~client:0 in
+    List.iter (function Ycsb.Write _ -> incr writes | Ycsb.Read _ -> ()) t.Ycsb.ops
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "A near 50%% writes (%d/2000)" !writes)
+    true
+    (!writes > 850 && !writes < 1150)
+
+let prop_zipf_sample_in_range =
+  QCheck.Test.make ~name:"zipf: samples always in range for random n" ~count:100
+    QCheck.(int_range 1 5000)
+    (fun n ->
+      let z = Zipf.create ~n () in
+      let rng = Rng.create (Int64.of_int n) in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let v = Zipf.sample z rng in
+        if v < 0 || v >= n then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "rdb_workload"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "bounds" `Quick test_zipf_bounds;
+          Alcotest.test_case "determinism" `Quick test_zipf_determinism;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "uniform degenerate" `Quick test_zipf_uniform;
+          Alcotest.test_case "validation" `Quick test_zipf_validation;
+          qtest prop_zipf_sample_in_range;
+        ] );
+      ( "ycsb",
+        [
+          Alcotest.test_case "determinism" `Quick test_ycsb_determinism;
+          Alcotest.test_case "unique txn ids" `Quick test_ycsb_txn_ids_unique;
+          Alcotest.test_case "write-only default" `Quick test_ycsb_write_only_default;
+          Alcotest.test_case "read ratio" `Quick test_ycsb_read_ratio;
+          Alcotest.test_case "multi-operation" `Quick test_ycsb_multi_op;
+          Alcotest.test_case "load and apply" `Quick test_ycsb_load_and_apply;
+          Alcotest.test_case "wire size" `Quick test_ycsb_wire_size;
+          Alcotest.test_case "canonical keys" `Quick test_ycsb_keys_canonical;
+          Alcotest.test_case "standard workload presets" `Quick test_ycsb_presets;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* Shared harness for driving the pure consensus cores in tests: an
+   in-memory "network" with controllable delivery order, crash injection,
+   and an execution recorder.  Because the cores are pure state machines,
+   the harness can deliver messages FIFO, in random permuted order, or with
+   duplicates, and then assert global safety properties. *)
+
+module Msg = Rdb_consensus.Message
+module Action = Rdb_consensus.Action
+module Config = Rdb_consensus.Config
+module Pbft = Rdb_consensus.Pbft_replica
+module Zyz = Rdb_consensus.Zyzzyva_replica
+module Rng = Rdb_des.Rng
+
+type core = P of Pbft.t | Z of Zyz.t
+
+type t = {
+  cfg : Config.t;
+  cores : core array;
+  queue : (int * Action.t) Queue.t;  (** (origin replica, action) *)
+  mutable crashed : int list;
+  executed : (int, (int * string) list) Hashtbl.t;  (** replica -> (seq, digest) rev list *)
+  client_inbox : (int * Msg.t) list ref;  (** (from replica, message) *)
+  mutable delivered : int;
+  rng : Rng.t option;  (** when set, pending actions are shuffled *)
+  mutable duplicate : bool;  (** when set, every message is delivered twice *)
+}
+
+let make_pbft ?(n = 4) ?(checkpoint_interval = 100) ?rng_seed () =
+  let cfg = Config.make ~checkpoint_interval ~n () in
+  {
+    cfg;
+    cores = Array.init n (fun id -> P (Pbft.create cfg ~id));
+    queue = Queue.create ();
+    crashed = [];
+    executed = Hashtbl.create 8;
+    client_inbox = ref [];
+    delivered = 0;
+    rng = Option.map Rng.create rng_seed;
+    duplicate = false;
+  }
+
+let make_zyz ?(n = 4) ?(checkpoint_interval = 100) ?rng_seed () =
+  let cfg = Config.make ~checkpoint_interval ~n () in
+  {
+    cfg;
+    cores = Array.init n (fun id -> Z (Zyz.create cfg ~id));
+    queue = Queue.create ();
+    crashed = [];
+    executed = Hashtbl.create 8;
+    client_inbox = ref [];
+    delivered = 0;
+    rng = Option.map Rng.create rng_seed;
+    duplicate = false;
+  }
+
+let crash t id = t.crashed <- id :: t.crashed
+
+let handle t id msg =
+  match t.cores.(id) with P c -> Pbft.handle_message c msg | Z c -> Zyz.handle_message c msg
+
+let record_exec t id (b : Msg.batch) =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.executed id) in
+  Hashtbl.replace t.executed id ((b.Msg.seq, b.Msg.digest) :: prev);
+  match t.cores.(id) with
+  | P c ->
+    Pbft.handle_executed c ~seq:b.Msg.seq
+      ~state_digest:(Printf.sprintf "state-%d" b.Msg.seq)
+      ~result:"ok"
+  | Z c ->
+    Zyz.handle_executed c ~seq:b.Msg.seq
+      ~state_digest:(Printf.sprintf "state-%d" b.Msg.seq)
+      ~result:"ok"
+
+(* Execute actions are applied synchronously at their replica: the cores
+   emit them in strict sequence order, and the shuffled queue below must not
+   reorder them (execution order is a local property, not a network one). *)
+let rec push t origin actions =
+  List.iter
+    (fun a ->
+      match a with
+      | Action.Execute b ->
+        if not (List.mem origin t.crashed) then push t origin (record_exec t origin b)
+      | _ -> Queue.push (origin, a) t.queue)
+    actions
+
+(* Drains the action queue until quiescence.  With [rng] set, the queue is
+   reshuffled between steps, exercising arbitrary delivery interleavings
+   (consensus messages commute up to safety). *)
+let run ?(max_steps = 1_000_000) t =
+  let steps = ref 0 in
+  let reshuffle () =
+    match t.rng with
+    | None -> ()
+    | Some rng ->
+      let items = Array.of_seq (Queue.to_seq t.queue) in
+      Rng.shuffle rng items;
+      Queue.clear t.queue;
+      Array.iter (fun x -> Queue.push x t.queue) items
+  in
+  while (not (Queue.is_empty t.queue)) && !steps < max_steps do
+    incr steps;
+    if !steps mod 17 = 0 then reshuffle ();
+    let origin, act = Queue.pop t.queue in
+    if not (List.mem origin t.crashed) then begin
+      match act with
+      | Action.Broadcast m ->
+        Array.iteri
+          (fun id _ ->
+            if id <> origin && not (List.mem id t.crashed) then begin
+              t.delivered <- t.delivered + 1;
+              push t id (handle t id m);
+              if t.duplicate then push t id (handle t id m)
+            end)
+          t.cores
+      | Action.Send (dst, m) ->
+        if not (List.mem dst t.crashed) then begin
+          t.delivered <- t.delivered + 1;
+          push t dst (handle t dst m);
+          if t.duplicate then push t dst (handle t dst m)
+        end
+      | Action.Send_client (_, m) -> t.client_inbox := (origin, m) :: !(t.client_inbox)
+      | Action.Execute b -> push t origin (record_exec t origin b)
+      | Action.Stable_checkpoint _ -> ()
+    end
+  done;
+  if !steps >= max_steps then failwith "Testkit.run: did not quiesce"
+
+let propose t id ~reqs ~digest =
+  let batch, actions =
+    match t.cores.(id) with
+    | P c -> Pbft.propose c ~reqs ~digest ~wire_bytes:(100 * List.length reqs)
+    | Z c -> Zyz.propose c ~reqs ~digest ~wire_bytes:(100 * List.length reqs)
+  in
+  push t id actions;
+  batch
+
+(* A convenience request. *)
+let req ?(client = 1000) txn_id = { Msg.client; txn_id }
+
+let executions t id = List.rev (Option.value ~default:[] (Hashtbl.find_opt t.executed id))
+
+(* Safety: all non-crashed replicas executed the same sequence of
+   (seq, digest) pairs, gap-free from 1. *)
+let assert_agreement ?(expect = -1) t =
+  let reference = ref None in
+  Array.iteri
+    (fun id _ ->
+      if not (List.mem id t.crashed) then begin
+        let ex = executions t id in
+        List.iteri
+          (fun i (seq, _) ->
+            if seq <> i + 1 then Alcotest.failf "replica %d: gap at position %d (seq %d)" id i seq)
+          ex;
+        match !reference with
+        | None -> reference := Some ex
+        | Some r ->
+          if r <> ex then Alcotest.failf "replica %d diverged from reference execution" id
+      end)
+    t.cores;
+  match (!reference, expect) with
+  | Some r, e when e >= 0 ->
+    if List.length r <> e then
+      Alcotest.failf "expected %d executions, got %d" e (List.length r)
+  | _ -> ()
