@@ -6,6 +6,12 @@ type instance = {
   mutable sent_commit : bool;
   mutable committed : bool;
   mutable executed : bool;
+  mutable hole_requested : bool;
+      (* one pre-prepare retransmission request per slot (see Fill_hole) *)
+  mutable echoed_to : int list;
+      (* peers already answered with an echo for this slot: an echo is itself
+         a duplicate at its receiver, so unlimited echoing would ping-pong —
+         and network duplication would seed such storms everywhere *)
   (* digest -> senders, so conflicting proposals cannot pool votes *)
   prepares : string Quorum.t;
   commits : string Quorum.t;
@@ -29,6 +35,9 @@ type t = {
   vc_messages : (int, (int * Message.prepared_proof list) list) Hashtbl.t;
       (* new-view -> (sender, prepared proofs) *)
   mutable own_checkpoint_digests : (int * string) list; (* seq -> our state digest *)
+  mutable last_new_view : Message.t option;
+      (* the New_view we broadcast as primary, kept to answer laggards whose
+         view-change messages were lost *)
 }
 
 let create config ~id =
@@ -49,6 +58,7 @@ let create config ~id =
     view_changes = Quorum.create ();
     vc_messages = Hashtbl.create 8;
     own_checkpoint_digests = [];
+    last_new_view = None;
   }
 
 let id t = t.id
@@ -72,6 +82,8 @@ let instance t ~view ~seq =
         sent_commit = false;
         committed = false;
         executed = false;
+        hole_requested = false;
+        echoed_to = [];
         prepares = Quorum.create ();
         commits = Quorum.create ();
       }
@@ -219,6 +231,23 @@ let start_view_change t ~target =
 
 let suspect_primary t = start_view_change t ~target:(t.view + 1)
 
+(* Re-broadcast our pending View_change: view-change messages carry no
+   retransmission of their own, so under loss the quorum can starve without
+   this (the hosting system's timer calls it while the change is stuck). *)
+let view_change_retransmit t =
+  if not t.in_view_change then []
+  else
+    [
+      Action.Broadcast
+        (Message.View_change
+           {
+             new_view = t.vc_target;
+             last_stable = t.last_stable;
+             prepared = prepared_proofs t;
+             from = t.id;
+           });
+    ]
+
 (* The new primary assembles New_view once it has a 2f+1 view-change quorum. *)
 let maybe_new_view t ~target =
   if Config.primary_of_view t.config target <> t.id then []
@@ -266,6 +295,7 @@ let maybe_new_view t ~target =
       Message.New_view
         { view = target; vc_senders = Quorum.senders t.view_changes target; pre_prepares; from = t.id }
     in
+    t.last_new_view <- Some nv;
     let adopt =
       List.concat_map (fun b -> accept_pre_prepare t ~view:target ~batch:b) pre_prepares
     in
@@ -280,6 +310,119 @@ let handle_new_view t ~view ~(pre_prepares : Message.batch list) ~from =
     List.concat_map (fun (b : Message.batch) -> accept_pre_prepare t ~view ~batch:b) pre_prepares
   end
 
+(* ---- vote retransmission ------------------------------------------------- *)
+
+(* A duplicate vote only ever arrives when the sender is retransmitting —
+   either the network duplicated it or the sender is stuck and [nudge]ing.
+   Answering with our own votes for the same slot tops the sender's quorum
+   back up after its original copies were lost, without any cost on the
+   loss-free path (where duplicates never occur).  At most one echo per
+   (slot, peer): the echo arrives as a duplicate too, and answering
+   duplicates of duplicates would double the traffic every round trip. *)
+let echo_votes t (i : instance) ~dup ~target =
+  if (not dup) || List.mem target i.echoed_to then []
+  else
+    match i.batch with
+    | None -> []
+    | Some b ->
+      i.echoed_to <- target :: i.echoed_to;
+      let d = b.Message.digest in
+      let commit =
+        if i.sent_commit then
+          [ Action.Send (target, Message.Commit { view = i.i_view; seq = i.i_seq; digest = d; from = t.id }) ]
+        else []
+      in
+      let prepare =
+        if i.sent_prepare then
+          [ Action.Send (target, Message.Prepare { view = i.i_view; seq = i.i_seq; digest = d; from = t.id }) ]
+        else []
+      in
+      prepare @ commit
+
+(* A full vote quorum pooled for a slot we hold no batch for proves the
+   pre-prepare is long gone (it preceded every one of those votes): fetch it
+   eagerly instead of waiting for the demand timer to notice the wedge.
+   Once per slot; the timer-driven [nudge] below is the backstop if the
+   retransmission is itself lost. *)
+let maybe_fetch_batch t (i : instance) ~digest =
+  if
+    i.batch = None
+    && (not i.hole_requested)
+    && Config.primary_of_view t.config i.i_view <> t.id
+    && (Quorum.count i.commits digest >= Config.commit_quorum t.config
+       || Quorum.count i.prepares digest >= Config.prepare_quorum t.config)
+  then begin
+    i.hole_requested <- true;
+    [
+      Action.Send
+        ( Config.primary_of_view t.config i.i_view,
+          Message.Fill_hole { view = i.i_view; from_seq = i.i_seq; to_seq = i.i_seq; from = t.id } );
+    ]
+  end
+  else []
+
+(* Re-broadcast our votes for the oldest unexecuted instance.  Under message
+   loss a replica can be starved of prepares or commits the others already
+   sent (exactly once, as the protocol specifies); the duplicates this
+   produces make every peer echo its own votes back, restoring the starved
+   quorum far more cheaply than a view change.  A slot whose PRE-PREPARE was
+   lost is worse — the replica would wedge there forever — so for a batchless
+   slot we instead ask the primary to resend the missing range (Zyzzyva's
+   fill-hole sub-protocol, reused). *)
+let nudge t =
+  if t.in_view_change then []
+  else begin
+    let seq = t.last_executed + 1 in
+    if not (in_window t seq) then []
+    else begin
+      let fetch_hole () =
+        let primary = Config.primary_of_view t.config t.view in
+        if primary = t.id then []
+        else begin
+          (* Cover the contiguous run of batchless slots in one request. *)
+          let have = Hashtbl.create 64 in
+          Hashtbl.iter
+            (fun (_, s) (i : instance) -> if i.batch <> None then Hashtbl.replace have s ())
+            t.instances;
+          let to_seq = ref seq in
+          while
+            !to_seq - seq < 63 && in_window t (!to_seq + 1) && not (Hashtbl.mem have (!to_seq + 1))
+          do
+            incr to_seq
+          done;
+          [ Action.Send (primary, Message.Fill_hole { view = t.view; from_seq = seq; to_seq = !to_seq; from = t.id }) ]
+        end
+      in
+      (* The slot may have been proposed in an earlier view we since left;
+         re-send the votes from its highest incarnation. *)
+      let best =
+        Hashtbl.fold
+          (fun (v, s) (i : instance) acc ->
+            if s <> seq then acc
+            else match acc with Some (j : instance) when j.i_view >= v -> acc | _ -> Some i)
+          t.instances None
+      in
+      match best with
+      | None -> fetch_hole ()
+      | Some i -> (
+        match i.batch with
+        | None -> fetch_hole ()
+        | Some b ->
+          let d = b.Message.digest in
+          let prepare =
+            if i.sent_prepare && not i.sent_commit then
+              [ Action.Broadcast (Message.Prepare { view = i.i_view; seq = i.i_seq; digest = d; from = t.id }) ]
+            else []
+          in
+          let commit =
+            if i.sent_commit then
+              [ Action.Broadcast (Message.Commit { view = i.i_view; seq = i.i_seq; digest = d; from = t.id }) ]
+            else []
+          in
+          prepare @ commit)
+    end
+  end
+
 (* ---- message dispatch ---------------------------------------------------- *)
 
 let handle_message t (msg : Message.t) =
@@ -290,26 +433,43 @@ let handle_message t (msg : Message.t) =
     else if seq <> batch.Message.seq then []
     else accept_pre_prepare t ~view ~batch
   | Message.Prepare { view; seq; digest; from } ->
-    if view < t.view || t.in_view_change || not (in_window t seq) then []
+    (* Mid view-change only current-view traffic is ignored; votes for a
+       HIGHER view are buffered in their (view, seq) instance — they come
+       from replicas that installed the new view first, and dropping them
+       would starve the post-new-view quorums under message loss. *)
+    if view < t.view || (t.in_view_change && view = t.view) || not (in_window t seq) then []
     else begin
       let i = instance t ~view ~seq in
+      let dup = List.mem from (Quorum.senders i.prepares digest) in
       ignore (Quorum.add i.prepares digest from);
+      let fetch = maybe_fetch_batch t i ~digest in
       let advanced = progress t i in
       let executed = try_execute t in
-      advanced @ executed
+      fetch @ echo_votes t i ~dup ~target:from @ advanced @ executed
     end
   | Message.Commit { view; seq; digest; from } ->
-    if view < t.view || t.in_view_change || not (in_window t seq) then []
+    if view < t.view || (t.in_view_change && view = t.view) || not (in_window t seq) then []
     else begin
       let i = instance t ~view ~seq in
+      let dup = List.mem from (Quorum.senders i.commits digest) in
       ignore (Quorum.add i.commits digest from);
+      let fetch = maybe_fetch_batch t i ~digest in
       let advanced = progress t i in
       let executed = try_execute t in
-      advanced @ executed
+      fetch @ echo_votes t i ~dup ~target:from @ advanced @ executed
     end
   | Message.Checkpoint { seq; state_digest; from } -> note_checkpoint t ~seq ~state_digest ~from
   | Message.View_change { new_view; prepared; from; _ } ->
-    if new_view <= t.view then []
+    if new_view <= t.view then begin
+      (* A laggard still trying to leave a view we already left: if we are
+         the primary that installed the current view, re-send our New_view
+         so it can catch up (re-adoption is idempotent). *)
+      match t.last_new_view with
+      | Some (Message.New_view { view; _ } as nv)
+        when view = t.view && Config.primary_of_view t.config t.view = t.id ->
+        [ Action.Send (from, nv) ]
+      | _ -> []
+    end
     else begin
       ignore (Quorum.add t.view_changes new_view from);
       let existing = Option.value ~default:[] (Hashtbl.find_opt t.vc_messages new_view) in
@@ -329,7 +489,20 @@ let handle_message t (msg : Message.t) =
       join @ nv
     end
   | Message.New_view { view; pre_prepares; from; _ } -> handle_new_view t ~view ~pre_prepares ~from
-  | Message.Order_request _ | Message.Commit_cert _ | Message.Fill_hole _ ->
+  | Message.Fill_hole { view; from_seq; to_seq; from } ->
+    (* Pre-prepare retransmission (the fill-hole message reused from
+       Zyzzyva): a backup wedged on a slot whose pre-prepare was lost asks
+       for the batch; the votes it has pooled fire as soon as it lands. *)
+    if view <> t.view || Config.primary_of_view t.config view <> t.id || t.in_view_change then []
+    else
+      List.filter_map
+        (fun seq ->
+          match Hashtbl.find_opt t.instances (t.view, seq) with
+          | Some { batch = Some b; _ } ->
+            Some (Action.Send (from, Message.Pre_prepare { view = t.view; seq; batch = b; from = t.id }))
+          | _ -> None)
+        (List.init (max 0 (to_seq - from_seq + 1)) (fun i -> from_seq + i))
+  | Message.Order_request _ | Message.Commit_cert _ ->
     (* Zyzzyva traffic; not ours. *)
     []
   | Message.Reply _ | Message.Spec_reply _ | Message.Local_commit _ ->

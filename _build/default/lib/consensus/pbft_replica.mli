@@ -50,5 +50,19 @@ val suspect_primary : t -> Action.t list
     typically a client-request timer).  Idempotent while a view change to
     the same view is in flight. *)
 
+val view_change_retransmit : t -> Action.t list
+(** Re-broadcast the pending View_change message (with refreshed prepared
+    proofs).  Empty when no view change is in flight.  The hosting system's
+    demand timer calls this so the view-change quorum survives message
+    loss. *)
+
+val nudge : t -> Action.t list
+(** Re-broadcast this replica's votes for the oldest unexecuted slot.  Peers
+    receiving the duplicates echo their own votes back, so a quorum starved
+    by message loss refills without a view change.  Empty when nothing is
+    stuck, the slot is outside the window, or a view change is in flight.
+    The hosting system's demand timer calls this one timeout before
+    escalating to {!suspect_primary}. *)
+
 val pending_instances : t -> int
 (** Consensus slots currently tracked (for tests and saturation metrics). *)

@@ -1,1 +1,1 @@
-lib/core/cluster.ml: Array Hashtbl List Metrics Params Printf Queue Rdb_chain Rdb_consensus Rdb_crypto Rdb_des Rdb_net Rdb_replica
+lib/core/cluster.ml: Array Hashtbl List Metrics Nemesis Params Printf Queue Rdb_chain Rdb_consensus Rdb_crypto Rdb_des Rdb_net Rdb_replica String

@@ -1,1 +1,1 @@
-lib/core/cluster.mli: Metrics Params Rdb_des
+lib/core/cluster.mli: Metrics Nemesis Params Rdb_des

@@ -1,1 +1,1 @@
-lib/core/metrics.ml: Format List Rdb_des
+lib/core/metrics.ml: Format List Printf Rdb_des

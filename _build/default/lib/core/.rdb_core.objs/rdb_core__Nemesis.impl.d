@@ -1,0 +1,1 @@
+lib/core/nemesis.ml: Format List Printf Rdb_des String

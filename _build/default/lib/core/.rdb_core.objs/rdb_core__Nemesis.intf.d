@@ -1,0 +1,1 @@
+lib/core/nemesis.mli: Format Rdb_des

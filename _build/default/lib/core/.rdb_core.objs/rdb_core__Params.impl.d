@@ -1,1 +1,1 @@
-lib/core/params.ml: Rdb_crypto Rdb_des
+lib/core/params.ml: Nemesis Rdb_crypto Rdb_des

@@ -71,6 +71,21 @@ type host = {
   ledger : Ledger.t;
   cert_counts : (int, int) Hashtbl.t;  (** seq -> clients awaiting cert acks *)
   mutable batch_counter : int;
+  (* ---- liveness under faults ---- *)
+  mutable seen_view : int;  (** last view observed on this host's core *)
+  mutable vc_timer : Sim.event option;
+      (** backup: armed while retransmitted demand is unserved; fires a
+          view-change suspicion *)
+  mutable last_exec_seen : int;
+      (** execution watermark at the last demand-timer check: distinguishes a
+          slow-but-live pipeline from a stalled one *)
+  mutable nudged : bool;
+      (** one vote-retransmission round has run since the last progress;
+          the next stalled check escalates to a view change *)
+  executed_txns : (int, unit) Hashtbl.t;
+      (** transactions this host has executed (dedups retransmissions) *)
+  inflight_txns : (int, unit) Hashtbl.t;
+      (** transactions batched here but not yet executed *)
 }
 
 (* ---- client-pool bookkeeping ---------------------------------------------- *)
@@ -99,10 +114,20 @@ type t = {
   mutable next_txn : int;
   mutable proposed_batches : int;
   mutable completed_batches : int;
+  (* fault handling *)
+  retrans_enabled : bool;
+  mutable client_view : int;  (** highest view seen in any reply: primary hint *)
+  mutable max_view : int;  (** highest view reached by any host *)
+  mutable retransmissions : int;
+  mutable duplicate_completions : int;
+  mutable primary_crash_at : Sim.time option;
+  mutable crash_view : int;  (** view at the moment the primary crashed *)
+  mutable recovered_at : Sim.time option;
   (* measurement *)
   latencies : Stats.t;
   mutable measuring : bool;
   mutable completed_txns : int;
+  mutable total_completed : int;  (** fresh completions since start (any window) *)
   mutable completed_ops : int;
   mutable fast_txns : int;
   mutable cert_txns : int;
@@ -150,6 +175,50 @@ let popcount mask =
   let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
   go mask 0
 
+(* ---- fault-tolerance helpers ---------------------------------------------- *)
+
+let core_view (h : host) =
+  match h.core with Core_pbft c -> Pbft.view c | Core_zyz _ -> 0
+
+let core_last_exec (h : host) =
+  match h.core with Core_pbft c -> Pbft.last_executed c | Core_zyz c -> Zyz.last_spec_executed c
+
+let is_host_primary (h : host) =
+  match h.core with Core_pbft c -> Pbft.is_primary c | Core_zyz c -> Zyz.is_primary c
+
+(* The replica the clients currently believe is primary (learned from the
+   view field of replies). *)
+let believed_primary t = Config.primary_of_view t.cfg t.client_view
+
+let current_primary t = Config.primary_of_view t.cfg t.max_view
+
+let mark_primary_crash t =
+  if t.primary_crash_at = None then begin
+    t.primary_crash_at <- Some (Sim.now t.sim);
+    t.crash_view <- t.max_view;
+    t.recovered_at <- None
+  end
+
+(* Rebuild a host's pending queue without transactions that are already
+   executed here, already in an in-flight batch, or duplicated in the queue
+   itself (retransmissions and network duplication both re-inject ids). *)
+let compact_pending (h : host) =
+  let n = Queue.length h.pending in
+  if n > 0 then begin
+    let seen = Hashtbl.create (2 * n) in
+    for _ = 1 to n do
+      let id = Queue.pop h.pending in
+      if
+        (not (Hashtbl.mem h.executed_txns id))
+        && (not (Hashtbl.mem h.inflight_txns id))
+        && not (Hashtbl.mem seen id)
+      then begin
+        Hashtbl.add seen id ();
+        Queue.push id h.pending
+      end
+    done
+  end
+
 (* ---- replica-side processing ---------------------------------------------- *)
 
 let rec core_handle t (h : host) (stage : Stage.t) (m : Msg.t) =
@@ -158,7 +227,82 @@ let rec core_handle t (h : host) (stage : Stage.t) (m : Msg.t) =
     | Core_pbft c -> Pbft.handle_message c m
     | Core_zyz c -> Zyz.handle_message c m
   in
-  emit t h stage actions
+  emit t h stage actions;
+  note_view t h
+
+(* A view advance observed on [h]'s core: cancel the demand timer, reopen
+   admission control (batches proposed by the dead primary never complete),
+   and if [h] is the new primary, start serving its queue. *)
+and note_view t (h : host) =
+  let v = core_view h in
+  if v > h.seen_view then begin
+    h.seen_view <- v;
+    if v > t.max_view then begin
+      t.max_view <- v;
+      t.proposed_batches <- t.completed_batches
+    end;
+    (match h.vc_timer with
+    | Some ev ->
+      Sim.cancel ev;
+      h.vc_timer <- None
+    | None -> ());
+    h.nudged <- false;
+    if is_host_primary h then try_form_batches t h
+    else if t.retrans_enabled then begin
+      (* Demand that survived the view change re-arms the timer: the new
+         primary gets [view_timeout] to serve it or is suspected in turn. *)
+      compact_pending h;
+      if not (Queue.is_empty h.pending) then note_demand t h
+    end
+  end
+
+(* Arm the demand timer: this backup holds client transactions the primary
+   should be serving.  If execution does not absorb them within
+   [view_timeout], suspect the primary (PBFT's liveness trigger). *)
+and note_demand t (h : host) =
+  match h.core with
+  | Core_zyz _ -> ()
+  | Core_pbft _ ->
+    if h.vc_timer = None && not (Net.is_crashed (net t) h.id) then begin
+      h.last_exec_seen <- core_last_exec h;
+      h.vc_timer <- Some (Sim.schedule t.sim ~after:t.p.Params.view_timeout (fun () -> vc_check t h))
+    end
+
+(* The demand timer escalates in three steps rather than suspecting the
+   primary outright: progress since the last check means the pipeline is
+   live (just keep watching); a first stall retransmits this replica's votes
+   for the stuck slot, which under message loss usually refills the quorum;
+   only a second consecutive stall concludes the primary itself is the
+   problem and starts a view change. *)
+and vc_check t (h : host) =
+  h.vc_timer <- None;
+  match h.core with
+  | Core_zyz _ -> ()
+  | Core_pbft c ->
+    compact_pending h;
+    if (not (Queue.is_empty h.pending)) && not (is_host_primary h) then begin
+      (if Pbft.in_view_change c then
+         Stage.enqueue h.worker ~service:t.p.Params.cost.Cost.msg_handle (fun () ->
+             emit t h h.worker (Pbft.view_change_retransmit c))
+       else begin
+         let exec = core_last_exec h in
+         if exec > h.last_exec_seen then begin
+           h.last_exec_seen <- exec;
+           h.nudged <- false
+         end
+         else if not h.nudged then begin
+           h.nudged <- true;
+           Stage.enqueue h.worker ~service:t.p.Params.cost.Cost.msg_handle (fun () ->
+               emit t h h.worker (Pbft.nudge c))
+         end
+         else begin
+           h.nudged <- false;
+           Stage.enqueue h.worker ~service:t.p.Params.cost.Cost.msg_handle (fun () ->
+               emit t h h.worker (Pbft.suspect_primary c))
+         end
+       end);
+      note_demand t h
+    end
 
 and core_executed _t (h : host) ~seq ~state_digest ~result =
   let actions =
@@ -318,14 +462,24 @@ and enqueue_execute t (h : host) (b : Msg.batch) =
         }
       in
       if Ledger.next_seq h.ledger = b.Msg.seq then Ledger.append h.ledger block;
+      if t.retrans_enabled then
+        List.iter
+          (fun (r : Msg.request_ref) ->
+            Hashtbl.replace h.executed_txns r.Msg.txn_id ();
+            Hashtbl.remove h.inflight_txns r.Msg.txn_id)
+          b.Msg.reqs;
       let state_digest = "state-" ^ string_of_int b.Msg.seq in
       let actions = core_executed t h ~seq:b.Msg.seq ~state_digest ~result:"ok" in
-      emit t h stage actions)
+      emit t h stage actions;
+      note_view t h)
 
 (* Batch formation at the primary (§4.3): batch-threads drain the common
    queue, verify client signatures, build the batch string, hash and sign. *)
 and try_form_batches t (h : host) =
   let p = t.p in
+  if not (is_host_primary h) then ()
+  else begin
+  if t.retrans_enabled then compact_pending h;
   let stage = match h.batch_stage with Some s -> s | None -> h.worker in
   let max_jobs = 2 * Stage.workers stage in
   let admission_open () =
@@ -354,6 +508,7 @@ and try_form_batches t (h : host) =
              enqueue_batch_job t h stage txns
            end
            else if len > 0 then try_form_batches t h))
+  end
   end
 
 and enqueue_batch_job t (h : host) stage txns =
@@ -384,6 +539,7 @@ and enqueue_batch_job t (h : host) stage txns =
     + Cost.hash_cost p.Params.cost ~bytes:wire
   in
   h.batch_jobs_inflight <- h.batch_jobs_inflight + 1;
+  if t.retrans_enabled then Array.iter (fun id -> Hashtbl.replace h.inflight_txns id ()) txns;
   Stage.enqueue stage ~service (fun () ->
       h.batch_jobs_inflight <- h.batch_jobs_inflight - 1;
       h.batch_counter <- h.batch_counter + 1;
@@ -398,9 +554,16 @@ and enqueue_batch_job t (h : host) stage txns =
       in
       (match batch_opt with
       | None ->
-        (* Not the primary / window full: requests would be retried by
-           clients; under our experiments this does not happen. *)
-        ()
+        (* Mid view-change / window full / no longer primary.  With
+           retransmission the requests go back to the queue (the next
+           primary will serve them); without it clients never retry, and
+           under our healthy-run experiments this branch is unreachable. *)
+        if t.retrans_enabled then
+          Array.iter
+            (fun id ->
+              Hashtbl.remove h.inflight_txns id;
+              Queue.push id h.pending)
+            txns
       | Some _ ->
         t.proposed_batches <- t.proposed_batches + 1;
         (* The worker-thread owns the consensus instance: its bookkeeping
@@ -408,7 +571,7 @@ and enqueue_batch_job t (h : host) stage txns =
            fixed amount per consensus, regardless of batch size. *)
         Stage.enqueue h.worker ~service:p.Params.cost.Cost.consensus_fixed (fun () -> ()));
       emit t h stage actions;
-      try_form_batches t h)
+      match batch_opt with Some _ -> try_form_batches t h | None -> ())
 
 (* ---- message delivery at a replica ---------------------------------------- *)
 
@@ -421,7 +584,8 @@ and deliver_replica t (h : host) ~src (msg : net_msg) =
     let k = Array.length txn_ids in
     Stage.enqueue h.input_client ~service:(k * cost.Cost.msg_handle) (fun () ->
         Array.iter (fun id -> Queue.push id h.pending) txn_ids;
-        try_form_batches t h)
+        if is_host_primary h then try_form_batches t h
+        else if t.retrans_enabled then note_demand t h)
   | To_replica m ->
     let verify = Cost.verify_cost cost p.Params.replica_scheme in
     let stage, service =
@@ -466,7 +630,32 @@ and submit_group t txn_ids =
   Array.iter (fun id -> Hashtbl.replace t.submit_time id now) txn_ids;
   let bytes = Array.length txn_ids * txn_request_bytes p in
   let src = next_client_node t in
-  Net.send (net t) ~src ~dst:primary_id ~bytes (Client_txns { txn_ids })
+  Net.send (net t) ~src ~dst:(believed_primary t) ~bytes (Client_txns { txn_ids });
+  if t.retrans_enabled then schedule_retransmit t txn_ids ~delay:p.Params.client_timeout
+
+(* Client retransmission with exponential backoff: transactions still
+   lacking a reply quorum after [delay] are re-sent, broadcast to all
+   replicas (PBFT's liveness path — backups that see unserved demand start
+   suspecting the primary via [note_demand]). *)
+and schedule_retransmit t txn_ids ~delay =
+  let p = t.p in
+  ignore
+    (Sim.schedule t.sim ~after:delay (fun () ->
+         let survivors =
+           Array.of_list
+             (List.filter (fun id -> Hashtbl.mem t.submit_time id) (Array.to_list txn_ids))
+         in
+         let k = Array.length survivors in
+         if k > 0 then begin
+           t.retransmissions <- t.retransmissions + k;
+           let bytes = k * txn_request_bytes p in
+           let src = next_client_node t in
+           for dst = 0 to p.Params.n - 1 do
+             Net.send (net t) ~src ~dst ~bytes (Client_txns { txn_ids = survivors })
+           done;
+           schedule_retransmit t survivors
+             ~delay:(min (2 * delay) (16 * p.Params.client_timeout))
+         end))
 
 and fresh_txns t k =
   Array.init k (fun _ ->
@@ -474,13 +663,21 @@ and fresh_txns t k =
       t.next_txn <- id + 1;
       id)
 
-and complete_batch t (track : batch_track) ~fast ~cert =
+and complete_batch t (track : batch_track) ~view ~fast ~cert =
   if not track.completed then begin
     track.completed <- true;
     t.completed_batches <- t.completed_batches + 1;
     (match track.zyz_timer with Some ev -> Sim.cancel ev | None -> ());
     let now = Sim.now t.sim in
-    let k = Array.length track.bt_txn_ids in
+    (* Under retransmission one transaction can complete through two
+       distinct (view, seq) slots; only its first completion counts —
+       exactly-once at the accounting level. *)
+    let fresh =
+      Array.of_list
+        (List.filter (fun id -> Hashtbl.mem t.submit_time id) (Array.to_list track.bt_txn_ids))
+    in
+    let k = Array.length fresh in
+    t.duplicate_completions <- t.duplicate_completions + (Array.length track.bt_txn_ids - k);
     if t.measuring then begin
       t.completed_txns <- t.completed_txns + k;
       t.completed_ops <- t.completed_ops + (k * t.p.Params.ops_per_txn);
@@ -491,11 +688,16 @@ and complete_batch t (track : batch_track) ~fast ~cert =
           match Hashtbl.find_opt t.submit_time id with
           | Some s -> Stats.add t.latencies (Sim.to_seconds (now - s))
           | None -> ())
-        track.bt_txn_ids
+        fresh
     end;
-    Array.iter (fun id -> Hashtbl.remove t.submit_time id) track.bt_txn_ids;
+    t.total_completed <- t.total_completed + k;
+    (* Recovery from a primary crash: the first fresh completion decided in
+       a later view marks the end of the outage window. *)
+    if k > 0 && t.recovered_at = None && t.primary_crash_at <> None && view > t.crash_view then
+      t.recovered_at <- Some now;
+    Array.iter (fun id -> Hashtbl.remove t.submit_time id) fresh;
     (* Closed loop: the same clients immediately submit replacements. *)
-    submit_group t (fresh_txns t k)
+    if k > 0 then submit_group t (fresh_txns t k)
   end
 
 and get_track t key txn_ids =
@@ -539,7 +741,13 @@ and zyzzyva_timeout t (track : batch_track) ~view ~seq ~history =
     end
   end
 
-and live_replicas t = t.p.Params.n - t.p.Params.crashed_backups
+and live_replicas t =
+  let nw = net t in
+  let alive = ref 0 in
+  for i = 0 to t.p.Params.n - 1 do
+    if not (Net.is_crashed nw i) then incr alive
+  done;
+  !alive
 
 (* Once every live replica's reply has been seen (and the certificate path,
    if taken, has fully acked) the tracking entry can be dropped: nothing
@@ -555,17 +763,21 @@ and maybe_prune t key (track : batch_track) =
 and deliver_client t (msg : net_msg) =
   match msg with
   | Replies { replica; view; seq; key_digest; txn_ids; speculative } ->
+    (* The reply's view tells clients who the primary is (PBFT §4.1);
+       subsequent submissions target it instead of the crashed one. *)
+    if view > t.client_view then t.client_view <- view;
     let key = (view, seq, key_digest) in
     let track = get_track t key txn_ids in
     track.reply_mask <- track.reply_mask lor (1 lsl replica);
     let count = popcount track.reply_mask in
     if not track.completed then begin
       if not speculative then begin
-        if count >= Config.reply_quorum t.cfg then complete_batch t track ~fast:false ~cert:false
+        if count >= Config.reply_quorum t.cfg then
+          complete_batch t track ~view ~fast:false ~cert:false
       end
       else begin
         (* Zyzzyva: all n replies complete the request on the fast path. *)
-        if count >= t.p.Params.n then complete_batch t track ~fast:true ~cert:false
+        if count >= t.p.Params.n then complete_batch t track ~view ~fast:true ~cert:false
         else if track.zyz_timer = None && not track.certified then begin
           let ev =
             Sim.schedule t.sim ~after:t.p.Params.zyzzyva_timeout (fun () ->
@@ -584,10 +796,10 @@ and deliver_client t (msg : net_msg) =
         if s = seq && track.certified then hits := (key, track) :: !hits)
       t.batches;
     List.iter
-      (fun (key, track) ->
+      (fun (((view, _, _) as key), track) ->
         track.ack_mask <- track.ack_mask lor (1 lsl replica);
         if (not track.completed) && popcount track.ack_mask >= Config.commit_quorum t.cfg then
-          complete_batch t track ~fast:false ~cert:true;
+          complete_batch t track ~view ~fast:false ~cert:true;
         maybe_prune t key track)
       !hits
   | To_replica _ | Client_txns _ | Certs _ -> ()
@@ -623,7 +835,37 @@ let make_host t ~id =
     ledger = Ledger.create ~primary_id;
     cert_counts = Hashtbl.create 16;
     batch_counter = 0;
+    seen_view = 0;
+    vc_timer = None;
+    executed_txns = Hashtbl.create 64;
+    inflight_txns = Hashtbl.create 64;
+    last_exec_seen = 0;
+    nudged = false;
   }
+
+(* The narrow capability record {!Nemesis} drives faults through — built on
+   demand so injections always observe the current primary. *)
+let driver t =
+  let nw = net t in
+  {
+    Nemesis.sim = t.sim;
+    current_primary = (fun () -> current_primary t);
+    crash = Net.crash nw;
+    recover = Net.recover nw;
+    partition = (fun ~name a b -> Net.partition nw ~name a b);
+    heal = (fun ~name -> Net.heal nw ~name);
+    set_loss = (fun r -> Net.set_loss nw r);
+    set_duplication = (fun r -> Net.set_duplication nw r);
+    set_extra_jitter = Net.set_extra_jitter nw;
+    note =
+      (fun f ->
+        match f with
+        | Nemesis.Crash_primary -> mark_primary_crash t
+        | Nemesis.Crash i when i = current_primary t -> mark_primary_crash t
+        | _ -> ());
+  }
+
+let inject t fault = Nemesis.apply (driver t) fault
 
 let create (p : Params.t) =
   Params.validate p;
@@ -645,9 +887,18 @@ let create (p : Params.t) =
       next_txn = 0;
       proposed_batches = 0;
       completed_batches = 0;
+      retrans_enabled = p.Params.client_timeout > 0;
+      client_view = 0;
+      max_view = 0;
+      retransmissions = 0;
+      duplicate_completions = 0;
+      primary_crash_at = None;
+      crash_view = 0;
+      recovered_at = None;
       latencies = Stats.create ();
       measuring = false;
       completed_txns = 0;
+      total_completed = 0;
       completed_ops = 0;
       fast_txns = 0;
       cert_txns = 0;
@@ -667,10 +918,14 @@ let create (p : Params.t) =
       ~rng:(Rng.split rng) ~deliver ()
   in
   t.net <- Some net;
+  if p.Params.loss_rate > 0.0 then Net.set_loss net p.Params.loss_rate;
+  if p.Params.duplication_rate > 0.0 then Net.set_duplication net p.Params.duplication_rate;
+  if p.Params.extra_jitter > 0 then Net.set_extra_jitter net p.Params.extra_jitter;
   (* Crash the chosen backups before traffic starts (Fig. 17). *)
   for i = 1 to p.Params.crashed_backups do
     Net.crash net (p.Params.n - i)
   done;
+  Nemesis.install (driver t) p.Params.nemesis;
   t
 
 (* Seed the closed loop: every client submits one transaction, staggered
@@ -716,6 +971,56 @@ let snapshot t =
   }
 
 let sim t = t.sim
+
+(* ---- fault observability ---------------------------------------------------- *)
+
+let current_view t = t.max_view
+
+let retransmissions t = t.retransmissions
+
+let duplicate_completions t = t.duplicate_completions
+
+let total_completed t = t.total_completed
+
+let time_to_recovery t =
+  match (t.primary_crash_at, t.recovered_at) with
+  | Some c, Some r -> Some (Sim.to_seconds (r - c))
+  | _ -> None
+
+let fault_report t =
+  let nw = net t in
+  {
+    Metrics.msgs_dropped = Net.messages_dropped nw;
+    msgs_duplicated = Net.messages_duplicated nw;
+    retransmissions = t.retransmissions;
+    view_changes = Array.fold_left (fun acc h -> max acc (core_view h)) 0 t.hosts;
+    time_to_recovery_s =
+      (match time_to_recovery t with Some s -> s | None -> -1.0);
+  }
+
+(* Agreement across replicas: every retained chain verifies, and no two
+   replicas hold different batches at the same sequence number.  (Quorum
+   intersection makes divergence impossible in the absence of equivocation;
+   this checks the whole simulation kept that promise under faults.) *)
+let check_safety t =
+  let ok = ref (Ok ()) in
+  let fail fmt = Printf.ksprintf (fun s -> if !ok = Ok () then ok := Error s) fmt in
+  let accept ~seq:_ ~digest:_ _ = true in
+  let seen : (int, string * int) Hashtbl.t = Hashtbl.create 1024 in
+  Array.iter
+    (fun h ->
+      (match Ledger.verify ~check_certificate:accept h.ledger with
+      | Ok () -> ()
+      | Error e -> fail "replica %d: ledger failed verification: %s" h.id e);
+      Ledger.iter_retained h.ledger (fun (b : Block.t) ->
+          match Hashtbl.find_opt seen b.Block.seq with
+          | None -> Hashtbl.add seen b.Block.seq (b.Block.digest, h.id)
+          | Some (d, other) ->
+            if not (String.equal d b.Block.digest) then
+              fail "divergence at seq %d: replica %d committed %S, replica %d committed %S"
+                b.Block.seq other d h.id b.Block.digest))
+    t.hosts;
+  !ok
 
 (* Diagnostic snapshot used while developing and by verbose CLI modes. *)
 let debug_dump t =
@@ -767,7 +1072,7 @@ let run (p : Params.t) : Metrics.t =
            in
            {
              Metrics.replica = i;
-             is_primary = i = primary_id;
+             is_primary = i = current_primary t;
              stages;
              cpu_utilization =
                (if window <= 0.0 then 0.0
@@ -788,4 +1093,5 @@ let run (p : Params.t) : Metrics.t =
     messages_sent = s1.msgs - s0.msgs;
     bytes_sent = s1.bytes - s0.bytes;
     ledger_blocks = s1.blocks - s0.blocks;
+    faults = fault_report t;
   }

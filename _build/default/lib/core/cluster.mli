@@ -17,6 +17,35 @@ val start : t -> unit
 val sim : t -> Rdb_des.Sim.t
 (** The simulation clock, for callers that drive time manually. *)
 
+(** {2 Faults and recovery}
+
+    The schedule in {!Params.t}[.nemesis] is installed by {!create};
+    {!inject} applies one extra fault immediately (same dispatch). *)
+
+val inject : t -> Nemesis.fault -> unit
+
+val current_view : t -> int
+(** Highest view any replica has installed (0 until a view change). *)
+
+val retransmissions : t -> int
+(** Client request re-sends so far (see {!Params.t}[.client_timeout]). *)
+
+val duplicate_completions : t -> int
+(** Transactions that completed through more than one (view, seq) slot;
+    each was counted exactly once towards throughput. *)
+
+val total_completed : t -> int
+(** Fresh transaction completions since [start] (warmup included). *)
+
+val time_to_recovery : t -> float option
+(** Seconds from the first nemesis-injected primary crash to the first
+    completion decided in a later view; [None] before recovery (or when no
+    primary crash was injected). *)
+
+val check_safety : t -> (unit, string) result
+(** Cross-replica agreement: every retained ledger verifies, and no two
+    replicas committed different batches at the same sequence number. *)
+
 val debug_dump : t -> unit
 (** One-line diagnostic snapshot (queue depths, instance counts) to stdout. *)
 

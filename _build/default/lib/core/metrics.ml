@@ -4,6 +4,27 @@ module Stats = Rdb_des.Stats
 
 type stage_saturation = { stage : string; percent : float }
 
+(** Fault-injection accounting, over the whole run (not just the measured
+    window): how hostile the network was and how the cluster coped. *)
+type faults = {
+  msgs_dropped : int;  (** by crash + loss + partition, at the network *)
+  msgs_duplicated : int;
+  retransmissions : int;  (** client request re-sends (with backoff) *)
+  view_changes : int;  (** completed view changes (final view number) *)
+  time_to_recovery_s : float;
+      (** primary crash to the first client completion afterwards;
+          negative when no primary crash was injected or nothing completed *)
+}
+
+let no_faults =
+  {
+    msgs_dropped = 0;
+    msgs_duplicated = 0;
+    retransmissions = 0;
+    view_changes = 0;
+    time_to_recovery_s = -1.0;
+  }
+
 type replica_report = {
   replica : int;
   is_primary : bool;
@@ -22,19 +43,29 @@ type t = {
   messages_sent : int;
   bytes_sent : int;
   ledger_blocks : int;  (** blocks appended at replica 0 during the run *)
+  faults : faults;
 }
 
 let latency_avg t = Stats.mean t.latency
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>throughput: %.0f txn/s (%.0f op/s)@ latency: avg %.4fs p50 %.4fs p99 %.4fs@ completed: %d (fast %d, cert %d)@ network: %d msgs, %.1f MB@ blocks: %d@]"
+    "@[<v>throughput: %.0f txn/s (%.0f op/s)@ latency: avg %.4fs p50 %.4fs p99 %.4fs@ completed: %d (fast %d, cert %d)@ network: %d msgs, %.1f MB@ blocks: %d"
     t.throughput_tps t.ops_per_second (Stats.mean t.latency)
     (Stats.percentile t.latency 50.0)
     (Stats.percentile t.latency 99.0)
     t.completed_txns t.fast_path_txns t.cert_path_txns t.messages_sent
     (float_of_int t.bytes_sent /. 1e6)
-    t.ledger_blocks
+    t.ledger_blocks;
+  if t.faults <> no_faults then
+    Format.fprintf ppf
+      "@ faults: %d dropped, %d duplicated, %d retransmissions, %d view changes%s"
+      t.faults.msgs_dropped t.faults.msgs_duplicated t.faults.retransmissions
+      t.faults.view_changes
+      (if t.faults.time_to_recovery_s >= 0.0 then
+         Printf.sprintf ", recovered in %.3fs" t.faults.time_to_recovery_s
+       else "");
+  Format.fprintf ppf "@]"
 
 let pp_saturation ppf t =
   List.iter

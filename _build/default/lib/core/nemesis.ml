@@ -1,0 +1,104 @@
+module Sim = Rdb_des.Sim
+
+type fault =
+  | Crash_primary
+  | Crash of int
+  | Recover of int
+  | Partition of { name : string; side_a : int list; side_b : int list }
+  | Heal of string
+  | Loss of float
+  | Duplication of float
+  | Extra_jitter of Sim.time
+
+type entry = { at : Sim.time; fault : fault }
+
+type schedule = entry list
+
+let at time fault = { at = time; fault }
+
+let at_ms ms fault = { at = Sim.ms ms; fault }
+
+let window ~from_ ~until on off =
+  if until < from_ then invalid_arg "Nemesis: window ends before it starts";
+  [ at from_ on; at until off ]
+
+let loss_window ~from_ ~until rate = window ~from_ ~until (Loss rate) (Loss 0.0)
+
+let duplication_window ~from_ ~until rate =
+  window ~from_ ~until (Duplication rate) (Duplication 0.0)
+
+let partition_window ~from_ ~until ~name side_a side_b =
+  window ~from_ ~until (Partition { name; side_a; side_b }) (Heal name)
+
+let crash_primary_at time = [ at time Crash_primary ]
+
+let describe = function
+  | Crash_primary -> "crash primary"
+  | Crash i -> Printf.sprintf "crash replica %d" i
+  | Recover i -> Printf.sprintf "recover replica %d" i
+  | Partition { name; side_a; side_b } ->
+    Printf.sprintf "partition %S: {%s} | {%s}" name
+      (String.concat "," (List.map string_of_int side_a))
+      (String.concat "," (List.map string_of_int side_b))
+  | Heal name -> Printf.sprintf "heal %S" name
+  | Loss r -> Printf.sprintf "loss %.1f%%" (100.0 *. r)
+  | Duplication r -> Printf.sprintf "duplication %.1f%%" (100.0 *. r)
+  | Extra_jitter j -> Printf.sprintf "extra jitter %dns" j
+
+let pp_fault ppf f = Format.pp_print_string ppf (describe f)
+
+let validate ~n schedule =
+  let check_node what i =
+    if i < 0 || i >= n then
+      invalid_arg (Printf.sprintf "Nemesis: %s names replica %d outside [0, %d)" what i n)
+  in
+  List.iter
+    (fun { at; fault } ->
+      if at < 0 then invalid_arg "Nemesis: negative fault time";
+      match fault with
+      | Crash i -> check_node "crash" i
+      | Recover i -> check_node "recover" i
+      | Partition { side_a; side_b; _ } ->
+        List.iter (check_node "partition") side_a;
+        List.iter (check_node "partition") side_b;
+        if List.exists (fun i -> List.mem i side_b) side_a then
+          invalid_arg "Nemesis: partition sides overlap"
+      | Heal _ | Crash_primary -> ()
+      | Loss r | Duplication r ->
+        if r < 0.0 || r >= 1.0 then invalid_arg "Nemesis: rate must be in [0, 1)"
+      | Extra_jitter j -> if j < 0 then invalid_arg "Nemesis: negative jitter")
+    schedule
+
+(* The cluster hands over narrow capabilities instead of itself, so this
+   module stays independent of the cluster's (large) internal state and the
+   schedule types can be referenced from [Params] without a dependency
+   cycle. *)
+type driver = {
+  sim : Sim.t;
+  current_primary : unit -> int;
+  crash : int -> unit;
+  recover : int -> unit;
+  partition : name:string -> int list -> int list -> unit;
+  heal : name:string -> unit;
+  set_loss : float -> unit;
+  set_duplication : float -> unit;
+  set_extra_jitter : Sim.time -> unit;
+  note : fault -> unit;  (** observation hook, fired as each fault is injected *)
+}
+
+let apply d fault =
+  (match fault with
+  | Crash_primary -> d.crash (d.current_primary ())
+  | Crash i -> d.crash i
+  | Recover i -> d.recover i
+  | Partition { name; side_a; side_b } -> d.partition ~name side_a side_b
+  | Heal name -> d.heal ~name
+  | Loss r -> d.set_loss r
+  | Duplication r -> d.set_duplication r
+  | Extra_jitter j -> d.set_extra_jitter j);
+  d.note fault
+
+let install d schedule =
+  List.iter
+    (fun { at; fault } -> ignore (Sim.schedule_at d.sim ~at (fun () -> apply d fault)))
+    schedule

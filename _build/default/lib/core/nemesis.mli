@@ -1,0 +1,82 @@
+(** Declarative fault injection ("nemesis") for the simulated cluster.
+
+    A schedule is a list of [(time, fault)] entries applied against the
+    running cluster's discrete-event clock — crash the primary at 200 ms,
+    cut {0,1} off from {2,3} for 100 ms, open a 2% loss window, and so on.
+    Schedules live in {!Params.t} (field [nemesis]), so any experiment can
+    be made adversarial without code changes; {!Cluster.create} installs
+    them automatically.
+
+    Times are absolute simulation time (warmup starts at 0), in
+    nanoseconds; {!at_ms} and the [*_window] helpers cover the common
+    cases. *)
+
+type fault =
+  | Crash_primary
+      (** crash whatever replica is primary at the scheduled instant *)
+  | Crash of int  (** crash one replica (fail-stop) *)
+  | Recover of int
+  | Partition of { name : string; side_a : int list; side_b : int list }
+      (** cut all traffic between the two (disjoint) replica sets *)
+  | Heal of string  (** remove the named partition *)
+  | Loss of float  (** set the global per-message drop probability *)
+  | Duplication of float  (** set the global duplication probability *)
+  | Extra_jitter of Rdb_des.Sim.time
+      (** set the additional reordering jitter on every link *)
+
+type entry = { at : Rdb_des.Sim.time; fault : fault }
+
+type schedule = entry list
+
+val at : Rdb_des.Sim.time -> fault -> entry
+
+val at_ms : float -> fault -> entry
+
+val loss_window : from_:Rdb_des.Sim.time -> until:Rdb_des.Sim.time -> float -> schedule
+(** Loss at the given rate between [from_] and [until], then back to 0. *)
+
+val duplication_window :
+  from_:Rdb_des.Sim.time -> until:Rdb_des.Sim.time -> float -> schedule
+
+val partition_window :
+  from_:Rdb_des.Sim.time ->
+  until:Rdb_des.Sim.time ->
+  name:string ->
+  int list ->
+  int list ->
+  schedule
+(** Named partition installed at [from_] and healed at [until]. *)
+
+val crash_primary_at : Rdb_des.Sim.time -> schedule
+
+val describe : fault -> string
+
+val pp_fault : Format.formatter -> fault -> unit
+
+val validate : n:int -> schedule -> unit
+(** Raises [Invalid_argument] on out-of-range replica ids, overlapping
+    partition sides, rates outside [\[0, 1)] or negative times. *)
+
+(** {2 Driving a schedule}
+
+    The cluster exposes itself as a narrow capability record; {!install}
+    schedules every entry on the DES clock. *)
+
+type driver = {
+  sim : Rdb_des.Sim.t;
+  current_primary : unit -> int;
+  crash : int -> unit;
+  recover : int -> unit;
+  partition : name:string -> int list -> int list -> unit;
+  heal : name:string -> unit;
+  set_loss : float -> unit;
+  set_duplication : float -> unit;
+  set_extra_jitter : Rdb_des.Sim.time -> unit;
+  note : fault -> unit;  (** observation hook, fired as each fault is injected *)
+}
+
+val apply : driver -> fault -> unit
+(** Inject one fault immediately. *)
+
+val install : driver -> schedule -> unit
+(** Schedule every entry of the schedule on [driver.sim]. *)

@@ -35,6 +35,20 @@ type t = {
           population floods the pipeline with head-of-line-blocking
           consensus instances *)
   crashed_backups : int;  (** backups crashed at t=0 (Fig. 17) *)
+  loss_rate : float;  (** steady-state per-message drop probability, all links *)
+  duplication_rate : float;  (** per-message duplication probability *)
+  extra_jitter : Rdb_des.Sim.time;  (** additional reordering jitter per message *)
+  nemesis : Nemesis.schedule;
+      (** timed faults injected against the DES clock (primary crash,
+          partitions, loss windows, ...); see {!Nemesis} *)
+  client_timeout : Rdb_des.Sim.time;
+      (** client retransmission timeout (exponential backoff, broadcast to
+          all replicas — PBFT's liveness path); 0 disables retransmission,
+          which is the right setting for saturated closed-loop throughput
+          experiments where a "late" reply is not a lost reply *)
+  view_timeout : Rdb_des.Sim.time;
+      (** how long a backup with unserved (retransmitted) demand waits for
+          execution progress before suspecting the primary *)
   use_buffer_pool : bool;
       (** §4.8: recycle message/transaction objects instead of malloc/free
           per message; off = ablation *)
@@ -69,6 +83,12 @@ let default =
     checkpoint_txns = 10_000;
     max_inflight_batches = 64;
     crashed_backups = 0;
+    loss_rate = 0.0;
+    duplication_rate = 0.0;
+    extra_jitter = 0;
+    nemesis = [];
+    client_timeout = 0;
+    view_timeout = Rdb_des.Sim.ms 150.0;
     use_buffer_pool = true;
     zyzzyva_timeout = Rdb_des.Sim.ms 40.0;
     bandwidth_gbps = 7.0;
@@ -94,4 +114,12 @@ let validate t =
   if t.batch_threads < 0 then invalid_arg "Params: batch_threads must be >= 0";
   if t.crashed_backups > f t then invalid_arg "Params: cannot crash more than f backups";
   if t.clients < 1 then invalid_arg "Params: need at least one client";
-  if t.cores < 1 then invalid_arg "Params: need at least one core"
+  if t.cores < 1 then invalid_arg "Params: need at least one core";
+  if t.loss_rate < 0.0 || t.loss_rate >= 1.0 then
+    invalid_arg "Params: loss_rate must be in [0, 1)";
+  if t.duplication_rate < 0.0 || t.duplication_rate >= 1.0 then
+    invalid_arg "Params: duplication_rate must be in [0, 1)";
+  if t.extra_jitter < 0 then invalid_arg "Params: extra_jitter must be non-negative";
+  if t.client_timeout < 0 then invalid_arg "Params: client_timeout must be non-negative";
+  if t.view_timeout <= 0 then invalid_arg "Params: view_timeout must be positive";
+  Nemesis.validate ~n:t.n t.nemesis

@@ -1,1 +1,1 @@
-lib/net/net.ml: Array Rdb_des
+lib/net/net.ml: Array Fun Hashtbl List Printf Rdb_des

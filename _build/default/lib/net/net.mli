@@ -1,4 +1,4 @@
-(** Simulated datacenter network.
+(** Simulated datacenter network with a composable fault model.
 
     Model (matching the paper's Google-Cloud single-region deployment):
     - every node owns an egress NIC of configurable bandwidth; outgoing
@@ -7,10 +7,23 @@
       bandwidth bottleneck (paper Fig. 12);
     - after transmission, a message experiences a propagation latency with
       optional uniform jitter;
-    - crashed nodes silently drop traffic in both directions (crash faults,
-      the fault model of the paper's Fig. 17);
     - delivery is per-destination; there is no multicast offload, so a
       broadcast pays [n-1] transmissions, as on real hardware.
+
+    Faults are composable and may be injected mid-run (typically by
+    {!Rdb_core.Nemesis} against the DES clock):
+    - {e crash faults}: crashed nodes silently drop traffic in both
+      directions ({!crash}/{!recover}; the fault model of Fig. 17);
+    - {e per-link probabilistic loss} and {e duplication}
+      ({!set_loss}/{!set_duplication}), decided per message;
+    - {e extra reordering jitter} ({!set_extra_jitter}), an additional
+      uniform delay that reorders messages on a link;
+    - {e named partitions} ({!partition}/{!heal}): traffic between the two
+      sides of any active partition is cut; unnamed nodes are unaffected.
+
+    Every dropped or duplicated message is counted by cause
+    ({!messages_dropped}, {!dropped_by_crash}, {!dropped_by_loss},
+    {!dropped_by_partition}, {!messages_duplicated}).
 
     Message payloads are opaque to the network ('a); sizes are explicit. *)
 
@@ -28,11 +41,14 @@ val create :
   'a t
 (** [deliver] is invoked at the destination's arrival instant. *)
 
+val nodes : 'a t -> int
+
 val send : 'a t -> src:int -> dst:int -> bytes:int -> 'a -> unit
 (** Queues the message on [src]'s NIC.  No-op if either side is crashed
     (a crashed source cannot send; traffic to a crashed node vanishes —
-    the drop for a crashed destination is decided at arrival time, so a
-    node that crashes mid-flight still loses the message). *)
+    drops for a crashed, partitioned or lossy destination are decided at
+    arrival time, so a node that crashes or is partitioned away mid-flight
+    still loses the message). *)
 
 val crash : 'a t -> int -> unit
 
@@ -40,9 +56,49 @@ val recover : 'a t -> int -> unit
 
 val is_crashed : 'a t -> int -> bool
 
+(** {2 Fault-model configuration} *)
+
+val set_loss : 'a t -> ?src:int -> ?dst:int -> float -> unit
+(** [set_loss t ?src ?dst r] sets the drop probability (in [\[0, 1)]) of the
+    links from [src] to [dst]; omitting [src] ([dst]) applies the rate to
+    every source (destination), so [set_loss t r] makes the whole fabric
+    lossy. *)
+
+val set_duplication : 'a t -> ?src:int -> ?dst:int -> float -> unit
+(** Like {!set_loss}, for the probability that a message is delivered
+    twice (the duplicate takes an independently jittered path). *)
+
+val set_extra_jitter : 'a t -> Rdb_des.Sim.time -> unit
+(** Additional uniform per-message delay on every link; raises effective
+    reordering (0 disables). *)
+
+val partition : 'a t -> name:string -> int list -> int list -> unit
+(** [partition t ~name side_a side_b] installs (or replaces) a named
+    partition cutting all traffic between [side_a] and [side_b] in both
+    directions.  Multiple named partitions compose (a message is dropped if
+    any active partition cuts its link). *)
+
+val heal : 'a t -> name:string -> unit
+(** Removes one named partition; unknown names are a no-op. *)
+
+val heal_all : 'a t -> unit
+
+(** {2 Accounting} *)
+
 val messages_sent : 'a t -> int
 
 val bytes_sent : 'a t -> int
+
+val messages_dropped : 'a t -> int
+(** Total messages dropped by any fault (crash + loss + partition). *)
+
+val dropped_by_crash : 'a t -> int
+
+val dropped_by_loss : 'a t -> int
+
+val dropped_by_partition : 'a t -> int
+
+val messages_duplicated : 'a t -> int
 
 val nic_busy_ns : 'a t -> int -> int
 (** Cumulative egress transmission time of one node's NIC, for

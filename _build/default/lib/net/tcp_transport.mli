@@ -8,9 +8,11 @@
     lazily on first send and kept alive.
 
     Delivery guarantees mirror TCP: reliable, ordered per connection; a
-    peer that is down simply receives nothing (BFT protocols tolerate this;
-    a production deployment would add reconnection with backoff, which
-    {!send} performs once per call).
+    peer that is down simply receives nothing (BFT protocols tolerate
+    this).  First connections retry with bounded backoff (five attempts,
+    10..80 ms apart) so cluster nodes may start in any order; a stale
+    connection is reopened once per {!send}.  Definitive failures are
+    counted in {!send_failures}.
 
     The [on_message] callback runs on reader threads but is serialized by
     an internal lock, so a single-threaded consensus core behind it needs
@@ -35,12 +37,16 @@ val add_peer : t -> int -> string * int -> unit
 
 val send : t -> to_:int -> string -> bool
 (** Frame and send a payload to a peer; [false] if the peer is unknown or
-    unreachable (after one reconnection attempt). *)
+    unreachable (after the bounded reconnection attempts). *)
 
 val broadcast : t -> string -> int
 (** Send to every peer; returns how many sends succeeded. *)
 
 val messages_received : t -> int
+
+val send_failures : t -> int
+(** Sends that definitively failed (unknown peer, or unreachable after the
+    bounded reconnect attempts). *)
 
 val shutdown : t -> unit
 (** Closes the listener and all connections; joins background threads. *)

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Cluster Int64 List Metrics Nemesis Params Printf QCheck QCheck_alcotest Rdb_core Rdb_des String

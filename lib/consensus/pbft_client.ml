@@ -3,27 +3,39 @@ type action =
   | Broadcast_request of int
   | Complete of { txn_id : int; result : string }
 
-type pending = { replies : string Quorum.t (* result -> senders *) }
+type pending = {
+  replies : string Quorum.t; (* result -> senders *)
+  mutable attempts : int; (* retransmissions so far *)
+}
 
 type t = {
   config : Config.t;
   id : int;
+  mutable view : int; (* highest view seen in any reply *)
   mutable primary : int;
   pending : (int, pending) Hashtbl.t;
 }
 
-let create config ~id = { config; id; primary = 0; pending = Hashtbl.create 64 }
+let create config ~id = { config; id; view = 0; primary = 0; pending = Hashtbl.create 64 }
 
 let id t = t.id
 
+let primary t = t.primary
+
 let submit t ~txn_id =
   if not (Hashtbl.mem t.pending txn_id) then
-    Hashtbl.add t.pending txn_id { replies = Quorum.create () };
+    Hashtbl.add t.pending txn_id { replies = Quorum.create (); attempts = 0 };
   []
 
 let handle_reply t msg =
   match msg with
-  | Message.Reply { txn_id; from; result; _ } ->
+  | Message.Reply { txn_id; from; result; view; _ } ->
+    (* Replies carry the view that committed them: after a view change this
+       re-targets subsequent requests at the new primary. *)
+    if view > t.view then begin
+      t.view <- view;
+      t.primary <- Config.primary_of_view t.config view
+    end;
     (match Hashtbl.find_opt t.pending txn_id with
     | None -> []
     | Some p ->
@@ -36,6 +48,17 @@ let handle_reply t msg =
   | _ -> []
 
 let handle_timeout t ~txn_id =
-  if Hashtbl.mem t.pending txn_id then [ Broadcast_request txn_id ] else []
+  match Hashtbl.find_opt t.pending txn_id with
+  | None -> []
+  | Some p ->
+    p.attempts <- p.attempts + 1;
+    [ Broadcast_request txn_id ]
+
+let attempts t ~txn_id =
+  match Hashtbl.find_opt t.pending txn_id with Some p -> p.attempts | None -> 0
+
+let next_timeout t ~txn_id ~base =
+  let a = min (attempts t ~txn_id) 4 in
+  base * (1 lsl a)
 
 let outstanding t = Hashtbl.length t.pending

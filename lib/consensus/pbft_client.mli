@@ -22,7 +22,22 @@ val submit : t -> txn_id:int -> action list
     cores are payload-agnostic), so the action names only the target. *)
 
 val handle_reply : t -> Message.t -> action list
+(** Replies also carry the committing view: the client re-targets its
+    [primary] when it sees a higher one (PBFT §4.1). *)
 
 val handle_timeout : t -> txn_id:int -> action list
+(** One retransmission attempt: bumps the request's attempt counter and
+    (while still outstanding) asks for a broadcast. *)
+
+val primary : t -> int
+(** The replica this client currently sends fresh requests to. *)
+
+val attempts : t -> txn_id:int -> int
+(** Retransmissions so far for an outstanding request; 0 when fresh or
+    unknown. *)
+
+val next_timeout : t -> txn_id:int -> base:int -> int
+(** Caller-visible exponential-backoff deadline: [base] time units doubled
+    per recorded attempt, capped at [16 * base]. *)
 
 val outstanding : t -> int

@@ -14,6 +14,7 @@ type t = {
   accept_thread : Thread.t option ref;
   mutable running : bool;
   mutable received : int;
+  mutable send_failures : int;
 }
 
 let reader_loop t fd =
@@ -77,6 +78,7 @@ let create ?(host = "127.0.0.1") ?(port = 0) ~on_message () =
       accept_thread = ref None;
       running = true;
       received = 0;
+      send_failures = 0;
     }
   in
   t.accept_thread := Some (Thread.create accept_loop t);
@@ -88,15 +90,26 @@ let set_peers t peers = t.peers <- peers
 
 let add_peer t id addr = t.peers <- (id, addr) :: List.remove_assoc id t.peers
 
+(* Bounded reconnect-with-backoff: cluster nodes start in arbitrary order,
+   so the first connect must tolerate a peer that is not listening yet.
+   Five attempts, 10/20/40/80 ms apart (~150 ms worst case), then give up
+   and let the caller count the failure. *)
 let connect_peer host peer_port =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  try
-    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, peer_port));
-    Unix.setsockopt fd Unix.TCP_NODELAY true;
-    Some { fd; write_lock = Mutex.create () }
-  with Unix.Unix_error _ ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    None
+  let rec attempt tries delay =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, peer_port)) with
+    | () ->
+      Unix.setsockopt fd Unix.TCP_NODELAY true;
+      Some { fd; write_lock = Mutex.create () }
+    | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if tries <= 1 then None
+      else begin
+        Thread.delay delay;
+        attempt (tries - 1) (delay *. 2.0)
+      end
+  in
+  attempt 5 0.01
 
 let get_conn t ~to_ =
   Mutex.lock t.outgoing_lock;
@@ -155,12 +168,17 @@ let rec send ?(retried = false) t ~to_ payload =
       drop_conn t ~to_;
       if retried then false else send ~retried:true t ~to_ payload)
 
-let send t ~to_ payload = send t ~to_ payload
+let send t ~to_ payload =
+  let ok = send t ~to_ payload in
+  if not ok then t.send_failures <- t.send_failures + 1;
+  ok
 
 let broadcast t payload =
   List.fold_left (fun acc (id, _) -> if send t ~to_:id payload then acc + 1 else acc) 0 t.peers
 
 let messages_received t = t.received
+
+let send_failures t = t.send_failures
 
 let shutdown t =
   t.running <- false;
