@@ -119,11 +119,12 @@ let () =
   Printf.printf "primary crash @ 0.5s:  %8.1fK txn/s  (dip: %.0f%% of healthy)\n"
     (crashed.Metrics.throughput_tps /. 1000.0)
     (100.0 *. crashed.Metrics.throughput_tps /. healthy.Metrics.throughput_tps);
+  let ttr = match f.Metrics.time_to_recovery_s with Some s -> s | None -> nan in
   Printf.printf "  view changes %d, retransmissions %d, time-to-recovery %.3fs\n"
-    f.Metrics.view_changes f.Metrics.retransmissions f.Metrics.time_to_recovery_s;
+    f.Metrics.view_changes f.Metrics.retransmissions ttr;
   assert (f.Metrics.view_changes >= 1);
   assert (f.Metrics.retransmissions > 0);
-  assert (f.Metrics.time_to_recovery_s >= 0.0);
+  assert (f.Metrics.time_to_recovery_s <> None);
   assert (crashed.Metrics.throughput_tps > 0.0);
   assert (crashed.Metrics.throughput_tps < healthy.Metrics.throughput_tps);
   print_endline "failures: OK"

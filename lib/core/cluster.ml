@@ -26,6 +26,9 @@ module Pbft = Rdb_consensus.Pbft_replica
 module Zyz = Rdb_consensus.Zyzzyva_replica
 module Block = Rdb_chain.Block
 module Ledger = Rdb_chain.Ledger
+module Trace = Rdb_obs.Trace
+module Breakdown = Rdb_obs.Breakdown
+module Series = Rdb_obs.Series
 
 (* ---- wire-level events --------------------------------------------------- *)
 
@@ -90,6 +93,28 @@ type host = {
 
 (* ---- client-pool bookkeeping ---------------------------------------------- *)
 
+(* ---- observability -------------------------------------------------------- *)
+
+(* Per-transaction span marks, first-write-wins (-1 = unset): with several
+   replicas executing the same batch, the earliest occurrence of each phase
+   transition is the one the client-visible latency decomposes over. *)
+type mark = {
+  mutable m_proposed : Sim.time;  (** batched into a proposed consensus instance *)
+  mutable m_exec_enq : Sim.time;  (** first Execute action routed *)
+  mutable m_executed : Sim.time;  (** first execution job finished *)
+}
+
+type obs = {
+  trace : Trace.t;
+  bd : Breakdown.t;
+  span_batch : Stats.t;  (** client submit -> batch proposed *)
+  span_consensus : Stats.t;  (** proposed -> Execute action emitted *)
+  span_execute : Stats.t;  (** Execute emitted -> execution done *)
+  span_reply : Stats.t;  (** execution done -> client completion *)
+  marks : (int, mark) Hashtbl.t;  (** txn id -> span marks *)
+  mutable series : Series.t option;  (** tied after the network exists *)
+}
+
 type batch_track = {
   bt_txn_ids : int array;
   mutable reply_mask : int;
@@ -123,6 +148,8 @@ type t = {
   mutable primary_crash_at : Sim.time option;
   mutable crash_view : int;  (** view at the moment the primary crashed *)
   mutable recovered_at : Sim.time option;
+  (* observability; None unless Params.obs_enabled *)
+  obs : obs option;
   (* measurement *)
   latencies : Stats.t;
   mutable measuring : bool;
@@ -174,6 +201,75 @@ let scheme_of_message p (m : Msg.t) =
 let popcount mask =
   let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
   go mask 0
+
+(* ---- observability helpers ------------------------------------------------ *)
+
+(* First-write-wins span marks.  Called only on the (rare relative to the
+   fast path) batch-boundary events, and only when tracing is on. *)
+
+let obs_mark_proposed t txns =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    let now = Sim.now t.sim in
+    Array.iter
+      (fun id ->
+        match Hashtbl.find_opt o.marks id with
+        | Some m -> if m.m_proposed < 0 then m.m_proposed <- now
+        | None ->
+          Hashtbl.add o.marks id { m_proposed = now; m_exec_enq = -1; m_executed = -1 })
+      txns
+
+let obs_mark_exec_enqueued t (reqs : Msg.request_ref list) =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    let now = Sim.now t.sim in
+    List.iter
+      (fun (r : Msg.request_ref) ->
+        match Hashtbl.find_opt o.marks r.Msg.txn_id with
+        | Some m -> if m.m_exec_enq < 0 then m.m_exec_enq <- now
+        | None -> ())
+      reqs
+
+let obs_mark_executed t (reqs : Msg.request_ref list) =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    let now = Sim.now t.sim in
+    List.iter
+      (fun (r : Msg.request_ref) ->
+        match Hashtbl.find_opt o.marks r.Msg.txn_id with
+        | Some m -> if m.m_executed < 0 then m.m_executed <- now
+        | None -> ())
+      reqs
+
+(* Record the per-phase latency split for freshly completed transactions and
+   drop their marks.  Only transactions whose marks are complete and in
+   order contribute (in a healthy traced run that is all of them), so the
+   four phases telescope exactly to the end-to-end latency. *)
+let obs_complete t fresh =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    let now = Sim.now t.sim in
+    Array.iter
+      (fun id ->
+        (if t.measuring then
+           match (Hashtbl.find_opt o.marks id, Hashtbl.find_opt t.submit_time id) with
+           | Some m, Some s
+             when m.m_proposed >= s && m.m_exec_enq >= m.m_proposed
+                  && m.m_executed >= m.m_exec_enq && now >= m.m_executed ->
+             Stats.add o.span_batch (Sim.to_seconds (m.m_proposed - s));
+             Stats.add o.span_consensus (Sim.to_seconds (m.m_exec_enq - m.m_proposed));
+             Stats.add o.span_execute (Sim.to_seconds (m.m_executed - m.m_exec_enq));
+             Stats.add o.span_reply (Sim.to_seconds (now - m.m_executed))
+           | _ -> ());
+        Hashtbl.remove o.marks id)
+      fresh
+
+let obs_instant t name =
+  match t.obs with None -> () | Some o -> Trace.instant o.trace ~name
 
 (* ---- fault-tolerance helpers ---------------------------------------------- *)
 
@@ -238,6 +334,7 @@ and note_view t (h : host) =
   if v > h.seen_view then begin
     h.seen_view <- v;
     if v > t.max_view then begin
+      obs_instant t (Printf.sprintf "view change: v%d (replica %d)" v h.id);
       t.max_view <- v;
       t.proposed_batches <- t.completed_batches
     end;
@@ -448,7 +545,9 @@ and enqueue_execute t (h : host) (b : Msg.batch) =
     + (k * (p.Params.cost.Cost.reply_per_txn + alloc))
     + p.Params.cost.Cost.hash_base (* block assembly *)
   in
+  obs_mark_exec_enqueued t b.Msg.reqs;
   Stage.enqueue stage ~service (fun () ->
+      obs_mark_executed t b.Msg.reqs;
       (* Block generation (§4.6): the commit certificate replaces the
          previous-block hash. *)
       let cert = List.init (Config.commit_quorum t.cfg) (fun i -> (i, "share")) in
@@ -565,6 +664,7 @@ and enqueue_batch_job t (h : host) stage txns =
               Queue.push id h.pending)
             txns
       | Some _ ->
+        obs_mark_proposed t txns;
         t.proposed_batches <- t.proposed_batches + 1;
         (* The worker-thread owns the consensus instance: its bookkeeping
            (instance state, quorum tracking, certificate assembly) costs a
@@ -695,6 +795,7 @@ and complete_batch t (track : batch_track) ~view ~fast ~cert =
        a later view marks the end of the outage window. *)
     if k > 0 && t.recovered_at = None && t.primary_crash_at <> None && view > t.crash_view then
       t.recovered_at <- Some now;
+    obs_complete t fresh;
     Array.iter (fun id -> Hashtbl.remove t.submit_time id) fresh;
     (* Closed loop: the same clients immediately submit replacements. *)
     if k > 0 then submit_group t (fresh_txns t k)
@@ -806,12 +907,54 @@ and deliver_client t (msg : net_msg) =
 
 (* ---- construction ----------------------------------------------------------- *)
 
+(* Stable Chrome-trace thread ids per stage, identical across replicas so
+   tracks line up when comparing processes side by side in the viewer. *)
+let stage_tid = function
+  | "input-client" -> 1
+  | "input-replica" -> 2
+  | "batch" -> 3
+  | "worker" -> 4
+  | "execute" -> 5
+  | "output" -> 6
+  | "checkpoint" -> 7
+  | _ -> 0
+
 let make_host t ~id =
   let p = t.p in
-  let cpu =
-    Cpu.create ~cs_alpha:p.Params.cost.Cost.context_switch_alpha t.sim ~cores:p.Params.cores
+  let role = if id = primary_id then "primary" else "backup" in
+  let cpu_probe =
+    match t.obs with
+    | None -> None
+    | Some o ->
+      Some
+        (fun ~wait_ns ~held_ns ~at:_ ->
+          Breakdown.add o.bd ("cpu/" ^ role) ~queue_ns:wait_ns ~service_ns:held_ns)
   in
-  let stage name workers = Stage.create t.sim ~cpu ~name ~workers () in
+  let cpu =
+    Cpu.create ~cs_alpha:p.Params.cost.Cost.context_switch_alpha ?probe:cpu_probe t.sim
+      ~cores:p.Params.cores
+  in
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+    Trace.set_process_name o.trace ~pid:id
+      (Printf.sprintf "replica %d%s" id (if id = primary_id then " (primary)" else "")));
+  let stage name workers =
+    let probe =
+      match t.obs with
+      | None -> None
+      | Some o ->
+        let tid = stage_tid name in
+        Trace.set_thread_name o.trace ~pid:id ~tid name;
+        let label = name ^ "/" ^ role in
+        Some
+          (fun ~queue_ns ~service_ns ~at ->
+            Breakdown.add o.bd label ~queue_ns ~service_ns;
+            Trace.complete o.trace ~pid:id ~tid ~name ~ts:(at - service_ns)
+              ~dur:service_ns)
+    in
+    Stage.create t.sim ~cpu ~name ~workers ?probe ()
+  in
   let core =
     match p.Params.protocol with
     | Params.Pbft -> Core_pbft (Pbft.create t.cfg ~id)
@@ -859,6 +1002,7 @@ let driver t =
     set_extra_jitter = Net.set_extra_jitter nw;
     note =
       (fun f ->
+        obs_instant t ("fault: " ^ Nemesis.describe f);
         match f with
         | Nemesis.Crash_primary -> mark_primary_crash t
         | Nemesis.Crash i when i = current_primary t -> mark_primary_crash t
@@ -866,6 +1010,80 @@ let driver t =
   }
 
 let inject t fault = Nemesis.apply (driver t) fault
+
+(* The breakdown rows in pipeline order (per role), so the printed table
+   reads top to bottom the way a transaction flows. *)
+let obs_touch_rows obs =
+  List.iter
+    (fun role ->
+      List.iter
+        (fun stage -> Breakdown.touch obs.bd (stage ^ "/" ^ role))
+        [ "input-client"; "input-replica"; "batch"; "worker"; "execute"; "output";
+          "checkpoint"; "cpu" ])
+    [ "primary"; "backup" ]
+
+let make_obs (p : Params.t) sim =
+  if not (Params.obs_enabled p) then None
+  else begin
+    let o =
+      {
+        trace = Trace.create ~max_events:p.Params.trace_max_events sim;
+        bd = Breakdown.create ();
+        span_batch = Stats.create ();
+        span_consensus = Stats.create ();
+        span_execute = Stats.create ();
+        span_reply = Stats.create ();
+        marks = Hashtbl.create 4096;
+        series = None;
+      }
+    in
+    obs_touch_rows o;
+    Some o
+  end
+
+(* The periodic sampler: reads queue depths, occupancy and counters — never
+   mutates cluster state or draws randomness, so installing it does not
+   change the modelled system (see test_obs's tracing-neutrality check). *)
+let install_series t (o : obs) =
+  let p = t.p in
+  let h0 = t.hosts.(primary_id) in
+  let backup = t.hosts.(min 1 (p.Params.n - 1)) in
+  let columns =
+    [ "primary_pending"; "primary_batch_q"; "primary_worker_q"; "primary_exec_q";
+      "primary_output_q"; "primary_cpu_q"; "primary_cpu_running"; "backup_worker_q";
+      "view"; "completed_txns"; "msgs_dropped"; "retransmissions" ]
+  in
+  let sample () =
+    let nw = net t in
+    let v =
+      [|
+        float_of_int (Queue.length h0.pending);
+        float_of_int (match h0.batch_stage with Some s -> Stage.queue_length s | None -> 0);
+        float_of_int (Stage.queue_length h0.worker);
+        float_of_int (match h0.exec_stage with Some s -> Stage.queue_length s | None -> 0);
+        float_of_int (Stage.queue_length h0.output);
+        float_of_int (Cpu.queue_length h0.cpu);
+        float_of_int (Cpu.running h0.cpu);
+        float_of_int (Stage.queue_length backup.worker);
+        float_of_int t.max_view;
+        float_of_int t.total_completed;
+        float_of_int (Net.messages_dropped nw);
+        float_of_int t.retransmissions;
+      |]
+    in
+    Trace.counter o.trace ~pid:primary_id ~name:"primary queues"
+      ~series:
+        [ ("pending", v.(0)); ("batch", v.(1)); ("worker", v.(2)); ("execute", v.(3));
+          ("output", v.(4)); ("cpu", v.(5)) ];
+    Trace.counter o.trace ~pid:primary_id ~name:"progress"
+      ~series:[ ("completed", v.(9)); ("view", v.(8)); ("dropped", v.(10)) ];
+    v
+  in
+  let horizon = p.Params.warmup + p.Params.measure in
+  let capacity = max 16 ((horizon / max 1 p.Params.trace_interval) + 4) in
+  let s = Series.create t.sim ~interval:p.Params.trace_interval ~capacity ~columns ~sample in
+  Series.start s;
+  o.series <- Some s
 
 let create (p : Params.t) =
   Params.validate p;
@@ -895,6 +1113,7 @@ let create (p : Params.t) =
       primary_crash_at = None;
       crash_view = 0;
       recovered_at = None;
+      obs = make_obs p sim;
       latencies = Stats.create ();
       measuring = false;
       completed_txns = 0;
@@ -926,6 +1145,7 @@ let create (p : Params.t) =
     Net.crash net (p.Params.n - i)
   done;
   Nemesis.install (driver t) p.Params.nemesis;
+  (match t.obs with Some o -> install_series t o | None -> ());
   t
 
 (* Seed the closed loop: every client submits one transaction, staggered
@@ -994,8 +1214,7 @@ let fault_report t =
     msgs_duplicated = Net.messages_duplicated nw;
     retransmissions = t.retransmissions;
     view_changes = Array.fold_left (fun acc h -> max acc (core_view h)) 0 t.hosts;
-    time_to_recovery_s =
-      (match time_to_recovery t with Some s -> s | None -> -1.0);
+    time_to_recovery_s = time_to_recovery t;
   }
 
 (* Agreement across replicas: every retained chain verifies, and no two
@@ -1036,6 +1255,43 @@ let debug_dump t =
     (Stage.queue_length h0.worker)
     (match h0.batch_stage with Some s -> Stage.queue_length s | None -> -1)
     (Hashtbl.length t.batches)
+
+(* ---- observability output ---------------------------------------------------- *)
+
+let trace_json t =
+  match t.obs with None -> None | Some o -> Some (Trace.to_string o.trace)
+
+let series_csv t =
+  match t.obs with
+  | None -> None
+  | Some o -> (match o.series with None -> None | Some s -> Some (Series.to_csv_string s))
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Dump the requested observability files, stop the sampler (so a caller
+   that keeps driving the clock does not keep sampling into the ring), and
+   package breakdown + spans for {!Metrics}. *)
+let obs_finish t =
+  match t.obs with
+  | None -> (None, [])
+  | Some o ->
+    (match o.series with Some s -> Series.stop s | None -> ());
+    (match t.p.Params.trace_out with
+    | Some path -> write_file path (Trace.to_string o.trace)
+    | None -> ());
+    (match (t.p.Params.trace_csv, o.series) with
+    | Some path, Some s -> write_file path (Series.to_csv_string s)
+    | _ -> ());
+    ( Some o.bd,
+      [
+        { Metrics.phase = "batch"; time = o.span_batch };
+        { Metrics.phase = "consensus"; time = o.span_consensus };
+        { Metrics.phase = "execute"; time = o.span_execute };
+        { Metrics.phase = "reply"; time = o.span_reply };
+      ] )
 
 let run (p : Params.t) : Metrics.t =
   let t = create p in
@@ -1082,6 +1338,7 @@ let run (p : Params.t) : Metrics.t =
            })
          t.hosts)
   in
+  let breakdown, spans = obs_finish t in
   {
     Metrics.throughput_tps = (if window > 0.0 then float_of_int t.completed_txns /. window else 0.0);
     ops_per_second = (if window > 0.0 then float_of_int t.completed_ops /. window else 0.0);
@@ -1094,4 +1351,6 @@ let run (p : Params.t) : Metrics.t =
     bytes_sent = s1.bytes - s0.bytes;
     ledger_blocks = s1.blocks - s0.blocks;
     faults = fault_report t;
+    breakdown;
+    spans;
   }

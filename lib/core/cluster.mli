@@ -42,6 +42,25 @@ val time_to_recovery : t -> float option
     completion decided in a later view; [None] before recovery (or when no
     primary crash was injected). *)
 
+(** {2 Observability}
+
+    When {!Params.obs_enabled} holds (the [trace] flag or a [trace_out] /
+    [trace_csv] destination), the cluster is built with stage/CPU probes, a
+    periodic time-series sampler and a Chrome [trace_event] collector; the
+    run's {!Metrics.t} then carries the per-stage latency breakdown and the
+    per-transaction span phases.  All of it only {e reads} simulation state,
+    so every metric is identical with tracing on or off. *)
+
+val trace_json : t -> string option
+(** The Chrome [trace_event] JSON collected so far ([None] when tracing is
+    off).  Load it in [chrome://tracing] or Perfetto: one process per
+    replica, one track per pipeline stage, counter tracks for queue depths
+    and instant events for faults and view changes. *)
+
+val series_csv : t -> string option
+(** The sampled time-series (queue depths, occupancy, counters) as CSV;
+    [None] when tracing is off. *)
+
 val check_safety : t -> (unit, string) result
 (** Cross-replica agreement: every retained ledger verifies, and no two
     replicas committed different batches at the same sequence number. *)

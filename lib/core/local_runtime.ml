@@ -10,6 +10,7 @@ module Mem_store = Rdb_storage.Mem_store
 module Ledger = Rdb_chain.Ledger
 module Block = Rdb_chain.Block
 module Rng = Rdb_des.Rng
+module Trace = Rdb_obs.Trace
 
 type config = { n : int; batch_size : int; checkpoint_interval : int; seed : int64 }
 
@@ -41,17 +42,31 @@ type t = {
   mutable crashed : int list;
   mutable completed : (int * string) list;  (** newest first *)
   mutable auth_failures : int;
+  (* Message-flow trace: this runtime has no simulated clock, so delivery
+     order (the step index) stands in for time — one "tick" per message. *)
+  obs_trace : Trace.t option;
+  mutable trace_step : int;
 }
 
 (* A single pre-shared group secret, as in a permissioned deployment. *)
 let group_secret = "local-runtime-k!"
 
-let create ?(config = default_config) ~apply () =
+let create ?(config = default_config) ?(trace = false) ~apply () =
   if config.n < 4 then invalid_arg "Local_runtime.create: need at least 4 replicas";
   if config.batch_size < 1 then invalid_arg "Local_runtime.create: bad batch size";
   let ccfg = Config.make ~checkpoint_interval:config.checkpoint_interval ~n:config.n () in
   let rng = Rng.create config.seed in
   let client_signer = Signer.create rng Signer.Ed25519 in
+  let obs_trace =
+    if not trace then None
+    else begin
+      let tr = Trace.create (Rdb_des.Sim.create ()) in
+      for id = 0 to config.n - 1 do
+        Trace.set_process_name tr ~pid:id (Printf.sprintf "replica %d" id)
+      done;
+      Some tr
+    end
+  in
   {
     cfg = config;
     ccfg;
@@ -76,6 +91,8 @@ let create ?(config = default_config) ~apply () =
     crashed = [];
     completed = [];
     auth_failures = 0;
+    obs_trace;
+    trace_step = 0;
   }
 
 let is_crashed t id = List.mem id t.crashed
@@ -253,6 +270,12 @@ let step t =
   | None -> false
   | Some (dst, msg, tag) ->
     if not (is_crashed t dst) then begin
+      (match t.obs_trace with
+      | Some tr ->
+        t.trace_step <- t.trace_step + 1;
+        Trace.complete tr ~pid:dst ~tid:0 ~name:(Msg.type_name msg)
+          ~ts:(t.trace_step * 1000) ~dur:1000
+      | None -> ());
       let r = t.replicas.(dst) in
       if Cmac.verify r.mac (Msg.auth_string msg) ~tag then
         dispatch t ~origin:dst (Pbft.handle_message r.core msg)
@@ -298,6 +321,8 @@ let ledger t id = t.replicas.(id).rledger
 let last_executed t id = Pbft.last_executed t.replicas.(id).core
 
 let auth_failures t = t.auth_failures
+
+let trace_json t = match t.obs_trace with Some tr -> Some (Trace.to_string tr) | None -> None
 
 let inject_forged_message t ~dst =
   let msg = Msg.Prepare { view = view t; seq = 999_999; digest = "forged"; from = 0 } in

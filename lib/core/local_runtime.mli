@@ -31,12 +31,17 @@ val default_config : config
 
 val create :
   ?config:config ->
+  ?trace:bool ->
   apply:(replica:int -> Rdb_storage.Mem_store.t -> client:int -> payload:string -> string) ->
   unit ->
   t
 (** [apply] executes one request against a replica's store and returns the
     result string sent back to the client.  It must be deterministic: all
-    replicas run it independently and their results must agree. *)
+    replicas run it independently and their results must agree.
+
+    [trace] (default false) records every delivered protocol message as a
+    Chrome trace event, retrievable with {!trace_json}; this runtime has no
+    simulated clock, so delivery order stands in for time. *)
 
 val submit : t -> client:int -> payload:string -> int
 (** Queue a signed request; returns its transaction id.  Requests are
@@ -93,3 +98,8 @@ val auth_failures : t -> int
 val inject_forged_message : t -> dst:int -> unit
 (** For tests/demos: deliver a protocol message with a corrupted
     authenticator to [dst]; it must be rejected and counted. *)
+
+val trace_json : t -> string option
+(** The Chrome [trace_event] JSON of every message delivered so far — one
+    process per replica, one event per protocol message, timestamped by
+    delivery order.  [None] unless created with [~trace:true]. *)

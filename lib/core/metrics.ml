@@ -1,8 +1,11 @@
 (** Results of one simulated cluster run. *)
 
 module Stats = Rdb_des.Stats
+module Breakdown = Rdb_obs.Breakdown
 
 type stage_saturation = { stage : string; percent : float }
+(** Occupied-time percentage of one pipeline stage over the measured
+    window (100 = every worker of the stage busy the whole window). *)
 
 (** Fault-injection accounting, over the whole run (not just the measured
     window): how hostile the network was and how the cluster coped. *)
@@ -11,26 +14,36 @@ type faults = {
   msgs_duplicated : int;
   retransmissions : int;  (** client request re-sends (with backoff) *)
   view_changes : int;  (** completed view changes (final view number) *)
-  time_to_recovery_s : float;
-      (** primary crash to the first client completion afterwards;
-          negative when no primary crash was injected or nothing completed *)
+  time_to_recovery_s : float option;
+      (** primary crash to the first client completion afterwards; [None]
+          when no primary crash was injected or nothing completed after *)
 }
 
+(** The all-zero fault record reported by a healthy, unfaulted run. *)
 let no_faults =
   {
     msgs_dropped = 0;
     msgs_duplicated = 0;
     retransmissions = 0;
     view_changes = 0;
-    time_to_recovery_s = -1.0;
+    time_to_recovery_s = None;
   }
 
 type replica_report = {
   replica : int;
-  is_primary : bool;
+  is_primary : bool;  (** primary of the {e final} view *)
   stages : stage_saturation list;
   cpu_utilization : float;  (** fraction of core capacity used, 0..1 *)
 }
+(** Per-replica saturation summary for the measured window. *)
+
+type span_phase = {
+  phase : string;  (** ["batch"], ["consensus"], ["execute"] or ["reply"] *)
+  time : Stats.t;  (** seconds spent in the phase, one sample per txn *)
+}
+(** One phase of the per-transaction span: client-visible latency is split
+    into consecutive, non-overlapping phases that telescope — the phase
+    means sum to the mean end-to-end latency (tested in [test_obs]). *)
 
 type t = {
   throughput_tps : float;  (** transactions completed per second, measured window *)
@@ -44,8 +57,17 @@ type t = {
   bytes_sent : int;
   ledger_blocks : int;  (** blocks appended at replica 0 during the run *)
   faults : faults;
+  breakdown : Breakdown.t option;
+      (** per-stage queue/service latency split; [Some] only when the run
+          was traced ({!Params.obs_enabled}) *)
+  spans : span_phase list;
+      (** per-transaction phase latencies; empty unless the run was traced *)
 }
+(** Everything a bench figure needs from one run.  [breakdown] and [spans]
+    are populated only when tracing is on; all other fields are identical
+    with tracing on or off (tested in [test_obs]). *)
 
+(** Mean end-to-end transaction latency in seconds. *)
 let latency_avg t = Stats.mean t.latency
 
 let pp ppf t =
@@ -62,11 +84,12 @@ let pp ppf t =
       "@ faults: %d dropped, %d duplicated, %d retransmissions, %d view changes%s"
       t.faults.msgs_dropped t.faults.msgs_duplicated t.faults.retransmissions
       t.faults.view_changes
-      (if t.faults.time_to_recovery_s >= 0.0 then
-         Printf.sprintf ", recovered in %.3fs" t.faults.time_to_recovery_s
-       else "");
+      (match t.faults.time_to_recovery_s with
+       | Some s -> Printf.sprintf ", recovered in %.3fs" s
+       | None -> "");
   Format.fprintf ppf "@]"
 
+(** Per-replica stage saturation and CPU utilization table. *)
 let pp_saturation ppf t =
   List.iter
     (fun r ->
@@ -76,3 +99,48 @@ let pp_saturation ppf t =
       List.iter (fun s -> Format.fprintf ppf " %s=%.0f%%" s.stage s.percent) r.stages;
       Format.fprintf ppf "@]@ ")
     t.replicas
+
+(** Per-stage latency breakdown table (time-in-queue vs time-in-service per
+    completed job, milliseconds).  Prints nothing when the run was not
+    traced. *)
+let pp_breakdown ppf t =
+  match t.breakdown with
+  | None -> ()
+  | Some b ->
+    Format.fprintf ppf "@[<v>%-24s %10s %12s %12s %12s %12s@ " "stage" "jobs"
+      "q mean ms" "q p99 ms" "svc mean ms" "svc p99 ms";
+    List.iter
+      (fun (r : Breakdown.row) ->
+        if Breakdown.jobs r > 0 then
+          Format.fprintf ppf "%-24s %10d %12.4f %12.4f %12.4f %12.4f@ " r.label
+            (Breakdown.jobs r)
+            (1e3 *. Stats.mean r.queue)
+            (1e3 *. Stats.percentile r.queue 99.0)
+            (1e3 *. Stats.mean r.service)
+            (1e3 *. Stats.percentile r.service 99.0))
+      (Breakdown.rows b);
+    Format.fprintf ppf "@]"
+
+(** Per-transaction span phases (milliseconds): where client-visible latency
+    is spent, phase means summing to the end-to-end mean.  Prints nothing
+    when the run was not traced. *)
+let pp_spans ppf t =
+  match t.spans with
+  | [] -> ()
+  | spans ->
+    Format.fprintf ppf "@[<v>%-12s %10s %12s %12s %12s@ " "phase" "txns"
+      "mean ms" "p50 ms" "p99 ms";
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "%-12s %10d %12.4f %12.4f %12.4f@ " s.phase
+          (Stats.count s.time)
+          (1e3 *. Stats.mean s.time)
+          (1e3 *. Stats.percentile s.time 50.0)
+          (1e3 *. Stats.percentile s.time 99.0))
+      spans;
+    Format.fprintf ppf "%-12s %10d %12.4f %12.4f %12.4f@ " "end-to-end"
+      (Stats.count t.latency)
+      (1e3 *. Stats.mean t.latency)
+      (1e3 *. Stats.percentile t.latency 50.0)
+      (1e3 *. Stats.percentile t.latency 99.0);
+    Format.fprintf ppf "@]"

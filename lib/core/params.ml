@@ -61,6 +61,19 @@ type t = {
   warmup : Rdb_des.Sim.time;
   measure : Rdb_des.Sim.time;
   seed : int64;
+  trace : bool;
+      (** master switch for the observability layer (span tracing, per-stage
+          latency breakdown, time-series sampling).  Off by default: stages
+          and CPUs are created without probes, so the fast path is exactly
+          the un-instrumented code *)
+  trace_out : string option;
+      (** write a Chrome [trace_event] JSON file here after the run
+          (chrome://tracing / Perfetto); implies [trace] *)
+  trace_csv : string option;
+      (** write the sampled time-series (queue depths, throughput, faults)
+          as CSV here after the run; implies [trace] *)
+  trace_interval : Rdb_des.Sim.time;  (** time-series sampling period *)
+  trace_max_events : int;  (** cap on buffered trace events per run *)
 }
 
 let default =
@@ -98,9 +111,18 @@ let default =
     warmup = Rdb_des.Sim.seconds 0.5;
     measure = Rdb_des.Sim.seconds 1.0;
     seed = 0x5265736442L;
+    trace = false;
+    trace_out = None;
+    trace_csv = None;
+    trace_interval = Rdb_des.Sim.ms 5.0;
+    trace_max_events = 200_000;
   }
 
 let f t = (t.n - 1) / 3
+
+(** Whether any observability output was requested: the [trace] switch or a
+    file destination (either of which turns instrumentation on). *)
+let obs_enabled t = t.trace || t.trace_out <> None || t.trace_csv <> None
 
 (** Sequence numbers between checkpoints, derived from the per-transaction
     interval and the batch size. *)
@@ -122,4 +144,6 @@ let validate t =
   if t.extra_jitter < 0 then invalid_arg "Params: extra_jitter must be non-negative";
   if t.client_timeout < 0 then invalid_arg "Params: client_timeout must be non-negative";
   if t.view_timeout <= 0 then invalid_arg "Params: view_timeout must be positive";
+  if t.trace_interval <= 0 then invalid_arg "Params: trace_interval must be positive";
+  if t.trace_max_events < 1 then invalid_arg "Params: trace_max_events must be >= 1";
   Nemesis.validate ~n:t.n t.nemesis

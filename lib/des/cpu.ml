@@ -1,9 +1,10 @@
-type job = { service : Sim.time; k : unit -> unit }
+type job = { service : Sim.time; submitted : Sim.time; k : unit -> unit }
 
 type t = {
   sim : Sim.t;
   cores : int;
   cs_alpha : float;
+  probe : (wait_ns:int -> held_ns:int -> at:Sim.time -> unit) option;
   waiting : job Queue.t;
   mutable running : int;
   mutable busy_ns_completed : int;
@@ -11,12 +12,13 @@ type t = {
   mutable inflight_started : Sim.time list;
 }
 
-let create ?(cs_alpha = 0.0) sim ~cores =
+let create ?(cs_alpha = 0.0) ?probe sim ~cores =
   if cores <= 0 then invalid_arg "Cpu.create: cores must be positive";
   {
     sim;
     cores;
     cs_alpha;
+    probe;
     waiting = Queue.create ();
     running = 0;
     busy_ns_completed = 0;
@@ -50,6 +52,11 @@ let rec start t job =
          t.running <- t.running - 1;
          t.busy_ns_completed <- t.busy_ns_completed + service;
          t.inflight_started <- remove_one started t.inflight_started;
+         (match t.probe with
+          | None -> ()
+          | Some probe ->
+            probe ~wait_ns:(started - job.submitted) ~held_ns:service
+              ~at:(Sim.now t.sim));
          job.k ();
          dispatch t))
 
@@ -65,7 +72,7 @@ and remove_one x = function
 
 let submit t ~service k =
   if service < 0 then invalid_arg "Cpu.submit: negative service time";
-  let job = { service; k } in
+  let job = { service; submitted = Sim.now t.sim; k } in
   if t.running < t.cores then start t job else Queue.push job t.waiting
 
 let busy_ns t =

@@ -9,12 +9,23 @@
 
 type t
 
-val create : ?cs_alpha:float -> Sim.t -> cores:int -> t
+val create :
+  ?cs_alpha:float ->
+  ?probe:(wait_ns:int -> held_ns:int -> at:Sim.time -> unit) ->
+  Sim.t ->
+  cores:int ->
+  t
 (** [cs_alpha] models thread over-subscription: when more jobs are runnable
     than there are cores, each dispatched job's service time inflates by
     [1 + cs_alpha * (runnable - cores) / cores] — context switching, cache
     pollution and scheduler latency on an overcommitted machine.  Default 0
-    (pure FCFS capacity model). *)
+    (pure FCFS capacity model).
+
+    [probe], when given, is called once per completed job with the time the
+    job waited for a free core ([wait_ns]), the time it then held the core
+    ([held_ns], after any over-subscription inflation) and the completion
+    timestamp ([at]).  Absent by default: the fast path performs no extra
+    allocation and no call. *)
 
 val cores : t -> int
 

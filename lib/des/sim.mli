@@ -14,15 +14,26 @@ type event
 (** Handle for a scheduled event; allows cancellation (e.g. timeouts). *)
 
 val ns : int -> time
+(** [ns n] is [n] nanoseconds (the identity — provided for symmetry). *)
+
 val us : float -> time
+(** [us x] is [x] microseconds, rounded to the nearest nanosecond. *)
+
 val ms : float -> time
+(** [ms x] is [x] milliseconds, rounded to the nearest nanosecond. *)
+
 val seconds : float -> time
+(** [seconds x] is [x] seconds, rounded to the nearest nanosecond. *)
 
 val to_seconds : time -> float
+(** [to_seconds t] converts a simulation time back to fractional seconds. *)
 
 val create : unit -> t
+(** A fresh simulation with an empty event queue and clock at 0. *)
 
 val now : t -> time
+(** Current simulation time: the firing time of the event being processed
+    (0 before the first event). *)
 
 val schedule : t -> after:time -> (unit -> unit) -> event
 (** [schedule t ~after f] runs [f] at [now t + after]. [after] must be
@@ -35,6 +46,7 @@ val cancel : event -> unit
 (** Cancelling an already-fired or already-cancelled event is a no-op. *)
 
 val cancelled : event -> bool
+(** Whether {!cancel} was called on the event (fired events stay [false]). *)
 
 val run : ?until:time -> t -> unit
 (** Processes events in time order.  Stops when the queue drains, or at

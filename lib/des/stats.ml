@@ -1,26 +1,56 @@
 type t = {
+  cap : int;
+  rng : Rng.t;
   mutable count : int;
   mutable mean : float;
   mutable m2 : float;
   mutable total : float;
   mutable min_v : float;
   mutable max_v : float;
-  mutable samples : float list;
+  (* Reservoir of samples for percentile queries: exact below [cap], a
+     uniform random subset (Vitter's algorithm R) beyond it. *)
+  mutable reservoir : float array;  (* physical buffer, grows up to [cap] *)
+  mutable filled : int;  (* slots of [reservoir] in use *)
   (* Sorted cache, invalidated on add. *)
   mutable sorted : float array option;
 }
 
-let create () =
+let default_cap = 100_000
+
+let create ?(cap = default_cap) ?rng () =
+  if cap < 1 then invalid_arg "Stats.create: cap must be >= 1";
+  let rng = match rng with Some r -> r | None -> Rng.create 0x5374617473526E67L in
   {
+    cap;
+    rng;
     count = 0;
     mean = 0.0;
     m2 = 0.0;
     total = 0.0;
     min_v = nan;
     max_v = nan;
-    samples = [];
+    reservoir = [||];
+    filled = 0;
     sorted = None;
   }
+
+let store t x =
+  if t.filled < t.cap then begin
+    if t.filled = Array.length t.reservoir then begin
+      let cap = min t.cap (max 64 (2 * Array.length t.reservoir)) in
+      let buf = Array.make cap 0.0 in
+      Array.blit t.reservoir 0 buf 0 t.filled;
+      t.reservoir <- buf
+    end;
+    t.reservoir.(t.filled) <- x;
+    t.filled <- t.filled + 1
+  end
+  else begin
+    (* Replace a random slot with probability cap/count: every sample seen
+       so far ends up in the reservoir with equal probability. *)
+    let j = Rng.int t.rng t.count in
+    if j < t.cap then t.reservoir.(j) <- x
+  end
 
 let add t x =
   t.count <- t.count + 1;
@@ -36,7 +66,7 @@ let add t x =
     if x < t.min_v then t.min_v <- x;
     if x > t.max_v then t.max_v <- x
   end;
-  t.samples <- x :: t.samples;
+  store t x;
   t.sorted <- None
 
 let count t = t.count
@@ -53,11 +83,13 @@ let min t = t.min_v
 
 let max t = t.max_v
 
+let retained t = t.filled
+
 let sorted t =
   match t.sorted with
   | Some a -> a
   | None ->
-    let a = Array.of_list t.samples in
+    let a = Array.sub t.reservoir 0 t.filled in
     Array.sort compare a;
     t.sorted <- Some a;
     a
@@ -66,18 +98,24 @@ let percentile t p =
   if t.count = 0 then nan
   else begin
     let a = sorted t in
+    let n = Array.length a in
     let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
-    let idx = Stdlib.max 0 (Stdlib.min (t.count - 1) (rank - 1)) in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
     a.(idx)
   end
 
 let median t = percentile t 50.0
 
+let iter_samples t f =
+  for i = 0 to t.filled - 1 do
+    f t.reservoir.(i)
+  done
+
 let merge a b =
-  let t = create () in
-  List.iter (add t) a.samples;
-  List.iter (add t) b.samples;
+  let t = create ~cap:(Stdlib.max a.cap b.cap) () in
+  iter_samples a (add t);
+  iter_samples b (add t);
   t
 
 let pp ppf t =

@@ -1,42 +1,68 @@
 (** Online statistics accumulators used by the experiment harness.
 
-    [t] tracks count / mean / variance (Welford) / min / max incrementally and
-    keeps the raw samples for exact percentile queries.  For the experiment
-    sizes in this repository (at most a few million samples per run) keeping
-    the samples is cheap and avoids approximation arguments in the results. *)
+    [t] tracks count / mean / variance (Welford) / min / max incrementally
+    and keeps a bounded reservoir of raw samples for percentile queries.
+    Below the cap the reservoir is exact; beyond it, reservoir sampling
+    (Vitter's algorithm R, driven by a deterministic {!Rng.t}) keeps a
+    uniform subset so percentiles stay unbiased while memory stays constant
+    no matter how long a run is. *)
 
 type t
 
-val create : unit -> t
+val default_cap : int
+(** Default reservoir capacity: 100_000 samples. *)
+
+val create : ?cap:int -> ?rng:Rng.t -> unit -> t
+(** [create ()] returns an empty accumulator retaining at most [cap] raw
+    samples (default {!default_cap}).  [rng] drives reservoir replacement
+    once the cap is exceeded; by default each accumulator owns a fixed-seed
+    generator, so results are reproducible and independent of every other
+    random stream in the simulation.  Raises [Invalid_argument] when
+    [cap < 1]. *)
 
 val add : t -> float -> unit
+(** Record one sample.  Constant amortised time and bounded memory. *)
 
 val count : t -> int
+(** Samples recorded since creation (not capped). *)
 
 val total : t -> float
+(** Exact running sum of all samples. *)
 
 val mean : t -> float
-(** 0 when empty. *)
+(** Exact mean; 0 when empty. *)
 
 val variance : t -> float
-(** Sample variance; 0 with fewer than two samples. *)
+(** Exact sample variance; 0 with fewer than two samples. *)
 
 val stddev : t -> float
 
 val min : t -> float
-(** [nan] when empty. *)
+(** Exact minimum; [nan] when empty. *)
 
 val max : t -> float
-(** [nan] when empty. *)
+(** Exact maximum; [nan] when empty. *)
+
+val retained : t -> int
+(** Raw samples currently held in the reservoir
+    ([Stdlib.min (count t) cap]). *)
 
 val percentile : t -> float -> float
-(** [percentile t p] with [p] in [\[0, 100\]], nearest-rank method.
+(** [percentile t p] with [p] in [\[0, 100\]], nearest-rank method over the
+    reservoir — exact below the cap, an unbiased estimate above it.
     [nan] when empty. *)
 
 val median : t -> float
+(** [percentile t 50.0]. *)
+
+val iter_samples : t -> (float -> unit) -> unit
+(** Iterate over the retained reservoir samples (unspecified order). *)
 
 val merge : t -> t -> t
-(** Fresh accumulator holding the union of samples. *)
+(** Fresh accumulator holding the union of both reservoirs (capped at the
+    larger of the two caps).  Summary moments of the merge reflect the
+    retained samples only, so merge after capping loses the exactness of
+    {!mean}/{!total} — the harness only merges small per-replica sets. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -1,0 +1,32 @@
+module Stats = Rdb_des.Stats
+
+type row = { label : string; queue : Stats.t; service : Stats.t }
+
+type t = {
+  tbl : (string, row) Hashtbl.t;
+  mutable order : string list;  (* newest first *)
+}
+
+let create () = { tbl = Hashtbl.create 32; order = [] }
+
+let row t label =
+  match Hashtbl.find_opt t.tbl label with
+  | Some r -> r
+  | None ->
+    let r = { label; queue = Stats.create (); service = Stats.create () } in
+    Hashtbl.add t.tbl label r;
+    t.order <- label :: t.order;
+    r
+
+let touch t label = ignore (row t label)
+
+let add t label ~queue_ns ~service_ns =
+  let r = row t label in
+  Stats.add r.queue (float_of_int queue_ns /. 1e9);
+  Stats.add r.service (float_of_int service_ns /. 1e9)
+
+let jobs r = Stats.count r.queue
+
+let rows t = List.rev_map (fun label -> Hashtbl.find t.tbl label) t.order
+
+let find t label = Hashtbl.find_opt t.tbl label

@@ -1,0 +1,38 @@
+(** Per-stage latency breakdown: time-in-queue vs time-in-service.
+
+    Each labelled row accumulates two distributions per completed unit of
+    work: how long it waited before a worker picked it up ([queue]) and how
+    long the worker then held it ([service], which for pipeline stages
+    includes any wait for a CPU core — the paper's Fig. 9 occupancy
+    convention).  The cluster feeds rows through stage/CPU probes; the
+    resulting table is the per-phase saturation story of paper Q2–Q4 made
+    visible per transaction instead of per measurement window. *)
+
+type t
+
+type row = {
+  label : string;  (** e.g. ["worker/primary"] *)
+  queue : Rdb_des.Stats.t;  (** seconds in queue, one sample per job *)
+  service : Rdb_des.Stats.t;  (** seconds in service, one sample per job *)
+}
+
+val create : unit -> t
+(** An empty breakdown table. *)
+
+val touch : t -> string -> unit
+(** Ensures a row exists for [label] without adding samples — rows appear in
+    the table in first-touch order, so wiring code can fix a pipeline-shaped
+    ordering up front. *)
+
+val add : t -> string -> queue_ns:int -> service_ns:int -> unit
+(** Records one completed job under [label]; both durations are nanoseconds
+    and are stored as seconds. *)
+
+val jobs : row -> int
+(** Jobs recorded in a row. *)
+
+val rows : t -> row list
+(** All rows in first-touch order. *)
+
+val find : t -> string -> row option
+(** Looks a row up by label. *)

@@ -1,0 +1,40 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable next : int;  (* next write slot *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be >= 1";
+  { buf = Array.make capacity None; next = 0; len = 0; dropped = 0 }
+
+let capacity t = Array.length t.buf
+
+let length t = t.len
+
+let dropped t = t.dropped
+
+let push t x =
+  let cap = Array.length t.buf in
+  if t.len = cap then t.dropped <- t.dropped + 1 else t.len <- t.len + 1;
+  t.buf.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod cap
+
+let iter t f =
+  let cap = Array.length t.buf in
+  for i = 0 to t.len - 1 do
+    let idx = (t.next - t.len + i + cap) mod cap in
+    match t.buf.(idx) with Some x -> f x | None -> ()
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun x -> acc := x :: !acc);
+  List.rev !acc
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.next <- 0;
+  t.len <- 0;
+  t.dropped <- 0

@@ -1,0 +1,34 @@
+(** Fixed-capacity ring buffer.
+
+    The observability layer samples the running system periodically; a ring
+    buffer bounds the memory of arbitrarily long runs while keeping the most
+    recent window of samples.  Overwritten (oldest) entries are counted so
+    exports can state how much history was shed. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] allocates a buffer holding at most [capacity]
+    elements.  Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+(** Maximum number of retained elements. *)
+
+val length : 'a t -> int
+(** Elements currently retained (at most {!capacity}). *)
+
+val push : 'a t -> 'a -> unit
+(** Appends one element; when full, the oldest element is overwritten and
+    counted in {!dropped}. *)
+
+val dropped : 'a t -> int
+(** Elements overwritten because the buffer was full. *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Visits retained elements oldest-first. *)
+
+val to_list : 'a t -> 'a list
+(** Retained elements oldest-first. *)
+
+val clear : 'a t -> unit
+(** Empties the buffer; {!dropped} is reset too. *)

@@ -1,0 +1,75 @@
+module Sim = Rdb_des.Sim
+
+type t = {
+  sim : Sim.t;
+  interval : Sim.time;
+  cols : string list;
+  sample : unit -> float array;
+  ring : (Sim.time * float array) Ring.t;
+  mutable running : bool;
+  mutable pending : Sim.event option;
+}
+
+let create sim ~interval ~capacity ~columns ~sample =
+  if interval <= 0 then invalid_arg "Series.create: interval must be positive";
+  if capacity < 1 then invalid_arg "Series.create: capacity must be >= 1";
+  {
+    sim;
+    interval;
+    cols = columns;
+    sample;
+    ring = Ring.create ~capacity;
+    running = false;
+    pending = None;
+  }
+
+let rec tick t () =
+  if t.running then begin
+    Ring.push t.ring (Sim.now t.sim, t.sample ());
+    t.pending <- Some (Sim.schedule t.sim ~after:t.interval (tick t))
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    tick t ()
+  end
+
+let stop t =
+  t.running <- false;
+  match t.pending with
+  | Some ev ->
+    Sim.cancel ev;
+    t.pending <- None
+  | None -> ()
+
+let length t = Ring.length t.ring
+
+let dropped t = Ring.dropped t.ring
+
+let columns t = t.cols
+
+let rows t = Ring.to_list t.ring
+
+let to_buffer t b =
+  Buffer.add_string b "t_s";
+  List.iter
+    (fun c ->
+      Buffer.add_char b ',';
+      Buffer.add_string b c)
+    t.cols;
+  Buffer.add_char b '\n';
+  Ring.iter t.ring (fun (ts, values) ->
+      Buffer.add_string b (Printf.sprintf "%.6f" (Sim.to_seconds ts));
+      Array.iter (fun v -> Buffer.add_string b (Printf.sprintf ",%g" v)) values;
+      Buffer.add_char b '\n')
+
+let to_csv_string t =
+  let b = Buffer.create (64 + (length t * 64)) in
+  to_buffer t b;
+  Buffer.contents b
+
+let write_csv t oc =
+  let b = Buffer.create (64 + (length t * 64)) in
+  to_buffer t b;
+  Buffer.output_buffer oc b

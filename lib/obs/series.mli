@@ -1,0 +1,49 @@
+(** Periodic time-series sampling over the DES clock.
+
+    A sampler is a discrete-event process: every [interval] it calls the
+    supplied [sample] function and stores the row (timestamp + one float per
+    column) in a ring buffer.  Because samples only {e read} cluster state —
+    no RNG draws, no mutations — installing a sampler does not perturb the
+    simulation: event identity and ordering of the modelled system are
+    unchanged, so metrics with sampling on equal metrics with sampling off.
+
+    Rows are exported as CSV (one [t_s] column plus the declared columns). *)
+
+type t
+
+val create :
+  Rdb_des.Sim.t ->
+  interval:Rdb_des.Sim.time ->
+  capacity:int ->
+  columns:string list ->
+  sample:(unit -> float array) ->
+  t
+(** [create sim ~interval ~capacity ~columns ~sample] builds a sampler that,
+    once {!start}ed, calls [sample] every [interval] nanoseconds and keeps
+    the newest [capacity] rows.  [sample] must return one value per column.
+    Raises [Invalid_argument] on a non-positive interval or capacity. *)
+
+val start : t -> unit
+(** Takes the first sample now and reschedules forever (run the simulation
+    with [~until] or {!stop} the sampler to terminate).  Idempotent. *)
+
+val stop : t -> unit
+(** Cancels the pending sample event; {!start} may be called again. *)
+
+val length : t -> int
+(** Rows currently retained. *)
+
+val dropped : t -> int
+(** Rows overwritten because the ring was full. *)
+
+val columns : t -> string list
+(** The declared column names. *)
+
+val rows : t -> (Rdb_des.Sim.time * float array) list
+(** Retained rows, oldest first. *)
+
+val write_csv : t -> out_channel -> unit
+(** Header line ([t_s,<columns>]) followed by one line per retained row. *)
+
+val to_csv_string : t -> string
+(** {!write_csv}, to a string (used by tests and demos). *)

@@ -1,0 +1,136 @@
+module Sim = Rdb_des.Sim
+
+type ev =
+  | Complete of { pid : int; tid : int; name : string; ts : Sim.time; dur : Sim.time }
+  | Counter of { pid : int; name : string; ts : Sim.time; series : (string * float) list }
+
+type t = {
+  sim : Sim.t;
+  max_events : int;
+  mutable buf : ev array;
+  mutable n : int;
+  mutable dropped : int;
+  mutable instants : (string * Sim.time) list;  (* newest first *)
+  mutable meta : (int * int option * string) list;  (* (pid, tid?, name), newest first *)
+}
+
+let dummy = Complete { pid = 0; tid = 0; name = ""; ts = 0; dur = 0 }
+
+let create ?(max_events = 200_000) sim =
+  if max_events < 1 then invalid_arg "Trace.create: max_events must be >= 1";
+  { sim; max_events; buf = [||]; n = 0; dropped = 0; instants = []; meta = [] }
+
+let push t ev =
+  if t.n >= t.max_events then t.dropped <- t.dropped + 1
+  else begin
+    if t.n = Array.length t.buf then begin
+      let cap = min t.max_events (max 1024 (2 * Array.length t.buf)) in
+      let buf = Array.make cap dummy in
+      Array.blit t.buf 0 buf 0 t.n;
+      t.buf <- buf
+    end;
+    t.buf.(t.n) <- ev;
+    t.n <- t.n + 1
+  end
+
+let set_process_name t ~pid name = t.meta <- (pid, None, name) :: t.meta
+
+let set_thread_name t ~pid ~tid name = t.meta <- (pid, Some tid, name) :: t.meta
+
+let complete t ~pid ~tid ~name ~ts ~dur = push t (Complete { pid; tid; name; ts; dur })
+
+let counter t ~pid ~name ~series = push t (Counter { pid; name; ts = Sim.now t.sim; series })
+
+let instant t ~name = t.instants <- (name, Sim.now t.sim) :: t.instants
+
+let events t = t.n
+
+let dropped t = t.dropped
+
+let instants t = List.length t.instants
+
+(* ---- serialization -------------------------------------------------------- *)
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* Chrome timestamps are microseconds; the DES clock is nanoseconds. *)
+let add_ts b (ts : Sim.time) = Buffer.add_string b (Printf.sprintf "%.3f" (float_of_int ts /. 1e3))
+
+let add_event b ~first ev =
+  if not first then Buffer.add_string b ",\n";
+  (match ev with
+  | Complete { pid; tid; name; ts; dur } ->
+    Buffer.add_string b {|{"ph":"X","cat":"stage","name":"|};
+    add_escaped b name;
+    Buffer.add_string b (Printf.sprintf {|","pid":%d,"tid":%d,"ts":|} pid tid);
+    add_ts b ts;
+    Buffer.add_string b {|,"dur":|};
+    add_ts b dur;
+    Buffer.add_char b '}'
+  | Counter { pid; name; ts; series } ->
+    Buffer.add_string b {|{"ph":"C","cat":"sample","name":"|};
+    add_escaped b name;
+    Buffer.add_string b (Printf.sprintf {|","pid":%d,"ts":|} pid);
+    add_ts b ts;
+    Buffer.add_string b {|,"args":{|};
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        add_escaped b k;
+        Buffer.add_string b (Printf.sprintf {|":%.6g|} v))
+      series;
+    Buffer.add_string b "}}")
+
+let to_buffer t b =
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string b ",\n"
+  in
+  List.iter
+    (fun (pid, tid, name) ->
+      sep ();
+      (match tid with
+      | None -> Buffer.add_string b (Printf.sprintf {|{"ph":"M","name":"process_name","pid":%d,"args":{"name":"|} pid)
+      | Some tid ->
+        Buffer.add_string b
+          (Printf.sprintf {|{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":"|} pid tid));
+      add_escaped b name;
+      Buffer.add_string b "\"}}")
+    (List.rev t.meta);
+  List.iter
+    (fun (name, ts) ->
+      sep ();
+      Buffer.add_string b {|{"ph":"i","s":"g","cat":"fault","name":"|};
+      add_escaped b name;
+      Buffer.add_string b {|","pid":0,"tid":0,"ts":|};
+      add_ts b ts;
+      Buffer.add_char b '}')
+    (List.rev t.instants);
+  for i = 0 to t.n - 1 do
+    add_event b ~first:!first t.buf.(i);
+    first := false
+  done;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let to_string t =
+  let b = Buffer.create (256 + (t.n * 96)) in
+  to_buffer t b;
+  Buffer.contents b
+
+let write t oc =
+  let b = Buffer.create (256 + (t.n * 96)) in
+  to_buffer t b;
+  Buffer.output_buffer oc b

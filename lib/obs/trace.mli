@@ -1,0 +1,54 @@
+(** Chrome [trace_event] collector for the simulated cluster.
+
+    Collects duration ("X"), counter ("C"), instant ("i") and metadata ("M")
+    events against the DES clock and serializes them as the JSON object
+    format understood by [chrome://tracing] and {{:https://ui.perfetto.dev}
+    Perfetto}: one process per replica, one track (thread) per pipeline
+    stage, counter tracks for queue depths, and globally-scoped instant
+    events for injected faults and view changes.
+
+    Duration and counter events are buffered up to [max_events]; once the
+    cap is reached further ones are counted in {!dropped} and discarded (the
+    earliest window of the run is kept, so the file stays replayable).
+    Instant and metadata events are few and are never dropped. *)
+
+type t
+
+val create : ?max_events:int -> Rdb_des.Sim.t -> t
+(** [create sim] returns an empty collector stamping events with [sim]'s
+    clock.  [max_events] (default 200_000) bounds the buffered duration +
+    counter events. *)
+
+val set_process_name : t -> pid:int -> string -> unit
+(** Names a process track (one per replica in the cluster wiring). *)
+
+val set_thread_name : t -> pid:int -> tid:int -> string -> unit
+(** Names a thread track (one per pipeline stage in the cluster wiring). *)
+
+val complete : t -> pid:int -> tid:int -> name:string -> ts:Rdb_des.Sim.time -> dur:Rdb_des.Sim.time -> unit
+(** Records one complete ("X") event: a span of [dur] nanoseconds starting
+    at absolute simulation time [ts] on track [(pid, tid)]. *)
+
+val counter : t -> pid:int -> name:string -> series:(string * float) list -> unit
+(** Records one counter ("C") sample at the current simulation time; each
+    [(key, value)] pair becomes a series of the counter track. *)
+
+val instant : t -> name:string -> unit
+(** Records a globally-scoped instant ("i") event at the current simulation
+    time — used for faults, view changes and other one-off occurrences. *)
+
+val events : t -> int
+(** Buffered duration + counter events. *)
+
+val dropped : t -> int
+(** Duration/counter events discarded after [max_events] was reached. *)
+
+val instants : t -> int
+(** Recorded instant events (never dropped). *)
+
+val write : t -> out_channel -> unit
+(** Serializes the whole collection as a Chrome [trace_event] JSON object
+    ([{"traceEvents": [...]}]) with timestamps in microseconds. *)
+
+val to_string : t -> string
+(** {!write}, to a string (used by tests and demos). *)

@@ -1,22 +1,24 @@
 module Sim = Rdb_des.Sim
 module Cpu = Rdb_des.Cpu
 
-type job = { service : Sim.time; run : unit -> unit }
+type job = { service : Sim.time; enqueued : Sim.time; run : unit -> unit }
 
 type t = {
   sim : Sim.t;
   cpu : Cpu.t;
   name : string;
   workers : int;
+  probe : (queue_ns:int -> service_ns:int -> at:Sim.time -> unit) option;
   queue : job Queue.t;
   mutable active : int;
   mutable occupied_ns : int;
   mutable jobs_completed : int;
 }
 
-let create sim ~cpu ~name ?(workers = 1) () =
+let create sim ~cpu ~name ?(workers = 1) ?probe () =
   if workers < 1 then invalid_arg "Stage.create: need at least one worker";
-  { sim; cpu; name; workers; queue = Queue.create (); active = 0; occupied_ns = 0; jobs_completed = 0 }
+  { sim; cpu; name; workers; probe; queue = Queue.create (); active = 0;
+    occupied_ns = 0; jobs_completed = 0 }
 
 let name t = t.name
 let workers t = t.workers
@@ -25,14 +27,20 @@ let rec start t job =
   t.active <- t.active + 1;
   let started = Sim.now t.sim in
   Cpu.submit t.cpu ~service:job.service (fun () ->
-      t.occupied_ns <- t.occupied_ns + (Sim.now t.sim - started);
+      let finished = Sim.now t.sim in
+      t.occupied_ns <- t.occupied_ns + (finished - started);
       t.jobs_completed <- t.jobs_completed + 1;
+      (match t.probe with
+       | None -> ()
+       | Some probe ->
+         probe ~queue_ns:(started - job.enqueued)
+           ~service_ns:(finished - started) ~at:finished);
       job.run ();
       t.active <- t.active - 1;
       if t.active < t.workers && not (Queue.is_empty t.queue) then start t (Queue.pop t.queue))
 
 let enqueue t ~service run =
-  let job = { service; run } in
+  let job = { service; enqueued = Sim.now t.sim; run } in
   if t.active < t.workers then start t job else Queue.push job t.queue
 
 let queue_length t = Queue.length t.queue

@@ -14,20 +14,36 @@
 
 type t
 
-val create : Rdb_des.Sim.t -> cpu:Rdb_des.Cpu.t -> name:string -> ?workers:int -> unit -> t
-(** [workers] defaults to 1. *)
+val create :
+  Rdb_des.Sim.t ->
+  cpu:Rdb_des.Cpu.t ->
+  name:string ->
+  ?workers:int ->
+  ?probe:(queue_ns:int -> service_ns:int -> at:Rdb_des.Sim.time -> unit) ->
+  unit ->
+  t
+(** [workers] defaults to 1.  [probe], when given, is called once per
+    completed job with its time in the stage queue ([queue_ns], enqueue to
+    worker pickup), its time in service ([service_ns], pickup to completion
+    — includes any wait for a CPU core, per the occupancy convention above)
+    and the completion timestamp ([at]).  Absent by default: the fast path
+    performs no extra allocation and no call. *)
 
 val name : t -> string
+(** The stage's display name (e.g. ["batch"], ["worker"]). *)
 
 val workers : t -> int
+(** Number of logical worker threads draining the queue. *)
 
 val enqueue : t -> service:Rdb_des.Sim.time -> (unit -> unit) -> unit
 (** Queue one job.  [service] is CPU time; the callback runs at completion
     (on the simulated thread). *)
 
 val queue_length : t -> int
+(** Jobs waiting in the stage queue right now (not yet picked by a worker). *)
 
 val jobs_completed : t -> int
+(** Jobs fully processed since creation. *)
 
 val occupied_ns : t -> int
 (** Cumulative worker-occupied nanoseconds (completed jobs only). *)

@@ -1,0 +1,588 @@
+(* Tests for the observability layer: ring buffers, stage/CPU probes, span
+   telescoping, the Chrome trace_event export, the time-series sampler, and
+   the guarantee that tracing never changes what the simulation computes. *)
+
+open Rdb_core
+module Sim = Rdb_des.Sim
+module Cpu = Rdb_des.Cpu
+module Rng = Rdb_des.Rng
+module Stats = Rdb_des.Stats
+module Stage = Rdb_replica.Stage
+module Ring = Rdb_obs.Ring
+module Trace = Rdb_obs.Trace
+module Breakdown = Rdb_obs.Breakdown
+module Series = Rdb_obs.Series
+
+let check = Alcotest.check
+let qtest p = QCheck_alcotest.to_alcotest p
+
+(* ---- minimal JSON parser (no external deps) ------------------------------ *)
+
+(* Just enough JSON to validate the trace files: objects, arrays, strings
+   with escapes, numbers, true/false/null. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else raise (Bad "eof") in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      if !pos < n then
+        match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+    in
+    let expect c =
+      if peek () <> c then raise (Bad (Printf.sprintf "expected %c at %d" c !pos));
+      advance ()
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance (); Buffer.contents b
+        | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char b '"'; advance ()
+          | '\\' -> Buffer.add_char b '\\'; advance ()
+          | '/' -> Buffer.add_char b '/'; advance ()
+          | 'n' -> Buffer.add_char b '\n'; advance ()
+          | 'r' -> Buffer.add_char b '\r'; advance ()
+          | 't' -> Buffer.add_char b '\t'; advance ()
+          | 'b' -> Buffer.add_char b '\b'; advance ()
+          | 'f' -> Buffer.add_char b '\012'; advance ()
+          | 'u' ->
+            advance ();
+            if !pos + 4 > n then raise (Bad "bad \\u escape");
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            Buffer.add_char b (Char.chr (int_of_string ("0x" ^ hex) land 0xff))
+          | c -> raise (Bad (Printf.sprintf "bad escape \\%c" c)));
+          go ()
+        | c -> Buffer.add_char b c; advance (); go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num c =
+        match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+      in
+      while !pos < n && is_num s.[!pos] do
+        advance ()
+      done;
+      if !pos = start then raise (Bad "empty number");
+      Num (float_of_string (String.sub s start (!pos - start)))
+    in
+    let parse_lit lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else raise (Bad ("bad literal at " ^ string_of_int !pos))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); members ((key, v) :: acc)
+            | '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+            | c -> raise (Bad (Printf.sprintf "bad object sep %c" c))
+          in
+          members []
+        end
+      | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin advance (); Arr [] end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); elements (v :: acc)
+            | ']' -> advance (); Arr (List.rev (v :: acc))
+            | c -> raise (Bad (Printf.sprintf "bad array sep %c" c))
+          in
+          elements []
+        end
+      | '"' -> Str (parse_string ())
+      | 't' -> parse_lit "true" (Bool true)
+      | 'f' -> parse_lit "false" (Bool false)
+      | 'n' -> parse_lit "null" Null
+      | _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad "trailing garbage");
+    v
+
+  let member key = function
+    | Obj kvs -> (try List.assoc key kvs with Not_found -> Null)
+    | _ -> Null
+
+  let to_list = function Arr l -> l | _ -> []
+  let to_string = function Str s -> s | _ -> ""
+  let to_num = function Num f -> f | _ -> nan
+end
+
+(* ---- ring buffer ---------------------------------------------------------- *)
+
+let test_ring_basic () =
+  let r = Ring.create ~capacity:3 in
+  check Alcotest.int "empty" 0 (Ring.length r);
+  Ring.push r 1;
+  Ring.push r 2;
+  check Alcotest.(list int) "partial, oldest first" [ 1; 2 ] (Ring.to_list r);
+  Ring.push r 3;
+  Ring.push r 4;
+  (* 1 overwritten *)
+  check Alcotest.(list int) "wrapped, oldest first" [ 2; 3; 4 ] (Ring.to_list r);
+  check Alcotest.int "dropped counted" 1 (Ring.dropped r);
+  check Alcotest.int "capacity stable" 3 (Ring.capacity r);
+  Ring.clear r;
+  check Alcotest.int "cleared" 0 (Ring.length r)
+
+let test_ring_iter_matches_to_list () =
+  let r = Ring.create ~capacity:5 in
+  for i = 1 to 17 do
+    Ring.push r i
+  done;
+  let via_iter = ref [] in
+  Ring.iter r (fun x -> via_iter := x :: !via_iter);
+  check Alcotest.(list int) "iter = to_list" (Ring.to_list r) (List.rev !via_iter);
+  check Alcotest.(list int) "newest capacity items" [ 13; 14; 15; 16; 17 ] (Ring.to_list r)
+
+(* ---- stats reservoir ------------------------------------------------------ *)
+
+let test_stats_exact_below_cap () =
+  (* Below the cap the reservoir keeps everything: percentiles are the exact
+     nearest-rank values, and the moments are exact. *)
+  let t = Stats.create ~cap:1000 () in
+  for i = 100 downto 1 do
+    Stats.add t (float_of_int i)
+  done;
+  check Alcotest.int "count" 100 (Stats.count t);
+  check Alcotest.int "all retained" 100 (Stats.retained t);
+  check (Alcotest.float 1e-9) "total" 5050.0 (Stats.total t);
+  check (Alcotest.float 1e-9) "p50" 50.0 (Stats.percentile t 50.0);
+  check (Alcotest.float 1e-9) "p99" 99.0 (Stats.percentile t 99.0);
+  check (Alcotest.float 1e-9) "min" 1.0 (Stats.min t);
+  check (Alcotest.float 1e-9) "max" 100.0 (Stats.max t)
+
+let test_stats_reservoir_bounded_and_unbiased () =
+  (* Past the cap, memory stays bounded and percentiles stay within noise of
+     the true distribution (uniform ramp 0..1). *)
+  let t = Stats.create ~cap:2000 () in
+  let n = 100_000 in
+  for i = 0 to n - 1 do
+    Stats.add t (float_of_int i /. float_of_int n)
+  done;
+  check Alcotest.int "count not capped" n (Stats.count t);
+  check Alcotest.int "reservoir capped" 2000 (Stats.retained t);
+  (* Exact summary stats are unaffected by the reservoir; the true mean of
+     the ramp i/n for i = 0..n-1 is (n-1)/(2n). *)
+  check (Alcotest.float 1e-9) "mean exact" 0.499995 (Stats.mean t);
+  check (Alcotest.float 1e-9) "min exact" 0.0 (Stats.min t);
+  (* Sampled percentiles: with 2000 uniform samples the nearest-rank p50 has
+     std-dev ~ 0.011; 5 sigma gives a deterministic-but-robust bound. *)
+  check (Alcotest.float 0.06) "p50 within noise" 0.5 (Stats.percentile t 50.0);
+  check (Alcotest.float 0.06) "p90 within noise" 0.9 (Stats.percentile t 90.0)
+
+let test_stats_reservoir_deterministic () =
+  let mk () =
+    let t = Stats.create ~cap:100 () in
+    for i = 0 to 9_999 do
+      Stats.add t (float_of_int ((i * 7919) mod 10_000))
+    done;
+    t
+  in
+  let a = mk () and b = mk () in
+  check (Alcotest.float 0.0) "same p50" (Stats.percentile a 50.0) (Stats.percentile b 50.0);
+  check (Alcotest.float 0.0) "same p99" (Stats.percentile a 99.0) (Stats.percentile b 99.0)
+
+(* ---- stage and CPU probes -------------------------------------------------- *)
+
+let test_stage_probe_queue_and_service_exact () =
+  (* One worker, two jobs of 100ns service on an uncontended CPU: the first
+     waits 0 and holds 100; the second queues behind it for 100. *)
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~cores:4 in
+  let seen = ref [] in
+  let stage =
+    Stage.create sim ~cpu ~name:"s" ~workers:1
+      ~probe:(fun ~queue_ns ~service_ns ~at -> seen := (queue_ns, service_ns, at) :: !seen)
+      ()
+  in
+  Stage.enqueue stage ~service:100 (fun () -> ());
+  Stage.enqueue stage ~service:50 (fun () -> ());
+  Sim.run sim;
+  match List.rev !seen with
+  | [ (q1, s1, at1); (q2, s2, at2) ] ->
+    check Alcotest.int "job1 queue" 0 q1;
+    check Alcotest.int "job1 service" 100 s1;
+    check Alcotest.int "job1 done at" 100 at1;
+    check Alcotest.int "job2 queued behind job1" 100 q2;
+    check Alcotest.int "job2 service" 50 s2;
+    check Alcotest.int "job2 done at" 150 at2
+  | l -> Alcotest.failf "expected 2 probe calls, got %d" (List.length l)
+
+let test_cpu_probe_wait_exact () =
+  (* One core, two jobs: the second waits exactly the first's service. *)
+  let sim = Sim.create () in
+  let seen = ref [] in
+  let cpu =
+    Cpu.create ~probe:(fun ~wait_ns ~held_ns ~at -> seen := (wait_ns, held_ns, at) :: !seen)
+      sim ~cores:1
+  in
+  Cpu.submit cpu ~service:70 (fun () -> ());
+  Cpu.submit cpu ~service:30 (fun () -> ());
+  Sim.run sim;
+  match List.rev !seen with
+  | [ (w1, h1, _); (w2, h2, at2) ] ->
+    check Alcotest.int "job1 no wait" 0 w1;
+    check Alcotest.int "job1 held" 70 h1;
+    check Alcotest.int "job2 waited for the core" 70 w2;
+    check Alcotest.int "job2 held" 30 h2;
+    check Alcotest.int "job2 done at" 100 at2
+  | l -> Alcotest.failf "expected 2 probe calls, got %d" (List.length l)
+
+let test_stage_no_probe_identical_schedule () =
+  (* The probe must not change stage semantics: completion counts and
+     occupied time agree with and without it. *)
+  let run probe =
+    let sim = Sim.create () in
+    let cpu = Cpu.create sim ~cores:2 in
+    let stage = Stage.create sim ~cpu ~name:"s" ~workers:2 ?probe () in
+    for i = 1 to 20 do
+      Stage.enqueue stage ~service:(10 * i) (fun () -> ())
+    done;
+    Sim.run sim;
+    (Stage.jobs_completed stage, Stage.occupied_ns stage, Sim.now sim)
+  in
+  let plain = run None in
+  let probed = run (Some (fun ~queue_ns:_ ~service_ns:_ ~at:_ -> ())) in
+  check Alcotest.(triple int int int) "identical" plain probed
+
+(* ---- series sampler --------------------------------------------------------- *)
+
+let test_series_samples_on_schedule () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let s =
+    Series.create sim ~interval:100 ~capacity:8 ~columns:[ "x" ]
+      ~sample:(fun () ->
+        incr count;
+        [| float_of_int !count |])
+  in
+  Series.start s;
+  Sim.run ~until:1_000 sim;
+  Series.stop s;
+  (* Samples at t = 0, 100, ..., 1000 -> 11 taken, ring keeps the last 8. *)
+  check Alcotest.int "sampled every interval" 11 !count;
+  check Alcotest.int "ring bounded" 8 (Series.length s);
+  check Alcotest.int "overflow counted" 3 (Series.dropped s);
+  let csv = Series.to_csv_string s in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check Alcotest.int "header + rows" 9 (List.length lines);
+  check Alcotest.string "header" "t_s,x" (List.hd lines)
+
+(* ---- trace collector --------------------------------------------------------- *)
+
+let test_trace_json_shape () =
+  let sim = Sim.create () in
+  let tr = Trace.create ~max_events:100 sim in
+  Trace.set_process_name tr ~pid:0 "replica 0";
+  Trace.set_thread_name tr ~pid:0 ~tid:4 "worker";
+  Trace.complete tr ~pid:0 ~tid:4 ~name:"job \"quoted\"\n" ~ts:1_000 ~dur:500;
+  Trace.counter tr ~pid:0 ~name:"queues" ~series:[ ("worker", 3.0) ];
+  Trace.instant tr ~name:"fault: crash primary";
+  let j = Json.parse (Trace.to_string tr) in
+  let evs = Json.to_list (Json.member "traceEvents" j) in
+  check Alcotest.int "X + C + i + 2 metadata events" 5 (List.length evs);
+  let by_ph ph =
+    List.filter (fun e -> Json.to_string (Json.member "ph" e) = ph) evs
+  in
+  check Alcotest.int "one X" 1 (List.length (by_ph "X"));
+  check Alcotest.int "one C" 1 (List.length (by_ph "C"));
+  check Alcotest.int "one i" 1 (List.length (by_ph "i"));
+  check Alcotest.int "two M" 2 (List.length (by_ph "M"));
+  (match by_ph "X" with
+  | [ x ] ->
+    check Alcotest.string "escaped name round-trips" "job \"quoted\"\n"
+      (Json.to_string (Json.member "name" x));
+    check (Alcotest.float 1e-9) "ts in us" 1.0 (Json.to_num (Json.member "ts" x));
+    check (Alcotest.float 1e-9) "dur in us" 0.5 (Json.to_num (Json.member "dur" x))
+  | _ -> Alcotest.fail "missing X event")
+
+let test_trace_cap_drops_counted () =
+  let sim = Sim.create () in
+  let tr = Trace.create ~max_events:10 sim in
+  for i = 0 to 24 do
+    Trace.complete tr ~pid:0 ~tid:0 ~name:"e" ~ts:i ~dur:1
+  done;
+  Trace.instant tr ~name:"still recorded";
+  check Alcotest.int "buffered at cap" 10 (Trace.events tr);
+  check Alcotest.int "drops counted" 15 (Trace.dropped tr);
+  check Alcotest.int "instants exempt from cap" 1 (Trace.instants tr);
+  (* The file stays parseable at the cap. *)
+  ignore (Json.parse (Trace.to_string tr))
+
+(* ---- cluster integration ------------------------------------------------------ *)
+
+let small =
+  {
+    Params.default with
+    Params.n = 4;
+    clients = 400;
+    client_machines = 2;
+    batch_size = 20;
+    checkpoint_txns = 400;
+    warmup = Sim.seconds 0.1;
+    measure = Sim.seconds 0.25;
+  }
+
+let faulted =
+  {
+    small with
+    Params.clients = 400;
+    client_timeout = Sim.ms 40.0;
+    view_timeout = Sim.ms 30.0;
+    measure = Sim.seconds 0.5;
+    nemesis = Nemesis.crash_primary_at (Sim.ms 200.0);
+  }
+
+let test_spans_telescope_to_latency () =
+  let m = Cluster.run { small with Params.trace = true } in
+  check Alcotest.int "4 phases" 4 (List.length m.Metrics.spans);
+  check Alcotest.(list string) "phase order" [ "batch"; "consensus"; "execute"; "reply" ]
+    (List.map (fun s -> s.Metrics.phase) m.Metrics.spans);
+  let lat_n = Stats.count m.Metrics.latency in
+  List.iter
+    (fun s ->
+      check Alcotest.int
+        (Printf.sprintf "every measured txn has a %s phase" s.Metrics.phase)
+        lat_n (Stats.count s.Metrics.time))
+    m.Metrics.spans;
+  (* Telescoping: the four phases partition each transaction's latency, so
+     the phase totals sum to the latency total (up to float rounding of the
+     nanosecond sums). *)
+  let phase_total =
+    List.fold_left (fun acc s -> acc +. Stats.total s.Metrics.time) 0.0 m.Metrics.spans
+  in
+  let lat_total = Stats.total m.Metrics.latency in
+  let eps = 1e-9 *. float_of_int (Stdlib.max 1 lat_n) in
+  if abs_float (phase_total -. lat_total) > eps then
+    Alcotest.failf "phases sum to %.12f but latency total is %.12f" phase_total lat_total
+
+let test_breakdown_rows_consistent () =
+  let m = Cluster.run { small with Params.trace = true } in
+  let b = match m.Metrics.breakdown with Some b -> b | None -> Alcotest.fail "no breakdown" in
+  let find label =
+    match Breakdown.find b label with
+    | Some r -> r
+    | None -> Alcotest.failf "missing row %s" label
+  in
+  (* Every stage of the 2B1E pipeline shows up for both roles and saw work. *)
+  List.iter
+    (fun label ->
+      let r = find label in
+      if Breakdown.jobs r = 0 then Alcotest.failf "row %s recorded no jobs" label;
+      (* Queue and service get one sample per completed job. *)
+      check Alcotest.int
+        (label ^ ": queue and service sample counts agree")
+        (Stats.count r.Breakdown.queue)
+        (Stats.count r.Breakdown.service);
+      if Stats.min r.Breakdown.queue < 0.0 || Stats.min r.Breakdown.service < 0.0 then
+        Alcotest.failf "row %s has negative durations" label)
+    [
+      "input-client/primary"; "batch/primary"; "worker/primary"; "execute/primary";
+      "output/primary"; "worker/backup"; "execute/backup"; "cpu/primary"; "cpu/backup";
+    ];
+  (* Plain run: no breakdown, no spans. *)
+  let plain = Cluster.run small in
+  (match plain.Metrics.breakdown with
+  | None -> ()
+  | Some _ -> Alcotest.fail "untraced run carries a breakdown");
+  check Alcotest.int "untraced run has no spans" 0 (List.length plain.Metrics.spans)
+
+let test_trace_file_valid_and_complete () =
+  let path = Filename.temp_file "rdb_test_trace" ".json" in
+  let csv_path = Filename.temp_file "rdb_test_series" ".csv" in
+  let m =
+    Cluster.run { faulted with Params.trace_out = Some path; trace_csv = Some csv_path }
+  in
+  check Alcotest.bool "view changed" true (m.Metrics.faults.Metrics.view_changes >= 1);
+  let read_all p =
+    let ic = open_in_bin p in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let j = Json.parse (read_all path) in
+  Sys.remove path;
+  let evs = Json.to_list (Json.member "traceEvents" j) in
+  check Alcotest.bool "has events" true (List.length evs > 100);
+  let phase e = Json.to_string (Json.member "ph" e) in
+  let pid e = int_of_float (Json.to_num (Json.member "pid" e)) in
+  (* At least one duration track per replica: every pid 0..n-1 has X events. *)
+  for r = 0 to faulted.Params.n - 1 do
+    if not (List.exists (fun e -> phase e = "X" && pid e = r) evs) then
+      Alcotest.failf "replica %d has no duration events" r;
+    if
+      not
+        (List.exists
+           (fun e ->
+             phase e = "M"
+             && Json.to_string (Json.member "name" e) = "process_name"
+             && pid e = r)
+           evs)
+    then Alcotest.failf "replica %d has no process_name metadata" r
+  done;
+  (* The injected crash and the resulting view change both leave instants. *)
+  let instant_names =
+    List.filter_map
+      (fun e -> if phase e = "i" then Some (Json.to_string (Json.member "name" e)) else None)
+      evs
+  in
+  check Alcotest.bool "crash instant" true
+    (List.exists (fun s -> String.length s >= 6 && String.sub s 0 6 = "fault:") instant_names);
+  check Alcotest.bool "view-change instant" true
+    (List.exists
+       (fun s -> String.length s >= 11 && String.sub s 0 11 = "view change")
+       instant_names);
+  (* Counter samples are present and the CSV parallels them. *)
+  check Alcotest.bool "counter events" true (List.exists (fun e -> phase e = "C") evs);
+  let csv = read_all csv_path in
+  Sys.remove csv_path;
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check Alcotest.bool "csv has rows" true (List.length lines > 10);
+  let header = List.hd lines in
+  check Alcotest.bool "csv header starts with t_s" true
+    (String.length header > 4 && String.sub header 0 4 = "t_s,")
+
+let prop_tracing_changes_no_metric =
+  QCheck.Test.make ~name:"tracing on vs off: identical metrics" ~count:5
+    QCheck.(pair (1 -- 4) (5 -- 40))
+    (fun (seed, batch_size) ->
+      let p =
+        {
+          small with
+          Params.batch_size;
+          seed = Int64.of_int (seed * 7919);
+          measure = Sim.seconds 0.15;
+        }
+      in
+      let off = Cluster.run p in
+      let on_ = Cluster.run { p with Params.trace = true } in
+      off.Metrics.throughput_tps = on_.Metrics.throughput_tps
+      && off.Metrics.completed_txns = on_.Metrics.completed_txns
+      && off.Metrics.messages_sent = on_.Metrics.messages_sent
+      && off.Metrics.bytes_sent = on_.Metrics.bytes_sent
+      && off.Metrics.ledger_blocks = on_.Metrics.ledger_blocks
+      && Stats.mean off.Metrics.latency = Stats.mean on_.Metrics.latency
+      && Stats.percentile off.Metrics.latency 99.0
+         = Stats.percentile on_.Metrics.latency 99.0)
+
+let test_local_runtime_trace () =
+  let rt =
+    Local_runtime.create ~trace:true
+      ~apply:(fun ~replica:_ _store ~client:_ ~payload -> payload)
+      ()
+  in
+  for i = 1 to 10 do
+    ignore (Local_runtime.submit rt ~client:(i mod 3) ~payload:(Printf.sprintf "v%d" i))
+  done;
+  Local_runtime.flush rt;
+  Local_runtime.run rt;
+  let j =
+    match Local_runtime.trace_json rt with
+    | Some s -> Json.parse s
+    | None -> Alcotest.fail "no trace from traced runtime"
+  in
+  let evs = Json.to_list (Json.member "traceEvents" j) in
+  let names =
+    List.filter_map
+      (fun e ->
+        if Json.to_string (Json.member "ph" e) = "X" then
+          Some (Json.to_string (Json.member "name" e))
+        else None)
+      evs
+  in
+  List.iter
+    (fun m ->
+      check Alcotest.bool (m ^ " traced") true (List.mem m names))
+    [ "pre-prepare"; "prepare"; "commit" ];
+  (* Untraced runtime returns no JSON. *)
+  let plain =
+    Local_runtime.create ~apply:(fun ~replica:_ _ ~client:_ ~payload -> payload) ()
+  in
+  check Alcotest.bool "untraced runtime has no trace" true
+    (Local_runtime.trace_json plain = None)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "push/overwrite/iter" `Quick test_ring_basic;
+          Alcotest.test_case "iter matches to_list" `Quick test_ring_iter_matches_to_list;
+        ] );
+      ( "stats-reservoir",
+        [
+          Alcotest.test_case "exact below cap" `Quick test_stats_exact_below_cap;
+          Alcotest.test_case "bounded and unbiased above cap" `Quick
+            test_stats_reservoir_bounded_and_unbiased;
+          Alcotest.test_case "deterministic" `Quick test_stats_reservoir_deterministic;
+        ] );
+      ( "probes",
+        [
+          Alcotest.test_case "stage queue/service exact" `Quick
+            test_stage_probe_queue_and_service_exact;
+          Alcotest.test_case "cpu wait/held exact" `Quick test_cpu_probe_wait_exact;
+          Alcotest.test_case "probe does not perturb the stage" `Quick
+            test_stage_no_probe_identical_schedule;
+        ] );
+      ( "series",
+        [ Alcotest.test_case "samples on schedule" `Quick test_series_samples_on_schedule ] );
+      ( "trace",
+        [
+          Alcotest.test_case "json shape + escaping" `Quick test_trace_json_shape;
+          Alcotest.test_case "cap drops counted" `Quick test_trace_cap_drops_counted;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "spans telescope to latency" `Quick
+            test_spans_telescope_to_latency;
+          Alcotest.test_case "breakdown rows consistent" `Quick
+            test_breakdown_rows_consistent;
+          Alcotest.test_case "trace file valid and complete" `Quick
+            test_trace_file_valid_and_complete;
+          qtest prop_tracing_changes_no_metric;
+          Alcotest.test_case "local runtime message-flow trace" `Quick
+            test_local_runtime_trace;
+        ] );
+    ]
