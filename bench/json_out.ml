@@ -1,0 +1,80 @@
+(* Machine-readable benchmark output ([--json FILE]): metric rows collected
+   while figures run, written as one JSON document for tools/bench_gate.
+
+   Rows from simulated (DES) runs are deterministic for a given seed and
+   parameter set, so they compare bit-for-bit across machines; bechamel
+   micro rows measure real hardware and are only advisory to the gate.  The
+   schema is documented in EXPERIMENTS.md ("Bench JSON and the regression
+   gate"). *)
+
+module Stats = Rdb_des.Stats
+
+type row = {
+  figure : string;  (** which bench section produced the row *)
+  config : string;  (** the configuration within the figure, e.g. "pbft-2B1E-n16-cached" *)
+  metric : string;  (** "tput_tps", "lat_p50_ms", "lat_p99_ms", "ns_per_op", ... *)
+  value : float;
+  unit_ : string;
+  higher_is_better : bool;
+}
+
+let rows : row list ref = ref []
+
+let record ~figure ~config ~metric ~unit_ ~higher_is_better value =
+  rows := { figure; config; metric; value; unit_; higher_is_better } :: !rows
+
+(* The standard projection of one simulated run. *)
+let record_run ~figure ~config (m : Rdb_core.Metrics.t) =
+  let r = record ~figure ~config in
+  r ~metric:"tput_tps" ~unit_:"txn/s" ~higher_is_better:true m.Rdb_core.Metrics.throughput_tps;
+  let lat = m.Rdb_core.Metrics.latency in
+  if Stats.count lat > 0 then begin
+    r ~metric:"lat_p50_ms" ~unit_:"ms" ~higher_is_better:false
+      (1000.0 *. Stats.percentile lat 50.0);
+    r ~metric:"lat_p99_ms" ~unit_:"ms" ~higher_is_better:false
+      (1000.0 *. Stats.percentile lat 99.0)
+  end
+
+let record_micro ~name ns =
+  record ~figure:"micro" ~config:name ~metric:"ns_per_op" ~unit_:"ns" ~higher_is_better:false ns
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* JSON has no NaN/Infinity; a degenerate measurement is recorded as 0. *)
+let number v = if Float.is_finite v then Printf.sprintf "%.6g" v else "0"
+
+let write ~quick path =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema_version\": 1,\n";
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string b "  \"rows\": [\n";
+  let rs = List.rev !rows in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"figure\": \"%s\", \"config\": \"%s\", \"metric\": \"%s\", \"value\": %s, \
+            \"unit\": \"%s\", \"higher_is_better\": %b}%s\n"
+           (escape r.figure) (escape r.config) (escape r.metric) (number r.value) (escape r.unit_)
+           r.higher_is_better
+           (if i = List.length rs - 1 then "" else ","))
+      )
+    rs;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %d bench rows to %s\n%!" (List.length rs) path

@@ -30,9 +30,12 @@ let w_list b f xs =
 
 (* ---- primitive readers ---------------------------------------------------- *)
 
-type cursor = { data : string; mutable pos : int }
+(* A cursor bounded by [limit] rather than the string's end: decoding can
+   run over a window of a larger buffer (a frame still sitting in the
+   receive backlog, an attachment tail) without copying it out first. *)
+type cursor = { data : string; mutable pos : int; limit : int }
 
-let need c n = if c.pos + n > String.length c.data then raise (Bad "truncated input")
+let need c n = if c.pos + n > c.limit then raise (Bad "truncated input")
 
 let r_u8 c =
   need c 1;
@@ -111,8 +114,46 @@ let r_proof c =
   let p_batch = r_batch c in
   { p_view; p_seq; p_digest; p_batch }
 
-let encode msg =
-  let b = Buffer.create 128 in
+(* ---- encode-buffer pool --------------------------------------------------- *)
+
+module Pool = Rdb_storage.Buffer_pool
+
+(* Encode buffers are recycled through a shared pool (the paper's §4.8
+   buffer-pool management, Q4): a [Buffer] keeps its backing storage across
+   [Buffer.clear], so steady-state encoding allocates nothing beyond the
+   final [contents] copy.  The codec also runs on real transport threads,
+   hence the lock; contention is negligible next to the syscalls around it.
+   Buffers that ballooned on an outsized message are shrunk on release so
+   one large View_change cannot pin megabytes in the pool. *)
+let pool_lock = Mutex.create ()
+
+let pool =
+  Pool.create ~capacity:64
+    ~make:(fun () -> Buffer.create 1024)
+    ~reset:(fun b -> if Buffer.length b > 1 lsl 20 then Buffer.reset b else Buffer.clear b)
+    ()
+
+let with_buffer f =
+  let b =
+    Mutex.lock pool_lock;
+    let b = Pool.acquire pool in
+    Mutex.unlock pool_lock;
+    b
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock pool_lock;
+      Pool.release pool b;
+      Mutex.unlock pool_lock)
+    (fun () -> f b)
+
+let pool_stats () =
+  Mutex.lock pool_lock;
+  let s = (Pool.hits pool, Pool.misses pool, Pool.idle pool) in
+  Mutex.unlock pool_lock;
+  s
+
+let encode_into b msg =
   (match msg with
   | Pre_prepare { view; seq; batch; from } ->
     w_u8 b 1;
@@ -190,13 +231,12 @@ let encode msg =
     w_u32 b view;
     w_u48 b from_seq;
     w_u48 b to_seq;
-    w_u32 b from);
-  Buffer.contents b
+    w_u32 b from)
 
-let decode_exn s =
-  let c = { data = s; pos = 0 } in
-  let msg =
-    match r_u8 c with
+let encode msg = with_buffer (fun b -> encode_into b msg; Buffer.contents b)
+
+let decode_cursor c =
+  match r_u8 c with
     | 1 ->
       let view = r_u32 c in
       let seq = r_u48 c in
@@ -275,43 +315,75 @@ let decode_exn s =
       let from = r_u32 c in
       Fill_hole { view; from_seq; to_seq; from }
     | tag -> raise (Bad (Printf.sprintf "unknown message tag %d" tag))
-  in
-  if c.pos <> String.length s then raise (Bad "trailing bytes");
+
+let decode_sub_exn s ~pos ~len =
+  if pos < 0 || len < 0 || pos > String.length s - len then raise (Bad "bad substring bounds");
+  let c = { data = s; pos; limit = pos + len } in
+  let msg = decode_cursor c in
+  if c.pos <> c.limit then raise (Bad "trailing bytes");
   msg
+
+let decode_exn s = decode_sub_exn s ~pos:0 ~len:(String.length s)
 
 let decode s =
   match decode_exn s with
   | msg -> Ok msg
   | exception Bad reason -> Error reason
 
+let decode_sub s ~pos ~len =
+  match decode_sub_exn s ~pos ~len with
+  | msg -> Ok msg
+  | exception Bad reason -> Error reason
+
 (* ---- framing ------------------------------------------------------------------ *)
 
 let frame payload =
-  let b = Buffer.create (String.length payload + 4) in
-  w_u32 b (String.length payload);
-  Buffer.add_string b payload;
-  Buffer.contents b
+  with_buffer (fun b ->
+      w_u32 b (String.length payload);
+      Buffer.add_string b payload;
+      Buffer.contents b)
 
-let read_frame buf deliver =
-  let continue = ref true in
-  while !continue do
-    let len = Buffer.length buf in
-    if len < 4 then continue := false
-    else begin
-      let contents = Buffer.contents buf in
-      let frame_len =
-        (Char.code contents.[0] lsl 24)
-        lor (Char.code contents.[1] lsl 16)
-        lor (Char.code contents.[2] lsl 8)
-        lor Char.code contents.[3]
-      in
-      if frame_len > max_frame_bytes then failwith "Codec.read_frame: oversized frame";
-      if len < 4 + frame_len then continue := false
-      else begin
-        let payload = String.sub contents 4 frame_len in
+(* Single pass over the backlog: one [Buffer.contents] snapshot, then every
+   complete frame is sliced out at its offset.  (The previous version
+   re-snapshotted and rebuilt the buffer once per frame — O(n^2) in the
+   number of buffered frames.)  Frames are removed from [buf] before their
+   delivery runs, so an exception from [deliver] never re-delivers; bytes a
+   reentrant [deliver] appends are preserved and deframed before return. *)
+let rec read_frame buf deliver =
+  let len = Buffer.length buf in
+  if len >= 4 then begin
+    let contents = Buffer.contents buf in
+    let pos = ref 0 in
+    let appended = ref 0 in
+    let flush () =
+      appended := Buffer.length buf - len;
+      if !pos > 0 || !appended > 0 then begin
+        let extra = if !appended > 0 then Buffer.sub buf len !appended else "" in
         Buffer.clear buf;
-        Buffer.add_substring buf contents (4 + frame_len) (len - 4 - frame_len);
-        deliver payload
+        Buffer.add_substring buf contents !pos (len - !pos);
+        Buffer.add_string buf extra
       end
-    end
-  done
+    in
+    Fun.protect ~finally:flush (fun () ->
+        let continue = ref true in
+        while !continue do
+          let remaining = len - !pos in
+          if remaining < 4 then continue := false
+          else begin
+            let frame_len =
+              (Char.code contents.[!pos] lsl 24)
+              lor (Char.code contents.[!pos + 1] lsl 16)
+              lor (Char.code contents.[!pos + 2] lsl 8)
+              lor Char.code contents.[!pos + 3]
+            in
+            if frame_len > max_frame_bytes then failwith "Codec.read_frame: oversized frame";
+            if remaining < 4 + frame_len then continue := false
+            else begin
+              let payload = String.sub contents (!pos + 4) frame_len in
+              pos := !pos + 4 + frame_len;
+              deliver payload
+            end
+          end
+        done);
+    if !appended > 0 then read_frame buf deliver
+  end

@@ -6,9 +6,31 @@
     malformed input. *)
 
 val encode : Message.t -> string
+(** Encodes through a pooled scratch buffer (see {!with_buffer}); the
+    returned string is always fresh. *)
+
+val encode_into : Buffer.t -> Message.t -> unit
+(** Append the encoding to a caller-supplied buffer — the zero-intermediate
+    path for callers that assemble larger wire records around a message. *)
 
 val decode : string -> (Message.t, string) result
 (** [Error reason] on truncated, oversized or corrupt input. *)
+
+val decode_sub : string -> pos:int -> len:int -> (Message.t, string) result
+(** Decode the [len] bytes of [s] starting at [pos] without copying them
+    out first — the zero-copy path for messages embedded in a larger
+    buffer (a framed stream backlog, a wire record's tail).  The window
+    must hold exactly one message. *)
+
+val with_buffer : (Buffer.t -> 'a) -> 'a
+(** Run [f] with a scratch buffer acquired from the codec's shared,
+    thread-safe encode-buffer pool (the paper's §4.8 memory-pool design:
+    buffers keep their backing storage across uses, so steady-state
+    encoding does not allocate).  The buffer is cleared and recycled when
+    [f] returns; [f] must not retain it. *)
+
+val pool_stats : unit -> int * int * int
+(** [(hits, misses, idle)] of the encode-buffer pool, process-wide. *)
 
 val frame : string -> string
 (** Length-prefix a payload for a stream transport (4-byte big-endian

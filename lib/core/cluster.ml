@@ -19,6 +19,7 @@ module Stage = Rdb_replica.Stage
 module Net = Rdb_net.Net
 module Signer = Rdb_crypto.Signer
 module Cost = Rdb_crypto.Cost_model
+module Vcache = Rdb_crypto.Verify_cache
 module Msg = Rdb_consensus.Message
 module Action = Rdb_consensus.Action
 module Config = Rdb_consensus.Config
@@ -89,6 +90,12 @@ type host = {
       (** transactions this host has executed (dedups retransmissions) *)
   inflight_txns : (int, unit) Hashtbl.t;
       (** transactions batched here but not yet executed *)
+  (* ---- verify-sharing (Q2) ---- *)
+  vcache : unit Vcache.t;
+      (** signature/MAC verifications this host has accepted, keyed by the
+          full authenticated content *)
+  dcache : unit Vcache.t;
+      (** batch digests this host has computed or validated *)
 }
 
 (* ---- client-pool bookkeeping ---------------------------------------------- *)
@@ -313,6 +320,22 @@ let compact_pending (h : host) =
         Queue.push id h.pending
       end
     done
+  end
+
+(* ---- verify-sharing (Q2) --------------------------------------------------- *)
+
+(* Cost of checking a verification (or digest) whose full cost would be
+   [full], against a memo table [cache] under key [key].  With verify-sharing
+   a key seen before costs one cache probe; a fresh key pays [full] and is
+   recorded.  Free operations (No_sig schemes, zeroed cost models) bypass the
+   cache entirely so the ablation flag cannot perturb a costless run. *)
+let shared_charge (p : Params.t) cache ~key ~full =
+  if full = 0 then 0
+  else if not p.Params.verify_sharing then full
+  else if Vcache.mem cache key then p.Params.cost.Cost.cache_lookup
+  else begin
+    Vcache.add cache key ();
+    full
   end
 
 (* ---- replica-side processing ---------------------------------------------- *)
@@ -540,9 +563,27 @@ and enqueue_execute t (h : host) (b : Msg.batch) =
     if p.Params.use_buffer_pool then p.Params.cost.Cost.alloc_pool
     else p.Params.cost.Cost.alloc_malloc
   in
+  (* The execute boundary re-validates the batch before applying it: the
+     batch digest (block assembly links on it) and the authenticity of every
+     transaction.  With verify-sharing both reduce to memo probes — the
+     digest was computed/validated when the proposal arrived, the signatures
+     when the requests were admitted.  Without it, a protocol-centric fabric
+     recomputes the digest and re-verifies every client signature here,
+     which is exactly the redundant crypto the paper's Q2 lesson removes. *)
+  let digest_check =
+    shared_charge p h.dcache ~key:b.Msg.digest
+      ~full:(Cost.hash_cost p.Params.cost ~bytes:b.Msg.wire_bytes)
+  in
+  let verify_full = Cost.verify_cost_batched p.Params.cost p.Params.client_scheme in
+  let reverify =
+    if verify_full = 0 then 0
+    else if p.Params.verify_sharing then k * p.Params.cost.Cost.cache_lookup
+    else k * verify_full
+  in
   let service =
     Cost.execute_cost p.Params.cost ~sqlite:p.Params.sqlite ~ops
     + (k * (p.Params.cost.Cost.reply_per_txn + alloc))
+    + digest_check + reverify
     + p.Params.cost.Cost.hash_base (* block assembly *)
   in
   obs_mark_exec_enqueued t b.Msg.reqs;
@@ -620,9 +661,19 @@ and enqueue_batch_job t (h : host) stage txns =
     if p.Params.use_buffer_pool then p.Params.cost.Cost.alloc_pool
     else p.Params.cost.Cost.alloc_malloc
   in
+  (* Client-signature verification per transaction.  With verify-sharing a
+     transaction this host already admitted — re-batched after a failed
+     propose or a view change, or re-injected by retransmission — costs a
+     cache probe instead of a second signature check. *)
+  let verify_full = Cost.verify_cost_batched p.Params.cost p.Params.client_scheme in
+  let verify_ns = ref 0 in
+  Array.iter
+    (fun id ->
+      verify_ns :=
+        !verify_ns + shared_charge p h.vcache ~key:("req|" ^ string_of_int id) ~full:verify_full)
+    txns;
   let per_txn =
-    Cost.verify_cost_batched p.Params.cost p.Params.client_scheme
-    + p.Params.cost.Cost.batch_per_txn
+    p.Params.cost.Cost.batch_per_txn
     + (2 * alloc)
     + ((p.Params.ops_per_txn - 1) * p.Params.cost.Cost.batch_per_op)
   in
@@ -633,7 +684,7 @@ and enqueue_batch_job t (h : host) stage txns =
     else 1.0 +. (p.Params.cost.Cost.batch_locality_slope *. float_of_int (k - th) /. float_of_int th)
   in
   let service =
-    int_of_float (float_of_int (k * per_txn) *. locality)
+    int_of_float (float_of_int ((k * per_txn) + !verify_ns) *. locality)
     + p.Params.cost.Cost.batch_base
     + Cost.hash_cost p.Params.cost ~bytes:wire
   in
@@ -643,6 +694,10 @@ and enqueue_batch_job t (h : host) stage txns =
       h.batch_jobs_inflight <- h.batch_jobs_inflight - 1;
       h.batch_counter <- h.batch_counter + 1;
       let digest = Printf.sprintf "b%d-%d" h.id h.batch_counter in
+      (* The hash over the batch string was charged in [service] above; with
+         verify-sharing the primary's later touchpoints (execution-time
+         digest check) reuse it. *)
+      if p.Params.verify_sharing then Vcache.add h.dcache digest ();
       let reqs =
         Array.to_list (Array.map (fun txn_id -> { Msg.client = txn_id mod t.p.Params.clients; txn_id }) txns)
       in
@@ -687,13 +742,26 @@ and deliver_replica t (h : host) ~src (msg : net_msg) =
         if is_host_primary h then try_form_batches t h
         else if t.retrans_enabled then note_demand t h)
   | To_replica m ->
-    let verify = Cost.verify_cost cost p.Params.replica_scheme in
+    (* MAC/signature check on the inbound message.  With verify-sharing a
+       retransmitted or duplicated message (same sender, same authenticated
+       bytes) costs a cache probe instead of a re-verification. *)
+    let verify =
+      shared_charge p h.vcache ~key:(Msg.auth_string m)
+        ~full:(Cost.verify_cost cost p.Params.replica_scheme)
+    in
+    (* Digest validation of a proposed batch (§4.3: a backup recomputes the
+       batch digest before voting).  Memoized so execution — and any
+       retransmitted copy of the proposal — reuses the first computation. *)
+    let digest_check (b : Msg.batch) =
+      shared_charge p h.dcache ~key:b.Msg.digest
+        ~full:(Cost.hash_cost cost ~bytes:b.Msg.wire_bytes)
+    in
     let stage, service =
       match m with
       | Msg.Checkpoint _ -> (h.checkpoint_stage, verify + cost.Cost.msg_handle)
-      | Msg.Pre_prepare _ | Msg.Order_request _ ->
+      | Msg.Pre_prepare { batch; _ } | Msg.Order_request { batch; _ } ->
         (* A new consensus instance starts here at a backup. *)
-        (h.worker, verify + cost.Cost.msg_handle + cost.Cost.consensus_fixed)
+        (h.worker, verify + digest_check batch + cost.Cost.msg_handle + cost.Cost.consensus_fixed)
       | Msg.Prepare _ | Msg.Commit _ | Msg.View_change _ | Msg.New_view _ ->
         (h.worker, verify + cost.Cost.msg_handle)
       | _ -> (h.worker, cost.Cost.msg_handle)
@@ -984,6 +1052,8 @@ let make_host t ~id =
     inflight_txns = Hashtbl.create 64;
     last_exec_seen = 0;
     nudged = false;
+    vcache = Vcache.create ~capacity:p.Params.verify_cache_capacity;
+    dcache = Vcache.create ~capacity:p.Params.verify_cache_capacity;
   }
 
 (* The narrow capability record {!Nemesis} drives faults through — built on
@@ -1202,6 +1272,13 @@ let duplicate_completions t = t.duplicate_completions
 
 let total_completed t = t.total_completed
 
+let verify_cache_stats t =
+  Array.fold_left
+    (fun (h, m) host ->
+      ( h + Vcache.hits host.vcache + Vcache.hits host.dcache,
+        m + Vcache.misses host.vcache + Vcache.misses host.dcache ))
+    (0, 0) t.hosts
+
 let time_to_recovery t =
   match (t.primary_crash_at, t.recovered_at) with
   | Some c, Some r -> Some (Sim.to_seconds (r - c))
@@ -1293,8 +1370,8 @@ let obs_finish t =
         { Metrics.phase = "reply"; time = o.span_reply };
       ] )
 
-let run (p : Params.t) : Metrics.t =
-  let t = create p in
+let measure (t : t) : Metrics.t =
+  let p = t.p in
   start t;
   Sim.run ~until:p.Params.warmup t.sim;
   let s0 = snapshot t in
@@ -1354,3 +1431,5 @@ let run (p : Params.t) : Metrics.t =
     breakdown;
     spans;
   }
+
+let run (p : Params.t) : Metrics.t = measure (create p)

@@ -42,6 +42,11 @@ val time_to_recovery : t -> float option
     completion decided in a later view; [None] before recovery (or when no
     primary crash was injected). *)
 
+val verify_cache_stats : t -> int * int
+(** Aggregate (hits, misses) over every replica's verification and digest
+    memo tables ({!Params.t}[.verify_sharing]); (0, 0) when sharing is off
+    or nothing was probed. *)
+
 (** {2 Observability}
 
     When {!Params.obs_enabled} holds (the [trace] flag or a [trace_out] /
@@ -67,6 +72,11 @@ val check_safety : t -> (unit, string) result
 
 val debug_dump : t -> unit
 (** One-line diagnostic snapshot (queue depths, instance counts) to stdout. *)
+
+val measure : t -> Metrics.t
+(** Drive a freshly created (not yet started) cluster through its warmup
+    and measurement windows and report; the cluster stays inspectable
+    afterwards (e.g. {!verify_cache_stats}, {!check_safety}). *)
 
 val run : Params.t -> Metrics.t
 (** [create] + [start] + run to [warmup + measure], returning the metrics

@@ -6,6 +6,7 @@ module Client = Rdb_consensus.Pbft_client
 module Signer = Rdb_crypto.Signer
 module Sha256 = Rdb_crypto.Sha256
 module Cmac = Rdb_crypto.Cmac
+module Vcache = Rdb_crypto.Verify_cache
 module Mem_store = Rdb_storage.Mem_store
 module Ledger = Rdb_chain.Ledger
 module Block = Rdb_chain.Block
@@ -25,6 +26,10 @@ type replica = {
   rledger : Ledger.t;
   mac : Cmac.key;  (** group MAC key for replica-to-replica traffic *)
   mutable applied : int;  (** highest sequence number applied to [rstore] *)
+  seen : unit Vcache.t;
+      (** MACs this replica has accepted, keyed by authenticated content plus
+          tag: a duplicate delivery skips the CMAC recomputation, a forgery
+          (different tag) can never alias a cached acceptance *)
 }
 
 type t = {
@@ -34,7 +39,7 @@ type t = {
   client_signer : Signer.t;
   client_verifier : Signer.verifier;
   apply : replica:int -> Rdb_storage.Mem_store.t -> client:int -> payload:string -> string;
-  queue : (int * Msg.t * string) Queue.t;  (** (dst, message, mac tag) *)
+  queue : (int * int * Msg.t * string) Queue.t;  (** (origin, dst, message, mac tag) *)
   requests : (int, request) Hashtbl.t;  (** txn_id -> request *)
   pending : int Queue.t;  (** txn ids awaiting batching at the primary *)
   clients : (int, Client.t) Hashtbl.t;
@@ -42,6 +47,9 @@ type t = {
   mutable crashed : int list;
   mutable completed : (int * string) list;  (** newest first *)
   mutable auth_failures : int;
+  verified_reqs : unit Vcache.t;
+      (** client signatures the primary has accepted, keyed by txn id: a
+          view change re-batches pending requests without re-verifying *)
   (* Message-flow trace: this runtime has no simulated clock, so delivery
      order (the step index) stands in for time — one "tick" per message. *)
   obs_trace : Trace.t option;
@@ -79,6 +87,7 @@ let create ?(config = default_config) ?(trace = false) ~apply () =
             rledger = Ledger.create ~primary_id:0;
             mac = Cmac.of_secret group_secret;
             applied = 0;
+            seen = Vcache.create ~capacity:4096;
           });
     client_signer;
     client_verifier = Signer.verifier client_signer;
@@ -91,6 +100,7 @@ let create ?(config = default_config) ?(trace = false) ~apply () =
     crashed = [];
     completed = [];
     auth_failures = 0;
+    verified_reqs = Vcache.create ~capacity:4096;
     obs_trace;
     trace_step = 0;
   }
@@ -113,10 +123,10 @@ let primary t = Config.primary_of_view t.ccfg (view t)
 
 let mac_of t msg = Cmac.mac t.replicas.(0).mac (Msg.auth_string msg)
 
-let send t ~dst msg = Queue.push (dst, msg, mac_of t msg) t.queue
+let send t ~from ~dst msg = Queue.push (from, dst, msg, mac_of t msg) t.queue
 
 let broadcast t ~from msg =
-  Array.iter (fun (r : replica) -> if r.id <> from then send t ~dst:r.id msg) t.replicas
+  Array.iter (fun (r : replica) -> if r.id <> from then send t ~from ~dst:r.id msg) t.replicas
 
 let client_for t id =
   match Hashtbl.find_opt t.clients id with
@@ -163,7 +173,7 @@ let rec dispatch t ~origin actions =
     (fun a ->
       match a with
       | Action.Broadcast m -> broadcast t ~from:origin m
-      | Action.Send (dst, m) -> send t ~dst m
+      | Action.Send (dst, m) -> send t ~from:origin ~dst m
       | Action.Send_client (cid, m) -> deliver_client t cid m
       | Action.Execute batch ->
         let r = t.replicas.(origin) in
@@ -212,16 +222,26 @@ let try_batch t ~force =
     let form k =
       let txns = List.init k (fun _ -> Queue.pop t.pending) in
       (* The primary verifies each client signature before batching (§4.3):
-         real verification over the stored payloads. *)
+         real verification over the stored payloads.  Verify-sharing: a
+         request admitted once (then re-batched by a new primary after a
+         view change) skips straight to the memo table — the stored payload
+         and signature are immutable under their txn id. *)
       let all_valid =
         List.for_all
           (fun txn_id ->
             match Hashtbl.find_opt t.requests txn_id with
             | None -> false
             | Some req ->
-              Signer.verify t.client_verifier
-                (Printf.sprintf "%d|%s" req.client req.payload)
-                ~signature:req.signature)
+              let key = string_of_int txn_id in
+              Vcache.mem t.verified_reqs key
+              ||
+              let ok =
+                Signer.verify t.client_verifier
+                  (Printf.sprintf "%d|%s" req.client req.payload)
+                  ~signature:req.signature
+              in
+              if ok then Vcache.add t.verified_reqs key ();
+              ok)
           txns
       in
       if all_valid then begin
@@ -268,8 +288,10 @@ let flush t = try_batch t ~force:true
 let step t =
   match Queue.take_opt t.queue with
   | None -> false
-  | Some (dst, msg, tag) ->
-    if not (is_crashed t dst) then begin
+  | Some (origin, dst, msg, tag) ->
+    (* A crash silences the replica's not-yet-delivered outbound too: its
+       queued messages model sends that never made it onto the wire. *)
+    if not (is_crashed t origin) && not (is_crashed t dst) then begin
       (match t.obs_trace with
       | Some tr ->
         t.trace_step <- t.trace_step + 1;
@@ -277,8 +299,18 @@ let step t =
           ~ts:(t.trace_step * 1000) ~dur:1000
       | None -> ());
       let r = t.replicas.(dst) in
-      if Cmac.verify r.mac (Msg.auth_string msg) ~tag then
-        dispatch t ~origin:dst (Pbft.handle_message r.core msg)
+      (* Verify-sharing on the MAC check: the key covers the authenticated
+         content *and* the tag, so only an exact re-delivery (retransmission
+         or duplicate) hits; a forged tag always reaches Cmac.verify. *)
+      let key = Msg.auth_string msg ^ "\x00" ^ tag in
+      let authentic =
+        Vcache.mem r.seen key
+        ||
+        let ok = Cmac.verify r.mac (Msg.auth_string msg) ~tag in
+        if ok then Vcache.add r.seen key ();
+        ok
+      in
+      if authentic then dispatch t ~origin:dst (Pbft.handle_message r.core msg)
       else t.auth_failures <- t.auth_failures + 1
     end;
     true
@@ -307,9 +339,20 @@ let force_view_change t =
       if not (is_crashed t r.id) then dispatch t ~origin:r.id (Pbft.suspect_primary r.core))
     t.replicas;
   run t;
-  (* Requests that were pending at the old primary are re-batched by the new
-     one (in a networked deployment clients retransmit; here the runtime
-     still holds the payloads). *)
+  (* Requests whose replies never reached the client — still pending at the
+     old primary, or admitted into a batch the crash lost — are re-batched
+     by the new primary (in a networked deployment clients retransmit; here
+     the runtime still holds the payloads).  Completed transactions are
+     never re-proposed (exactly-once), and verify-sharing means a re-batched
+     admitted request costs a memo-table probe, not a second signature
+     verification. *)
+  let done_ = Hashtbl.create 64 in
+  List.iter (fun (id, _) -> Hashtbl.replace done_ id ()) t.completed;
+  Queue.clear t.pending;
+  for txn_id = 0 to t.next_txn - 1 do
+    if Hashtbl.mem t.requests txn_id && not (Hashtbl.mem done_ txn_id) then
+      Queue.push txn_id t.pending
+  done;
   try_batch t ~force:false
 
 let completed t = List.rev t.completed
@@ -322,11 +365,19 @@ let last_executed t id = Pbft.last_executed t.replicas.(id).core
 
 let auth_failures t = t.auth_failures
 
+let verify_cache_hits t =
+  Array.fold_left
+    (fun acc (r : replica) -> acc + Vcache.hits r.seen)
+    (Vcache.hits t.verified_reqs) t.replicas
+
 let trace_json t = match t.obs_trace with Some tr -> Some (Trace.to_string tr) | None -> None
 
 let inject_forged_message t ~dst =
   let msg = Msg.Prepare { view = view t; seq = 999_999; digest = "forged"; from = 0 } in
-  Queue.push (dst, msg, String.make 16 '\x00') t.queue
+  (* The adversary is not a replica: route around the origin-crash drop by
+     naming a live replica as the nominal origin. *)
+  let origin = (live_replica t).id in
+  Queue.push (origin, dst, msg, String.make 16 '\x00') t.queue
 
 let verify t =
   let live = Array.to_list t.replicas |> List.filter (fun r -> not (is_crashed t r.id)) in

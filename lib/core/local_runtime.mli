@@ -55,7 +55,9 @@ val run : t -> unit
 (** Drive message delivery until the cluster is quiescent. *)
 
 val crash : t -> int -> unit
-(** Silence a replica (crash fault).  Tolerates up to f crashes. *)
+(** Silence a replica (crash fault), including any of its outbound messages
+    not yet delivered — they model sends that never made it onto the wire.
+    Tolerates up to f crashes. *)
 
 val recover : t -> int -> unit
 (** Bring a crashed replica back.  It missed every message in between; it
@@ -69,7 +71,11 @@ val applied : t -> int -> int
 
 val force_view_change : t -> unit
 (** Make every live replica suspect the current primary, as their request
-    timers would; the next view's primary takes over. *)
+    timers would; the next view's primary takes over and re-batches every
+    request whose reply never reached its client (clients would retransmit
+    in a networked deployment).  Completed transactions are never
+    re-proposed; re-batched admitted requests hit the verify-sharing memo
+    table instead of being re-verified. *)
 
 val primary : t -> int
 
@@ -94,6 +100,11 @@ val verify : t -> (unit, string) result
 val auth_failures : t -> int
 (** Messages dropped because their MAC or signature did not verify
     (should be zero unless the host injects corruption). *)
+
+val verify_cache_hits : t -> int
+(** Cryptographic checks skipped by verify-sharing: duplicate MAC
+    deliveries answered from a replica's memo table plus client signatures
+    re-used when a view change re-batches admitted requests. *)
 
 val inject_forged_message : t -> dst:int -> unit
 (** For tests/demos: deliver a protocol message with a corrupted

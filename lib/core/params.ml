@@ -52,6 +52,16 @@ type t = {
   use_buffer_pool : bool;
       (** §4.8: recycle message/transaction objects instead of malloc/free
           per message; off = ablation *)
+  verify_sharing : bool;
+      (** Q2: memoize batch digests and accepted signature/MAC verifications
+          in a bounded per-replica {!Rdb_crypto.Verify_cache}, so repeated
+          touchpoints of the same authenticated bytes (execution-time digest
+          checks, re-batching after a view change, duplicated or
+          retransmitted messages) charge one cache probe instead of the full
+          cryptographic operation; off = the protocol-centric ablation that
+          re-validates at every touchpoint *)
+  verify_cache_capacity : int;
+      (** bound on live entries per replica verification/digest cache *)
   zyzzyva_timeout : Rdb_des.Sim.time;
       (** client wait before falling back to a commit certificate *)
   bandwidth_gbps : float;
@@ -103,6 +113,8 @@ let default =
     client_timeout = 0;
     view_timeout = Rdb_des.Sim.ms 150.0;
     use_buffer_pool = true;
+    verify_sharing = true;
+    verify_cache_capacity = 8192;
     zyzzyva_timeout = Rdb_des.Sim.ms 40.0;
     bandwidth_gbps = 7.0;
     latency = Rdb_des.Sim.us 250.0;
@@ -144,6 +156,8 @@ let validate t =
   if t.extra_jitter < 0 then invalid_arg "Params: extra_jitter must be non-negative";
   if t.client_timeout < 0 then invalid_arg "Params: client_timeout must be non-negative";
   if t.view_timeout <= 0 then invalid_arg "Params: view_timeout must be positive";
+  if t.verify_cache_capacity < 1 then
+    invalid_arg "Params: verify_cache_capacity must be >= 1";
   if t.trace_interval <= 0 then invalid_arg "Params: trace_interval must be positive";
   if t.trace_max_events < 1 then invalid_arg "Params: trace_max_events must be >= 1";
   Nemesis.validate ~n:t.n t.nemesis

@@ -53,39 +53,40 @@ let r_str c =
   c.pos <- c.pos + n;
   s
 
-let encode = function
-  | Request { client; reply_host; reply_port; txn_id; payload; signature } ->
-    let b = Buffer.create 128 in
-    Buffer.add_char b 'R';
-    w_u32 b client;
-    w_str b reply_host;
-    w_u32 b reply_port;
-    w_u32 b txn_id;
-    w_str b payload;
-    w_str b signature;
-    Buffer.contents b
-  | Consensus { msg; tag; attachments } ->
-    let b = Buffer.create 128 in
-    Buffer.add_char b 'M';
-    w_str b tag;
-    w_u32 b (List.length attachments);
-    List.iter
-      (fun a ->
-        w_u32 b a.a_txn_id;
-        w_u32 b a.a_client;
-        w_str b a.a_reply_host;
-        w_u32 b a.a_reply_port;
-        w_str b a.a_payload)
-      attachments;
-    Buffer.add_string b (Codec.encode msg);
-    Buffer.contents b
-  | Reply { txn_id; from; result } ->
-    let b = Buffer.create 64 in
-    Buffer.add_char b 'Y';
-    w_u32 b txn_id;
-    w_u32 b from;
-    w_str b result;
-    Buffer.contents b
+(* All three encoders run through the codec's pooled scratch buffers (§4.8):
+   no per-message [Buffer] allocation, and a [Consensus] record appends its
+   protocol message in place via [Codec.encode_into] instead of encoding to
+   an intermediate string. *)
+let encode wire =
+  Codec.with_buffer (fun b ->
+      (match wire with
+      | Request { client; reply_host; reply_port; txn_id; payload; signature } ->
+        Buffer.add_char b 'R';
+        w_u32 b client;
+        w_str b reply_host;
+        w_u32 b reply_port;
+        w_u32 b txn_id;
+        w_str b payload;
+        w_str b signature
+      | Consensus { msg; tag; attachments } ->
+        Buffer.add_char b 'M';
+        w_str b tag;
+        w_u32 b (List.length attachments);
+        List.iter
+          (fun a ->
+            w_u32 b a.a_txn_id;
+            w_u32 b a.a_client;
+            w_str b a.a_reply_host;
+            w_u32 b a.a_reply_port;
+            w_str b a.a_payload)
+          attachments;
+        Codec.encode_into b msg
+      | Reply { txn_id; from; result } ->
+        Buffer.add_char b 'Y';
+        w_u32 b txn_id;
+        w_u32 b from;
+        w_str b result);
+      Buffer.contents b)
 
 let decode s =
   try
@@ -116,8 +117,9 @@ let decode s =
                 let a_payload = r_str c in
                 { a_txn_id; a_client; a_reply_host; a_reply_port; a_payload })
           in
-          let rest = String.sub s c.pos (String.length s - c.pos) in
-          match Codec.decode rest with
+          (* Zero-copy: the protocol message is decoded from its window of
+             [s] directly instead of being copied out first. *)
+          match Codec.decode_sub s ~pos:c.pos ~len:(String.length s - c.pos) with
           | Ok msg -> Ok (Consensus { msg; tag; attachments })
           | Error e -> Error e
         end)

@@ -24,6 +24,7 @@ type t = {
   context_switch_alpha : float;
   alloc_malloc : int;
   alloc_pool : int;
+  cache_lookup : int;
 }
 
 (* Representative figures for a 3.8 GHz Cascade Lake core:
@@ -60,6 +61,7 @@ let default =
     context_switch_alpha = 0.72;
     alloc_malloc = 250;
     alloc_pool = 40;
+    cache_lookup = 30;
   }
 
 let sign_cost t = function

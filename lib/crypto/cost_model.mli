@@ -66,6 +66,10 @@ type t = {
      allocation when pooling is disabled. *)
   alloc_malloc : int;
   alloc_pool : int;
+  (* Verify-sharing: probing the bounded digest/verification memo table
+     ({!Verify_cache}) when the answer is already known — a hashtable hit
+     on a short string key, charged instead of the full crypto operation. *)
+  cache_lookup : int;
 }
 
 val default : t

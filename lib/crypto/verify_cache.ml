@@ -1,0 +1,71 @@
+(* Bounded memo table for verification results and batch digests.
+
+   A replica fabric touches the same authenticated bytes many times: a batch
+   digest is checked when the Pre-prepare arrives and again when the batch is
+   executed; a client signature is verified at admission and would be
+   re-verified when a view change re-batches the request; a retransmitted or
+   duplicated protocol message carries a MAC the replica has already checked.
+   Caching the *fact* that a given key was verified turns every repeat into a
+   hashtable probe (paper Q2: avoid redundant crypto).
+
+   The table is bounded: keys are evicted FIFO once [capacity] entries are
+   live, so memory stays O(capacity) regardless of run length.  Only
+   positive results are cached — a failed verification is never recorded,
+   so a forged message can never hide behind an earlier success with
+   different bytes (callers key on the full authenticated content). *)
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a) Hashtbl.t;
+  order : string Queue.t;  (* insertion order, oldest at the head *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Verify_cache.create: capacity must be >= 1";
+  { capacity; table = Hashtbl.create (min capacity 1024); order = Queue.create (); hits = 0; misses = 0 }
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some _ as r ->
+      t.hits <- t.hits + 1;
+      r
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let mem t key =
+  let found = Hashtbl.mem t.table key in
+  if found then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
+  found
+
+let add t key v =
+  if not (Hashtbl.mem t.table key) then begin
+    if Hashtbl.length t.table >= t.capacity then begin
+      (* Evict until a slot frees up: queue entries whose key was never
+         re-added are dropped in insertion order. *)
+      let evicted = ref false in
+      while not !evicted && not (Queue.is_empty t.order) do
+        let oldest = Queue.pop t.order in
+        if Hashtbl.mem t.table oldest then begin
+          Hashtbl.remove t.table oldest;
+          evicted := true
+        end
+      done
+    end;
+    Hashtbl.replace t.table key v;
+    Queue.push key t.order
+  end
+
+let size t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+let clear t =
+  Hashtbl.reset t.table;
+  Queue.clear t.order

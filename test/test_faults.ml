@@ -110,50 +110,9 @@ let test_loss_window_recovers () =
 
 (* ---- qcheck: safety under random fault schedules -------------------------- *)
 
-(* A random schedule mixes primary/backup crashes, a partition window, a
-   loss window, a duplication window and extra jitter, all inside the first
-   400 ms of a 700 ms run. *)
-let gen_schedule =
-  let open QCheck.Gen in
-  let time lo hi = map (fun ms -> Sim.ms (float_of_int ms)) (int_range lo hi) in
-  let crash =
-    oneof
-      [
-        map (fun at -> Nemesis.crash_primary_at at) (time 100 400);
-        map2
-          (fun at i -> [ Nemesis.at at (Nemesis.Crash i) ])
-          (time 100 400) (int_range 1 3);
-      ]
-  in
-  let partition =
-    map2
-      (fun from_ len ->
-        Nemesis.partition_window ~from_ ~until:(from_ + len) ~name:"q" [ 0; 1 ] [ 2; 3 ])
-      (time 100 350) (time 20 120)
-  in
-  let loss =
-    map2
-      (fun from_ len -> Nemesis.loss_window ~from_ ~until:(from_ + len) 0.1)
-      (time 100 350) (time 20 120)
-  in
-  let dup =
-    map2
-      (fun from_ len -> Nemesis.duplication_window ~from_ ~until:(from_ + len) 0.2)
-      (time 100 350) (time 20 120)
-  in
-  let jitter = map (fun at -> [ Nemesis.at at (Nemesis.Extra_jitter (Sim.us 400.0)) ]) (time 50 300) in
-  let opt g = oneof [ return []; g ] in
-  map (fun parts -> List.concat parts) (flatten_l [ opt crash; opt partition; opt loss; opt dup; opt jitter ])
-
-let arb_schedule =
-  QCheck.make gen_schedule
-    ~print:(fun s ->
-      String.concat "; "
-        (List.map
-           (fun (e : Nemesis.entry) ->
-             Printf.sprintf "%.0fms %s" (Sim.to_seconds e.Nemesis.at *. 1e3)
-               (Nemesis.describe e.Nemesis.fault))
-           s))
+(* Random schedules (crashes, partitions, loss/duplication windows, jitter)
+   come from the shared generator in {!Testkit.gen_schedule}. *)
+let arb_schedule = Testkit.arb_schedule
 
 let prop_safety_under_faults =
   QCheck.Test.make ~name:"pbft: safety under random fault schedules" ~count:200

@@ -1,0 +1,79 @@
+(* CLI for the benchmark regression gate.
+
+     bench_gate BASELINE.json CURRENT.json [--tput-tol PCT] [--lat-tol PCT]
+                [--micro-tol PCT] [--strict-micro]
+
+   Exit status: 0 when every baseline row is within its band (or improved),
+   1 on any regression or missing row, 2 on usage or parse errors.  See
+   EXPERIMENTS.md ("Bench JSON and the regression gate"). *)
+
+module Gate = Rdb_gate.Gate
+
+let usage () =
+  prerr_endline
+    "usage: bench_gate BASELINE.json CURRENT.json [--tput-tol PCT] [--lat-tol PCT] [--micro-tol \
+     PCT] [--strict-micro]";
+  exit 2
+
+let () =
+  let files = ref [] in
+  let tol = ref Gate.default_tolerance in
+  let rec parse = function
+    | [] -> ()
+    | "--strict-micro" :: rest ->
+      tol := { !tol with Gate.strict_micro = true };
+      parse rest
+    | ("--tput-tol" | "--lat-tol" | "--micro-tol") :: [] -> usage ()
+    | "--tput-tol" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some f when f >= 0.0 -> tol := { !tol with Gate.tput_tol = f /. 100.0 }
+      | _ -> usage ());
+      parse rest
+    | "--lat-tol" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some f when f >= 0.0 -> tol := { !tol with Gate.lat_tol = f /. 100.0 }
+      | _ -> usage ());
+      parse rest
+    | "--micro-tol" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some f when f >= 0.0 -> tol := { !tol with Gate.micro_tol = f /. 100.0 }
+      | _ -> usage ());
+      parse rest
+    | f :: rest when String.length f > 0 && f.[0] <> '-' ->
+      files := f :: !files;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline_path, current_path =
+    match List.rev !files with [ b; c ] -> (b, c) | _ -> usage ()
+  in
+  let read path =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | text -> (
+      match Gate.parse_doc text with
+      | Ok doc -> doc
+      | Error e ->
+        Printf.eprintf "bench_gate: %s: %s\n" path e;
+        exit 2)
+    | exception Sys_error e ->
+      Printf.eprintf "bench_gate: %s\n" e;
+      exit 2
+  in
+  let baseline = read baseline_path in
+  let current = read current_path in
+  if baseline.Gate.quick <> current.Gate.quick then begin
+    Printf.eprintf
+      "bench_gate: refusing to compare a quick run against a full run (baseline quick=%b, \
+       current quick=%b)\n"
+      baseline.Gate.quick current.Gate.quick;
+    exit 2
+  end;
+  let cs = Gate.compare_docs !tol ~baseline ~current in
+  let extra = Gate.unmatched ~baseline ~current in
+  Gate.report stdout !tol cs extra;
+  if Gate.failed cs then begin
+    print_endline "bench_gate: FAIL (regression or lost coverage against the baseline)";
+    exit 1
+  end
+  else print_endline "bench_gate: OK"

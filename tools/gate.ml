@@ -1,0 +1,312 @@
+(* The benchmark regression gate: compare a bench JSON run (bench/main.exe
+   --json) against the committed baseline, with per-metric tolerance bands.
+
+   Rows are keyed by (figure, config, metric).  A row present in the
+   baseline but absent from the run is coverage loss and fails the gate;
+   rows only in the run are reported but do not fail (a new figure lands
+   first, then its baseline).  Micro rows (ns_per_op) measure real hardware
+   and are advisory unless [strict_micro] — everything else comes from the
+   deterministic simulator, where the only honest sources of drift are code
+   changes, so the bands can be tight. *)
+
+(* ---- a minimal JSON reader (no external dependencies) --------------------- *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+exception Parse of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("bad literal " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents b
+        | '\\' ->
+          (if !pos >= n then fail "bad escape"
+           else
+             let e = s.[!pos] in
+             advance ();
+             match e with
+             | '"' -> Buffer.add_char b '"'
+             | '\\' -> Buffer.add_char b '\\'
+             | '/' -> Buffer.add_char b '/'
+             | 'n' -> Buffer.add_char b '\n'
+             | 't' -> Buffer.add_char b '\t'
+             | 'r' -> Buffer.add_char b '\r'
+             | 'b' -> Buffer.add_char b '\b'
+             | 'f' -> Buffer.add_char b '\012'
+             | 'u' ->
+               if !pos + 4 > n then fail "bad \\u escape";
+               let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+               pos := !pos + 4;
+               if code < 0x80 then Buffer.add_char b (Char.chr code)
+               else Buffer.add_char b '?' (* non-ASCII escapes don't occur in bench rows *)
+             | _ -> fail "bad escape");
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      && match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Jobj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          let key = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          fields := (key, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected , or } in object"
+        in
+        members ();
+        Jobj (List.rev !fields)
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Jlist []
+      end
+      else begin
+        let items = ref [] in
+        let rec elems () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elems ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected , or ] in array"
+        in
+        elems ();
+        Jlist (List.rev !items)
+      end
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some _ -> Jnum (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing bytes";
+  v
+
+(* ---- bench documents ------------------------------------------------------ *)
+
+type row = {
+  figure : string;
+  config : string;
+  metric : string;
+  value : float;
+  unit_ : string;
+  higher_is_better : bool;
+}
+
+type doc = { quick : bool; rows : row list }
+
+let field name = function
+  | Jobj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let parse_doc (text : string) : (doc, string) result =
+  match parse_json text with
+  | exception Parse msg -> Error ("JSON: " ^ msg)
+  | j -> (
+    match field "rows" j with
+    | Some (Jlist items) -> (
+      let quick = match field "quick" j with Some (Jbool b) -> b | _ -> false in
+      try
+        let rows =
+          List.map
+            (fun item ->
+              let str name =
+                match field name item with
+                | Some (Jstr s) -> s
+                | _ -> raise (Parse ("row missing string field " ^ name))
+              in
+              let num name =
+                match field name item with
+                | Some (Jnum f) -> f
+                | _ -> raise (Parse ("row missing number field " ^ name))
+              in
+              let boolean name =
+                match field name item with
+                | Some (Jbool b) -> b
+                | _ -> raise (Parse ("row missing bool field " ^ name))
+              in
+              {
+                figure = str "figure";
+                config = str "config";
+                metric = str "metric";
+                value = num "value";
+                unit_ = str "unit";
+                higher_is_better = boolean "higher_is_better";
+              })
+            items
+        in
+        Ok { quick; rows }
+      with Parse msg -> Error msg)
+    | _ -> Error "document has no \"rows\" array")
+
+(* ---- comparison ----------------------------------------------------------- *)
+
+type tolerance = {
+  tput_tol : float;  (** relative band for throughput-like rows (default 0.08) *)
+  lat_tol : float;  (** relative band for latency-like rows (default 0.15) *)
+  micro_tol : float;  (** relative band for hardware ns/op rows (default 0.50) *)
+  strict_micro : bool;  (** fail (not just warn) on micro regressions *)
+}
+
+let default_tolerance = { tput_tol = 0.08; lat_tol = 0.15; micro_tol = 0.50; strict_micro = false }
+
+type verdict =
+  | Within  (** inside the band *)
+  | Improved  (** outside the band, in the good direction *)
+  | Regressed  (** outside the band, in the bad direction: fails the gate *)
+  | Advisory  (** micro regression with [strict_micro] off: reported, not fatal *)
+  | Missing  (** baseline row absent from the run: fails the gate *)
+
+type comparison = {
+  c_row : row;  (** the baseline row *)
+  c_current : float option;
+  c_delta : float;  (** relative change, signed; 0 when missing *)
+  c_verdict : verdict;
+}
+
+let is_micro (r : row) = r.metric = "ns_per_op"
+
+let band tol r =
+  if is_micro r then tol.micro_tol else if r.higher_is_better then tol.tput_tol else tol.lat_tol
+
+let compare_rows tol (baseline : row) (current : float option) : comparison =
+  match current with
+  | None -> { c_row = baseline; c_current = None; c_delta = 0.0; c_verdict = Missing }
+  | Some cur ->
+    let delta =
+      if baseline.value = 0.0 then if cur = 0.0 then 0.0 else Float.infinity
+      else (cur -. baseline.value) /. Float.abs baseline.value
+    in
+    let worse = if baseline.higher_is_better then delta < 0.0 else delta > 0.0 in
+    let outside = Float.abs delta > band tol baseline in
+    let verdict =
+      if not outside then Within
+      else if not worse then Improved
+      else if is_micro baseline && not tol.strict_micro then Advisory
+      else Regressed
+    in
+    { c_row = baseline; c_current = Some cur; c_delta = delta; c_verdict = verdict }
+
+let compare_docs tol ~(baseline : doc) ~(current : doc) : comparison list =
+  let key (r : row) = (r.figure, r.config, r.metric) in
+  let lookup = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace lookup (key r) r.value) current.rows;
+  List.map (fun b -> compare_rows tol b (Hashtbl.find_opt lookup (key b))) baseline.rows
+
+(* Rows in the run with no baseline counterpart (new coverage, not fatal). *)
+let unmatched ~(baseline : doc) ~(current : doc) : row list =
+  let key (r : row) = (r.figure, r.config, r.metric) in
+  let known = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace known (key r) ()) baseline.rows;
+  List.filter (fun r -> not (Hashtbl.mem known (key r))) current.rows
+
+let failed (cs : comparison list) =
+  List.exists (fun c -> match c.c_verdict with Regressed | Missing -> true | _ -> false) cs
+
+let verdict_name = function
+  | Within -> "ok"
+  | Improved -> "improved"
+  | Regressed -> "REGRESSED"
+  | Advisory -> "advisory"
+  | Missing -> "MISSING"
+
+let report oc tol (cs : comparison list) (extra : row list) =
+  Printf.fprintf oc "%-12s %-26s %-12s %14s %14s %9s  %s\n" "figure" "config" "metric" "baseline"
+    "current" "delta" "verdict";
+  List.iter
+    (fun c ->
+      let r = c.c_row in
+      Printf.fprintf oc "%-12s %-26s %-12s %14.6g %14s %8.1f%%  %s (band %.0f%%)\n" r.figure
+        r.config r.metric r.value
+        (match c.c_current with Some v -> Printf.sprintf "%.6g" v | None -> "-")
+        (100.0 *. c.c_delta) (verdict_name c.c_verdict)
+        (100.0 *. band tol r))
+    cs;
+  List.iter
+    (fun (r : row) ->
+      Printf.fprintf oc "%-12s %-26s %-12s %14s %14.6g %9s  new row (no baseline)\n" r.figure
+        r.config r.metric "-" r.value "")
+    extra;
+  let count v = List.length (List.filter (fun c -> c.c_verdict = v) cs) in
+  Printf.fprintf oc
+    "\n%d rows: %d ok, %d improved, %d advisory, %d regressed, %d missing; %d new\n"
+    (List.length cs) (count Within) (count Improved) (count Advisory) (count Regressed)
+    (count Missing) (List.length extra)
