@@ -31,7 +31,8 @@ let protocol_conv =
   Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Params.protocol_name p))
 
 let run protocol n clients batch_size ops payload client_scheme replica_scheme reply_scheme
-    sqlite cores batch_threads execute_threads crashed warmup measure seed verbose upper_bound =
+    sqlite cores instances batch_threads execute_threads crashed warmup measure seed verbose
+    trace_out trace_csv upper_bound =
   let d = Params.default in
   let p =
     {
@@ -47,12 +48,16 @@ let run protocol n clients batch_size ops payload client_scheme replica_scheme r
       reply_scheme;
       sqlite;
       cores;
+      instances;
       batch_threads;
       execute_threads;
       crashed_backups = crashed;
       warmup = Rdb_des.Sim.seconds warmup;
       measure = Rdb_des.Sim.seconds measure;
       seed = Int64.of_int seed;
+      trace = trace_out <> None || trace_csv <> None;
+      trace_out;
+      trace_csv;
     }
   in
   (try Params.validate p
@@ -69,13 +74,20 @@ let run protocol n clients batch_size ops payload client_scheme replica_scheme r
       (Rdb_des.Stats.mean ex.Rdb_core.Upper_bound.latency)
   end
   else begin
-    Printf.printf "running %s: n=%d f=%d clients=%d batch=%d threads=%dB/%dE cores=%d%s\n%!"
+    Printf.printf "running %s: n=%d f=%d clients=%d batch=%d threads=%dB/%dE cores=%d%s%s\n%!"
       (Params.protocol_name protocol) n (Params.f p) clients batch_size batch_threads
       execute_threads cores
+      (if instances > 1 then Printf.sprintf " instances=%d" instances else "")
       (if crashed > 0 then Printf.sprintf " crashed=%d" crashed else "");
     let m = Cluster.run p in
     Format.printf "%a@." Metrics.pp m;
-    if verbose then Format.printf "@[<v>%a@]@." Metrics.pp_saturation m
+    if verbose then Format.printf "@[<v>%a@]@." Metrics.pp_saturation m;
+    (match trace_out with
+    | Some f -> Printf.printf "trace: %s (chrome://tracing or ui.perfetto.dev)\n" f
+    | None -> ());
+    match trace_csv with
+    | Some f -> Printf.printf "series CSV: %s\n" f
+    | None -> ()
   end;
   0
 
@@ -102,6 +114,13 @@ let cmd =
   in
   let sqlite = value & flag & info [ "sqlite" ] ~doc:"Use off-memory (SQLite-class) storage." in
   let cores = value & opt int 8 & info [ "cores" ] ~doc:"CPU cores per replica." in
+  let instances =
+    value & opt int 1
+    & info [ "k"; "instances" ]
+        ~doc:
+          "Concurrent PBFT consensus instances (multi-primary ordering; 1 = classic \
+           single-primary PBFT)."
+  in
   let bt = value & opt int 2 & info [ "B"; "batch-threads" ] ~doc:"Batch-threads at the primary (0 = worker batches)." in
   let et = value & opt int 1 & info [ "E"; "execute-threads" ] ~doc:"Execute-threads (0 or 1)." in
   let crashed = value & opt int 0 & info [ "crashed" ] ~doc:"Backups crashed at start (<= f)." in
@@ -109,11 +128,24 @@ let cmd =
   let measure = value & opt float 1.0 & info [ "measure" ] ~doc:"Measurement seconds (simulated)." in
   let seed = value & opt int 0x5265736442 & info [ "seed" ] ~doc:"Random seed (runs are deterministic)." in
   let verbose = value & flag & info [ "v"; "verbose" ] ~doc:"Print per-replica thread saturation." in
+  let trace_out =
+    value
+    & opt (some string) None
+    & info [ "trace-out" ]
+        ~doc:
+          "Write a Chrome trace_event JSON of the run (one process per replica, one track per \
+           pipeline thread — per-instance worker-i tracks under --instances)."
+  in
+  let trace_csv =
+    value & opt (some string) None
+    & info [ "trace-csv" ] ~doc:"Write the periodic time-series samples as CSV."
+  in
   let ub = value & flag & info [ "upper-bound" ] ~doc:"Run the Fig 7 no-consensus upper bound instead." in
   let term =
     Term.(
       const run $ protocol $ n $ clients $ batch $ ops $ payload $ cs $ rs $ ps $ sqlite $ cores
-      $ bt $ et $ crashed $ warmup $ measure $ seed $ verbose $ ub)
+      $ instances $ bt $ et $ crashed $ warmup $ measure $ seed $ verbose $ trace_out $ trace_csv
+      $ ub)
   in
   Cmd.v
     (Cmd.info "resdb_sim" ~version:"1.0.0"

@@ -8,16 +8,24 @@ type t = {
   f : int;  (** tolerated byzantine faults; [n >= 3f + 1] *)
   checkpoint_interval : int;  (** sequence numbers between checkpoints *)
   high_water_mark : int;  (** max in-flight sequence numbers past the last stable checkpoint *)
+  primary_offset : int;
+      (** added to the view number before the round-robin primary rule.
+          0 for a classic single-instance deployment; consensus instance [i]
+          of a multi-primary deployment uses offset [i], so at view 0 the k
+          instances are led by k {e different} replicas (see
+          {!Multi_pbft}) *)
 }
 
-let make ?(checkpoint_interval = 100) ?(high_water_mark = 10_000) ~n () =
+let make ?(checkpoint_interval = 100) ?(high_water_mark = 10_000) ?(primary_offset = 0) ~n () =
   if n < 4 then invalid_arg "Config.make: need at least 4 replicas";
   let f = (n - 1) / 3 in
   if checkpoint_interval <= 0 then invalid_arg "Config.make: bad checkpoint interval";
-  { n; f; checkpoint_interval; high_water_mark }
+  if primary_offset < 0 then invalid_arg "Config.make: negative primary offset";
+  { n; f; checkpoint_interval; high_water_mark; primary_offset }
 
-(** The primary rotates round-robin with the view number (PBFT's rule). *)
-let primary_of_view t view = view mod t.n
+(** The primary rotates round-robin with the view number (PBFT's rule),
+    shifted by the instance's [primary_offset]. *)
+let primary_of_view t view = (view + t.primary_offset) mod t.n
 
 (** Size of a prepared certificate: matching messages from [2f] others. *)
 let prepare_quorum t = 2 * t.f

@@ -25,6 +25,7 @@ module Action = Rdb_consensus.Action
 module Config = Rdb_consensus.Config
 module Pbft = Rdb_consensus.Pbft_replica
 module Zyz = Rdb_consensus.Zyzzyva_replica
+module Multi = Rdb_consensus.Multi_pbft
 module Block = Rdb_chain.Block
 module Ledger = Rdb_chain.Ledger
 module Trace = Rdb_obs.Trace
@@ -34,7 +35,10 @@ module Series = Rdb_obs.Series
 (* ---- wire-level events --------------------------------------------------- *)
 
 type net_msg =
-  | To_replica of Msg.t
+  | To_replica of int * Msg.t
+      (** (consensus instance, message): multi-primary deployments tag
+          protocol traffic with the instance it belongs to (always 0 for a
+          single-instance run) *)
   | Client_txns of { txn_ids : int array }
       (** a group of independent single-transaction client requests arriving
           together (clients are simulated in aggregate; costs are charged
@@ -53,7 +57,7 @@ type net_msg =
 
 (* ---- per-replica host ----------------------------------------------------- *)
 
-type core = Core_pbft of Pbft.t | Core_zyz of Zyz.t
+type core = Core_pbft of Pbft.t | Core_zyz of Zyz.t | Core_multi of Multi.t
 
 type host = {
   id : int;
@@ -62,11 +66,19 @@ type host = {
   input_replica : Stage.t;
   output : Stage.t;
   batch_stage : Stage.t option;  (** None when B = 0: the worker batches *)
-  worker : Stage.t;
+  worker : Stage.t;  (** consensus instance 0 (the only one when k = 1) *)
+  extra_workers : Stage.t array;
+      (** multi-primary: one worker-thread per additional consensus instance
+          (index i serves instance i+1), so the k ordering streams stop
+          sharing the single serial worker — the whole point of the
+          parallelism.  Empty when k = 1 *)
   exec_stage : Stage.t option;  (** None when E = 0: the worker executes *)
   checkpoint_stage : Stage.t;
   core : core;
   pending : int Queue.t;  (** primary: transactions awaiting batching *)
+  mutable next_lead : int;
+      (** multi-primary: rotation cursor over the instances this host
+          currently leads, so batches spread across them *)
   mutable flush_scheduled : bool;
   mutable batch_jobs_inflight : int;
       (** batch jobs queued or running; bounded so batching interleaves with
@@ -140,6 +152,10 @@ type t = {
   hosts : host array;
   client_nodes : int array;  (** network node ids of the client machines *)
   mutable client_rr : int;
+  inst_views : int array;
+      (** per consensus instance, the highest view seen in any reply: the
+          clients' primary hint for that instance (length = instances) *)
+  mutable submit_rr : int;  (** round-robin instance cursor for submissions *)
   (* client pool *)
   submit_time : (int, Sim.time) Hashtbl.t;
   batches : (int * int * string, batch_track) Hashtbl.t;
@@ -281,19 +297,46 @@ let obs_instant t name =
 (* ---- fault-tolerance helpers ---------------------------------------------- *)
 
 let core_view (h : host) =
-  match h.core with Core_pbft c -> Pbft.view c | Core_zyz _ -> 0
+  match h.core with Core_pbft c -> Pbft.view c | Core_zyz _ -> 0 | Core_multi m -> Multi.max_view m
 
 let core_last_exec (h : host) =
-  match h.core with Core_pbft c -> Pbft.last_executed c | Core_zyz c -> Zyz.last_spec_executed c
+  match h.core with
+  | Core_pbft c -> Pbft.last_executed c
+  | Core_zyz c -> Zyz.last_spec_executed c
+  | Core_multi m -> Multi.last_executed m
 
 let is_host_primary (h : host) =
-  match h.core with Core_pbft c -> Pbft.is_primary c | Core_zyz c -> Zyz.is_primary c
+  match h.core with
+  | Core_pbft c -> Pbft.is_primary c
+  | Core_zyz c -> Zyz.is_primary c
+  | Core_multi m -> Multi.leads_any m
 
-(* The replica the clients currently believe is primary (learned from the
-   view field of replies). *)
-let believed_primary t = Config.primary_of_view t.cfg t.client_view
+(* The worker-thread serving one consensus instance on this host (instance
+   0 is the classic single worker). *)
+let worker_for (h : host) inst = if inst = 0 then h.worker else h.extra_workers.(inst - 1)
 
-let current_primary t = Config.primary_of_view t.cfg t.max_view
+(* Highest view any host has installed on one consensus instance (crashed
+   hosts included: their last-known view still bounds the primary guess). *)
+let instance_view t inst =
+  Array.fold_left
+    (fun acc h ->
+      match h.core with Core_multi m -> max acc (Multi.view m ~inst) | _ -> max acc (core_view h))
+    0 t.hosts
+
+(* The replica the clients currently believe leads one instance (learned
+   from the view field of replies). *)
+let believed_primary_of t inst =
+  if t.p.Params.instances = 1 then Config.primary_of_view t.cfg t.client_view
+  else (t.inst_views.(inst) + (inst mod t.p.Params.n)) mod t.p.Params.n
+
+let current_instance_primary t inst =
+  let inst = ((inst mod t.p.Params.instances) + t.p.Params.instances) mod t.p.Params.instances in
+  if t.p.Params.instances = 1 then Config.primary_of_view t.cfg t.max_view
+  else (instance_view t inst + (inst mod t.p.Params.n)) mod t.p.Params.n
+
+let current_primary t =
+  if t.p.Params.instances = 1 then Config.primary_of_view t.cfg t.max_view
+  else current_instance_primary t 0
 
 let mark_primary_crash t =
   if t.primary_crash_at = None then begin
@@ -340,13 +383,11 @@ let shared_charge (p : Params.t) cache ~key ~full =
 
 (* ---- replica-side processing ---------------------------------------------- *)
 
-let rec core_handle t (h : host) (stage : Stage.t) (m : Msg.t) =
-  let actions =
-    match h.core with
-    | Core_pbft c -> Pbft.handle_message c m
-    | Core_zyz c -> Zyz.handle_message c m
-  in
-  emit t h stage actions;
+let rec core_handle t (h : host) (stage : Stage.t) ~inst (m : Msg.t) =
+  (match h.core with
+  | Core_pbft c -> emit t h stage (Pbft.handle_message c m)
+  | Core_zyz c -> emit t h stage (Zyz.handle_message c m)
+  | Core_multi mc -> emit_routed t h stage (Multi.handle_message mc ~inst m));
   note_view t h
 
 (* A view advance observed on [h]'s core: cancel the demand timer, reopen
@@ -382,7 +423,7 @@ and note_view t (h : host) =
 and note_demand t (h : host) =
   match h.core with
   | Core_zyz _ -> ()
-  | Core_pbft _ ->
+  | Core_pbft _ | Core_multi _ ->
     if h.vc_timer = None && not (Net.is_crashed (net t) h.id) then begin
       h.last_exec_seen <- core_last_exec h;
       h.vc_timer <- Some (Sim.schedule t.sim ~after:t.p.Params.view_timeout (fun () -> vc_check t h))
@@ -423,20 +464,69 @@ and vc_check t (h : host) =
        end);
       note_demand t h
     end
+  | Core_multi m ->
+    (* The escalation aims at the instance the global execution merge is
+       blocked on: that residue class is where the hole is, so that
+       instance's primary is the one to nudge or depose.  An instance this
+       host itself leads is exempt (it cannot suspect itself), matching the
+       single-instance rule. *)
+    compact_pending h;
+    (* Demand, multi-primary version: queued transactions, or transactions
+       this host already batched onto its own instances — those cannot
+       complete until the blocked instance plugs the global merge hole, so
+       they keep the escalation alive even though [pending] is empty. *)
+    if (not (Queue.is_empty h.pending)) || Hashtbl.length h.inflight_txns > 0 then begin
+      let inst = Multi.waiting_instance m in
+      let stage = worker_for h inst in
+      let service = t.p.Params.cost.Cost.msg_handle in
+      (if Multi.in_view_change m ~inst then
+         Stage.enqueue stage ~service (fun () ->
+             emit_routed t h stage (Multi.view_change_retransmit m ~inst))
+       else if Multi.is_primary m ~inst then
+         (* We lead the blocked instance ourselves, so there is no one to
+            suspect: plug its frontier with no-op keepalive batches instead
+            (after taking over a deposed instance, the unserved demand was
+            re-batched by the live instances, so real holes remain with no
+            real transactions to fill them). *)
+         Stage.enqueue stage ~service (fun () ->
+             emit_routed t h stage (Multi.keepalive m ~inst))
+       else begin
+         let exec = core_last_exec h in
+         if exec > h.last_exec_seen then begin
+           h.last_exec_seen <- exec;
+           h.nudged <- false
+         end
+         else if not h.nudged then begin
+           h.nudged <- true;
+           Stage.enqueue stage ~service (fun () -> emit_routed t h stage (Multi.nudge m ~inst))
+         end
+         else begin
+           h.nudged <- false;
+           Stage.enqueue stage ~service (fun () ->
+               emit_routed t h stage (Multi.suspect_primary m ~inst))
+         end
+       end);
+      note_demand t h
+    end
 
+(* Returns instance-tagged actions; [seq] is global (= local for k = 1). *)
 and core_executed _t (h : host) ~seq ~state_digest ~result =
-  let actions =
-    match h.core with
-    | Core_pbft c -> Pbft.handle_executed c ~seq ~state_digest ~result
-    | Core_zyz c -> Zyz.handle_executed c ~seq ~state_digest ~result
-  in
-  actions
+  match h.core with
+  | Core_pbft c ->
+    List.map (fun a -> (0, a)) (Pbft.handle_executed c ~seq ~state_digest ~result)
+  | Core_zyz c -> List.map (fun a -> (0, a)) (Zyz.handle_executed c ~seq ~state_digest ~result)
+  | Core_multi m ->
+    List.map
+      (fun (r : Multi.routed) -> (r.Multi.inst, r.Multi.act))
+      (Multi.handle_executed m ~seq ~state_digest ~result)
 
 (* Route protocol actions.  [stage] is the stage whose thread produced the
    actions; message-creation (signing) costs are charged there via a
-   continuation job when needed. *)
-and emit t (h : host) (stage : Stage.t) actions =
-  if actions = [] then ()
+   continuation job when needed.  Each action is tagged with the consensus
+   instance it belongs to (always 0 outside multi-primary runs), so wire
+   messages reach the same instance on the receiving replica. *)
+and emit_tagged t (h : host) (stage : Stage.t) tagged =
+  if tagged = [] then ()
   else begin
     let p = t.p in
     (* Split client replies out: they are aggregated per batch. *)
@@ -445,14 +535,14 @@ and emit t (h : host) (stage : Stage.t) actions =
     let replies = ref [] in
     let execs = ref [] in
     List.iter
-      (fun a ->
+      (fun (inst, a) ->
         match a with
         | Action.Broadcast m ->
           sign_ns := !sign_ns + sign_cost_for p ~dests:(p.Params.n - 1) (scheme_of_message p m);
-          sends := `Bcast m :: !sends
+          sends := `Bcast (inst, m) :: !sends
         | Action.Send (dst, m) ->
           sign_ns := !sign_ns + sign_cost_for p ~dests:1 (scheme_of_message p m);
-          sends := `One (dst, m) :: !sends
+          sends := `One (inst, dst, m) :: !sends
         | Action.Send_client (_, m) -> begin
           match m with
           | Msg.Reply _ | Msg.Spec_reply _ ->
@@ -471,7 +561,7 @@ and emit t (h : host) (stage : Stage.t) actions =
         end
         | Action.Execute b -> execs := b :: !execs
         | Action.Stable_checkpoint s -> ignore (Ledger.prune_below h.ledger s))
-      actions;
+      tagged;
     (* Executions are routed immediately: the cores emit them in strict
        sequence order and a delayed routing job could interleave with a
        later emit and break that order. *)
@@ -480,11 +570,11 @@ and emit t (h : host) (stage : Stage.t) actions =
       List.iter
         (fun s ->
           match s with
-          | `Bcast m ->
+          | `Bcast (inst, m) ->
             for dst = 0 to p.Params.n - 1 do
-              if dst <> h.id then output_send t h dst m
+              if dst <> h.id then output_send t h dst ~inst m
             done
-          | `One (dst, m) -> output_send t h dst m
+          | `One (inst, dst, m) -> output_send t h dst ~inst m
           | `Cert_ack (seq, m, count) -> output_send_cert_ack t h ~seq ~msg:m ~count)
         (List.rev !sends);
       match !replies with
@@ -496,13 +586,19 @@ and emit t (h : host) (stage : Stage.t) actions =
     else route ()
   end
 
+and emit t (h : host) (stage : Stage.t) actions =
+  emit_tagged t h stage (List.map (fun a -> (0, a)) actions)
+
+and emit_routed t (h : host) (stage : Stage.t) (routed : Multi.routed list) =
+  emit_tagged t h stage (List.map (fun (r : Multi.routed) -> (r.Multi.inst, r.Multi.act)) routed)
+
 (* Send one protocol message to a peer replica through an output-thread. *)
-and output_send t (h : host) dst (m : Msg.t) =
+and output_send t (h : host) dst ~inst (m : Msg.t) =
   let p = t.p in
   let bytes = Msg.wire_size ~sig_bytes:(Signer.signature_size (scheme_of_message p m)) m in
   let service = Cost.serialize_cost p.Params.cost ~bytes + p.Params.cost.Cost.out_handle in
   Stage.enqueue h.output ~service (fun () ->
-      Net.send (net t) ~src:h.id ~dst ~bytes (To_replica m))
+      Net.send (net t) ~src:h.id ~dst ~bytes (To_replica (inst, m)))
 
 (* Replies for one executed batch, aggregated into a single network event
    per client machine round-robin slot (every transaction's completion is
@@ -543,7 +639,7 @@ and output_send_cert_ack t (h : host) ~seq ~msg ~count =
     | Msg.Local_commit _ -> (
       match h.core with
       | Core_zyz _ -> "" (* the pool keys acks by (seq, history) below *)
-      | Core_pbft _ -> "")
+      | Core_pbft _ | Core_multi _ -> "")
     | _ -> ""
   in
   ignore history;
@@ -610,7 +706,7 @@ and enqueue_execute t (h : host) (b : Msg.batch) =
           b.Msg.reqs;
       let state_digest = "state-" ^ string_of_int b.Msg.seq in
       let actions = core_executed t h ~seq:b.Msg.seq ~state_digest ~result:"ok" in
-      emit t h stage actions;
+      emit_tagged t h stage actions;
       note_view t h)
 
 (* Batch formation at the primary (§4.3): batch-threads drain the common
@@ -622,9 +718,12 @@ and try_form_batches t (h : host) =
   if t.retrans_enabled then compact_pending h;
   let stage = match h.batch_stage with Some s -> s | None -> h.worker in
   let max_jobs = 2 * Stage.workers stage in
+  (* k concurrent ordering instances sustain k times the in-flight batches
+     before head-of-line blocking sets in, so the admission window scales
+     with them. *)
   let admission_open () =
     t.proposed_batches - t.completed_batches + h.batch_jobs_inflight
-    < p.Params.max_inflight_batches
+    < p.Params.max_inflight_batches * p.Params.instances
   in
   while
     Queue.length h.pending >= p.Params.batch_size
@@ -701,10 +800,27 @@ and enqueue_batch_job t (h : host) stage txns =
       let reqs =
         Array.to_list (Array.map (fun txn_id -> { Msg.client = txn_id mod t.p.Params.clients; txn_id }) txns)
       in
-      let batch_opt, actions =
+      let batch_opt, tagged, consensus_worker =
         match h.core with
-        | Core_pbft c -> Pbft.propose c ~reqs ~digest ~wire_bytes:wire
-        | Core_zyz c -> Zyz.propose c ~reqs ~digest ~wire_bytes:wire
+        | Core_pbft c ->
+          let b, a = Pbft.propose c ~reqs ~digest ~wire_bytes:wire in
+          (b, List.map (fun a -> (0, a)) a, h.worker)
+        | Core_zyz c ->
+          let b, a = Zyz.propose c ~reqs ~digest ~wire_bytes:wire in
+          (b, List.map (fun a -> (0, a)) a, h.worker)
+        | Core_multi m -> (
+          (* Rotate over the instances this host leads (normally one for
+             k <= n), so a host that picked up a second instance after a
+             view change keeps both streams moving. *)
+          match Multi.led_instances m with
+          | [] -> (None, [], h.worker)
+          | led ->
+            let inst = List.nth led (h.next_lead mod List.length led) in
+            h.next_lead <- h.next_lead + 1;
+            let b, r = Multi.propose m ~inst ~reqs ~digest ~wire_bytes:wire in
+            ( b,
+              List.map (fun (r : Multi.routed) -> (r.Multi.inst, r.Multi.act)) r,
+              worker_for h inst ))
       in
       (match batch_opt with
       | None ->
@@ -724,8 +840,8 @@ and enqueue_batch_job t (h : host) stage txns =
         (* The worker-thread owns the consensus instance: its bookkeeping
            (instance state, quorum tracking, certificate assembly) costs a
            fixed amount per consensus, regardless of batch size. *)
-        Stage.enqueue h.worker ~service:p.Params.cost.Cost.consensus_fixed (fun () -> ()));
-      emit t h stage actions;
+        Stage.enqueue consensus_worker ~service:p.Params.cost.Cost.consensus_fixed (fun () -> ()));
+      emit_tagged t h stage tagged;
       match batch_opt with Some _ -> try_form_batches t h | None -> ())
 
 (* ---- message delivery at a replica ---------------------------------------- *)
@@ -739,15 +855,32 @@ and deliver_replica t (h : host) ~src (msg : net_msg) =
     let k = Array.length txn_ids in
     Stage.enqueue h.input_client ~service:(k * cost.Cost.msg_handle) (fun () ->
         Array.iter (fun id -> Queue.push id h.pending) txn_ids;
-        if is_host_primary h then try_form_batches t h
+        if is_host_primary h then begin
+          try_form_batches t h;
+          (* A multi-primary host leads only its own instances: the
+             transactions it just batched still need every *other* instance
+             to keep the global execution cursor moving, so unserved
+             (retransmitted) demand arms the watchdog here too. *)
+          match h.core with
+          | Core_multi _ when t.retrans_enabled -> note_demand t h
+          | _ -> ()
+        end
         else if t.retrans_enabled then note_demand t h)
-  | To_replica m ->
+  | To_replica (inst, m) ->
     (* MAC/signature check on the inbound message.  With verify-sharing a
        retransmitted or duplicated message (same sender, same authenticated
-       bytes) costs a cache probe instead of a re-verification. *)
+       bytes) costs a cache probe instead of a re-verification.  Instances
+       other than 0 prefix the memo key: two instances can legitimately
+       carry messages with identical authenticated fields (same local view,
+       sequence number and sender), and those must not share a cache
+       entry.  Instance 0 keeps the bare key so a k = 1 run is bit-identical
+       to the classic path. *)
     let verify =
-      shared_charge p h.vcache ~key:(Msg.auth_string m)
-        ~full:(Cost.verify_cost cost p.Params.replica_scheme)
+      let key =
+        if inst = 0 then Msg.auth_string m
+        else Printf.sprintf "i%d|%s" inst (Msg.auth_string m)
+      in
+      shared_charge p h.vcache ~key ~full:(Cost.verify_cost cost p.Params.replica_scheme)
     in
     (* Digest validation of a proposed batch (§4.3: a backup recomputes the
        batch digest before voting).  Memoized so execution — and any
@@ -756,20 +889,25 @@ and deliver_replica t (h : host) ~src (msg : net_msg) =
       shared_charge p h.dcache ~key:b.Msg.digest
         ~full:(Cost.hash_cost cost ~bytes:b.Msg.wire_bytes)
     in
+    (* Consensus traffic of instance i is served by that instance's own
+       worker-thread: the per-instance workers are exactly what removes the
+       single ordering thread from the critical path. *)
+    let consensus_worker = worker_for h inst in
     let stage, service =
       match m with
       | Msg.Checkpoint _ -> (h.checkpoint_stage, verify + cost.Cost.msg_handle)
       | Msg.Pre_prepare { batch; _ } | Msg.Order_request { batch; _ } ->
         (* A new consensus instance starts here at a backup. *)
-        (h.worker, verify + digest_check batch + cost.Cost.msg_handle + cost.Cost.consensus_fixed)
+        ( consensus_worker,
+          verify + digest_check batch + cost.Cost.msg_handle + cost.Cost.consensus_fixed )
       | Msg.Prepare _ | Msg.Commit _ | Msg.View_change _ | Msg.New_view _ ->
-        (h.worker, verify + cost.Cost.msg_handle)
-      | _ -> (h.worker, cost.Cost.msg_handle)
+        (consensus_worker, verify + cost.Cost.msg_handle)
+      | _ -> (consensus_worker, cost.Cost.msg_handle)
     in
     (* Input-threads hand the message over first (cheap), then the target
        thread verifies and processes. *)
     Stage.enqueue h.input_replica ~service:cost.Cost.msg_handle (fun () ->
-        Stage.enqueue stage ~service (fun () -> core_handle t h stage m))
+        Stage.enqueue stage ~service (fun () -> core_handle t h stage ~inst m))
   | Certs { seq; history; count } ->
     let quorum = Config.commit_quorum t.cfg in
     let service =
@@ -779,7 +917,7 @@ and deliver_replica t (h : host) ~src (msg : net_msg) =
         Stage.enqueue h.worker ~service (fun () ->
             Hashtbl.replace h.cert_counts seq count;
             let responders = List.init quorum (fun i -> i) in
-            core_handle t h h.worker
+            core_handle t h h.worker ~inst:0
               (Msg.Commit_cert { view = 0; seq; digest = history; client = seq; responders })))
   | Replies _ | Cert_acks _ ->
     (* Client-bound traffic never reaches a replica. *)
@@ -798,7 +936,12 @@ and submit_group t txn_ids =
   Array.iter (fun id -> Hashtbl.replace t.submit_time id now) txn_ids;
   let bytes = Array.length txn_ids * txn_request_bytes p in
   let src = next_client_node t in
-  Net.send (net t) ~src ~dst:(believed_primary t) ~bytes (Client_txns { txn_ids });
+  (* Multi-primary: submissions round-robin over the k instances' believed
+     primaries, spreading the ordering load across the k leaders (with k = 1
+     this is exactly the classic single-primary target). *)
+  let inst = t.submit_rr mod p.Params.instances in
+  t.submit_rr <- t.submit_rr + 1;
+  Net.send (net t) ~src ~dst:(believed_primary_of t inst) ~bytes (Client_txns { txn_ids });
   if t.retrans_enabled then schedule_retransmit t txn_ids ~delay:p.Params.client_timeout
 
 (* Client retransmission with exponential backoff: transactions still
@@ -933,8 +1076,14 @@ and deliver_client t (msg : net_msg) =
   match msg with
   | Replies { replica; view; seq; key_digest; txn_ids; speculative } ->
     (* The reply's view tells clients who the primary is (PBFT §4.1);
-       subsequent submissions target it instead of the crashed one. *)
+       subsequent submissions target it instead of the crashed one.  With
+       multiple instances the global sequence number names the instance the
+       reply came from, so the hint is tracked per instance. *)
     if view > t.client_view then t.client_view <- view;
+    if t.p.Params.instances > 1 && seq >= 1 then begin
+      let inst = (seq - 1) mod t.p.Params.instances in
+      if view > t.inst_views.(inst) then t.inst_views.(inst) <- view
+    end;
     let key = (view, seq, key_digest) in
     let track = get_track t key txn_ids in
     track.reply_mask <- track.reply_mask lor (1 lsl replica);
@@ -977,7 +1126,8 @@ and deliver_client t (msg : net_msg) =
 
 (* Stable Chrome-trace thread ids per stage, identical across replicas so
    tracks line up when comparing processes side by side in the viewer. *)
-let stage_tid = function
+let stage_tid name =
+  match name with
   | "input-client" -> 1
   | "input-replica" -> 2
   | "batch" -> 3
@@ -985,7 +1135,16 @@ let stage_tid = function
   | "execute" -> 5
   | "output" -> 6
   | "checkpoint" -> 7
-  | _ -> 0
+  | _ ->
+    (* Multi-primary: the per-instance worker-threads ("worker-0",
+       "worker-1", ...) get their own stable trace tracks at tid 10 + i, so
+       the k ordering streams line up across replica processes in the
+       viewer. *)
+    if String.length name > 7 && String.sub name 0 7 = "worker-" then
+      (match int_of_string_opt (String.sub name 7 (String.length name - 7)) with
+      | Some i -> 10 + i
+      | None -> 0)
+    else 0
 
 let make_host t ~id =
   let p = t.p in
@@ -1025,9 +1184,12 @@ let make_host t ~id =
   in
   let core =
     match p.Params.protocol with
-    | Params.Pbft -> Core_pbft (Pbft.create t.cfg ~id)
+    | Params.Pbft ->
+      if p.Params.instances > 1 then Core_multi (Multi.create t.cfg ~instances:p.Params.instances ~id)
+      else Core_pbft (Pbft.create t.cfg ~id)
     | Params.Zyzzyva -> Core_zyz (Zyz.create t.cfg ~id)
   in
+  let multi = p.Params.instances > 1 in
   {
     id;
     cpu;
@@ -1036,11 +1198,19 @@ let make_host t ~id =
     output = stage "output" 2;
     batch_stage =
       (if p.Params.batch_threads > 0 then Some (stage "batch" p.Params.batch_threads) else None);
-    worker = stage "worker" 1;
+    (* One worker-thread per consensus instance ("worker-i" tracks in the
+       trace); the classic deployment keeps its single "worker". *)
+    worker = stage (if multi then "worker-0" else "worker") 1;
+    extra_workers =
+      (if multi then
+         Array.init (p.Params.instances - 1) (fun i ->
+             stage (Printf.sprintf "worker-%d" (i + 1)) 1)
+       else [||]);
     exec_stage = (if p.Params.execute_threads > 0 then Some (stage "execute" 1) else None);
     checkpoint_stage = stage "checkpoint" 1;
     core;
     pending = Queue.create ();
+    next_lead = 0;
     flush_scheduled = false;
     batch_jobs_inflight = 0;
     ledger = Ledger.create ~primary_id;
@@ -1063,6 +1233,7 @@ let driver t =
   {
     Nemesis.sim = t.sim;
     current_primary = (fun () -> current_primary t);
+    current_instance_primary = (fun i -> current_instance_primary t i);
     crash = Net.crash nw;
     recover = Net.recover nw;
     partition = (fun ~name a b -> Net.partition nw ~name a b);
@@ -1074,7 +1245,7 @@ let driver t =
       (fun f ->
         obs_instant t ("fault: " ^ Nemesis.describe f);
         match f with
-        | Nemesis.Crash_primary -> mark_primary_crash t
+        | Nemesis.Crash_primary | Nemesis.Crash_instance_primary _ -> mark_primary_crash t
         | Nemesis.Crash i when i = current_primary t -> mark_primary_crash t
         | _ -> ());
   }
@@ -1170,6 +1341,8 @@ let create (p : Params.t) =
       hosts = [||];
       client_nodes = Array.init p.Params.client_machines (fun i -> p.Params.n + i);
       client_rr = 0;
+      inst_views = Array.make p.Params.instances 0;
+      submit_rr = 0;
       submit_time = Hashtbl.create 4096;
       batches = Hashtbl.create 4096;
       next_txn = 0;
@@ -1246,6 +1419,7 @@ type snapshot = {
 
 let stages_of (h : host) =
   [ h.input_client; h.input_replica; h.output; h.worker; h.checkpoint_stage ]
+  @ Array.to_list h.extra_workers
   @ (match h.batch_stage with Some s -> [ s ] | None -> [])
   @ match h.exec_stage with Some s -> [ s ] | None -> []
 
@@ -1265,6 +1439,12 @@ let sim t = t.sim
 (* ---- fault observability ---------------------------------------------------- *)
 
 let current_view t = t.max_view
+
+(* Highest installed view per consensus instance, observed cluster-wide
+   (index = instance id; a single-element array for classic deployments). *)
+let instance_views t =
+  Array.init t.p.Params.instances (fun i ->
+      if t.p.Params.instances = 1 then t.max_view else instance_view t i)
 
 let retransmissions t = t.retransmissions
 
@@ -1321,10 +1501,13 @@ let check_safety t =
 (* Diagnostic snapshot used while developing and by verbose CLI modes. *)
 let debug_dump t =
   let h0 = t.hosts.(0) in
-  let last_exec =
-    match h0.core with Core_pbft c -> Pbft.last_executed c | Core_zyz c -> Zyz.last_spec_executed c
+  let last_exec = core_last_exec h0 in
+  let pend_inst =
+    match h0.core with
+    | Core_pbft c -> Pbft.pending_instances c
+    | Core_zyz _ -> 0
+    | Core_multi m -> Multi.pending_instances m
   in
-  let pend_inst = match h0.core with Core_pbft c -> Pbft.pending_instances c | Core_zyz _ -> 0 in
   Printf.printf
     "t=%.2fs completed=%d next_txn=%d exec0=%d inst0=%d pending=%d workerq=%d batchq=%d tracks=%d\n%!"
     (Sim.to_seconds (Sim.now t.sim))

@@ -27,6 +27,13 @@ val inject : t -> Nemesis.fault -> unit
 val current_view : t -> int
 (** Highest view any replica has installed (0 until a view change). *)
 
+val instance_views : t -> int array
+(** Highest installed view of each consensus instance, observed
+    cluster-wide (index = instance id; a single-element array for classic
+    [instances = 1] deployments).  Lets tests assert that a nemesis
+    {!Nemesis.fault.Crash_instance_primary} advanced {e only} the targeted
+    instance's view. *)
+
 val retransmissions : t -> int
 (** Client request re-sends so far (see {!Params.t}[.client_timeout]). *)
 

@@ -2,6 +2,7 @@ module Sim = Rdb_des.Sim
 
 type fault =
   | Crash_primary
+  | Crash_instance_primary of int
   | Crash of int
   | Recover of int
   | Partition of { name : string; side_a : int list; side_b : int list }
@@ -32,8 +33,11 @@ let partition_window ~from_ ~until ~name side_a side_b =
 
 let crash_primary_at time = [ at time Crash_primary ]
 
+let crash_instance_primary_at time inst = [ at time (Crash_instance_primary inst) ]
+
 let describe = function
   | Crash_primary -> "crash primary"
+  | Crash_instance_primary i -> Printf.sprintf "crash primary of instance %d" i
   | Crash i -> Printf.sprintf "crash replica %d" i
   | Recover i -> Printf.sprintf "recover replica %d" i
   | Partition { name; side_a; side_b } ->
@@ -64,6 +68,8 @@ let validate ~n schedule =
         if List.exists (fun i -> List.mem i side_b) side_a then
           invalid_arg "Nemesis: partition sides overlap"
       | Heal _ | Crash_primary -> ()
+      | Crash_instance_primary i ->
+        if i < 0 then invalid_arg "Nemesis: negative consensus instance"
       | Loss r | Duplication r ->
         if r < 0.0 || r >= 1.0 then invalid_arg "Nemesis: rate must be in [0, 1)"
       | Extra_jitter j -> if j < 0 then invalid_arg "Nemesis: negative jitter")
@@ -76,6 +82,7 @@ let validate ~n schedule =
 type driver = {
   sim : Sim.t;
   current_primary : unit -> int;
+  current_instance_primary : int -> int;
   crash : int -> unit;
   recover : int -> unit;
   partition : name:string -> int list -> int list -> unit;
@@ -89,6 +96,7 @@ type driver = {
 let apply d fault =
   (match fault with
   | Crash_primary -> d.crash (d.current_primary ())
+  | Crash_instance_primary i -> d.crash (d.current_instance_primary i)
   | Crash i -> d.crash i
   | Recover i -> d.recover i
   | Partition { name; side_a; side_b } -> d.partition ~name side_a side_b

@@ -14,6 +14,11 @@
 type fault =
   | Crash_primary
       (** crash whatever replica is primary at the scheduled instant *)
+  | Crash_instance_primary of int
+      (** multi-primary deployments ({!Params.t}[.instances] > 1): crash the
+          replica currently leading the given consensus instance (taken
+          modulo the instance count), exercising that instance's view change
+          while its siblings keep ordering *)
   | Crash of int  (** crash one replica (fail-stop) *)
   | Recover of int
   | Partition of { name : string; side_a : int list; side_b : int list }
@@ -28,15 +33,27 @@ type entry = { at : Rdb_des.Sim.time; fault : fault }
 
 type schedule = entry list
 
+(** {2 Schedule combinators}
+
+    Schedules are plain lists, so they compose by concatenation:
+    [crash_primary_at (Sim.ms 200.0) @ loss_window ~from_:(Sim.ms 300.0)
+    ~until:(Sim.ms 500.0) 0.02] crashes the primary {e and} opens a loss
+    window, in one schedule.  Entries need not be sorted — each is scheduled
+    independently on the DES clock. *)
+
 val at : Rdb_des.Sim.time -> fault -> entry
+(** One entry at an absolute simulation time (nanoseconds). *)
 
 val at_ms : float -> fault -> entry
+(** {!at} with the time given in milliseconds. *)
 
 val loss_window : from_:Rdb_des.Sim.time -> until:Rdb_des.Sim.time -> float -> schedule
-(** Loss at the given rate between [from_] and [until], then back to 0. *)
+(** Loss at the given rate between [from_] and [until], then back to 0.
+    Raises [Invalid_argument] when the window ends before it starts. *)
 
 val duplication_window :
   from_:Rdb_des.Sim.time -> until:Rdb_des.Sim.time -> float -> schedule
+(** Message duplication at the given rate over the window, then back to 0. *)
 
 val partition_window :
   from_:Rdb_des.Sim.time ->
@@ -45,9 +62,18 @@ val partition_window :
   int list ->
   int list ->
   schedule
-(** Named partition installed at [from_] and healed at [until]. *)
+(** Named partition installed at [from_] and healed at [until].  The name
+    lets several overlapping partitions coexist and be healed
+    independently. *)
 
 val crash_primary_at : Rdb_des.Sim.time -> schedule
+(** Crash whichever replica is primary at that instant (resolved at
+    injection time, so it follows view changes that happened before). *)
+
+val crash_instance_primary_at : Rdb_des.Sim.time -> int -> schedule
+(** [crash_instance_primary_at time i]: crash the current primary of
+    consensus instance [i] (multi-primary deployments; see
+    {!fault.Crash_instance_primary}). *)
 
 val describe : fault -> string
 
@@ -65,6 +91,9 @@ val validate : n:int -> schedule -> unit
 type driver = {
   sim : Rdb_des.Sim.t;
   current_primary : unit -> int;
+  current_instance_primary : int -> int;
+      (** the replica leading one consensus instance right now (instance
+          taken modulo the deployment's instance count) *)
   crash : int -> unit;
   recover : int -> unit;
   partition : name:string -> int list -> int list -> unit;

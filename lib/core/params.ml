@@ -25,6 +25,12 @@ type t = {
       (** scheme for replica->client replies; MAC in the hybrid default *)
   sqlite : bool;  (** off-memory storage for execution (Fig. 14) *)
   cores : int;  (** per replica (Fig. 16) *)
+  instances : int;
+      (** k concurrent PBFT consensus instances over a round-robin-partitioned
+          sequence space, each with its own primary ([i mod n] at view 0),
+          merged into one in-order execution stream ({!Rdb_consensus.Multi_pbft}).
+          1 = the classic single-primary deployment (the exact seed code
+          path); > 1 requires [protocol = Pbft] *)
   batch_threads : int;  (** B; 0 = the worker-thread batches (Fig. 8) *)
   execute_threads : int;  (** E in {0, 1}; 0 = the worker-thread executes *)
   checkpoint_txns : int;  (** transactions between checkpoints *)
@@ -101,6 +107,7 @@ let default =
     reply_scheme = Rdb_crypto.Signer.Cmac_aes;
     sqlite = false;
     cores = 8;
+    instances = 1;
     batch_threads = 2;
     execute_threads = 1;
     checkpoint_txns = 10_000;
@@ -149,6 +156,10 @@ let validate t =
   if t.crashed_backups > f t then invalid_arg "Params: cannot crash more than f backups";
   if t.clients < 1 then invalid_arg "Params: need at least one client";
   if t.cores < 1 then invalid_arg "Params: need at least one core";
+  if t.instances < 1 then invalid_arg "Params: instances must be >= 1";
+  if t.instances > 1 && t.protocol <> Pbft then
+    invalid_arg "Params: multi-primary ordering (instances > 1) is a PBFT deployment";
+  if t.instances > 62 then invalid_arg "Params: instances must be <= 62";
   if t.loss_rate < 0.0 || t.loss_rate >= 1.0 then
     invalid_arg "Params: loss_rate must be in [0, 1)";
   if t.duplication_rate < 0.0 || t.duplication_rate >= 1.0 then

@@ -44,3 +44,93 @@ let poll t =
 let next_seq t = t.next
 
 let pending t = t.pending
+
+module Merge = struct
+  type 'a t = {
+    streams : (int * 'a) Queue.t array;  (* per instance, (global seq, item) *)
+    expect : int array;  (* next global seq each instance may offer *)
+    mutable next : int;  (* global execution cursor *)
+  }
+
+  let create ~instances =
+    if instances < 1 then invalid_arg "Exec_queue.Merge.create: need at least one instance";
+    {
+      streams = Array.init instances (fun _ -> Queue.create ());
+      expect = Array.init instances (fun i -> i + 1);
+      next = 1;
+    }
+
+  let instances t = Array.length t.streams
+
+  let instance_of t ~seq =
+    if seq < 1 then invalid_arg "Exec_queue.Merge.instance_of: sequence numbers start at 1";
+    (seq - 1) mod Array.length t.streams
+
+  let offer t ~seq v =
+    if seq < 1 then Error (Printf.sprintf "sequence %d: global sequence numbers start at 1" seq)
+    else begin
+      let i = instance_of t ~seq in
+      if seq < t.expect.(i) then
+        Error (Printf.sprintf "sequence %d of instance %d already offered" seq i)
+      else if seq > t.expect.(i) then
+        Error
+          (Printf.sprintf "sequence %d of instance %d out of order (expected %d)" seq i
+             t.expect.(i))
+      else begin
+        Queue.push (seq, v) t.streams.(i);
+        t.expect.(i) <- seq + Array.length t.streams;
+        Ok ()
+      end
+    end
+
+  let advance t ~inst ~seq =
+    if inst < 0 || inst >= Array.length t.streams then
+      invalid_arg "Exec_queue.Merge.advance: no such instance";
+    if seq >= 1 && instance_of t ~seq <> inst then
+      invalid_arg "Exec_queue.Merge.advance: sequence not owned by instance";
+    let k = Array.length t.streams in
+    if seq + k > t.expect.(inst) then t.expect.(inst) <- seq + k
+
+  let waiting_instance t = (t.next - 1) mod Array.length t.streams
+
+  (* A slot can be [Full] (offered, FIFO head when its turn comes), [Hole]
+     (not offered yet: the owning instance's expectation has not passed it)
+     or [Skipped] (the owning instance moved past it via {!advance} — a
+     checkpoint catch-up — so nothing will ever be offered): skipped slots
+     advance the cursor silently. *)
+  let rec poll t =
+    let i = waiting_instance t in
+    let q = t.streams.(i) in
+    match Queue.peek_opt q with
+    | Some (seq, v) when seq = t.next ->
+      ignore (Queue.pop q);
+      t.next <- t.next + 1;
+      Some v
+    | Some _ | None ->
+      if t.expect.(i) > t.next then begin
+        (* The instance moved past this slot without offering it. *)
+        t.next <- t.next + 1;
+        poll t
+      end
+      else None
+
+  let next_seq t = t.next
+
+  let pending_of t i =
+    if i < 0 || i >= Array.length t.streams then
+      invalid_arg "Exec_queue.Merge.pending_of: no such instance";
+    Queue.length t.streams.(i)
+
+  (* Highest global sequence number sitting in any stream (0 when nothing is
+     queued): everything up to here is committed and waiting, so this is how
+     far the blocked instance must catch up before the merge drains. *)
+  let horizon t =
+    let k = Array.length t.streams in
+    let hi = ref 0 in
+    Array.iteri
+      (fun i q -> if not (Queue.is_empty q) then hi := max !hi (t.expect.(i) - k))
+      t.streams;
+    !hi
+
+  let pending t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.streams
+end

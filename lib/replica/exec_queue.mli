@@ -39,3 +39,78 @@ val next_seq : 'a t -> int
 
 val pending : 'a t -> int
 (** Items offered but not yet polled. *)
+
+(** Deterministic k-way merge of per-instance commit streams (the
+    multi-primary generalization of the queue above).
+
+    A multi-primary deployment runs [k] concurrent consensus instances over
+    a partitioned sequence space: instance [i] owns the global sequence
+    numbers [{ s | (s - 1) mod k = i }] (1-based, round-robin).  Each
+    instance commits its own slots in {e local} order, but execution must
+    consume the {e global} order [1, 2, 3, ...] — so the execute path holds
+    one FIFO per instance and a single global cursor that round-robins
+    across them, waiting on exactly the instance that owns the next global
+    sequence number.
+
+    Hole tracking falls out of the cursor: {!waiting_instance} names the
+    instance the merge is blocked on (the one whose slot is the hole), and
+    {!pending_of} exposes how far every other instance has run ahead.  The
+    hosting system's demand timer uses this to aim its nudge / view-change
+    escalation at the stalled instance instead of guessing.
+
+    With [instances = 1] the merge degenerates to a plain FIFO and the
+    global cursor is exactly the classic §4.6 behaviour. *)
+module Merge : sig
+  type 'a t
+
+  val create : instances:int -> 'a t
+  (** [instances >= 1] concurrent streams; the cursor starts at global
+      sequence number 1 (owned by instance 0). *)
+
+  val instances : 'a t -> int
+
+  val instance_of : 'a t -> seq:int -> int
+  (** The instance owning global sequence number [seq]:
+      [(seq - 1) mod instances]. *)
+
+  val offer : 'a t -> seq:int -> 'a -> (unit, string) result
+  (** Append the item committed at global sequence number [seq] to its
+      instance's stream.  Each instance must offer its slots in increasing
+      order (consensus cores emit [Execute] in local order, so this holds by
+      construction); a duplicate or out-of-order offer is reported as
+      [Error] rather than silently reordered. *)
+
+  val advance : 'a t -> inst:int -> seq:int -> unit
+  (** Declare that instance [inst] will never offer global sequence number
+      [seq] or anything below it that is still missing — it adopted a stable
+      checkpoint and skipped ahead (laggard catch-up).  {!poll} then treats
+      the missing slots as skipped instead of blocking on them forever.
+      Idempotent; a no-op when the instance's expectation is already past
+      [seq]. *)
+
+  val poll : 'a t -> 'a option
+  (** The item at the global cursor, if its instance has committed it;
+      advances the cursor (silently passing over slots {!advance} marked as
+      skipped).  [None] while the owning instance's slot is a genuine hole
+      (not yet committed).  O(1) amortized. *)
+
+  val next_seq : 'a t -> int
+  (** The global sequence number {!poll} waits for (starts at 1). *)
+
+  val waiting_instance : 'a t -> int
+  (** The instance owning {!next_seq} — the stream the merge is blocked on
+      when {!poll} returns [None]. *)
+
+  val pending : 'a t -> int
+  (** Total items offered but not yet polled, across all instances. *)
+
+  val pending_of : 'a t -> int -> int
+  (** Items queued by one instance, i.e. how far it has committed ahead of
+      the global cursor. *)
+
+  val horizon : 'a t -> int
+  (** The highest global sequence number queued in any stream, or 0 when
+      nothing is pending.  When the merge is blocked, everything up to the
+      horizon is committed-and-waiting: it measures how far the
+      {!waiting_instance} must catch up for the backlog to drain. *)
+end

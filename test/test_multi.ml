@@ -1,0 +1,378 @@
+(* Multi-primary parallel consensus: the k-way merge, the Multi_pbft
+   translation layer, and the cluster deployment.
+
+   Three layers of evidence that "out-of-order consensus, in-order
+   execution" survives the generalization from one ordering instance to k:
+
+   - Merge unit + qcheck suite: random interleavings of per-instance commit
+     streams always drain in global order; checkpoint catch-up ({!advance})
+     skips exactly the declared holes and nothing else.
+   - Pure-core harness: 4 replicas running k = 4 instances execute the same
+     batches in the same global order as a classic k = 1 deployment, under
+     FIFO and randomly shuffled delivery alike.
+   - Cluster: safety under 200+ random nemesis schedules at instances = 4,
+     and a deterministic regression that crashes one instance's primary and
+     checks only that instance view-changes while completions resume. *)
+
+open Rdb_core
+module Sim = Rdb_des.Sim
+module Rng = Rdb_des.Rng
+module Msg = Rdb_consensus.Message
+module Action = Rdb_consensus.Action
+module Config = Rdb_consensus.Config
+module Multi = Rdb_consensus.Multi_pbft
+module Merge = Rdb_replica.Exec_queue.Merge
+
+let qtest p = QCheck_alcotest.to_alcotest p
+
+(* ---- Merge: unit suite ---------------------------------------------------- *)
+
+let test_merge_blocks_then_drains () =
+  let m = Merge.create ~instances:3 in
+  Alcotest.(check int) "cursor starts at 1" 1 (Merge.next_seq m);
+  Alcotest.(check (result unit string)) "inst 2 commits first" (Ok ()) (Merge.offer m ~seq:3 "c");
+  Alcotest.(check (option string)) "blocked on inst 0" None (Merge.poll m);
+  Alcotest.(check int) "waiting on instance 0" 0 (Merge.waiting_instance m);
+  Alcotest.(check int) "inst 2 ran ahead by one" 1 (Merge.pending_of m 2);
+  Alcotest.(check (result unit string)) "inst 0 commits" (Ok ()) (Merge.offer m ~seq:1 "a");
+  Alcotest.(check (option string)) "seq 1" (Some "a") (Merge.poll m);
+  Alcotest.(check (option string)) "blocked on inst 1" None (Merge.poll m);
+  Alcotest.(check int) "waiting on instance 1" 1 (Merge.waiting_instance m);
+  Alcotest.(check (result unit string)) "inst 1 commits" (Ok ()) (Merge.offer m ~seq:2 "b");
+  Alcotest.(check (option string)) "seq 2" (Some "b") (Merge.poll m);
+  Alcotest.(check (option string)) "seq 3" (Some "c") (Merge.poll m);
+  Alcotest.(check (option string)) "drained" None (Merge.poll m);
+  Alcotest.(check int) "nothing pending" 0 (Merge.pending m)
+
+let test_merge_rejects_out_of_order () =
+  let m = Merge.create ~instances:2 in
+  Alcotest.(check (result unit string)) "first slot ok" (Ok ()) (Merge.offer m ~seq:1 "a");
+  (match Merge.offer m ~seq:1 "dup" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate offer must be rejected");
+  (match Merge.offer m ~seq:5 "skip" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-order offer (skipping local slot) must be rejected")
+
+let test_merge_advance_skips_holes () =
+  (* k = 3: instance 0 owns 1, 4, 7.  It adopts a checkpoint covering its
+     first three slots ([advance] past 7); the merge must then deliver the
+     other instances' slots 2, 3, 5, 6, 8, 9 without blocking on 1/4/7. *)
+  let m = Merge.create ~instances:3 in
+  Merge.advance m ~inst:0 ~seq:7;
+  List.iter
+    (fun s ->
+      Alcotest.(check (result unit string))
+        (Printf.sprintf "offer %d" s)
+        (Ok ())
+        (Merge.offer m ~seq:s (string_of_int s)))
+    [ 2; 3; 5; 6; 8; 9 ];
+  let drained = ref [] in
+  let rec drain () =
+    match Merge.poll m with
+    | Some v ->
+      drained := v :: !drained;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string))
+    "skipped slots are silently passed over" [ "2"; "3"; "5"; "6"; "8"; "9" ]
+    (List.rev !drained);
+  (* The cursor is now at 10 = instance 0's next live slot. *)
+  Alcotest.(check int) "cursor past the skipped region" 10 (Merge.next_seq m);
+  Alcotest.(check (result unit string)) "instance 0 resumes" (Ok ()) (Merge.offer m ~seq:10 "x");
+  Alcotest.(check (option string)) "and drains" (Some "x") (Merge.poll m)
+
+let test_merge_single_instance_is_fifo () =
+  let m = Merge.create ~instances:1 in
+  for s = 1 to 5 do
+    match Merge.offer m ~seq:s s with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e
+  done;
+  for s = 1 to 5 do
+    Alcotest.(check (option int)) (Printf.sprintf "seq %d" s) (Some s) (Merge.poll m)
+  done
+
+(* Random interleavings: feed global sequence numbers 1..m through k
+   streams in arbitrary cross-instance order (per-instance order is fixed,
+   as consensus guarantees), polling at random moments.  The drained values
+   must always be exactly 1..m in order. *)
+let prop_merge_random_interleavings =
+  QCheck.Test.make ~name:"merge: random interleavings drain in global order" ~count:500
+    QCheck.(triple (int_range 1 6) (int_range 0 60) small_int)
+    (fun (k, m, seed) ->
+      let merge = Merge.create ~instances:k in
+      let rng = Rng.create (Int64.of_int (seed + 11)) in
+      (* Next local slot each instance will offer, as a global seq. *)
+      let next = Array.init k (fun i -> i + 1) in
+      let drained = ref [] in
+      let drain () =
+        let rec go () =
+          match Merge.poll merge with
+          | Some v ->
+            drained := v :: !drained;
+            go ()
+          | None -> ()
+        in
+        go ()
+      in
+      let live () = List.filter (fun i -> next.(i) <= m) (List.init k Fun.id) in
+      let rec feed () =
+        match live () with
+        | [] -> ()
+        | is ->
+          let i = List.nth is (Rng.int rng (List.length is)) in
+          (match Merge.offer merge ~seq:next.(i) next.(i) with
+          | Ok () -> ()
+          | Error e -> QCheck.Test.fail_report e);
+          next.(i) <- next.(i) + k;
+          if Rng.bool rng then drain ();
+          feed ()
+      in
+      feed ();
+      drain ();
+      List.rev !drained = List.init m (fun i -> i + 1) && Merge.pending merge = 0)
+
+(* ---- pure-core harness: Multi_pbft over a synchronous network ------------- *)
+
+(* Mirrors {!Testkit} for the multi-primary core: an action queue tagged
+   with (origin, instance), optional random reshuffling, and an execution
+   recorder keyed by the {e global} sequence numbers the translation layer
+   re-stamps onto [Execute] actions. *)
+module Mkit = struct
+  type t = {
+    cores : Multi.t array;
+    queue : (int * Multi.routed) Queue.t;
+    executed : (int, (int * string) list) Hashtbl.t;
+    rng : Rng.t option;
+  }
+
+  let make ?(n = 4) ?(k = 4) ?(checkpoint_interval = 100) ?rng_seed () =
+    let cfg = Config.make ~checkpoint_interval ~n () in
+    {
+      cores = Array.init n (fun id -> Multi.create cfg ~instances:k ~id);
+      queue = Queue.create ();
+      executed = Hashtbl.create 8;
+      rng = Option.map Rng.create rng_seed;
+    }
+
+  let record_exec t id (b : Msg.batch) =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt t.executed id) in
+    Hashtbl.replace t.executed id ((b.Msg.seq, b.Msg.digest) :: prev);
+    Multi.handle_executed t.cores.(id) ~seq:b.Msg.seq
+      ~state_digest:(Printf.sprintf "state-%d" b.Msg.seq)
+      ~result:"ok"
+
+  (* Execute actions leave the merge in strict global order and must be
+     applied at their replica immediately (execution order is local). *)
+  let rec push t origin (routed : Multi.routed list) =
+    List.iter
+      (fun (r : Multi.routed) ->
+        match r.Multi.act with
+        | Action.Execute b -> push t origin (record_exec t origin b)
+        | _ -> Queue.push (origin, r) t.queue)
+      routed
+
+  let run ?(max_steps = 1_000_000) t =
+    let steps = ref 0 in
+    let reshuffle () =
+      match t.rng with
+      | None -> ()
+      | Some rng ->
+        let items = Array.of_seq (Queue.to_seq t.queue) in
+        Rng.shuffle rng items;
+        Queue.clear t.queue;
+        Array.iter (fun x -> Queue.push x t.queue) items
+    in
+    while (not (Queue.is_empty t.queue)) && !steps < max_steps do
+      incr steps;
+      if !steps mod 17 = 0 then reshuffle ();
+      let origin, { Multi.inst; act } = Queue.pop t.queue in
+      match act with
+      | Action.Broadcast m ->
+        Array.iteri
+          (fun id core -> if id <> origin then push t id (Multi.handle_message core ~inst m))
+          t.cores
+      | Action.Send (dst, m) -> push t dst (Multi.handle_message t.cores.(dst) ~inst m)
+      | Action.Send_client _ | Action.Stable_checkpoint _ -> ()
+      | Action.Execute b -> push t origin (record_exec t origin b)
+    done;
+    if !steps >= max_steps then failwith "Mkit.run: did not quiesce"
+
+  (* Propose batch [j] (digest "d<j>") on instance [(j - 1) mod k] at that
+     instance's view-0 primary — the same round-robin the global sequence
+     space uses, so digest "d<j>" must land at global sequence number j. *)
+  let propose_round_robin t m =
+    let k = Multi.instances t.cores.(0) in
+    let n = Array.length t.cores in
+    for j = 1 to m do
+      let inst = (j - 1) mod k in
+      let primary = inst mod n in
+      let _, routed =
+        Multi.propose t.cores.(primary) ~inst
+          ~reqs:[ { Msg.client = 1000; txn_id = j } ]
+          ~digest:(Printf.sprintf "d%d" j) ~wire_bytes:100
+      in
+      push t primary routed
+    done
+
+  let executions t id = List.rev (Option.value ~default:[] (Hashtbl.find_opt t.executed id))
+end
+
+let expected_executions m = List.init m (fun i -> (i + 1, Printf.sprintf "d%d" (i + 1)))
+
+let test_multi_core_fifo_matches_k1 () =
+  let m = 12 in
+  (* k = 4 multi-primary... *)
+  let t4 = Mkit.make ~k:4 () in
+  Mkit.propose_round_robin t4 m;
+  Mkit.run t4;
+  (* ...and the classic single instance over the same batches. *)
+  let t1 = Mkit.make ~k:1 () in
+  Mkit.propose_round_robin t1 m;
+  Mkit.run t1;
+  Alcotest.(check (list (pair int string)))
+    "k=1 executes 1..12 in order" (expected_executions m) (Mkit.executions t1 0);
+  Array.iteri
+    (fun id _ ->
+      Alcotest.(check (list (pair int string)))
+        (Printf.sprintf "k=4 replica %d executes the same global order" id)
+        (Mkit.executions t1 0) (Mkit.executions t4 id))
+    t4.Mkit.cores
+
+let prop_multi_core_shuffled_delivery =
+  QCheck.Test.make ~name:"multi-core: global order survives shuffled delivery" ~count:60
+    QCheck.(pair (int_range 1 4) small_int)
+    (fun (k, seed) ->
+      let m = 3 * k in
+      let t = Mkit.make ~k ~rng_seed:(Int64.of_int (seed + 3)) () in
+      Mkit.propose_round_robin t m;
+      Mkit.run t;
+      let expect = expected_executions m in
+      Array.for_all (fun _ -> true) t.Mkit.cores
+      && List.for_all
+           (fun id -> Mkit.executions t id = expect)
+           (List.init (Array.length t.Mkit.cores) Fun.id))
+
+(* ---- cluster: multi-primary deployment ------------------------------------ *)
+
+(* Same shape as test_faults' [faulty], with four consensus instances. *)
+let multi_params =
+  {
+    Params.default with
+    Params.n = 4;
+    instances = 4;
+    clients = 400;
+    client_machines = 1;
+    batch_size = 20;
+    max_inflight_batches = 16;
+    checkpoint_txns = 400;
+    client_timeout = Sim.ms 40.0;
+    view_timeout = Sim.ms 30.0;
+    warmup = Sim.seconds 0.2;
+    measure = Sim.seconds 0.8;
+  }
+
+let test_cluster_multi_healthy () =
+  let m = Cluster.run { multi_params with Params.client_timeout = 0 } in
+  Alcotest.(check bool) "made progress" true (m.Metrics.throughput_tps > 0.0);
+  Alcotest.(check int) "no view changes" 0 m.Metrics.faults.Metrics.view_changes
+
+let test_cluster_multi_safety () =
+  let c = Cluster.create multi_params in
+  Cluster.start c;
+  Sim.run ~until:(Sim.seconds 1.0) (Cluster.sim c);
+  Alcotest.(check bool) "progress" true (Cluster.total_completed c > 0);
+  (match Cluster.check_safety c with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (array int))
+    "all four instances still at view 0" [| 0; 0; 0; 0 |] (Cluster.instance_views c)
+
+let test_instance_primary_crash_recovers () =
+  (* Crash the primary of instance 2 (replica 2 at view 0) mid-run: that
+     instance view-changes, its siblings keep their view-0 primaries, and
+     completions resume once the merge hole is plugged. *)
+  let p =
+    { multi_params with Params.nemesis = Nemesis.crash_instance_primary_at (Sim.ms 300.0) 2 }
+  in
+  let c = Cluster.create p in
+  Cluster.start c;
+  let sim = Cluster.sim c in
+  Sim.run ~until:(Sim.ms 300.0) sim;
+  let before = Cluster.total_completed c in
+  Alcotest.(check bool) "progress before the crash" true (before > 0);
+  Sim.run ~until:(Sim.seconds 1.5) sim;
+  let after = Cluster.total_completed c in
+  let views = Cluster.instance_views c in
+  Alcotest.(check bool)
+    (Printf.sprintf "instance 2 view-changed (views = %s)"
+       (String.concat "," (Array.to_list (Array.map string_of_int views))))
+    true
+    (views.(2) >= 1);
+  Alcotest.(check int) "instance 0 undisturbed" 0 views.(0);
+  Alcotest.(check int) "instance 1 undisturbed" 0 views.(1);
+  Alcotest.(check int) "instance 3 undisturbed" 0 views.(3);
+  Alcotest.(check bool)
+    (Printf.sprintf "completions resumed (%d -> %d)" before after)
+    true
+    (after > before + (p.Params.clients / 2));
+  (match Cluster.time_to_recovery c with
+  | Some s -> Alcotest.(check bool) (Printf.sprintf "ttr %.3fs sane" s) true (s > 0.0 && s < 1.5)
+  | None -> Alcotest.fail "no recovery recorded");
+  match Cluster.check_safety c with Ok () -> () | Error e -> Alcotest.fail e
+
+(* Safety under random nemesis schedules, instances = 4 — the multi-primary
+   twin of test_faults' qcheck property (same generator, same budget). *)
+let prop_multi_safety_under_faults =
+  QCheck.Test.make ~name:"multi-primary: safety under random fault schedules" ~count:200
+    (QCheck.pair Testkit.arb_schedule (QCheck.int_bound 10_000))
+    (fun (nemesis, seed) ->
+      let p =
+        {
+          multi_params with
+          Params.clients = 150;
+          batch_size = 10;
+          nemesis;
+          seed = Int64.of_int (seed + 7);
+          client_timeout = Sim.ms 30.0;
+          view_timeout = Sim.ms 25.0;
+        }
+      in
+      let c = Cluster.create p in
+      Cluster.start c;
+      Sim.run ~until:(Sim.ms 700.0) (Cluster.sim c);
+      match Cluster.check_safety c with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_report e)
+
+let () =
+  Alcotest.run "multi"
+    [
+      ( "merge",
+        [
+          Alcotest.test_case "blocks on holes, drains in order" `Quick
+            test_merge_blocks_then_drains;
+          Alcotest.test_case "rejects out-of-order offers" `Quick test_merge_rejects_out_of_order;
+          Alcotest.test_case "advance skips checkpoint holes" `Quick
+            test_merge_advance_skips_holes;
+          Alcotest.test_case "k=1 degenerates to FIFO" `Quick test_merge_single_instance_is_fifo;
+          qtest prop_merge_random_interleavings;
+        ] );
+      ( "core",
+        [
+          Alcotest.test_case "k=4 executes the k=1 global order" `Quick
+            test_multi_core_fifo_matches_k1;
+          qtest prop_multi_core_shuffled_delivery;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "healthy multi-primary run" `Quick test_cluster_multi_healthy;
+          Alcotest.test_case "safety + quiet views" `Quick test_cluster_multi_safety;
+          Alcotest.test_case "instance primary crash: isolated view change + recovery" `Quick
+            test_instance_primary_crash_recovers;
+        ] );
+      ("safety", [ qtest prop_multi_safety_under_faults ]);
+    ]

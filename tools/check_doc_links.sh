@@ -1,0 +1,60 @@
+#!/bin/sh
+# Docs cross-reference checker: every relative link target mentioned in the
+# repo's top-level *.md files must exist on disk.
+#
+# Checks two shapes:
+#   1. Markdown links [text](target) whose target is a relative path
+#      (external http(s)/mailto links and pure #anchors are skipped; a
+#      trailing #anchor on a relative path is stripped before the check).
+#   2. Backticked path mentions like `bench/main.ml` or `tools/foo.sh` that
+#      look like repo paths (contain a / and end in a known extension).
+#
+# Exit 0 when every target resolves, 1 otherwise (listing the offenders).
+set -u
+
+cd "$(dirname "$0")/.." || exit 2
+
+fail=0
+
+for doc in *.md; do
+  [ -f "$doc" ] || continue
+
+  # --- markdown link targets ---------------------------------------------
+  targets=$(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//')
+  for t in $targets; do
+    case "$t" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path=${t%%#*}
+    [ -n "$path" ] || continue
+    if [ ! -e "$path" ]; then
+      echo "$doc: broken link target: $t"
+      fail=1
+    fi
+  done
+
+  # --- backticked repo-path mentions -------------------------------------
+  mentions=$(grep -o '`[A-Za-z0-9_./-]*`' "$doc" | tr -d '`')
+  for m in $mentions; do
+    case "$m" in
+      */*) ;;
+      *) continue ;;
+    esac
+    case "$m" in
+      *.ml | *.mli | *.md | *.sh | *.yml | *.json) ;;
+      *) continue ;;
+    esac
+    case "$m" in
+      _build/* | */_build/*) continue ;;
+    esac
+    if [ ! -e "$m" ]; then
+      echo "$doc: mentions missing file: $m"
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "doc links: OK"
+fi
+exit "$fail"
