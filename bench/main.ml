@@ -23,7 +23,8 @@ let selected name =
     Array.to_list Sys.argv
     |> List.filter (fun a ->
            (String.length a > 2 && String.sub a 0 3 = "fig")
-           || a = "micro" || a = "ablations" || a = "breakdown" || a = "consensus" || a = "multi")
+           || a = "micro" || a = "ablations" || a = "breakdown" || a = "consensus" || a = "multi"
+           || a = "recovery")
   in
   figs = [] || List.mem name figs
 
@@ -525,6 +526,80 @@ let multi () =
     ignore rest
   | _ -> ()
 
+(* ---- Recovery: checkpoint-driven state transfer + durable ledger (this reproduction) --------- *)
+
+let recovery () =
+  header "Recovery: checkpoint-driven state transfer after a crash + rejoin, PBFT n=16";
+  (* A backup crashes mid-run and recovers after [outage]; rejoining, it
+     broadcasts one State_request and installs the donor's certificate-backed
+     chain segment — O(gap) blocks in one round trip, not per-message replay.
+     A longer outage means a larger gap; time-to-catch-up is the span from
+     the first State_request to the successful install. *)
+  let faulted =
+    {
+      base with
+      Params.clients = 4_000;
+      client_timeout = Rdb_des.Sim.ms 200.0;
+      view_timeout = Rdb_des.Sim.ms 100.0;
+      warmup = Rdb_des.Sim.seconds 0.3;
+      measure = Rdb_des.Sim.seconds (if quick then 1.2 else 1.8);
+    }
+  in
+  let victim = faulted.Params.n - 1 in
+  (* replica 0 leads view 0: the victim is a backup *)
+  row "%-22s  %-10s  %-12s  %-12s  %s\n" "scenario" "tput" "transfers" "catch-up" "final gap";
+  let crash_recover name extra outage_ms =
+    let p =
+      {
+        (extra faulted) with
+        Params.nemesis =
+          [
+            Nemesis.at_ms 300.0 (Nemesis.Crash victim);
+            Nemesis.at_ms (300.0 +. outage_ms) (Nemesis.Recover victim);
+          ];
+      }
+    in
+    let c = Cluster.create p in
+    let m = Cluster.measure c in
+    let f = m.Metrics.faults in
+    let catch_up = f.Metrics.time_to_catch_up_s in
+    row "%-22s  %8.1fK  %-12d  %-12s  %d blocks\n" name
+      (k m.Metrics.throughput_tps) f.Metrics.state_transfers
+      (match catch_up with Some s -> Printf.sprintf "%.3fs" s | None -> "none")
+      (Cluster.ledger_gap c victim);
+    Json_out.record_run ~figure:"recovery" ~config:name m;
+    (match catch_up with
+    | Some s ->
+      Json_out.record ~figure:"recovery" ~config:name ~metric:"catch_up_ms" ~unit_:"ms"
+        ~higher_is_better:false (1000.0 *. s)
+    | None -> ())
+  in
+  List.iter
+    (fun outage_ms -> crash_recover (Printf.sprintf "crash-o%.0fms" outage_ms) (fun p -> p) outage_ms)
+    [ 100.0; 300.0; 600.0 ];
+  crash_recover "crash-o300ms-durable"
+    (fun p -> { p with Params.durable = true })
+    300.0;
+  row "longer outages mean larger gaps, yet catch-up stays one State_request round trip\n";
+  (* Durable ledger overhead at the paper's default configuration: WAL
+     appends and checkpoint flushes are charged on the checkpoint-thread,
+     off the consensus critical path, so the ceiling is 10%. *)
+  header "Durable ledger: WAL + B-tree block store vs in-memory backend, PBFT n=16 2B1E";
+  let mem = run base in
+  let durable = run { base with Params.durable = true } in
+  let ratio = durable.Metrics.throughput_tps /. mem.Metrics.throughput_tps in
+  row "in-memory backend     %8.1fK txn/s\n" (k mem.Metrics.throughput_tps);
+  row "durable WAL + B-tree  %8.1fK txn/s\n" (k durable.Metrics.throughput_tps);
+  row "durable overhead: %.1f%% (acceptance ceiling: 10%%)%s\n"
+    (100.0 *. (1.0 -. ratio))
+    (if ratio >= 0.9 then "" else "  ** OVER BUDGET **");
+  Json_out.record_run ~figure:"recovery" ~config:"pbft-2B1E-n16-mem" mem;
+  Json_out.record_run ~figure:"recovery" ~config:"pbft-2B1E-n16-durable" durable;
+  (* The ratio row is what gates the <= 10% overhead acceptance in CI: it
+     sits near 1.0 in the baseline, so the 8% tput band keeps it >= ~0.92. *)
+  Json_out.record ~figure:"recovery" ~config:"pbft-2B1E-n16-durable" ~metric:"tput_ratio_vs_mem"
+    ~unit_:"ratio" ~higher_is_better:true ratio
+
 (* ---- bechamel microbenchmarks ----------------------------------------------------------------- *)
 
 let micro () =
@@ -622,6 +697,7 @@ let figures =
     ("fig17", fig17);
     ("consensus", consensus);
     ("multi", multi);
+    ("recovery", recovery);
     ("breakdown", breakdown);
     ("ablations", ablations);
     ("micro", micro);

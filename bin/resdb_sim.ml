@@ -31,8 +31,8 @@ let protocol_conv =
   Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Params.protocol_name p))
 
 let run protocol n clients batch_size ops payload client_scheme replica_scheme reply_scheme
-    sqlite cores instances batch_threads execute_threads crashed warmup measure seed verbose
-    trace_out trace_csv upper_bound =
+    sqlite durable data_dir cores instances batch_threads execute_threads crashed warmup measure
+    seed verbose trace_out trace_csv upper_bound =
   let d = Params.default in
   let p =
     {
@@ -47,6 +47,8 @@ let run protocol n clients batch_size ops payload client_scheme replica_scheme r
       replica_scheme;
       reply_scheme;
       sqlite;
+      durable = durable || data_dir <> None;
+      data_dir;
       cores;
       instances;
       batch_threads;
@@ -113,6 +115,22 @@ let cmd =
     value & opt scheme_conv Signer.Cmac_aes & info [ "reply-scheme" ] ~doc:"Replica-to-client reply scheme."
   in
   let sqlite = value & flag & info [ "sqlite" ] ~doc:"Use off-memory (SQLite-class) storage." in
+  let durable =
+    value & flag
+    & info [ "durable" ]
+        ~doc:
+          "Back each replica's ledger with the durable WAL + B-tree block store (appends and \
+           checkpoint flushes charged on the checkpoint-thread)."
+  in
+  let data_dir =
+    value
+    & opt (some string) None
+    & info [ "data-dir" ]
+        ~doc:
+          "Directory for the durable block stores (implies --durable; one subdirectory per \
+           replica).  Re-using a directory exercises crash-replay recovery; the default is a \
+           fresh temporary directory per run."
+  in
   let cores = value & opt int 8 & info [ "cores" ] ~doc:"CPU cores per replica." in
   let instances =
     value & opt int 1
@@ -143,9 +161,9 @@ let cmd =
   let ub = value & flag & info [ "upper-bound" ] ~doc:"Run the Fig 7 no-consensus upper bound instead." in
   let term =
     Term.(
-      const run $ protocol $ n $ clients $ batch $ ops $ payload $ cs $ rs $ ps $ sqlite $ cores
-      $ instances $ bt $ et $ crashed $ warmup $ measure $ seed $ verbose $ trace_out $ trace_csv
-      $ ub)
+      const run $ protocol $ n $ clients $ batch $ ops $ payload $ cs $ rs $ ps $ sqlite
+      $ durable $ data_dir $ cores $ instances $ bt $ et $ crashed $ warmup $ measure $ seed
+      $ verbose $ trace_out $ trace_csv $ ub)
   in
   Cmd.v
     (Cmd.info "resdb_sim" ~version:"1.0.0"

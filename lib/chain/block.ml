@@ -40,6 +40,99 @@ let serialize t =
 
 let hash t = Rdb_crypto.Sha256.digest (serialize t)
 
+(* Binary encoding, used by the durable block store's WAL records and the
+   state-transfer payload.  Layout: u48 seq, u32 view, str digest, u32
+   txn_count, then a one-byte link tag (0 = Prev_hash + str, 1 =
+   Certificate + u32 count of (u32 id, str share) pairs).  Strings are
+   u32-length-prefixed. *)
+
+let w_u32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let w_u48 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 40) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 32) land 0xFF));
+  w_u32 buf (v land 0xFFFFFFFF)
+
+let w_str buf s =
+  w_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let to_bytes t =
+  let buf = Buffer.create 128 in
+  w_u48 buf t.seq;
+  w_u32 buf t.view;
+  w_str buf t.digest;
+  w_u32 buf t.txn_count;
+  (match t.link with
+  | Prev_hash h ->
+    Buffer.add_char buf '\x00';
+    w_str buf h
+  | Certificate shares ->
+    Buffer.add_char buf '\x01';
+    w_u32 buf (List.length shares);
+    List.iter
+      (fun (id, sg) ->
+        w_u32 buf id;
+        w_str buf sg)
+      shares);
+  Buffer.contents buf
+
+exception Decode of string
+
+let of_bytes s =
+  let pos = ref 0 in
+  let byte () =
+    if !pos >= String.length s then raise (Decode "Block.of_bytes: truncated");
+    let c = Char.code s.[!pos] in
+    incr pos;
+    c
+  in
+  let r_u32 () =
+    let b0 = byte () in
+    let b1 = byte () in
+    let b2 = byte () in
+    let b3 = byte () in
+    (b0 lsl 24) lor (b1 lsl 16) lor (b2 lsl 8) lor b3
+  in
+  let r_u48 () =
+    let hi = byte () in
+    let lo = byte () in
+    (hi lsl 40) lor (lo lsl 32) lor r_u32 ()
+  in
+  let r_str () =
+    let len = r_u32 () in
+    if len < 0 || !pos + len > String.length s then
+      raise (Decode "Block.of_bytes: bad string length");
+    let v = String.sub s !pos len in
+    pos := !pos + len;
+    v
+  in
+  try
+    let seq = r_u48 () in
+    let view = r_u32 () in
+    let digest = r_str () in
+    let txn_count = r_u32 () in
+    let link =
+      match byte () with
+      | 0 -> Prev_hash (r_str ())
+      | 1 ->
+        let count = r_u32 () in
+        if count > 1_000_000 then raise (Decode "Block.of_bytes: oversized certificate");
+        Certificate
+          (List.init count (fun _ ->
+               let id = r_u32 () in
+               let sg = r_str () in
+               (id, sg)))
+      | _ -> raise (Decode "Block.of_bytes: unknown link tag")
+    in
+    if !pos <> String.length s then raise (Decode "Block.of_bytes: trailing bytes");
+    Some { seq; view; digest; txn_count; link }
+  with Decode _ -> None
+
 let pp ppf t =
   let link =
     match t.link with

@@ -33,4 +33,12 @@ val hash : t -> string
 val serialize : t -> string
 (** Canonical byte representation (stable across processes). *)
 
+val to_bytes : t -> string
+(** Compact binary encoding, used for durable storage (the block store's
+    WAL records) and the state-transfer wire payload. *)
+
+val of_bytes : string -> t option
+(** Inverse of {!to_bytes}; [None] on any malformed input (truncation,
+    unknown link tag, trailing bytes). *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,235 @@
+(* Durable block store: a WAL of retained blocks plus a B-tree of
+   checkpoint metadata.
+
+   Layout under [dir]:
+   - [blocks.wal] — the retained chain segment, oldest first, one
+     checksummed record per block ({!Block.to_bytes}).  Appends are
+     buffered (off the critical path, per the paper's at-most-f-failures
+     argument) and forced at every stable checkpoint; pruning rewrites the
+     file.
+   - [meta.db] — counters as of the last {e stable} flush: appended,
+     next_seq, the cumulative running digest, the last stable checkpoint
+     sequence and its state digest.  [checkpoint] snapshots them at the
+     stable sequence (the one point a quorum agrees on) even when the tip
+     has moved past it; [close]/[flush] snapshot the full tip (a clean
+     shutdown happens at one agreed moment).
+
+   Recovery contract: [checkpoint] flushes the WAL before the meta page, so
+   on reopen the WAL always covers the chain through [meta.next_seq - 1].
+   Replay truncates any torn tail (see {!Rdb_storage.Wal.open_log}) and
+   drops records past the meta coverage — the unagreed per-replica tail a
+   crash (or the channel flush at process exit) left behind; those blocks
+   are lost by design and re-acquired by state transfer. *)
+
+module Wal = Rdb_storage.Wal
+module Btree = Rdb_storage.Btree
+
+type t = {
+  dir : string;
+  mutable wal : Wal.t;
+  meta : Btree.t;
+  mutable retained : Block.t list; (* newest first, mirroring the WAL *)
+  mutable appended : int;
+  mutable next_seq : int;
+  mutable running : string;
+  mutable last_stable : int;
+  mutable state_digest : string;
+  mutable recent : (int * string) list;
+      (* (seq, running digest after folding seq), newest first — lets a
+         checkpoint persist the counters as of the {e stable} prefix even
+         when the in-memory tip has already moved past it.  Pruned below
+         the stable sequence at every checkpoint. *)
+}
+
+let wal_path dir = Filename.concat dir "blocks.wal"
+
+let meta_path dir = Filename.concat dir "meta.db"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let put_int meta k v = Btree.put meta k (string_of_int v)
+
+let get_int meta k = Option.map int_of_string (Btree.get meta k)
+
+let write_meta t ~appended ~next_seq ~running =
+  put_int t.meta "appended" appended;
+  put_int t.meta "next_seq" next_seq;
+  Btree.put t.meta "running" running;
+  put_int t.meta "last_stable" t.last_stable;
+  Btree.put t.meta "state_digest" t.state_digest;
+  Btree.flush t.meta
+
+let save_meta_full t = write_meta t ~appended:t.appended ~next_seq:t.next_seq ~running:t.running
+
+(* Persist the resume snapshot as of the stable prefix, not the raw tip.
+   Replicas checkpoint at the same sequence but flush at different tips (and
+   the runtime flushes buffered channels at process exit), so a tip snapshot
+   would resurrect a per-replica ragged, unagreed tail — a restarted primary
+   one block behind its backups re-proposes a sequence they already hold and
+   can never execute again.  The stable sequence is the one point a quorum
+   agrees on; everything past it is re-acquired by state transfer. *)
+let save_meta t =
+  let tip = t.next_seq - 1 in
+  let cover = min t.last_stable tip in
+  if cover >= tip then save_meta_full t
+  else
+    match List.assoc_opt cover t.recent with
+    | Some running -> write_meta t ~appended:(t.appended - (tip - cover)) ~next_seq:(cover + 1) ~running
+    | None -> save_meta_full t (* no snapshot for [cover] (installed segment): tip is the best point *)
+
+let fold_in t b =
+  t.retained <- b :: t.retained;
+  t.appended <- t.appended + 1;
+  t.next_seq <- t.next_seq + 1;
+  t.running <- Rdb_crypto.Sha256.digest (t.running ^ Block.hash b);
+  t.recent <- (b.Block.seq, t.running) :: t.recent
+
+let append t b =
+  Wal.append t.wal (Block.to_bytes b);
+  fold_in t b
+
+let get t seq = List.find_opt (fun b -> b.Block.seq = seq) t.retained
+
+let iter_retained t f = List.iter f (List.rev t.retained)
+
+let length t = t.appended
+
+let retained_count t = List.length t.retained
+
+let next_seq t = t.next_seq
+
+let cumulative_digest t = t.running
+
+let last t =
+  match t.retained with
+  | b :: _ -> b
+  | [] -> assert false (* genesis is never dropped without replacement *)
+
+let last_stable t = t.last_stable
+
+let state_digest t = t.state_digest
+
+let checkpoint t ~seq ~state_digest =
+  t.last_stable <- seq;
+  t.state_digest <- state_digest;
+  Wal.flush t.wal;
+  save_meta t;
+  let cover = min seq (t.next_seq - 1) in
+  t.recent <- List.filter (fun (s, _) -> s >= cover) t.recent
+
+let rewrite_wal t =
+  let path = wal_path t.dir in
+  let tmp = path ^ ".tmp" in
+  (try Sys.remove tmp with Sys_error _ -> ());
+  let w = Wal.open_log tmp in
+  List.iter (fun b -> Wal.append w (Block.to_bytes b)) (List.rev t.retained);
+  Wal.flush w;
+  Wal.close w;
+  Wal.close t.wal;
+  Sys.rename tmp path;
+  t.wal <- Wal.open_log path
+
+let prune_below t seq =
+  let keep, drop = List.partition (fun b -> b.Block.seq >= seq) t.retained in
+  match keep with
+  | [] -> 0
+  | _ ->
+    if drop = [] then 0
+    else begin
+      t.retained <- keep;
+      rewrite_wal t;
+      save_meta t;
+      List.length drop
+    end
+
+let install t ~retained ~appended ~running =
+  (match retained with
+  | [] -> invalid_arg "Block_store.install: empty segment"
+  | _ -> ());
+  t.retained <- List.rev retained;
+  t.appended <- appended;
+  t.next_seq <- (last t).Block.seq + 1;
+  t.running <- running;
+  (* The donor hands over only the final running digest, so the segment's
+     interior offers no snapshot points until new appends land. *)
+  t.recent <- [ (t.next_seq - 1, running) ];
+  rewrite_wal t;
+  save_meta t
+
+let init_fresh t genesis =
+  t.retained <- [ genesis ];
+  t.appended <- 1;
+  t.next_seq <- 1;
+  t.running <- Block.hash genesis;
+  t.last_stable <- 0;
+  t.state_digest <- "";
+  t.recent <- [ (0, t.running) ];
+  Wal.append t.wal (Block.to_bytes genesis);
+  Wal.flush t.wal;
+  save_meta t
+
+let open_dir ~dir ~genesis =
+  mkdir_p dir;
+  let meta = Btree.open_file (meta_path dir) in
+  (* Opening truncates any torn tail, so the replay below only sees intact
+     records and later appends land behind them. *)
+  let wal = Wal.open_log (wal_path dir) in
+  let t =
+    {
+      dir;
+      wal;
+      meta;
+      retained = [];
+      appended = 0;
+      next_seq = 0;
+      running = "";
+      last_stable = 0;
+      state_digest = "";
+      recent = [];
+    }
+  in
+  (match get_int meta "next_seq" with
+  | None -> init_fresh t genesis
+  | Some next_seq ->
+    let blocks = ref [] in
+    ignore
+      (Wal.replay (wal_path dir) (fun data ->
+           match Block.of_bytes data with
+           | Some b -> blocks := b :: !blocks
+           | None -> ()));
+    (* The meta page is the authoritative resume point.  WAL records past
+       its coverage are stragglers — appends buffered after the last stable
+       flush (forced out by a channel flush at process exit, or by the
+       WAL-before-meta window of a mid-checkpoint crash): an unagreed,
+       per-replica ragged tail.  They are lost by design; state transfer
+       re-acquires anything a quorum actually committed. *)
+    let keep, dropped = List.partition (fun b -> b.Block.seq < next_seq) (List.rev !blocks) in
+    (match keep with
+    | [] ->
+      (* The log was lost entirely: resume from genesis; state transfer
+         re-fills the chain from a peer's stable checkpoint. *)
+      init_fresh t genesis
+    | oldest_first ->
+      t.retained <- List.rev oldest_first;
+      t.appended <- Option.value (get_int meta "appended") ~default:1;
+      t.next_seq <- next_seq;
+      t.running <- Option.value (Btree.get meta "running") ~default:(Block.hash genesis);
+      t.last_stable <- Option.value (get_int meta "last_stable") ~default:0;
+      t.state_digest <- Option.value (Btree.get meta "state_digest") ~default:"";
+      t.recent <- [ (t.next_seq - 1, t.running) ];
+      if dropped <> [] then rewrite_wal t));
+  t
+
+let flush t =
+  Wal.flush t.wal;
+  save_meta_full t
+
+let close t =
+  Wal.flush t.wal;
+  save_meta_full t;
+  Wal.close t.wal;
+  Btree.close t.meta

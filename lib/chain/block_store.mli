@@ -1,0 +1,72 @@
+(** A ledger chain segment that survives process death.
+
+    Composes the storage substrates the fabric's recovery path relies on:
+    an append-only {!Rdb_storage.Wal} holding the retained blocks (oldest
+    first) and a {!Rdb_storage.Btree} page holding the counters as of the
+    last stable checkpoint.  Appends are buffered — persistence is off the
+    critical path, per the paper's §6 at-most-[f]-failures argument — and
+    forced by {!checkpoint}, which flushes the WAL {e before} the meta
+    page so a crash between the two leaves the store recoverable.
+
+    {!checkpoint} snapshots the meta counters as of the {e stable}
+    sequence — the one point a quorum agrees on — even when the local tip
+    has already moved past it, while {!close} and {!flush} snapshot the
+    full tip (a clean shutdown happens at one agreed moment).  {!open_dir}
+    recovers after a crash: the WAL's torn tail is truncated to the last
+    intact record, surviving blocks are replayed, and records past the
+    meta coverage — the unagreed, per-replica ragged tail left by a crash
+    or by the channel flush at process exit — are dropped.  Blocks past
+    the last stable flush are lost by design; the state-transfer protocol
+    re-acquires anything a quorum actually committed from a peer's stable
+    checkpoint. *)
+
+type t
+
+val open_dir : dir:string -> genesis:Block.t -> t
+(** Opens (creating [dir] and initialising with [genesis] if needed) or
+    recovers an existing store as described above. *)
+
+val append : t -> Block.t -> unit
+(** Buffered WAL append; durable only after the next {!checkpoint},
+    {!flush} or {!close}. *)
+
+val get : t -> int -> Block.t option
+
+val iter_retained : t -> (Block.t -> unit) -> unit
+(** Oldest first. *)
+
+val length : t -> int
+(** Total blocks ever appended, including pruned ones and genesis. *)
+
+val retained_count : t -> int
+
+val last : t -> Block.t
+
+val next_seq : t -> int
+
+val cumulative_digest : t -> string
+
+val last_stable : t -> int
+(** Sequence of the last stable checkpoint recorded by {!checkpoint}
+    (0 before any). *)
+
+val state_digest : t -> string
+(** State digest recorded at the last checkpoint ([""] before any). *)
+
+val checkpoint : t -> seq:int -> state_digest:string -> unit
+(** Records the stable checkpoint and forces everything to disk: WAL
+    flush, then meta write + flush. *)
+
+val prune_below : t -> int -> int
+(** Same contract as {!Ledger.prune_below}; rewrites the WAL so the file
+    holds exactly the retained segment. *)
+
+val install : t -> retained:Block.t list -> appended:int -> running:string -> unit
+(** State-transfer admit: replace the retained segment (given oldest
+    first) and counters wholesale, rewriting the WAL and meta.  Raises
+    [Invalid_argument] on an empty segment. *)
+
+val flush : t -> unit
+
+val close : t -> unit
+(** Flushes, persists counters, and closes both files. *)

@@ -1,51 +1,134 @@
-type t = {
-  (* Retained blocks in reverse order (newest first). *)
-  mutable retained : Block.t list;
-  mutable appended : int;
-  mutable next_seq : int;
-  mutable running : string; (* cumulative digest over all appended blocks *)
-}
+(* The public ledger operations dispatch through a first-class BACKEND
+   module, so the consensus fabric (cluster.ml / local_runtime.ml) is
+   written once against the interface and the storage medium — in-memory
+   list or durable WAL + B-tree — is a construction-time choice. *)
 
-let create ~primary_id =
-  let g = Block.genesis ~primary_id in
-  {
-    retained = [ g ];
-    appended = 1;
-    next_seq = 1;
-    running = Block.hash g;
+module type BACKEND = sig
+  type store
+
+  val append : store -> Block.t -> unit
+  val get : store -> int -> Block.t option
+  val prune_below : store -> int -> int
+  val iter_retained : store -> (Block.t -> unit) -> unit
+  val length : store -> int
+  val last : store -> Block.t
+  val next_seq : store -> int
+  val cumulative_digest : store -> string
+  val install : store -> retained:Block.t list -> appended:int -> running:string -> unit
+  val checkpoint : store -> seq:int -> state_digest:string -> unit
+  val close : store -> unit
+end
+
+module Mem = struct
+  type store = {
+    (* Retained blocks in reverse order (newest first). *)
+    mutable retained : Block.t list;
+    mutable appended : int;
+    mutable next_seq : int;
+    mutable running : string; (* cumulative digest over all appended blocks *)
   }
 
-let next_seq t = t.next_seq
+  let create ~primary_id =
+    let g = Block.genesis ~primary_id in
+    { retained = [ g ]; appended = 1; next_seq = 1; running = Block.hash g }
 
-let last t =
-  match t.retained with
-  | b :: _ -> b
-  | [] -> assert false (* genesis is never pruned without replacement *)
+  let append s b =
+    s.retained <- b :: s.retained;
+    s.appended <- s.appended + 1;
+    s.next_seq <- s.next_seq + 1;
+    s.running <- Rdb_crypto.Sha256.digest (s.running ^ Block.hash b)
 
-let append t b =
-  if b.Block.seq <> t.next_seq then
+  let get s seq = List.find_opt (fun b -> b.Block.seq = seq) s.retained
+
+  let prune_below s seq =
+    let keep, drop = List.partition (fun b -> b.Block.seq >= seq) s.retained in
+    (* Never drop the newest block: [last] must stay meaningful. *)
+    match keep with
+    | [] -> 0
+    | _ ->
+      s.retained <- keep;
+      List.length drop
+
+  let iter_retained s f = List.iter f (List.rev s.retained)
+
+  let length s = s.appended
+
+  let last s =
+    match s.retained with
+    | b :: _ -> b
+    | [] -> assert false (* genesis is never pruned without replacement *)
+
+  let next_seq s = s.next_seq
+
+  let cumulative_digest s = s.running
+
+  let install s ~retained ~appended ~running =
+    (match retained with
+    | [] -> invalid_arg "Ledger: empty segment"
+    | _ -> ());
+    s.retained <- List.rev retained;
+    s.appended <- appended;
+    s.next_seq <- (last s).Block.seq + 1;
+    s.running <- running
+
+  let checkpoint _ ~seq:_ ~state_digest:_ = ()
+
+  let close _ = ()
+end
+
+module Durable = struct
+  type store = Block_store.t
+
+  let append = Block_store.append
+  let get = Block_store.get
+  let prune_below = Block_store.prune_below
+  let iter_retained = Block_store.iter_retained
+  let length = Block_store.length
+  let last = Block_store.last
+  let next_seq = Block_store.next_seq
+  let cumulative_digest = Block_store.cumulative_digest
+  let install = Block_store.install
+  let checkpoint = Block_store.checkpoint
+  let close = Block_store.close
+end
+
+type t = Packed : (module BACKEND with type store = 's) * 's * bool -> t
+(* The boolean marks the durable backend, for callers that budget the
+   modelled persistence cost. *)
+
+let create ~primary_id = Packed ((module Mem), Mem.create ~primary_id, false)
+
+let open_durable ~dir ~primary_id =
+  let genesis = Block.genesis ~primary_id in
+  Packed ((module Durable), Block_store.open_dir ~dir ~genesis, true)
+
+let is_durable (Packed (_, _, durable)) = durable
+
+let next_seq (Packed ((module B), s, _)) = B.next_seq s
+
+let last (Packed ((module B), s, _)) = B.last s
+
+let append (Packed ((module B), s, _)) b =
+  if b.Block.seq <> B.next_seq s then
     invalid_arg
-      (Printf.sprintf "Ledger.append: expected seq %d, got %d" t.next_seq b.Block.seq);
-  t.retained <- b :: t.retained;
-  t.appended <- t.appended + 1;
-  t.next_seq <- t.next_seq + 1;
-  t.running <- Rdb_crypto.Sha256.digest (t.running ^ Block.hash b)
+      (Printf.sprintf "Ledger.append: expected seq %d, got %d" (B.next_seq s) b.Block.seq);
+  B.append s b
 
-let length t = t.appended
+let length (Packed ((module B), s, _)) = B.length s
 
-let find t seq = List.find_opt (fun b -> b.Block.seq = seq) t.retained
+let find (Packed ((module B), s, _)) seq = B.get s seq
 
-let prune_below t seq =
-  let keep, drop = List.partition (fun b -> b.Block.seq >= seq) t.retained in
-  (* Never drop the newest block: [last] must stay meaningful. *)
-  match keep with
-  | [] -> 0
-  | _ ->
-    t.retained <- keep;
-    List.length drop
+let prune_below (Packed ((module B), s, _)) seq = B.prune_below s seq
+
+let iter_retained (Packed ((module B), s, _)) f = B.iter_retained s f
+
+let retained t =
+  let acc = ref [] in
+  iter_retained t (fun b -> acc := b :: !acc);
+  List.rev !acc (* oldest first *)
 
 let verify t ~check_certificate =
-  let blocks = List.rev t.retained in
+  let blocks = retained t in
   let rec walk prev = function
     | [] -> Ok ()
     | (b : Block.t) :: rest ->
@@ -67,17 +150,26 @@ let verify t ~check_certificate =
         else walk (Some b) rest
       end
   in
-  match blocks with
-  | [] -> Ok ()
-  | first :: _ when first.Block.seq = 0 -> walk None blocks
-  | _ -> walk None blocks
+  walk None blocks
 
-let cumulative_digest t = t.running
+let cumulative_digest (Packed ((module B), s, _)) = B.cumulative_digest s
+
+let install (Packed ((module B), s, _)) ~blocks ~appended ~running =
+  (* [blocks] ascending and contiguous; the caller (state transfer) has
+     already certificate-verified the segment. *)
+  let rec contiguous = function
+    | (a : Block.t) :: (b : Block.t) :: rest ->
+      if b.seq <> a.seq + 1 then invalid_arg "Ledger.install: sequence gap"
+      else contiguous (b :: rest)
+    | _ -> ()
+  in
+  (match blocks with [] -> invalid_arg "Ledger.install: empty segment" | _ -> ());
+  contiguous blocks;
+  B.install s ~retained:blocks ~appended ~running
 
 let sync_from t ~src =
-  t.retained <- src.retained;
-  t.appended <- src.appended;
-  t.next_seq <- src.next_seq;
-  t.running <- src.running
+  install t ~blocks:(retained src) ~appended:(length src) ~running:(cumulative_digest src)
 
-let iter_retained t f = List.iter f (List.rev t.retained)
+let checkpoint (Packed ((module B), s, _)) ~seq ~state_digest = B.checkpoint s ~seq ~state_digest
+
+let close (Packed ((module B), s, _)) = B.close s

@@ -231,6 +231,31 @@ let encode_into b msg =
     w_u32 b view;
     w_u48 b from_seq;
     w_u48 b to_seq;
+    w_u32 b from
+  | State_request { low; from } ->
+    w_u8 b 13;
+    w_u48 b low;
+    w_u32 b from
+  | State_response
+      { last_stable; state_digest; cert; chain_digest; appended; app_seq; app_export; blocks; from }
+    ->
+    w_u8 b 14;
+    w_u48 b last_stable;
+    w_str b state_digest;
+    w_list b
+      (fun b (id, d) ->
+        w_u32 b id;
+        w_str b d)
+      cert;
+    w_str b chain_digest;
+    w_u48 b appended;
+    w_u48 b app_seq;
+    w_list b
+      (fun b (k, v) ->
+        w_str b k;
+        w_str b v)
+      app_export;
+    w_list b (fun b blk -> w_str b (Rdb_chain.Block.to_bytes blk)) blocks;
     w_u32 b from)
 
 let encode msg = with_buffer (fun b -> encode_into b msg; Buffer.contents b)
@@ -314,6 +339,37 @@ let decode_cursor c =
       let to_seq = r_u48 c in
       let from = r_u32 c in
       Fill_hole { view; from_seq; to_seq; from }
+    | 13 ->
+      let low = r_u48 c in
+      let from = r_u32 c in
+      State_request { low; from }
+    | 14 ->
+      let last_stable = r_u48 c in
+      let state_digest = r_str c in
+      let cert =
+        r_list c (fun c ->
+            let id = r_u32 c in
+            let d = r_str c in
+            (id, d))
+      in
+      let chain_digest = r_str c in
+      let appended = r_u48 c in
+      let app_seq = r_u48 c in
+      let app_export =
+        r_list c (fun c ->
+            let k = r_str c in
+            let v = r_str c in
+            (k, v))
+      in
+      let blocks =
+        r_list c (fun c ->
+            match Rdb_chain.Block.of_bytes (r_str c) with
+            | Some blk -> blk
+            | None -> raise (Bad "malformed block"))
+      in
+      let from = r_u32 c in
+      State_response
+        { last_stable; state_digest; cert; chain_digest; appended; app_seq; app_export; blocks; from }
     | tag -> raise (Bad (Printf.sprintf "unknown message tag %d" tag))
 
 let decode_sub_exn s ~pos ~len =

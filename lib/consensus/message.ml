@@ -57,6 +57,27 @@ type t =
       history : string;
     }
   | Local_commit of { view : int; seq : int; client : int; from : int }
+  (* Checkpoint-driven state transfer (paper §4.7 checkpointing; a replica
+     that crashes and recovers, or falls behind the checkpoint horizon,
+     catches up in O(gap) blocks instead of per-message retransmission) *)
+  | State_request of { low : int; from : int }
+      (** [low] is the requester's next ledger sequence: the donor ships
+          everything it retains from there up *)
+  | State_response of {
+      last_stable : int;  (** donor's stable checkpoint sequence *)
+      state_digest : string;  (** application state digest at [last_stable] *)
+      cert : (int * string) list;
+          (** stable-checkpoint certificate: (replica id, state digest)
+              pairs from [2f+1] distinct replicas *)
+      chain_digest : string;  (** donor ledger's cumulative digest *)
+      appended : int;  (** donor ledger's total appended count *)
+      app_seq : int;  (** sequence the exported application state reflects *)
+      app_export : (string * string) list;
+          (** application key-value export (empty when the host derives
+              state from the chain alone) *)
+      blocks : Rdb_chain.Block.t list;  (** retained chain segment, ascending *)
+      from : int;
+    }
 
 let type_name = function
   | Pre_prepare _ -> "pre-prepare"
@@ -71,6 +92,8 @@ let type_name = function
   | Reply _ -> "reply"
   | Spec_reply _ -> "spec-reply"
   | Local_commit _ -> "local-commit"
+  | State_request _ -> "state-request"
+  | State_response _ -> "state-response"
 
 (** Canonical string covering the authenticated fields of a message, fed to
     the MAC/signature layer by hosting systems.  Request payloads are
@@ -113,7 +136,32 @@ let auth_string t =
     add (Printf.sprintf "|%d|%d|%d|%d|%d|" view seq txn_id client from);
     add history
   | Local_commit { view; seq; client; from } ->
-    add (Printf.sprintf "|%d|%d|%d|%d" view seq client from));
+    add (Printf.sprintf "|%d|%d|%d|%d" view seq client from)
+  | State_request { low; from } -> add (Printf.sprintf "|%d|%d" low from)
+  | State_response
+      { last_stable; state_digest; cert; chain_digest; appended; app_seq; app_export; blocks; from }
+    ->
+    add (Printf.sprintf "|%d|%d|%d|%d|" last_stable appended app_seq from);
+    add state_digest;
+    add "|";
+    add chain_digest;
+    add "|";
+    List.iter (fun (id, d) -> add (Printf.sprintf "%d:%s;" id d)) cert;
+    List.iter
+      (fun (blk : Rdb_chain.Block.t) ->
+        add (Printf.sprintf "%d:%s;" blk.Rdb_chain.Block.seq blk.Rdb_chain.Block.digest))
+      blocks;
+    (* The key-value export is covered by one folded digest so the
+       authenticated string stays bounded. *)
+    let kv = Buffer.create 64 in
+    List.iter
+      (fun (key, value) ->
+        Buffer.add_string kv key;
+        Buffer.add_char kv '\x00';
+        Buffer.add_string kv value;
+        Buffer.add_char kv '\x00')
+      app_export;
+    add (Rdb_crypto.Sha256.digest (Buffer.contents kv)));
   Buffer.contents b
 
 (* Fixed header: type tag, view, seq, sender, checksum. *)
@@ -136,6 +184,22 @@ let wire_size ~sig_bytes = function
   | Commit_cert { responders; _ } ->
     header_bytes + digest_bytes + sig_bytes + (List.length responders * (sig_bytes + 8))
   | Fill_hole _ -> header_bytes + sig_bytes
+  | State_request _ -> header_bytes + sig_bytes
+  | State_response { cert; app_export; blocks; _ } ->
+    header_bytes + sig_bytes + (2 * digest_bytes)
+    + (List.length cert * (digest_bytes + 8))
+    + List.fold_left
+        (fun acc (blk : Rdb_chain.Block.t) ->
+          let link =
+            match blk.Rdb_chain.Block.link with
+            | Rdb_chain.Block.Prev_hash _ -> digest_bytes
+            | Rdb_chain.Block.Certificate shares -> List.length shares * (sig_bytes + 8)
+          in
+          acc + digest_bytes + 16 + link)
+        0 blocks
+    + List.fold_left
+        (fun acc (key, value) -> acc + String.length key + String.length value + 8)
+        0 app_export
   | Reply _ -> header_bytes + digest_bytes + sig_bytes
   | Spec_reply _ -> header_bytes + (2 * digest_bytes) + sig_bytes
   | Local_commit _ -> header_bytes + sig_bytes

@@ -38,6 +38,10 @@ type t = {
   mutable last_new_view : Message.t option;
       (* the New_view we broadcast as primary, kept to answer laggards whose
          view-change messages were lost *)
+  mutable stable_cert : (int * string * int list) option;
+      (* the 2f+1 senders behind the last stable checkpoint, retained after
+         the quorum table is garbage-collected so a state-transfer donor can
+         ship the certificate *)
 }
 
 let create config ~id =
@@ -59,6 +63,7 @@ let create config ~id =
     vc_messages = Hashtbl.create 8;
     own_checkpoint_digests = [];
     last_new_view = None;
+    stable_cert = None;
   }
 
 let id t = t.id
@@ -171,6 +176,9 @@ let note_checkpoint t ~seq ~state_digest ~from =
   let n = Quorum.add t.checkpoints (seq, state_digest) from in
   if n >= Config.commit_quorum t.config && seq > t.last_stable then begin
     t.last_stable <- seq;
+    (* Retain the certificate before the quorum table is collected below:
+       a state-transfer donor ships it as proof of the checkpoint. *)
+    t.stable_cert <- Some (seq, state_digest, Quorum.senders t.checkpoints (seq, state_digest));
     (* A replica that fell behind adopts the stable checkpoint: the 2f+1
        matching digests stand in for a state transfer. *)
     if t.last_executed < seq then begin
@@ -195,6 +203,37 @@ let note_checkpoint t ~seq ~state_digest ~from =
     [ Action.Stable_checkpoint seq ]
   end
   else []
+
+let stable_certificate t = t.stable_cert
+
+(* State-transfer admit: the verified checkpoint certificate plays the role
+   of the 2f+1 Checkpoint messages, so the core fast-forwards exactly as
+   [note_checkpoint] would — without emitting a [Stable_checkpoint] action
+   (the host already installed the transferred ledger segment). *)
+let install_checkpoint t ~seq ~state_digest =
+  if seq > t.last_stable then begin
+    t.last_stable <- seq;
+    t.stable_cert <- Some (seq, state_digest, []);
+    if t.last_executed < seq then begin
+      t.last_executed <- seq;
+      t.last_exec_ack <- max t.last_exec_ack seq;
+      let stale =
+        Hashtbl.fold (fun s _ acc -> if s <= seq then s :: acc else acc) t.committed_batches []
+      in
+      List.iter (Hashtbl.remove t.committed_batches) stale
+    end;
+    t.next_seq <- max t.next_seq (seq + 1);
+    let doomed =
+      Hashtbl.fold (fun (v, s) _ acc -> if s <= seq then (v, s) :: acc else acc) t.instances []
+    in
+    List.iter (Hashtbl.remove t.instances) doomed;
+    Quorum.filter_keys t.checkpoints (fun (s, _) -> s > seq);
+    t.own_checkpoint_digests <- List.filter (fun (s, _) -> s > seq) t.own_checkpoint_digests;
+    let doomed_exec =
+      Hashtbl.fold (fun s _ acc -> if s <= seq then s :: acc else acc) t.executed_batches []
+    in
+    List.iter (Hashtbl.remove t.executed_batches) doomed_exec
+  end
 
 (* ---- view change -------------------------------------------------------- *)
 
@@ -504,6 +543,10 @@ let handle_message t (msg : Message.t) =
         (List.init (max 0 (to_seq - from_seq + 1)) (fun i -> from_seq + i))
   | Message.Order_request _ | Message.Commit_cert _ ->
     (* Zyzzyva traffic; not ours. *)
+    []
+  | Message.State_request _ | Message.State_response _ ->
+    (* State transfer is served and admitted at the host level (it moves
+       ledger segments, which the core never holds). *)
     []
   | Message.Reply _ | Message.Spec_reply _ | Message.Local_commit _ ->
     (* Client-bound messages never reach a replica core. *)

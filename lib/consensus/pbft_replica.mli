@@ -66,3 +66,19 @@ val nudge : t -> Action.t list
 
 val pending_instances : t -> int
 (** Consensus slots currently tracked (for tests and saturation metrics). *)
+
+val stable_certificate : t -> (int * string * int list) option
+(** The last stable checkpoint as [(seq, state_digest, senders)]: the 2f+1
+    replicas whose matching Checkpoint messages made it stable.  Retained
+    across the quorum table's garbage collection so a state-transfer donor
+    can ship the certificate.  [None] until the first stable checkpoint
+    (and after {!install_checkpoint}, where the certificate arrived from
+    the donor instead of from our own quorum — senders are then []). *)
+
+val install_checkpoint : t -> seq:int -> state_digest:string -> unit
+(** State-transfer admit: fast-forward this core to the stable checkpoint
+    at [seq] exactly as a 2f+1 Checkpoint quorum would (garbage-collecting
+    instances and pending batches at or below it), without emitting
+    actions — the host has already installed the transferred ledger
+    segment.  A no-op when [seq] is not beyond the current stable
+    checkpoint. *)

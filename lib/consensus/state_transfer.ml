@@ -1,0 +1,131 @@
+(** Checkpoint-driven state transfer (the paper's §4.7 checkpointing put to
+    work): a replica that crashed and recovered, or fell behind the
+    checkpoint horizon, catches up in O(gap) blocks instead of per-message
+    retransmission.
+
+    The protocol is one round trip: the laggard broadcasts a
+    {!Message.State_request} carrying its next ledger sequence; any peer
+    that is ahead and holds a stable-checkpoint certificate answers with a
+    {!Message.State_response} carrying the certificate, its state digest,
+    and the retained chain segment.  The requester verifies the
+    certificate (2f+1 distinct signers over the same state digest) and the
+    segment (contiguous, certificate-linked blocks covering the
+    checkpoint), installs the segment wholesale, and fast-forwards its
+    consensus core to the checkpoint; everything beyond the donor's tip
+    then arrives through the normal protocol path.
+
+    Both hosting systems — the DES {!Rdb_core.Cluster} and the real-clock
+    local runtime — recover through the [serve]/[verify]/[admit] functions
+    below, so the recovery logic exists once. *)
+
+module Block = Rdb_chain.Block
+module Ledger = Rdb_chain.Ledger
+
+(** The laggard's request: [low] is its next ledger sequence, the donor
+    ships everything it retains from there up. *)
+let request ledger ~from = Message.State_request { low = Ledger.next_seq ledger; from }
+
+(** Build a donor's response, or [None] when this replica cannot help:
+    no stable-checkpoint certificate to prove its state with (including a
+    certificate it itself installed from a transfer, whose senders are
+    unknown), or a ledger behind the requester's.  A donor exactly level
+    with the requester still answers — the response either tells the
+    requester it is caught up ({!stale}) or re-supplies the application
+    state a restarted durable replica lost with its process. *)
+let serve ledger ~stable ~low ~from ~app_seq ~app_export =
+  match stable with
+  | None -> None
+  | Some (_, _, []) -> None
+  | Some (last_stable, state_digest, senders) ->
+    if Ledger.next_seq ledger < low then None
+    else
+      Some
+        (Message.State_response
+           {
+             last_stable;
+             state_digest;
+             cert = List.map (fun id -> (id, state_digest)) senders;
+             chain_digest = Ledger.cumulative_digest ledger;
+             appended = Ledger.length ledger;
+             app_seq;
+             app_export;
+             blocks = Ledger.retained ledger;
+             from;
+           })
+
+(** Certificate and segment checks a requester runs before installing
+    anything.  [commit_quorum] is 2f+1. *)
+let verify ~commit_quorum ~last_stable ~state_digest ~cert ~blocks =
+  let distinct l = List.length (List.sort_uniq compare l) in
+  if distinct (List.map fst cert) < commit_quorum then Error "thin checkpoint certificate"
+  else if List.exists (fun (_, d) -> not (String.equal d state_digest)) cert then
+    Error "checkpoint certificate digest mismatch"
+  else
+    match blocks with
+    | [] -> Error "empty chain segment"
+    | first :: rest ->
+      let check_link (b : Block.t) =
+        match b.Block.link with
+        | Block.Prev_hash _ -> b.Block.seq = 0  (* only genesis may lack a certificate *)
+        | Block.Certificate shares -> distinct (List.map fst shares) >= commit_quorum
+      in
+      let rec walk prev = function
+        | [] -> Ok ()
+        | (b : Block.t) :: tl ->
+          if b.Block.seq <> prev + 1 then
+            Error (Printf.sprintf "gap in chain segment at seq %d" b.Block.seq)
+          else if not (check_link b) then
+            Error (Printf.sprintf "thin block certificate at seq %d" b.Block.seq)
+          else walk b.Block.seq tl
+      in
+      if not (check_link first) then
+        Error (Printf.sprintf "thin block certificate at seq %d" first.Block.seq)
+      else begin
+        match walk first.Block.seq rest with
+        | Error _ as e -> e
+        | Ok () ->
+          let tip = (List.nth blocks (List.length blocks - 1)).Block.seq in
+          if tip < last_stable then Error "segment stops short of the checkpoint"
+          else Ok ()
+      end
+
+(** Admit a {!Message.State_response} into [ledger]: verify it, require it
+    to strictly advance the ledger, install the segment, persist the
+    checkpoint, import the application export (via [import]) and
+    fast-forward the consensus core (via [install_core]).  Returns [true]
+    when the ledger advanced; [false] leaves all state untouched (bad
+    certificate, stale donor, or not a response at all).
+
+    The donor's cumulative chain digest is taken on the strength of its
+    link authentication plus the per-block certificates; cross-replica
+    digest agreement remains separately checkable
+    ({!Rdb_chain.Ledger.verify}, the cluster's safety check). *)
+let admit ~commit_quorum ledger ~install_core
+    ?(import = fun ~app_seq:_ ~app_export:_ -> ()) msg =
+  match msg with
+  | Message.State_response
+      { last_stable; state_digest; cert; chain_digest; appended; app_seq; app_export;
+        blocks; from = _ } -> (
+    match verify ~commit_quorum ~last_stable ~state_digest ~cert ~blocks with
+    | Error _ -> false
+    | Ok () ->
+      let tip = (List.nth blocks (List.length blocks - 1)).Block.seq in
+      if tip < Ledger.next_seq ledger then false
+      else begin
+        Ledger.install ledger ~blocks ~appended ~running:chain_digest;
+        Ledger.checkpoint ledger ~seq:last_stable ~state_digest;
+        import ~app_seq ~app_export;
+        install_core ~seq:last_stable ~state_digest;
+        true
+      end)
+  | _ -> false
+
+(** Whether a verified response was simply stale (donor no further along
+    than we are): the requester can stop asking. *)
+let stale ledger msg =
+  match msg with
+  | Message.State_response { blocks; _ } -> (
+    match List.rev blocks with
+    | (last : Block.t) :: _ -> last.Block.seq < Ledger.next_seq ledger
+    | [] -> true)
+  | _ -> false

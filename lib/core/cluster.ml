@@ -23,9 +23,8 @@ module Vcache = Rdb_crypto.Verify_cache
 module Msg = Rdb_consensus.Message
 module Action = Rdb_consensus.Action
 module Config = Rdb_consensus.Config
-module Pbft = Rdb_consensus.Pbft_replica
-module Zyz = Rdb_consensus.Zyzzyva_replica
-module Multi = Rdb_consensus.Multi_pbft
+module Core = Rdb_consensus.Core
+module St = Rdb_consensus.State_transfer
 module Block = Rdb_chain.Block
 module Ledger = Rdb_chain.Ledger
 module Trace = Rdb_obs.Trace
@@ -57,8 +56,6 @@ type net_msg =
 
 (* ---- per-replica host ----------------------------------------------------- *)
 
-type core = Core_pbft of Pbft.t | Core_zyz of Zyz.t | Core_multi of Multi.t
-
 type host = {
   id : int;
   cpu : Cpu.t;
@@ -74,11 +71,8 @@ type host = {
           parallelism.  Empty when k = 1 *)
   exec_stage : Stage.t option;  (** None when E = 0: the worker executes *)
   checkpoint_stage : Stage.t;
-  core : core;
+  core : Core.t;  (** the protocol state machine, behind {!Rdb_consensus.Core} *)
   pending : int Queue.t;  (** primary: transactions awaiting batching *)
-  mutable next_lead : int;
-      (** multi-primary: rotation cursor over the instances this host
-          currently leads, so batches spread across them *)
   mutable flush_scheduled : bool;
   mutable batch_jobs_inflight : int;
       (** batch jobs queued or running; bounded so batching interleaves with
@@ -98,6 +92,11 @@ type host = {
   mutable nudged : bool;
       (** one vote-retransmission round has run since the last progress;
           the next stalled check escalates to a view change *)
+  (* ---- state transfer ---- *)
+  mutable st_outstanding : bool;
+      (** a State_request is in flight: re-broadcast on the demand-timer
+          cadence until a response lands (or the retry budget runs out) *)
+  mutable st_tries : int;  (** re-broadcasts left for the outstanding request *)
   executed_txns : (int, unit) Hashtbl.t;
       (** transactions this host has executed (dedups retransmissions) *)
   inflight_txns : (int, unit) Hashtbl.t;
@@ -171,6 +170,11 @@ type t = {
   mutable primary_crash_at : Sim.time option;
   mutable crash_view : int;  (** view at the moment the primary crashed *)
   mutable recovered_at : Sim.time option;
+  (* state transfer *)
+  mutable state_transfers : int;  (** successful installs, cluster-wide *)
+  mutable st_first_request : Sim.time option;  (** first State_request sent *)
+  mutable st_caught_up : Sim.time option;  (** first successful install *)
+  data_root : string option;  (** durable backends live under here (per replica) *)
   (* observability; None unless Params.obs_enabled *)
   obs : obs option;
   (* measurement *)
@@ -296,20 +300,11 @@ let obs_instant t name =
 
 (* ---- fault-tolerance helpers ---------------------------------------------- *)
 
-let core_view (h : host) =
-  match h.core with Core_pbft c -> Pbft.view c | Core_zyz _ -> 0 | Core_multi m -> Multi.max_view m
+let core_view (h : host) = Core.max_view h.core
 
-let core_last_exec (h : host) =
-  match h.core with
-  | Core_pbft c -> Pbft.last_executed c
-  | Core_zyz c -> Zyz.last_spec_executed c
-  | Core_multi m -> Multi.last_executed m
+let core_last_exec (h : host) = Core.last_executed h.core
 
-let is_host_primary (h : host) =
-  match h.core with
-  | Core_pbft c -> Pbft.is_primary c
-  | Core_zyz c -> Zyz.is_primary c
-  | Core_multi m -> Multi.leads_any m
+let is_host_primary (h : host) = Core.leads_any h.core
 
 (* The worker-thread serving one consensus instance on this host (instance
    0 is the classic single worker). *)
@@ -318,10 +313,7 @@ let worker_for (h : host) inst = if inst = 0 then h.worker else h.extra_workers.
 (* Highest view any host has installed on one consensus instance (crashed
    hosts included: their last-known view still bounds the primary guess). *)
 let instance_view t inst =
-  Array.fold_left
-    (fun acc h ->
-      match h.core with Core_multi m -> max acc (Multi.view m ~inst) | _ -> max acc (core_view h))
-    0 t.hosts
+  Array.fold_left (fun acc h -> max acc (Core.view h.core ~inst)) 0 t.hosts
 
 (* The replica the clients currently believe leads one instance (learned
    from the view field of replies). *)
@@ -384,10 +376,7 @@ let shared_charge (p : Params.t) cache ~key ~full =
 (* ---- replica-side processing ---------------------------------------------- *)
 
 let rec core_handle t (h : host) (stage : Stage.t) ~inst (m : Msg.t) =
-  (match h.core with
-  | Core_pbft c -> emit t h stage (Pbft.handle_message c m)
-  | Core_zyz c -> emit t h stage (Zyz.handle_message c m)
-  | Core_multi mc -> emit_routed t h stage (Multi.handle_message mc ~inst m));
+  emit_tagged t h stage (Core.step h.core (Core.Deliver { inst; msg = m }));
   note_view t h
 
 (* A view advance observed on [h]'s core: cancel the demand timer, reopen
@@ -421,9 +410,7 @@ and note_view t (h : host) =
    should be serving.  If execution does not absorb them within
    [view_timeout], suspect the primary (PBFT's liveness trigger). *)
 and note_demand t (h : host) =
-  match h.core with
-  | Core_zyz _ -> ()
-  | Core_pbft _ | Core_multi _ ->
+  if Core.demand_driven h.core then
     if h.vc_timer = None && not (Net.is_crashed (net t) h.id) then begin
       h.last_exec_seen <- core_last_exec h;
       h.vc_timer <- Some (Sim.schedule t.sim ~after:t.p.Params.view_timeout (fun () -> vc_check t h))
@@ -437,59 +424,36 @@ and note_demand t (h : host) =
    problem and starts a view change. *)
 and vc_check t (h : host) =
   h.vc_timer <- None;
-  match h.core with
-  | Core_zyz _ -> ()
-  | Core_pbft c ->
+  if Core.demand_driven h.core then begin
     compact_pending h;
-    if (not (Queue.is_empty h.pending)) && not (is_host_primary h) then begin
-      (if Pbft.in_view_change c then
-         Stage.enqueue h.worker ~service:t.p.Params.cost.Cost.msg_handle (fun () ->
-             emit t h h.worker (Pbft.view_change_retransmit c))
-       else begin
-         let exec = core_last_exec h in
-         if exec > h.last_exec_seen then begin
-           h.last_exec_seen <- exec;
-           h.nudged <- false
-         end
-         else if not h.nudged then begin
-           h.nudged <- true;
-           Stage.enqueue h.worker ~service:t.p.Params.cost.Cost.msg_handle (fun () ->
-               emit t h h.worker (Pbft.nudge c))
-         end
-         else begin
-           h.nudged <- false;
-           Stage.enqueue h.worker ~service:t.p.Params.cost.Cost.msg_handle (fun () ->
-               emit t h h.worker (Pbft.suspect_primary c))
-         end
-       end);
-      note_demand t h
-    end
-  | Core_multi m ->
-    (* The escalation aims at the instance the global execution merge is
-       blocked on: that residue class is where the hole is, so that
-       instance's primary is the one to nudge or depose.  An instance this
-       host itself leads is exempt (it cannot suspect itself), matching the
-       single-instance rule. *)
-    compact_pending h;
-    (* Demand, multi-primary version: queued transactions, or transactions
-       this host already batched onto its own instances — those cannot
-       complete until the blocked instance plugs the global merge hole, so
-       they keep the escalation alive even though [pending] is empty. *)
-    if (not (Queue.is_empty h.pending)) || Hashtbl.length h.inflight_txns > 0 then begin
-      let inst = Multi.waiting_instance m in
+    (* The core names the instance to escalate against — the blocked one in
+       a multi-primary run, the (single) primary's instance otherwise, none
+       when this host leads everything there is to lead or holds no demand.
+       [inflight] covers transactions this host already batched onto its own
+       instances: those cannot complete until the blocked instance plugs the
+       global merge hole, so they keep the escalation alive even though
+       [pending] is empty. *)
+    match
+      Core.escalation h.core
+        ~pending:(not (Queue.is_empty h.pending))
+        ~inflight:(Hashtbl.length h.inflight_txns > 0)
+    with
+    | None -> ()
+    | Some inst ->
       let stage = worker_for h inst in
       let service = t.p.Params.cost.Cost.msg_handle in
-      (if Multi.in_view_change m ~inst then
-         Stage.enqueue stage ~service (fun () ->
-             emit_routed t h stage (Multi.view_change_retransmit m ~inst))
-       else if Multi.is_primary m ~inst then
+      let step input =
+        Stage.enqueue stage ~service (fun () ->
+            emit_tagged t h stage (Core.step h.core input))
+      in
+      (if Core.in_view_change h.core ~inst then step (Core.Vc_retransmit inst)
+       else if Core.leads h.core ~inst then
          (* We lead the blocked instance ourselves, so there is no one to
             suspect: plug its frontier with no-op keepalive batches instead
             (after taking over a deposed instance, the unserved demand was
             re-batched by the live instances, so real holes remain with no
             real transactions to fill them). *)
-         Stage.enqueue stage ~service (fun () ->
-             emit_routed t h stage (Multi.keepalive m ~inst))
+         step (Core.Keepalive inst)
        else begin
          let exec = core_last_exec h in
          if exec > h.last_exec_seen then begin
@@ -498,27 +462,19 @@ and vc_check t (h : host) =
          end
          else if not h.nudged then begin
            h.nudged <- true;
-           Stage.enqueue stage ~service (fun () -> emit_routed t h stage (Multi.nudge m ~inst))
+           step (Core.Nudge inst)
          end
          else begin
            h.nudged <- false;
-           Stage.enqueue stage ~service (fun () ->
-               emit_routed t h stage (Multi.suspect_primary m ~inst))
+           step (Core.Suspect inst)
          end
        end);
       note_demand t h
-    end
+  end
 
 (* Returns instance-tagged actions; [seq] is global (= local for k = 1). *)
 and core_executed _t (h : host) ~seq ~state_digest ~result =
-  match h.core with
-  | Core_pbft c ->
-    List.map (fun a -> (0, a)) (Pbft.handle_executed c ~seq ~state_digest ~result)
-  | Core_zyz c -> List.map (fun a -> (0, a)) (Zyz.handle_executed c ~seq ~state_digest ~result)
-  | Core_multi m ->
-    List.map
-      (fun (r : Multi.routed) -> (r.Multi.inst, r.Multi.act))
-      (Multi.handle_executed m ~seq ~state_digest ~result)
+  Core.step h.core (Core.Executed { seq; state_digest; result })
 
 (* Route protocol actions.  [stage] is the stage whose thread produced the
    actions; message-creation (signing) costs are charged there via a
@@ -560,7 +516,7 @@ and emit_tagged t (h : host) (stage : Stage.t) tagged =
           | _ -> ()
         end
         | Action.Execute b -> execs := b :: !execs
-        | Action.Stable_checkpoint s -> ignore (Ledger.prune_below h.ledger s))
+        | Action.Stable_checkpoint s -> host_stable_checkpoint t h ~seq:s)
       tagged;
     (* Executions are routed immediately: the cores emit them in strict
        sequence order and a delayed routing job could interleave with a
@@ -586,11 +542,101 @@ and emit_tagged t (h : host) (stage : Stage.t) tagged =
     else route ()
   end
 
-and emit t (h : host) (stage : Stage.t) actions =
-  emit_tagged t h stage (List.map (fun a -> (0, a)) actions)
+(* A stable checkpoint reached this host's core.  Normally: persist the
+   checkpoint (a real fsync'd WAL/B-tree flush on a durable backend, a
+   no-op in memory) and prune the retained chain below it.  But when this
+   host's ledger is missing blocks at or below the horizon the cluster is
+   about to garbage-collect — it adopted the checkpoint from a quorum
+   without ever executing the gap — those blocks can no longer arrive by
+   retransmission: fetch them in O(gap) via state transfer instead. *)
+and host_stable_checkpoint t (h : host) ~seq =
+  if t.retrans_enabled && Ledger.next_seq h.ledger <= seq then request_state_transfer t h
+  else begin
+    Ledger.checkpoint h.ledger ~seq ~state_digest:("state-" ^ string_of_int seq);
+    ignore (Ledger.prune_below h.ledger seq);
+    if Ledger.is_durable h.ledger then begin
+      (* Charge the checkpoint flush (B-tree meta write + WAL rewrite of the
+         retained segment) on the checkpoint-thread: real durability cost,
+         off the consensus critical path — the paper's Fig. 14 lesson. *)
+      let p = t.p in
+      let bytes =
+        List.length (Ledger.retained h.ledger)
+        * (64 + Msg.digest_bytes + (Config.commit_quorum t.cfg * 16))
+      in
+      Stage.enqueue h.checkpoint_stage
+        ~service:(Cost.serialize_cost p.Params.cost ~bytes + p.Params.cost.Cost.hash_base)
+        (fun () -> ())
+    end
+  end
 
-and emit_routed t (h : host) (stage : Stage.t) (routed : Multi.routed list) =
-  emit_tagged t h stage (List.map (fun (r : Multi.routed) -> (r.Multi.inst, r.Multi.act)) routed)
+(* ---- state transfer --------------------------------------------------------- *)
+
+(* Start (or refresh) a state-transfer request from [h]: broadcast a
+   State_request carrying our next ledger sequence, and re-broadcast on the
+   demand-timer cadence until a response installs (request and response are
+   both lossy).  The retry budget keeps an unanswerable request — no peer
+   holds a certificate yet — from ringing forever; the next stable
+   checkpoint re-triggers if the gap persists. *)
+and request_state_transfer t (h : host) =
+  if not h.st_outstanding then begin
+    h.st_outstanding <- true;
+    h.st_tries <- 8;
+    if t.st_first_request = None then t.st_first_request <- Some (Sim.now t.sim);
+    obs_instant t (Printf.sprintf "state transfer: replica %d requests from %d" h.id
+                     (Ledger.next_seq h.ledger));
+    send_state_request t h
+  end
+
+and send_state_request t (h : host) =
+  if h.st_outstanding && h.st_tries > 0 && not (Net.is_crashed (net t) h.id) then begin
+    h.st_tries <- h.st_tries - 1;
+    let p = t.p in
+    let m = St.request h.ledger ~from:h.id in
+    let service =
+      sign_cost_for p ~dests:(p.Params.n - 1) p.Params.replica_scheme
+      + p.Params.cost.Cost.msg_handle
+    in
+    Stage.enqueue h.checkpoint_stage ~service (fun () ->
+        for dst = 0 to p.Params.n - 1 do
+          if dst <> h.id then output_send t h dst ~inst:0 m
+        done);
+    ignore (Sim.schedule t.sim ~after:p.Params.view_timeout (fun () -> send_state_request t h))
+  end
+
+(* Donor side: answer with our stable-checkpoint certificate and retained
+   chain segment, if we hold a certificate and are actually ahead. *)
+and serve_state_request t (h : host) ~low ~requester =
+  match
+    St.serve h.ledger ~stable:(Core.stable_certificate h.core) ~low ~from:h.id
+      ~app_seq:(core_last_exec h) ~app_export:[]
+  with
+  | None -> ()
+  | Some resp -> output_send t h requester ~inst:0 resp
+
+(* Requester side: verify and install; on success the core fast-forwards to
+   the donor's stable checkpoint and the ledger to the donor's tip — the
+   remaining distance arrives through the normal protocol path. *)
+and admit_state_response t (h : host) (m : Msg.t) =
+  if h.st_outstanding then begin
+    let installed =
+      St.admit ~commit_quorum:(Config.commit_quorum t.cfg) h.ledger
+        ~install_core:(fun ~seq ~state_digest ->
+          ignore (Core.step h.core (Core.Install_checkpoint { seq; state_digest })))
+        m
+    in
+    if installed then begin
+      h.st_outstanding <- false;
+      t.state_transfers <- t.state_transfers + 1;
+      if t.st_caught_up = None then t.st_caught_up <- Some (Sim.now t.sim);
+      obs_instant t (Printf.sprintf "state transfer: replica %d installed through %d" h.id
+                       (Ledger.next_seq h.ledger - 1));
+      note_view t h
+    end
+    else if St.stale h.ledger m then
+      (* A well-formed response from a donor no further along than we are:
+         the cluster holds nothing newer, stop asking. *)
+      h.st_outstanding <- false
+  end
 
 (* Send one protocol message to a peer replica through an output-thread. *)
 and output_send t (h : host) dst ~inst (m : Msg.t) =
@@ -634,15 +680,7 @@ and output_send_replies t (h : host) (rs : Msg.t list) =
 
 and output_send_cert_ack t (h : host) ~seq ~msg ~count =
   let p = t.p in
-  let history =
-    match msg with
-    | Msg.Local_commit _ -> (
-      match h.core with
-      | Core_zyz _ -> "" (* the pool keys acks by (seq, history) below *)
-      | Core_pbft _ | Core_multi _ -> "")
-    | _ -> ""
-  in
-  ignore history;
+  ignore msg;
   let bytes = count * reply_bytes p in
   let service = Cost.serialize_cost p.Params.cost ~bytes + (count * p.Params.cost.Cost.out_handle) in
   let dst = t.client_nodes.(seq mod Array.length t.client_nodes) in
@@ -697,7 +735,18 @@ and enqueue_execute t (h : host) (b : Msg.batch) =
           link = Block.Certificate cert;
         }
       in
-      if Ledger.next_seq h.ledger = b.Msg.seq then Ledger.append h.ledger block;
+      if Ledger.next_seq h.ledger = b.Msg.seq then begin
+        Ledger.append h.ledger block;
+        if Ledger.is_durable h.ledger then
+          (* The write-ahead append is buffered and flushed by the
+             checkpoint-thread, never the execute-thread: durability cost
+             stays off the critical path (Fig. 14). *)
+          Stage.enqueue h.checkpoint_stage
+            ~service:
+              (Cost.serialize_cost p.Params.cost
+                 ~bytes:(64 + Msg.digest_bytes + (Config.commit_quorum t.cfg * 16)))
+            (fun () -> ())
+      end;
       if t.retrans_enabled then
         List.iter
           (fun (r : Msg.request_ref) ->
@@ -800,28 +849,14 @@ and enqueue_batch_job t (h : host) stage txns =
       let reqs =
         Array.to_list (Array.map (fun txn_id -> { Msg.client = txn_id mod t.p.Params.clients; txn_id }) txns)
       in
-      let batch_opt, tagged, consensus_worker =
-        match h.core with
-        | Core_pbft c ->
-          let b, a = Pbft.propose c ~reqs ~digest ~wire_bytes:wire in
-          (b, List.map (fun a -> (0, a)) a, h.worker)
-        | Core_zyz c ->
-          let b, a = Zyz.propose c ~reqs ~digest ~wire_bytes:wire in
-          (b, List.map (fun a -> (0, a)) a, h.worker)
-        | Core_multi m -> (
-          (* Rotate over the instances this host leads (normally one for
-             k <= n), so a host that picked up a second instance after a
-             view change keeps both streams moving. *)
-          match Multi.led_instances m with
-          | [] -> (None, [], h.worker)
-          | led ->
-            let inst = List.nth led (h.next_lead mod List.length led) in
-            h.next_lead <- h.next_lead + 1;
-            let b, r = Multi.propose m ~inst ~reqs ~digest ~wire_bytes:wire in
-            ( b,
-              List.map (fun (r : Multi.routed) -> (r.Multi.inst, r.Multi.act)) r,
-              worker_for h inst ))
+      (* The core picks the instance (a multi-primary host rotates over the
+         instances it leads, so a host that picked up a second instance
+         after a view change keeps both streams moving); its worker-thread
+         carries the consensus bookkeeping below. *)
+      let batch_opt, tagged, prop_inst =
+        Core.propose h.core ~reqs ~digest ~wire_bytes:wire
       in
+      let consensus_worker = worker_for h prop_inst in
       (match batch_opt with
       | None ->
         (* Mid view-change / window full / no longer primary.  With
@@ -861,9 +896,7 @@ and deliver_replica t (h : host) ~src (msg : net_msg) =
              transactions it just batched still need every *other* instance
              to keep the global execution cursor moving, so unserved
              (retransmitted) demand arms the watchdog here too. *)
-          match h.core with
-          | Core_multi _ when t.retrans_enabled -> note_demand t h
-          | _ -> ()
+          if Core.instances h.core > 1 && t.retrans_enabled then note_demand t h
         end
         else if t.retrans_enabled then note_demand t h)
   | To_replica (inst, m) ->
@@ -896,6 +929,14 @@ and deliver_replica t (h : host) ~src (msg : net_msg) =
     let stage, service =
       match m with
       | Msg.Checkpoint _ -> (h.checkpoint_stage, verify + cost.Cost.msg_handle)
+      | Msg.State_request _ -> (h.checkpoint_stage, verify + cost.Cost.msg_handle)
+      | Msg.State_response { blocks; _ } ->
+        (* Certificate verification plus one hash walk over the shipped
+           segment, on the checkpoint-thread (recovery work never steals
+           the consensus worker). *)
+        ( h.checkpoint_stage,
+          verify + cost.Cost.msg_handle
+          + (List.length blocks * cost.Cost.hash_base) )
       | Msg.Pre_prepare { batch; _ } | Msg.Order_request { batch; _ } ->
         (* A new consensus instance starts here at a backup. *)
         ( consensus_worker,
@@ -905,9 +946,14 @@ and deliver_replica t (h : host) ~src (msg : net_msg) =
       | _ -> (consensus_worker, cost.Cost.msg_handle)
     in
     (* Input-threads hand the message over first (cheap), then the target
-       thread verifies and processes. *)
+       thread verifies and processes.  State-transfer traffic is handled at
+       the host level (it moves ledgers, not consensus votes). *)
     Stage.enqueue h.input_replica ~service:cost.Cost.msg_handle (fun () ->
-        Stage.enqueue stage ~service (fun () -> core_handle t h stage ~inst m))
+        Stage.enqueue stage ~service (fun () ->
+            match m with
+            | Msg.State_request { low; from } -> serve_state_request t h ~low ~requester:from
+            | Msg.State_response _ -> admit_state_response t h m
+            | _ -> core_handle t h stage ~inst m))
   | Certs { seq; history; count } ->
     let quorum = Config.commit_quorum t.cfg in
     let service =
@@ -1185,11 +1231,24 @@ let make_host t ~id =
   let core =
     match p.Params.protocol with
     | Params.Pbft ->
-      if p.Params.instances > 1 then Core_multi (Multi.create t.cfg ~instances:p.Params.instances ~id)
-      else Core_pbft (Pbft.create t.cfg ~id)
-    | Params.Zyzzyva -> Core_zyz (Zyz.create t.cfg ~id)
+      if p.Params.instances > 1 then Core.multi t.cfg ~instances:p.Params.instances ~id
+      else Core.pbft t.cfg ~id
+    | Params.Zyzzyva -> Core.zyzzyva t.cfg ~id
   in
   let multi = p.Params.instances > 1 in
+  let ledger =
+    match t.data_root with
+    | Some root ->
+      Ledger.open_durable ~dir:(Filename.concat root (Printf.sprintf "replica-%d" id)) ~primary_id
+    | None -> Ledger.create ~primary_id
+  in
+  (* Crash-replay resume: a reopened durable store already holds a chain
+     (same data_dir as an earlier run), so fast-forward the fresh core past
+     the persisted tip — ordering continues from there instead of
+     re-proposing sequence numbers the chain already contains. *)
+  let tip = Ledger.next_seq ledger - 1 in
+  if tip > 0 then
+    ignore (Core.step core (Core.Install_checkpoint { seq = tip; state_digest = "" }));
   {
     id;
     cpu;
@@ -1210,10 +1269,9 @@ let make_host t ~id =
     checkpoint_stage = stage "checkpoint" 1;
     core;
     pending = Queue.create ();
-    next_lead = 0;
     flush_scheduled = false;
     batch_jobs_inflight = 0;
-    ledger = Ledger.create ~primary_id;
+    ledger;
     cert_counts = Hashtbl.create 16;
     batch_counter = 0;
     seen_view = 0;
@@ -1222,6 +1280,8 @@ let make_host t ~id =
     inflight_txns = Hashtbl.create 64;
     last_exec_seen = 0;
     nudged = false;
+    st_outstanding = false;
+    st_tries = 0;
     vcache = Vcache.create ~capacity:p.Params.verify_cache_capacity;
     dcache = Vcache.create ~capacity:p.Params.verify_cache_capacity;
   }
@@ -1234,8 +1294,21 @@ let driver t =
     Nemesis.sim = t.sim;
     current_primary = (fun () -> current_primary t);
     current_instance_primary = (fun i -> current_instance_primary t i);
-    crash = Net.crash nw;
-    recover = Net.recover nw;
+    crash =
+      (fun i ->
+        (* Kill any in-flight state-transfer retry loop along with the host. *)
+        t.hosts.(i).st_outstanding <- false;
+        Net.crash nw i);
+    recover =
+      (fun i ->
+        Net.recover nw i;
+        (* The rejoining replica's pipeline state is whatever survived the
+           crash (its full in-memory state in the DES model, the reopened
+           durable store in a real restart): ask the cluster for everything
+           newer instead of waiting out per-message retransmission. *)
+        let h = t.hosts.(i) in
+        h.st_outstanding <- false;
+        request_state_transfer t h);
     partition = (fun ~name a b -> Net.partition nw ~name a b);
     heal = (fun ~name -> Net.heal nw ~name);
     set_loss = (fun r -> Net.set_loss nw r);
@@ -1326,6 +1399,15 @@ let install_series t (o : obs) =
   Series.start s;
   o.series <- Some s
 
+(* Fresh durable roots per cluster, so two runs in one process never reopen
+   (and replay) each other's stores. *)
+let data_root_counter = ref 0
+
+let fresh_data_root () =
+  incr data_root_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "rdb-cluster-%d-%d" (Unix.getpid ()) !data_root_counter)
+
 let create (p : Params.t) =
   Params.validate p;
   let sim = Sim.create () in
@@ -1356,6 +1438,13 @@ let create (p : Params.t) =
       primary_crash_at = None;
       crash_view = 0;
       recovered_at = None;
+      state_transfers = 0;
+      st_first_request = None;
+      st_caught_up = None;
+      data_root =
+        (if p.Params.durable then
+           Some (match p.Params.data_dir with Some d -> d | None -> fresh_data_root ())
+         else None);
       obs = make_obs p sim;
       latencies = Stats.create ();
       measuring = false;
@@ -1464,6 +1553,23 @@ let time_to_recovery t =
   | Some c, Some r -> Some (Sim.to_seconds (r - c))
   | _ -> None
 
+let state_transfers t = t.state_transfers
+
+(* First State_request broadcast to first successful segment install: how
+   long the first laggard took to rejoin via state transfer. *)
+let time_to_catch_up t =
+  match (t.st_first_request, t.st_caught_up) with
+  | Some a, Some b -> Some (Sim.to_seconds (b - a))
+  | _ -> None
+
+(* Ledger height of the healthiest replica minus the given replica's: the
+   gap a state transfer would have to cover right now. *)
+let ledger_gap t i =
+  let best = Array.fold_left (fun acc h -> max acc (Ledger.next_seq h.ledger)) 0 t.hosts in
+  best - Ledger.next_seq t.hosts.(i).ledger
+
+let ledger_height t i = Ledger.next_seq t.hosts.(i).ledger - 1
+
 let fault_report t =
   let nw = net t in
   {
@@ -1472,6 +1578,8 @@ let fault_report t =
     retransmissions = t.retransmissions;
     view_changes = Array.fold_left (fun acc h -> max acc (core_view h)) 0 t.hosts;
     time_to_recovery_s = time_to_recovery t;
+    state_transfers = t.state_transfers;
+    time_to_catch_up_s = time_to_catch_up t;
   }
 
 (* Agreement across replicas: every retained chain verifies, and no two
@@ -1502,12 +1610,7 @@ let check_safety t =
 let debug_dump t =
   let h0 = t.hosts.(0) in
   let last_exec = core_last_exec h0 in
-  let pend_inst =
-    match h0.core with
-    | Core_pbft c -> Pbft.pending_instances c
-    | Core_zyz _ -> 0
-    | Core_multi m -> Multi.pending_instances m
-  in
+  let pend_inst = Core.pending_slots h0.core in
   Printf.printf
     "t=%.2fs completed=%d next_txn=%d exec0=%d inst0=%d pending=%d workerq=%d batchq=%d tracks=%d\n%!"
     (Sim.to_seconds (Sim.now t.sim))

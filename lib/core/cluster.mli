@@ -49,6 +49,22 @@ val time_to_recovery : t -> float option
     completion decided in a later view; [None] before recovery (or when no
     primary crash was injected). *)
 
+val state_transfers : t -> int
+(** Checkpoint-driven state transfers that successfully installed a chain
+    segment so far, cluster-wide (see {!Rdb_consensus.State_transfer}). *)
+
+val time_to_catch_up : t -> float option
+(** Seconds from the first State_request broadcast to the first successful
+    segment install; [None] while no state transfer has completed.  With
+    one recovering replica this is its time-to-catch-up. *)
+
+val ledger_gap : t -> int -> int
+(** Ledger height of the healthiest replica minus replica [i]'s: the gap a
+    state transfer would have to cover right now (0 = caught up). *)
+
+val ledger_height : t -> int -> int
+(** Highest block sequence in replica [i]'s ledger. *)
+
 val verify_cache_stats : t -> int * int
 (** Aggregate (hits, misses) over every replica's verification and digest
     memo tables ({!Params.t}[.verify_sharing]); (0, 0) when sharing is off

@@ -2,6 +2,7 @@ module Msg = Rdb_consensus.Message
 module Action = Rdb_consensus.Action
 module Config = Rdb_consensus.Config
 module Pbft = Rdb_consensus.Pbft_replica
+module St = Rdb_consensus.State_transfer
 module Client = Rdb_consensus.Pbft_client
 module Signer = Rdb_crypto.Signer
 module Sha256 = Rdb_crypto.Sha256
@@ -13,9 +14,20 @@ module Block = Rdb_chain.Block
 module Rng = Rdb_des.Rng
 module Trace = Rdb_obs.Trace
 
-type config = { n : int; batch_size : int; checkpoint_interval : int; seed : int64 }
+type config = {
+  n : int;
+  batch_size : int;
+  checkpoint_interval : int;
+  seed : int64;
+  durable_dir : string option;
+      (** back each replica's ledger with the WAL + B-tree block store under
+          this directory (one subdirectory per replica); [None] keeps the
+          in-memory backend.  Reopening the same directory crash-recovers
+          the chains and resumes appending at the persisted tip *)
+}
 
-let default_config = { n = 4; batch_size = 10; checkpoint_interval = 50; seed = 0x4C6F63616CL }
+let default_config =
+  { n = 4; batch_size = 10; checkpoint_interval = 50; seed = 0x4C6F63616CL; durable_dir = None }
 
 type request = { client : int; payload : string; signature : string }
 
@@ -80,13 +92,29 @@ let create ?(config = default_config) ?(trace = false) ~apply () =
     ccfg;
     replicas =
       Array.init config.n (fun id ->
+          let rledger =
+            match config.durable_dir with
+            | Some dir ->
+              Ledger.open_durable
+                ~dir:(Filename.concat dir (Printf.sprintf "replica-%d" id))
+                ~primary_id:0
+            | None -> Ledger.create ~primary_id:0
+          in
+          let core = Pbft.create ccfg ~id in
+          (* A reopened durable ledger already holds a chain: fast-forward
+             the fresh core past the persisted tip so ordering resumes
+             there instead of re-proposing sequence numbers the chain
+             already contains.  The in-memory application state restarts
+             empty on every replica alike — the chain is what survives. *)
+          let tip = Ledger.next_seq rledger - 1 in
+          if tip > 0 then Pbft.install_checkpoint core ~seq:tip ~state_digest:"";
           {
             id;
-            core = Pbft.create ccfg ~id;
+            core;
             rstore = Mem_store.create ();
-            rledger = Ledger.create ~primary_id:0;
+            rledger;
             mac = Cmac.of_secret group_secret;
-            applied = 0;
+            applied = tip;
             seen = Vcache.create ~capacity:4096;
           });
     client_signer;
@@ -187,24 +215,18 @@ let rec dispatch t ~origin actions =
              ~state_digest:(Mem_store.digest r.rstore) ~result:result_digest)
       | Action.Stable_checkpoint seq ->
         let r = t.replicas.(origin) in
-        (* A replica whose application state is behind the stable checkpoint
-           (it was crashed, or joined late) performs a state transfer from a
-           live peer that has executed past the checkpoint; the 2f+1
-           matching checkpoint digests vouch for the content. *)
-        if r.applied < seq then begin
-          let donor =
-            Array.to_list t.replicas
-            |> List.find_opt (fun (d : replica) ->
-                   d.id <> r.id && (not (List.mem d.id t.crashed)) && d.applied >= seq)
-          in
-          match donor with
-          | Some d ->
-            r.rstore <- Mem_store.snapshot d.rstore;
-            Ledger.sync_from r.rledger ~src:d.rledger;
-            r.applied <- d.applied
-          | None -> ()
-        end;
-        ignore (Ledger.prune_below r.rledger seq))
+        (* A replica behind the stable checkpoint (it was crashed, or joined
+           late) catches up through the checkpoint-driven state-transfer
+           protocol — the same [State_transfer] code path the DES cluster
+           recovers through: it broadcasts a State_request, and any live
+           peer holding the stable-checkpoint certificate answers with the
+           retained chain segment plus its application-state export. *)
+        if r.applied < seq || Ledger.next_seq r.rledger <= seq then
+          broadcast t ~from:r.id (St.request r.rledger ~from:r.id)
+        else begin
+          Ledger.checkpoint r.rledger ~seq ~state_digest:(Mem_store.digest r.rstore);
+          ignore (Ledger.prune_below r.rledger seq)
+        end)
     actions
 
 and deliver_client t cid msg =
@@ -285,6 +307,47 @@ let submit t ~client ~payload =
 
 let flush t = try_batch t ~force:true
 
+(* Donor side of a state transfer: answer with the stable-checkpoint
+   certificate, the retained chain segment, and a full export of the
+   application store (this runtime executes for real, so the requester
+   cannot reconstruct application state from block metadata alone). *)
+let serve_state t (r : replica) ~low ~requester =
+  let app_export = ref [] in
+  Mem_store.iter r.rstore (fun k v -> app_export := (k, v) :: !app_export);
+  match
+    St.serve r.rledger ~stable:(Pbft.stable_certificate r.core) ~low ~from:r.id
+      ~app_seq:r.applied ~app_export:!app_export
+  with
+  | Some resp -> send t ~from:r.id ~dst:requester resp
+  | None -> ()
+
+(* Requester side: verify the certificate and segment, install the chain,
+   rebuild the application store from the export and fast-forward the core.
+   A donor exactly level with our ledger (possible when a durable chain
+   survived a restart that the in-memory store did not) cannot advance the
+   ledger, but its verified export still restores the application state. *)
+let admit_state t (r : replica) msg =
+  let quorum = Config.commit_quorum t.ccfg in
+  let import ~app_seq ~app_export =
+    if app_seq > r.applied then begin
+      let st = Mem_store.create () in
+      List.iter (fun (k, v) -> Mem_store.put st k v) app_export;
+      r.rstore <- st;
+      r.applied <- app_seq
+    end
+  in
+  let install_core ~seq ~state_digest = Pbft.install_checkpoint r.core ~seq ~state_digest in
+  if not (St.admit ~commit_quorum:quorum r.rledger ~install_core ~import msg) then
+    match msg with
+    | Msg.State_response { last_stable; state_digest; cert; blocks; app_seq; app_export; _ }
+      -> (
+      match St.verify ~commit_quorum:quorum ~last_stable ~state_digest ~cert ~blocks with
+      | Ok () when app_seq > r.applied ->
+        import ~app_seq ~app_export;
+        install_core ~seq:last_stable ~state_digest
+      | Ok () | Error _ -> ())
+    | _ -> ()
+
 let step t =
   match Queue.take_opt t.queue with
   | None -> false
@@ -310,7 +373,15 @@ let step t =
         if ok then Vcache.add r.seen key ();
         ok
       in
-      if authentic then dispatch t ~origin:dst (Pbft.handle_message r.core msg)
+      if authentic then begin
+        match msg with
+        (* State transfer moves ledger segments and application state, which
+           the pure core never holds: both sides are handled at this (host)
+           level, exactly as the DES cluster does. *)
+        | Msg.State_request { low; from } -> serve_state t r ~low ~requester:from
+        | Msg.State_response _ -> admit_state t r msg
+        | _ -> dispatch t ~origin:dst (Pbft.handle_message r.core msg)
+      end
       else t.auth_failures <- t.auth_failures + 1
     end;
     true
@@ -326,12 +397,20 @@ let crash t id =
 
 let recover t id =
   if id < 0 || id >= t.cfg.n then invalid_arg "Local_runtime.recover: no such replica";
-  t.crashed <- List.filter (fun c -> c <> id) t.crashed
-(* The recovered replica rejoins with a stale core; it catches up when the
-   next stable checkpoint reaches it (2f+1 matching Checkpoint messages),
-   at which point the runtime performs the application-state transfer. *)
+  t.crashed <- List.filter (fun c -> c <> id) t.crashed;
+  (* The recovered replica asks for a state transfer right away instead of
+     waiting out a full checkpoint interval.  If no peer holds a stable
+     certificate yet the request goes unanswered, and the next stable
+     checkpoint its own core observes triggers another one. *)
+  let r = t.replicas.(id) in
+  broadcast t ~from:id (St.request r.rledger ~from:id)
 
 let applied t id = t.replicas.(id).applied
+
+let close t =
+  Array.iter (fun (r : replica) -> Ledger.close r.rledger) t.replicas
+(* Durable backends flush their WAL and persist counters on close, so a
+   later [create] over the same [durable_dir] resumes at the tip. *)
 
 let force_view_change t =
   Array.iter

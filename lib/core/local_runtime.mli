@@ -25,6 +25,13 @@ type config = {
   batch_size : int;  (** requests per Pre-prepare *)
   checkpoint_interval : int;  (** sequence numbers between checkpoints *)
   seed : int64;
+  durable_dir : string option;
+      (** back each replica's ledger with the WAL + B-tree
+          {!Rdb_chain.Block_store} under this directory (one subdirectory
+          per replica); [None] keeps the in-memory backend.  Reopening the
+          same directory crash-recovers the chains (torn WAL tails
+          truncated) and the cluster resumes ordering at the persisted tip;
+          call {!close} for a clean shutdown flush *)
 }
 
 val default_config : config
@@ -60,14 +67,24 @@ val crash : t -> int -> unit
     Tolerates up to f crashes. *)
 
 val recover : t -> int -> unit
-(** Bring a crashed replica back.  It missed every message in between; it
-    catches up at the next stable checkpoint (the 2f+1 matching checkpoint
-    digests stand in for the proof), when the runtime transfers the
-    application state and ledger from a live peer. *)
+(** Bring a crashed replica back.  It missed every message in between, so
+    it immediately broadcasts a {!Rdb_consensus.Message.State_request};
+    any live peer holding a stable-checkpoint certificate answers with the
+    certificate, its retained chain segment and an application-state
+    export, which the replica verifies and installs
+    ({!Rdb_consensus.State_transfer} — the same code path the DES
+    {!Cluster} recovers through).  If no checkpoint is stable yet, the
+    next one to stabilise re-triggers the request. *)
 
 val applied : t -> int -> int
 (** Highest sequence number reflected in a replica's application state
     (through execution or state transfer). *)
+
+val close : t -> unit
+(** Flush and close every replica's ledger backend.  Only meaningful with
+    [durable_dir]: a later {!create} over the same directory then resumes
+    at the flushed tip (without it, recovery replays the WAL and resumes
+    from the last stable checkpoint). *)
 
 val force_view_change : t -> unit
 (** Make every live replica suspect the current primary, as their request

@@ -17,6 +17,12 @@ type faults = {
   time_to_recovery_s : float option;
       (** primary crash to the first client completion afterwards; [None]
           when no primary crash was injected or nothing completed after *)
+  state_transfers : int;
+      (** checkpoint-driven state transfers that installed a chain segment
+          (a recovered or horizon-lagging replica catching up in O(gap)) *)
+  time_to_catch_up_s : float option;
+      (** first State_request broadcast to the first successful segment
+          install; [None] when no state transfer was needed *)
 }
 
 (** The all-zero fault record reported by a healthy, unfaulted run. *)
@@ -27,6 +33,8 @@ let no_faults =
     retransmissions = 0;
     view_changes = 0;
     time_to_recovery_s = None;
+    state_transfers = 0;
+    time_to_catch_up_s = None;
   }
 
 type replica_report = {
@@ -86,6 +94,11 @@ let pp ppf t =
       t.faults.view_changes
       (match t.faults.time_to_recovery_s with
        | Some s -> Printf.sprintf ", recovered in %.3fs" s
+       | None -> "");
+  if t.faults.state_transfers > 0 then
+    Format.fprintf ppf "@ state transfers: %d%s" t.faults.state_transfers
+      (match t.faults.time_to_catch_up_s with
+       | Some s -> Printf.sprintf ", caught up in %.3fs" s
        | None -> "");
   Format.fprintf ppf "@]"
 

@@ -24,6 +24,17 @@ type t = {
   reply_scheme : Rdb_crypto.Signer.scheme;
       (** scheme for replica->client replies; MAC in the hybrid default *)
   sqlite : bool;  (** off-memory storage for execution (Fig. 14) *)
+  durable : bool;
+      (** back each replica's ledger with the WAL + B-tree
+          {!Rdb_chain.Block_store} instead of the in-memory backend: block
+          appends buffer into a write-ahead log and checkpoints flush it,
+          surviving process death (Fig. 14's durability column).  The
+          flush/append costs are charged on the checkpoint-thread — off the
+          consensus critical path *)
+  data_dir : string option;
+      (** where durable backends live (one subdirectory per replica);
+          [None] picks a fresh temporary directory per run.  Point two runs
+          at the same directory to exercise crash-replay recovery *)
   cores : int;  (** per replica (Fig. 16) *)
   instances : int;
       (** k concurrent PBFT consensus instances over a round-robin-partitioned
@@ -106,6 +117,8 @@ let default =
     replica_scheme = Rdb_crypto.Signer.Cmac_aes;
     reply_scheme = Rdb_crypto.Signer.Cmac_aes;
     sqlite = false;
+    durable = false;
+    data_dir = None;
     cores = 8;
     instances = 1;
     batch_threads = 2;
@@ -169,6 +182,8 @@ let validate t =
   if t.view_timeout <= 0 then invalid_arg "Params: view_timeout must be positive";
   if t.verify_cache_capacity < 1 then
     invalid_arg "Params: verify_cache_capacity must be >= 1";
+  if t.data_dir <> None && not t.durable then
+    invalid_arg "Params: data_dir is only meaningful with durable = true";
   if t.trace_interval <= 0 then invalid_arg "Params: trace_interval must be positive";
   if t.trace_max_events < 1 then invalid_arg "Params: trace_max_events must be >= 1";
   Nemesis.validate ~n:t.n t.nemesis

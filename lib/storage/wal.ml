@@ -5,7 +5,43 @@ type t = { oc : out_channel }
 
 let checksum data = String.sub (Rdb_crypto.Sha256.digest data) 0 4
 
+(* Byte offset just past the last intact record.  A record is intact when
+   its length header, checksum and full payload are all present and the
+   checksum matches.  Anything after that point is a torn or corrupt tail
+   left by a crashed writer. *)
+let intact_prefix path =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let ic = open_in_bin path in
+    let good = ref 0 in
+    let read_u32 () =
+      let b0 = input_byte ic in
+      let b1 = input_byte ic in
+      let b2 = input_byte ic in
+      let b3 = input_byte ic in
+      (b0 lsl 24) lor (b1 lsl 16) lor (b2 lsl 8) lor b3
+    in
+    (try
+       let continue = ref true in
+       while !continue do
+         let len = read_u32 () in
+         let expected = really_input_string ic 4 in
+         let data = really_input_string ic len in
+         if String.equal (checksum data) expected then good := pos_in ic
+         else continue := false
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !good
+  end
+
 let open_log path =
+  (* Truncate any torn tail first: with a bare [Open_append], records written
+     after a crash would land behind the garbage and [replay] (which stops at
+     the first bad record) would never reach them. *)
+  let keep = intact_prefix path in
+  if Sys.file_exists path && keep < (Unix.stat path).Unix.st_size then
+    Unix.truncate path keep;
   let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
   { oc }
 

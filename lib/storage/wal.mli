@@ -9,7 +9,10 @@
 type t
 
 val open_log : string -> t
-(** Opens (creating if missing) for appending. *)
+(** Opens (creating if missing) for appending.  Any torn or corrupt tail
+    left by a crashed writer is truncated to the last intact record
+    boundary first, so records appended after reopening follow the intact
+    prefix and are reachable by {!replay}. *)
 
 val append : t -> string -> unit
 (** Appends one record.  Data may contain arbitrary bytes. *)

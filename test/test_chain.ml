@@ -134,6 +134,145 @@ let test_cumulative_digest_sensitive () =
     (String.equal (build [ 1; 2; 3 ]) (build [ 1; 2 ]));
   check Alcotest.string "deterministic" (build [ 1; 2; 3 ]) (build [ 1; 2; 3 ])
 
+(* ---- block codec --------------------------------------------------------- *)
+
+let test_block_bytes_roundtrip () =
+  let roundtrip b =
+    match Block.of_bytes (Block.to_bytes b) with
+    | Some b' -> check Alcotest.bool "roundtrip equal" true (b = b')
+    | None -> Alcotest.fail "decode failed"
+  in
+  roundtrip (Block.genesis ~primary_id:3);
+  roundtrip (mk_cert_block ~seq:7);
+  roundtrip (mk_block ~seq:1 ~prev:(Block.genesis ~primary_id:0));
+  roundtrip { (mk_cert_block ~seq:9) with Block.digest = "\x00\xff\x01binary" };
+  (* Malformed inputs decode to None, never raise. *)
+  check Alcotest.bool "empty" true (Block.of_bytes "" = None);
+  let good = Block.to_bytes (mk_cert_block ~seq:2) in
+  check Alcotest.bool "truncated" true
+    (Block.of_bytes (String.sub good 0 (String.length good - 3)) = None);
+  check Alcotest.bool "trailing garbage" true (Block.of_bytes (good ^ "x") = None)
+
+(* ---- block store (durable WAL + B-tree) ---------------------------------- *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rdb_chain_test-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  let rec rm_rf p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+        Sys.rmdir p
+      end
+      else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let test_block_store_crash_replay () =
+  with_temp_dir (fun dir ->
+      let g = Block.genesis ~primary_id:0 in
+      let s = Block_store.open_dir ~dir ~genesis:g in
+      for seq = 1 to 4 do
+        Block_store.append s (mk_cert_block ~seq)
+      done;
+      let digest_at_4 = Block_store.cumulative_digest s in
+      Block_store.append s (mk_cert_block ~seq:5);
+      Block_store.append s (mk_cert_block ~seq:6);
+      (* The checkpoint persists the resume point as of the *stable*
+         sequence even though the tip has moved past it: replicas agree at
+         checkpoints, not at their ragged in-flight tips. *)
+      Block_store.checkpoint s ~seq:4 ~state_digest:"state-4";
+      (* Crash: the process dies without close.  Leave a torn WAL tail on
+         top of the flushed prefix, as an interrupted append would. *)
+      let oc =
+        open_out_gen [ Open_append; Open_binary ] 0o644 (Filename.concat dir "blocks.wal")
+      in
+      output_string oc "\x00\x00\x00\x40torn-record";
+      close_out oc;
+      let s' = Block_store.open_dir ~dir ~genesis:g in
+      check Alcotest.int "stable prefix recovered" 5 (Block_store.length s');
+      check Alcotest.int "next_seq resumes at the stable point" 5 (Block_store.next_seq s');
+      check Alcotest.int "checkpoint survives" 4 (Block_store.last_stable s');
+      check Alcotest.string "state digest survives" "state-4" (Block_store.state_digest s');
+      check Alcotest.string "cumulative digest matches the stable prefix" digest_at_4
+        (Block_store.cumulative_digest s');
+      (* Appending continues cleanly past the truncated tail; close persists
+         the full tip (a clean shutdown is one agreed moment). *)
+      Block_store.append s' (mk_cert_block ~seq:5);
+      Block_store.append s' (mk_cert_block ~seq:6);
+      Block_store.append s' (mk_cert_block ~seq:7);
+      Block_store.close s';
+      let s'' = Block_store.open_dir ~dir ~genesis:g in
+      check Alcotest.int "clean shutdown persists the tip" 8 (Block_store.next_seq s'');
+      Block_store.close s'')
+
+let test_block_store_unflushed_lost_by_design () =
+  with_temp_dir (fun dir ->
+      let g = Block.genesis ~primary_id:0 in
+      let s = Block_store.open_dir ~dir ~genesis:g in
+      for seq = 1 to 3 do
+        Block_store.append s (mk_cert_block ~seq)
+      done;
+      Block_store.flush s;
+      (* These two never reach the OS: the crash loses them, and the
+         state-transfer protocol is what re-acquires them from a peer. *)
+      Block_store.append s (mk_cert_block ~seq:4);
+      Block_store.append s (mk_cert_block ~seq:5);
+      let s' = Block_store.open_dir ~dir ~genesis:g in
+      check Alcotest.int "flushed prefix only" 4 (Block_store.next_seq s');
+      Block_store.close s')
+
+(* ---- pluggable ledger backends ------------------------------------------- *)
+
+(* The Mem and Durable backends must be observably identical through the
+   Ledger interface — callers (cluster, local runtime) switch between them
+   with a flag and expect the same chain. *)
+let test_ledger_backend_equivalence () =
+  with_temp_dir (fun dir ->
+      let mem = Ledger.create ~primary_id:0 in
+      let dur = Ledger.open_durable ~dir ~primary_id:0 in
+      check Alcotest.bool "is_durable" true
+        ((not (Ledger.is_durable mem)) && Ledger.is_durable dur);
+      let both f =
+        f mem;
+        f dur
+      in
+      for seq = 1 to 12 do
+        both (fun l -> Ledger.append l (mk_cert_block ~seq))
+      done;
+      both (fun l -> Ledger.checkpoint l ~seq:8 ~state_digest:"s8");
+      both (fun l -> ignore (Ledger.prune_below l 8));
+      check Alcotest.int "next_seq" (Ledger.next_seq mem) (Ledger.next_seq dur);
+      check Alcotest.int "length" (Ledger.length mem) (Ledger.length dur);
+      check Alcotest.string "cumulative digest" (Ledger.cumulative_digest mem)
+        (Ledger.cumulative_digest dur);
+      check Alcotest.bool "retained segments equal" true
+        (Ledger.retained mem = Ledger.retained dur);
+      check Alcotest.bool "find pruned" true (Ledger.find dur 3 = None);
+      check Alcotest.bool "find retained" true (Ledger.find dur 9 <> None);
+      (match Ledger.verify dur ~check_certificate:(fun ~seq:_ ~digest:_ _ -> true) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      Ledger.close dur)
+
+let test_ledger_durable_reopen () =
+  with_temp_dir (fun dir ->
+      let l = Ledger.open_durable ~dir ~primary_id:0 in
+      for seq = 1 to 5 do
+        Ledger.append l (mk_cert_block ~seq)
+      done;
+      Ledger.checkpoint l ~seq:4 ~state_digest:"s4";
+      let digest = Ledger.cumulative_digest l in
+      Ledger.close l;
+      let l' = Ledger.open_durable ~dir ~primary_id:0 in
+      check Alcotest.int "tip survives close" 6 (Ledger.next_seq l');
+      check Alcotest.string "digest survives close" digest (Ledger.cumulative_digest l');
+      Ledger.append l' (mk_cert_block ~seq:6);
+      check Alcotest.int "append resumes" 7 (Ledger.next_seq l');
+      Ledger.close l')
+
 (* ---- merkle ------------------------------------------------------------- *)
 
 let test_merkle_single_leaf () =
@@ -202,6 +341,13 @@ let () =
           Alcotest.test_case "genesis" `Quick test_genesis;
           Alcotest.test_case "hash content-sensitive" `Quick test_block_hash_changes_with_content;
           Alcotest.test_case "serialize linkage" `Quick test_block_serialize_distinguishes_links;
+          Alcotest.test_case "bytes codec roundtrip" `Quick test_block_bytes_roundtrip;
+        ] );
+      ( "block_store",
+        [
+          Alcotest.test_case "crash replay" `Quick test_block_store_crash_replay;
+          Alcotest.test_case "unflushed lost by design" `Quick
+            test_block_store_unflushed_lost_by_design;
         ] );
       ( "ledger",
         [
@@ -212,6 +358,8 @@ let () =
           Alcotest.test_case "certificate linkage" `Quick test_ledger_certificate_mode;
           Alcotest.test_case "prune at checkpoint" `Quick test_ledger_prune;
           Alcotest.test_case "cumulative digest" `Quick test_cumulative_digest_sensitive;
+          Alcotest.test_case "backend equivalence" `Quick test_ledger_backend_equivalence;
+          Alcotest.test_case "durable reopen" `Quick test_ledger_durable_reopen;
         ] );
       ( "merkle",
         [

@@ -92,6 +92,31 @@ let test_wal_truncated_tail_ignored () =
       check Alcotest.int "only intact record" 1 n;
       check Alcotest.(list string) "content" [ "good" ] !records)
 
+(* Regression: open_log must truncate a torn tail *before* appending.  It
+   used to seek straight to the end, so records appended after a crash
+   landed beyond the garbage and replay (which stops at the first torn
+   record) never reached them — flushed-then-crashed logs silently lost all
+   subsequent appends. *)
+let test_wal_append_after_torn_tail () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let w = Wal.open_log path in
+      Wal.append w "one";
+      Wal.append w "two";
+      Wal.flush w;
+      Wal.close w;
+      (* A crashed writer leaves half a record. *)
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "\x00\x00\x00\x20torn";
+      close_out oc;
+      let w = Wal.open_log path in
+      Wal.append w "three";
+      Wal.close w;
+      let records = ref [] in
+      let n = Wal.replay path (fun r -> records := r :: !records) in
+      check Alcotest.int "all flushed + post-crash records" 3 n;
+      check Alcotest.(list string) "in order" [ "one"; "two"; "three" ] (List.rev !records))
+
 let test_wal_missing_file () =
   check Alcotest.int "missing file replays nothing" 0 (Wal.replay "/nonexistent/wal" (fun _ -> ()))
 
@@ -339,6 +364,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
           Alcotest.test_case "append across sessions" `Quick test_wal_append_across_sessions;
           Alcotest.test_case "truncated tail ignored" `Quick test_wal_truncated_tail_ignored;
+          Alcotest.test_case "append after torn tail" `Quick test_wal_append_after_torn_tail;
           Alcotest.test_case "missing file" `Quick test_wal_missing_file;
           Alcotest.test_case "corrupt checksum" `Quick test_wal_corrupt_checksum;
         ] );
