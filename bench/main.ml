@@ -24,7 +24,7 @@ let selected name =
     |> List.filter (fun a ->
            (String.length a > 2 && String.sub a 0 3 = "fig")
            || a = "micro" || a = "ablations" || a = "breakdown" || a = "consensus" || a = "multi"
-           || a = "recovery")
+           || a = "recovery" || a = "byzantine")
   in
   figs = [] || List.mem name figs
 
@@ -600,6 +600,119 @@ let recovery () =
   Json_out.record ~figure:"recovery" ~config:"pbft-2B1E-n16-durable" ~metric:"tput_ratio_vs_mem"
     ~unit_:"ratio" ~higher_is_better:true ratio
 
+(* ---- byzantine attacks: throughput under an active liar --------------------------------------- *)
+
+let byzantine () =
+  header "Byzantine attacks: one liar, per protocol (n=4, f=1) — safety checked on every run";
+  (* Small cluster with the liveness loop enabled (same shape as
+     test_byzantine): the asymmetry between PBFT's quorums and Zyzzyva's
+     all-n fast path shows at any scale, and n=4 keeps the figure cheap.
+     The attack window opens at 50 ms and outlives the run. *)
+  let small =
+    {
+      base with
+      Params.n = 4;
+      clients = 400;
+      client_machines = 1;
+      batch_size = 20;
+      max_inflight_batches = 16;
+      checkpoint_txns = 400;
+      client_timeout = Rdb_des.Sim.ms 40.0;
+      view_timeout = Rdb_des.Sim.ms 30.0;
+      warmup = Rdb_des.Sim.seconds 0.2;
+      measure = Rdb_des.Sim.seconds (if quick then 0.5 else 0.8);
+    }
+  in
+  let zyz = { small with Params.protocol = Params.Zyzzyva } in
+  let multi4 = { small with Params.instances = 4 } in
+  let from_ = Rdb_des.Sim.ms 50.0 in
+  let until = Rdb_des.Sim.seconds 5.0 in
+  row "%-24s %9s %10s %7s  %s\n" "config" "tput" "p99" "vs-ok" "defenses fired";
+  let show ?healthy name p =
+    let c = Cluster.create p in
+    let m = Cluster.measure c in
+    (* Every bench run doubles as a safety probe: an attack that made two
+       honest replicas commit different batches must fail loudly here, not
+       ship a number. *)
+    (match Cluster.check_safety c with
+    | Ok () -> ()
+    | Error e -> failwith (Printf.sprintf "byzantine bench %s: SAFETY VIOLATED: %s" name e));
+    Json_out.record_run ~figure:"byzantine" ~config:name m;
+    let f = m.Metrics.faults in
+    let ratio =
+      match healthy with
+      | Some (h : Metrics.t) when h.Metrics.throughput_tps > 0.0 ->
+        m.Metrics.throughput_tps /. h.Metrics.throughput_tps
+      | _ -> 1.0
+    in
+    if healthy <> None then
+      Json_out.record ~figure:"byzantine" ~config:name ~metric:"tput_ratio_vs_healthy"
+        ~unit_:"ratio" ~higher_is_better:true ratio;
+    let p99 =
+      if Stats.count m.Metrics.latency > 0 then 1000.0 *. Stats.percentile m.Metrics.latency 99.0
+      else nan
+    in
+    row "%-24s %8.1fK %8.2fms %6.0f%%  rejected %d, equivocations %d, vc-spam %d\n" name
+      (k m.Metrics.throughput_tps) p99 (100.0 *. ratio) f.Metrics.rejected_forgeries
+      f.Metrics.equivocations_detected f.Metrics.vc_spam_suppressed;
+    m
+  in
+  (* PBFT survives every strategy: quorums need 2f/2f+1 of n, replies f+1,
+     and the view change deposes an equivocator. *)
+  let p_ok = show "pbft-healthy" small in
+  ignore
+    (show ~healthy:p_ok "pbft-equivocate"
+       { small with Params.nemesis = Nemesis.equivocate_window ~from_ ~until 0 });
+  let p_mac =
+    show ~healthy:p_ok "pbft-corrupt-mac"
+      { small with Params.nemesis = Nemesis.corrupt_mac_window ~from_ ~until 1 1.0 }
+  in
+  Json_out.record ~figure:"byzantine" ~config:"pbft-corrupt-mac" ~metric:"rejected_forgeries"
+    ~unit_:"msgs" ~higher_is_better:true
+    (float_of_int p_mac.Metrics.faults.Metrics.rejected_forgeries);
+  ignore
+    (show ~healthy:p_ok "pbft-corrupt-digest"
+       { small with Params.nemesis = Nemesis.corrupt_digest_window ~from_ ~until 0 0.3 });
+  ignore
+    (show ~healthy:p_ok "pbft-silence"
+       { small with Params.nemesis = Nemesis.silence_window ~from_ ~until 1 [ 0 ] });
+  let p_spam =
+    show ~healthy:p_ok "pbft-vc-spam"
+      {
+        small with
+        Params.nemesis = Nemesis.view_change_spam_window ~from_ ~until 3 ~period:(Rdb_des.Sim.ms 2.0);
+      }
+  in
+  Json_out.record ~figure:"byzantine" ~config:"pbft-vc-spam" ~metric:"vc_spam_suppressed"
+    ~unit_:"msgs" ~higher_is_better:true
+    (float_of_int p_spam.Metrics.faults.Metrics.vc_spam_suppressed);
+  (* Zyzzyva: the paper's Fig. 12 collapse.  One backup forging its MACs
+     means the client never collects all 3f+1 matching speculative replies;
+     every batch waits out the client timer and closes through commit
+     certificates. *)
+  let z_ok = show "zyzzyva-healthy" zyz in
+  let z_liar =
+    show ~healthy:z_ok "zyzzyva-corrupt-mac"
+      { zyz with Params.nemesis = Nemesis.corrupt_mac_window ~from_ ~until 3 1.0 }
+  in
+  (* Gate the collapse itself: the attacked run must stay off the fast path
+     (a nonzero row here would mean the reproduction of the paper's claim
+     silently broke). *)
+  Json_out.record ~figure:"byzantine" ~config:"zyzzyva-corrupt-mac" ~metric:"fast_path_txns"
+    ~unit_:"txns" ~higher_is_better:false
+    (float_of_int z_liar.Metrics.fast_path_txns);
+  row "zyzzyva fast path under one liar: %d of %d txns (healthy: %d of %d)\n"
+    z_liar.Metrics.fast_path_txns z_liar.Metrics.completed_txns z_ok.Metrics.fast_path_txns
+    z_ok.Metrics.completed_txns;
+  (* Multi-primary: an equivocating instance primary is deposed by its own
+     instance's view change while the k-1 honest instances keep the merged
+     order moving. *)
+  let m_ok = show "multi-k4-healthy" multi4 in
+  ignore
+    (show ~healthy:m_ok "multi-k4-equivocate"
+       { multi4 with Params.nemesis = Nemesis.equivocate_window ~from_ ~until 0 });
+  row "every run above also passed the cross-replica safety check\n"
+
 (* ---- bechamel microbenchmarks ----------------------------------------------------------------- *)
 
 let micro () =
@@ -698,6 +811,7 @@ let figures =
     ("consensus", consensus);
     ("multi", multi);
     ("recovery", recovery);
+    ("byzantine", byzantine);
     ("breakdown", breakdown);
     ("ablations", ablations);
     ("micro", micro);

@@ -30,14 +30,70 @@ let protocol_conv =
   in
   Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Params.protocol_name p))
 
+type attack = Equivocate | Corrupt_mac | Corrupt_digest | Silence | Vc_spam
+
+let attack_name = function
+  | Equivocate -> "equivocate"
+  | Corrupt_mac -> "corrupt-mac"
+  | Corrupt_digest -> "corrupt-digest"
+  | Silence -> "silence"
+  | Vc_spam -> "vc-spam"
+
+let byzantine_conv =
+  let parse = function
+    | "equivocate" -> Ok Equivocate
+    | "corrupt-mac" -> Ok Corrupt_mac
+    | "corrupt-digest" -> Ok Corrupt_digest
+    | "silence" -> Ok Silence
+    | "vc-spam" | "view-change-spam" -> Ok Vc_spam
+    | s ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown byzantine strategy %S (equivocate|corrupt-mac|corrupt-digest|silence|vc-spam)"
+             s))
+  in
+  Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (attack_name a))
+
+(* The attack schedule for --byzantine: each attacker lies for the whole
+   run.  Proposal-side strategies (equivocate, corrupt-digest) go on the
+   primaries — backups never propose, so they would be no-ops there; the
+   rest go on backups, counted from the highest id down.  The attacker
+   count is clamped to f = (n-1)/3, the bound the hardening covers (and
+   Nemesis.validate enforces). *)
+let byzantine_schedule ~n ~f ~horizon strategy attackers =
+  let module Nemesis = Rdb_core.Nemesis in
+  let module Sim = Rdb_des.Sim in
+  let k = max 1 (min attackers f) in
+  let from_ = Sim.ms 10.0 in
+  let until = horizon in
+  List.concat
+    (List.init k (fun i ->
+         match strategy with
+         | Equivocate -> Nemesis.equivocate_window ~from_ ~until i
+         | Corrupt_digest -> Nemesis.corrupt_digest_window ~from_ ~until i 0.5
+         | Corrupt_mac -> Nemesis.corrupt_mac_window ~from_ ~until (n - 1 - i) 1.0
+         | Silence -> Nemesis.silence_window ~from_ ~until (n - 1 - i) [ 0 ]
+         | Vc_spam ->
+           Nemesis.view_change_spam_window ~from_ ~until (n - 1 - i) ~period:(Sim.ms 5.0)))
+
 let run protocol n clients batch_size ops payload client_scheme replica_scheme reply_scheme
-    sqlite durable data_dir cores instances batch_threads execute_threads crashed warmup measure
-    seed verbose trace_out trace_csv upper_bound =
+    sqlite durable data_dir cores instances batch_threads execute_threads crashed byzantine
+    attackers warmup measure seed verbose trace_out trace_csv upper_bound =
   let d = Params.default in
+  let nemesis =
+    match byzantine with
+    | None -> []
+    | Some strategy ->
+      let f = (n - 1) / 3 in
+      let horizon = Rdb_des.Sim.seconds (warmup +. measure +. 1.0) in
+      byzantine_schedule ~n ~f ~horizon strategy attackers
+  in
   let p =
     {
       d with
       Params.protocol;
+      nemesis;
       n;
       clients;
       batch_size;
@@ -76,11 +132,14 @@ let run protocol n clients batch_size ops payload client_scheme replica_scheme r
       (Rdb_des.Stats.mean ex.Rdb_core.Upper_bound.latency)
   end
   else begin
-    Printf.printf "running %s: n=%d f=%d clients=%d batch=%d threads=%dB/%dE cores=%d%s%s\n%!"
+    Printf.printf "running %s: n=%d f=%d clients=%d batch=%d threads=%dB/%dE cores=%d%s%s%s\n%!"
       (Params.protocol_name protocol) n (Params.f p) clients batch_size batch_threads
       execute_threads cores
       (if instances > 1 then Printf.sprintf " instances=%d" instances else "")
-      (if crashed > 0 then Printf.sprintf " crashed=%d" crashed else "");
+      (if crashed > 0 then Printf.sprintf " crashed=%d" crashed else "")
+      (match byzantine with
+      | Some a -> Printf.sprintf " byzantine=%s attackers=%d" (attack_name a) (max 1 (min attackers (Params.f p)))
+      | None -> "");
     let m = Cluster.run p in
     Format.printf "%a@." Metrics.pp m;
     if verbose then Format.printf "@[<v>%a@]@." Metrics.pp_saturation m;
@@ -142,6 +201,21 @@ let cmd =
   let bt = value & opt int 2 & info [ "B"; "batch-threads" ] ~doc:"Batch-threads at the primary (0 = worker batches)." in
   let et = value & opt int 1 & info [ "E"; "execute-threads" ] ~doc:"Execute-threads (0 or 1)." in
   let crashed = value & opt int 0 & info [ "crashed" ] ~doc:"Backups crashed at start (<= f)." in
+  let byzantine =
+    value
+    & opt (some byzantine_conv) None
+    & info [ "byzantine" ]
+        ~doc:
+          "Run under an active byzantine attack for the whole run \
+           (equivocate|corrupt-mac|corrupt-digest|silence|vc-spam).  Proposal attacks \
+           target the primaries, the rest target backups; receivers reject, count and \
+           survive — see the byzantine counters in the metrics output."
+  in
+  let attackers =
+    value & opt int 1
+    & info [ "attackers" ]
+        ~doc:"Concurrent byzantine attackers for --byzantine (clamped to f = (n-1)/3)."
+  in
   let warmup = value & opt float 0.5 & info [ "warmup" ] ~doc:"Warmup seconds (simulated)." in
   let measure = value & opt float 1.0 & info [ "measure" ] ~doc:"Measurement seconds (simulated)." in
   let seed = value & opt int 0x5265736442 & info [ "seed" ] ~doc:"Random seed (runs are deterministic)." in
@@ -162,8 +236,8 @@ let cmd =
   let term =
     Term.(
       const run $ protocol $ n $ clients $ batch $ ops $ payload $ cs $ rs $ ps $ sqlite
-      $ durable $ data_dir $ cores $ instances $ bt $ et $ crashed $ warmup $ measure $ seed
-      $ verbose $ trace_out $ trace_csv $ ub)
+      $ durable $ data_dir $ cores $ instances $ bt $ et $ crashed $ byzantine $ attackers
+      $ warmup $ measure $ seed $ verbose $ trace_out $ trace_csv $ ub)
   in
   Cmd.v
     (Cmd.info "resdb_sim" ~version:"1.0.0"

@@ -25,6 +25,12 @@ type input =
       (** state-transfer admit: fast-forward to a verified stable
           checkpoint (the host already installed the ledger segment) *)
 
+type defense = { equivocations : int; vc_suppressed : int }
+(** Byzantine-defense counters a core accumulates: conflicting proposals
+    observed for an occupied slot (evidence of an equivocating primary)
+    and view-change messages discarded by the spam rate limit.  Multi-core
+    deployments report the sum over their instances. *)
+
 module type CORE = sig
   type state
 
@@ -53,6 +59,9 @@ module type CORE = sig
   val stable_certificate : state -> (int * string * int list) option
   (** last stable checkpoint as [(seq, state_digest, senders)], for
       state-transfer donors; [None] when this core cannot prove one *)
+
+  val defenses : state -> defense
+  (** byzantine-defense counters accumulated so far (see {!defense}) *)
 
   val propose :
     state ->
@@ -91,6 +100,13 @@ module Pbft_core = struct
     if pending && not (Pbft_replica.is_primary s) then Some 0 else None
 
   let stable_certificate = Pbft_replica.stable_certificate
+
+  let defenses s =
+    {
+      equivocations = Pbft_replica.equivocations_detected s;
+      vc_suppressed = Pbft_replica.vc_spam_suppressed s;
+    }
+
   let tag acts = List.map (fun a -> (0, a)) acts
 
   let propose s ~reqs ~digest ~wire_bytes =
@@ -135,6 +151,11 @@ module Zyz_core = struct
   let pending_slots _ = 0
   let escalation _ ~pending:_ ~inflight:_ = None
   let stable_certificate _ = None
+
+  (* No view change in this core, so nothing to spam. *)
+  let defenses s =
+    { equivocations = Zyzzyva_replica.equivocations_detected s; vc_suppressed = 0 }
+
   let tag acts = List.map (fun a -> (0, a)) acts
 
   let propose s ~reqs ~digest ~wire_bytes =
@@ -187,6 +208,12 @@ module Multi_core = struct
      available, so multi-primary hosts recover through per-instance
      checkpoint adoption instead of serving state transfers. *)
   let stable_certificate _ = None
+
+  let defenses s =
+    {
+      equivocations = Multi_pbft.equivocations_detected s.m;
+      vc_suppressed = Multi_pbft.vc_spam_suppressed s.m;
+    }
 
   let route rs =
     List.map (fun (r : Multi_pbft.routed) -> (r.Multi_pbft.inst, r.Multi_pbft.act)) rs
@@ -243,6 +270,7 @@ let in_view_change (Core ((module C), s)) ~inst = C.in_view_change s ~inst
 let pending_slots (Core ((module C), s)) = C.pending_slots s
 let escalation (Core ((module C), s)) ~pending ~inflight = C.escalation s ~pending ~inflight
 let stable_certificate (Core ((module C), s)) = C.stable_certificate s
+let defenses (Core ((module C), s)) = C.defenses s
 
 let propose (Core ((module C), s)) ~reqs ~digest ~wire_bytes =
   C.propose s ~reqs ~digest ~wire_bytes

@@ -74,6 +74,12 @@ let merge_pending_of t inst = Merge.pending_of t.merge inst
 let pending_instances t =
   Array.fold_left (fun acc c -> acc + Pbft_replica.pending_instances c) 0 t.cores
 
+let equivocations_detected t =
+  Array.fold_left (fun acc c -> acc + Pbft_replica.equivocations_detected c) 0 t.cores
+
+let vc_spam_suppressed t =
+  Array.fold_left (fun acc c -> acc + Pbft_replica.vc_spam_suppressed c) 0 t.cores
+
 let last_stable_checkpoint t = t.global_stable
 
 (* The global stable prefix: instance [j]'s first non-stable global slot is

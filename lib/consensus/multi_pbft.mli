@@ -104,6 +104,14 @@ val pending_instances : t -> int
 (** Total consensus slots tracked across all instances (saturation
     metrics). *)
 
+val equivocations_detected : t -> int
+(** Conflicting pre-prepares observed, summed over all instances (see
+    {!Pbft_replica.equivocations_detected}). *)
+
+val vc_spam_suppressed : t -> int
+(** View-change messages rate-limited away, summed over all instances (see
+    {!Pbft_replica.vc_spam_suppressed}). *)
+
 val propose :
   t ->
   inst:int ->

@@ -42,7 +42,25 @@ type t = {
       (* the 2f+1 senders behind the last stable checkpoint, retained after
          the quorum table is garbage-collected so a state-transfer donor can
          ship the certificate *)
+  mutable equivocations : int;
+      (* conflicting pre-prepares observed for an occupied slot: evidence of
+         an equivocating primary (each conflict is counted, then dropped) *)
+  mutable vc_suppressed : int;
+      (* view-change messages discarded by the spam rate limit below *)
+  vc_registered : (int, int list) Hashtbl.t;
+      (* sender -> distinct pending new-views it has registered above our
+         current view; bounds how much view-change state one byzantine
+         peer can make us hold *)
 }
+
+(* View-change spam limits: a sender may register at most
+   [max_pending_vcs] distinct future views, none further than
+   [max_vc_skew] views ahead of ours.  Honest replicas advance their
+   view-change target one view at a time, so legitimate traffic sits far
+   inside both bounds; a spammer flooding fabricated view numbers is
+   clipped after a handful of table entries. *)
+let max_vc_skew = 8
+let max_pending_vcs = 4
 
 let create config ~id =
   {
@@ -64,6 +82,9 @@ let create config ~id =
     own_checkpoint_digests = [];
     last_new_view = None;
     stable_cert = None;
+    equivocations = 0;
+    vc_suppressed = 0;
+    vc_registered = Hashtbl.create 8;
   }
 
 let id t = t.id
@@ -73,6 +94,8 @@ let last_executed t = t.last_executed
 let last_stable_checkpoint t = t.last_stable
 let in_view_change t = t.in_view_change
 let pending_instances t = Hashtbl.length t.instances
+let equivocations_detected t = t.equivocations
+let vc_spam_suppressed t = t.vc_suppressed
 
 let instance t ~view ~seq =
   match Hashtbl.find_opt t.instances (view, seq) with
@@ -137,7 +160,13 @@ let accept_pre_prepare t ~view ~(batch : Message.batch) =
   let i = instance t ~view ~seq:batch.Message.seq in
   match i.batch with
   | Some existing when not (String.equal existing.Message.digest batch.Message.digest) ->
-    (* Conflicting proposal for an occupied slot: byzantine primary; drop. *)
+    (* Conflicting proposal for an occupied slot: byzantine primary.
+       Record the equivocation evidence and drop; because prepare/commit
+       quorums are keyed by digest, the conflicting copies split votes and
+       neither side can reach a quorum the other also reached (quorum
+       intersection keeps safety), while the view change restores
+       liveness by deposing the equivocator. *)
+    t.equivocations <- t.equivocations + 1;
     []
   | Some _ -> []
   | None ->
@@ -287,6 +316,14 @@ let view_change_retransmit t =
            });
     ]
 
+(* Once a view installs, registrations at or below it are settled and no
+   longer count against their sender's spam budget. *)
+let prune_vc_registry t =
+  Hashtbl.filter_map_inplace
+    (fun _ vs ->
+      match List.filter (fun v -> v > t.view) vs with [] -> None | vs -> Some vs)
+    t.vc_registered
+
 (* The new primary assembles New_view once it has a 2f+1 view-change quorum. *)
 let maybe_new_view t ~target =
   if Config.primary_of_view t.config target <> t.id then []
@@ -329,6 +366,7 @@ let maybe_new_view t ~target =
     let pre_prepares = List.rev !pre_prepares in
     t.view <- target;
     t.in_view_change <- false;
+    prune_vc_registry t;
     t.next_seq <- max_seq + 1;
     let nv =
       Message.New_view
@@ -346,6 +384,7 @@ let handle_new_view t ~view ~(pre_prepares : Message.batch list) ~from =
   else begin
     t.view <- view;
     t.in_view_change <- false;
+    prune_vc_registry t;
     List.concat_map (fun (b : Message.batch) -> accept_pre_prepare t ~view ~batch:b) pre_prepares
   end
 
@@ -470,7 +509,19 @@ let handle_message t (msg : Message.t) =
     if view <> t.view || t.in_view_change || from <> Config.primary_of_view t.config view then []
     else if not (in_window t seq) then []
     else if seq <> batch.Message.seq then []
-    else accept_pre_prepare t ~view ~batch
+    else begin
+      let before = t.equivocations in
+      let actions = accept_pre_prepare t ~view ~batch in
+      if t.equivocations > before then
+        (* Two conflicting pre-prepares signed by one primary are a
+           transferable proof of misbehavior: echo the conflicting copy so
+           every replica sees the contradiction for itself, and join the
+           view change that deposes the equivocator.  Without this, only
+           the replicas straddling the split would ever suspect, staying
+           below the f+1 join threshold while their slot wedges. *)
+        (Action.Broadcast msg :: suspect_primary t) @ actions
+      else actions
+    end
   | Message.Prepare { view; seq; digest; from } ->
     (* Mid view-change only current-view traffic is ignored; votes for a
        HIGHER view are buffered in their (view, seq) instance — they come
@@ -510,22 +561,36 @@ let handle_message t (msg : Message.t) =
       | _ -> []
     end
     else begin
-      ignore (Quorum.add t.view_changes new_view from);
-      let existing = Option.value ~default:[] (Hashtbl.find_opt t.vc_messages new_view) in
-      if not (List.mem_assoc from existing) then
-        Hashtbl.replace t.vc_messages new_view ((from, prepared) :: existing);
-      (* Join the view change once f+1 replicas vouch for it (liveness). *)
-      let join =
-        if
-          Quorum.count t.view_changes new_view >= t.config.Config.f + 1
-          && not (t.in_view_change && t.vc_target >= new_view)
-        then start_view_change t ~target:new_view
-        else []
-      in
-      (* [join] may have added our own view-change to the quorum, so the
-         new-view check must run after it. *)
-      let nv = maybe_new_view t ~target:new_view in
-      join @ nv
+      (* Spam rate limit: clip view numbers beyond any plausible horizon,
+         and cap how many distinct future views one sender may register.
+         Registration is idempotent, so honest retransmissions of a
+         pending view-change pass through unharmed. *)
+      let registered = Option.value ~default:[] (Hashtbl.find_opt t.vc_registered from) in
+      let fresh = not (List.mem new_view registered) in
+      if new_view > t.view + max_vc_skew || (fresh && List.length registered >= max_pending_vcs)
+      then begin
+        t.vc_suppressed <- t.vc_suppressed + 1;
+        []
+      end
+      else begin
+        if fresh then Hashtbl.replace t.vc_registered from (new_view :: registered);
+        ignore (Quorum.add t.view_changes new_view from);
+        let existing = Option.value ~default:[] (Hashtbl.find_opt t.vc_messages new_view) in
+        if not (List.mem_assoc from existing) then
+          Hashtbl.replace t.vc_messages new_view ((from, prepared) :: existing);
+        (* Join the view change once f+1 replicas vouch for it (liveness). *)
+        let join =
+          if
+            Quorum.count t.view_changes new_view >= t.config.Config.f + 1
+            && not (t.in_view_change && t.vc_target >= new_view)
+          then start_view_change t ~target:new_view
+          else []
+        in
+        (* [join] may have added our own view-change to the quorum, so the
+           new-view check must run after it. *)
+        let nv = maybe_new_view t ~target:new_view in
+        join @ nv
+      end
     end
   | Message.New_view { view; pre_prepares; from; _ } -> handle_new_view t ~view ~pre_prepares ~from
   | Message.Fill_hole { view; from_seq; to_seq; from } ->

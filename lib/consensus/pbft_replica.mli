@@ -11,8 +11,13 @@
     Fault model, as in the paper's experiments: crash faults and message
     reordering/duplication are exercised end-to-end; the quorum logic is
     byzantine-safe (conflicting proposals for the same slot cannot both
-    commit), while signature forgery is excluded by the hosting system's
-    message authentication. *)
+    commit — prepare and commit quorums are keyed by digest, so an
+    equivocating primary only splits votes), signature forgery is excluded
+    by the hosting system's message authentication, and view-change
+    processing is rate-limited per sender so a spamming peer cannot grow
+    unbounded view-change state.  Equivocation evidence and suppressed
+    spam are counted ({!equivocations_detected}, {!vc_spam_suppressed})
+    for the host's fault report. *)
 
 type t
 
@@ -66,6 +71,15 @@ val nudge : t -> Action.t list
 
 val pending_instances : t -> int
 (** Consensus slots currently tracked (for tests and saturation metrics). *)
+
+val equivocations_detected : t -> int
+(** Conflicting pre-prepares observed for an occupied slot: evidence of an
+    equivocating primary.  Each conflict is counted once, then dropped. *)
+
+val vc_spam_suppressed : t -> int
+(** View-change messages discarded by the per-sender rate limit (view
+    numbers beyond the skew horizon, or more distinct pending views than
+    one peer may register). *)
 
 val stable_certificate : t -> (int * string * int list) option
 (** The last stable checkpoint as [(seq, state_digest, senders)]: the 2f+1

@@ -16,6 +16,9 @@ type t = {
   executed_batches : (int, Message.batch) Hashtbl.t;
   pending_certs : (int, Message.t list) Hashtbl.t; (* seq -> commit certs awaiting execution *)
   checkpoints : (int * string) Quorum.t;
+  mutable equivocations : int;
+      (* conflicting order-requests observed for an already-ordered slot:
+         evidence of an equivocating primary (counted, then dropped) *)
 }
 
 let create config ~id =
@@ -35,6 +38,7 @@ let create config ~id =
     executed_batches = Hashtbl.create 64;
     pending_certs = Hashtbl.create 16;
     checkpoints = Quorum.create ();
+    equivocations = 0;
   }
 
 let id t = t.id
@@ -42,30 +46,47 @@ let is_primary t = Config.primary_of_view t.config t.view = t.id
 let history t = t.history
 let last_spec_executed t = t.last_spec
 let committed_upto t = t.committed_upto
+let equivocations_detected t = t.equivocations
 
 let extend_history t digest = Rdb_crypto.Sha256.digest (t.history ^ digest)
 
 (* Speculative execution: drain the buffer in sequence order, extending the
-   history chain and handing batches to the execution layer. *)
+   history chain and handing batches to the execution layer.
+
+   Before speculating on a batch the replica checks the primary's history
+   claim: the order-request's [history] must equal H(h_{n-1} || d_n) over
+   the replica's own chain (Zyzzyva §4.1 step 2).  An equivocating primary
+   cannot satisfy both branches of a split — whichever copy carries a
+   digest the claim does not chain over is a proof of misbehavior, dropped
+   here without executing, so a replica on the losing branch wedges at the
+   fork instead of diverging; fill-hole retransmission repairs the gap once
+   an honest copy is available. *)
 let drain t =
   let actions = ref [] in
   let continue = ref true in
   while !continue do
     match Hashtbl.find_opt t.buffered (t.last_spec + 1) with
-    | Some (batch, _claimed) ->
+    | Some (batch, claimed) ->
       Hashtbl.remove t.buffered (t.last_spec + 1);
-      t.history <- extend_history t batch.Message.digest;
-      t.last_spec <- batch.Message.seq;
-      Hashtbl.replace t.histories batch.Message.seq t.history;
-      Hashtbl.replace t.executed_batches batch.Message.seq batch;
-      Hashtbl.replace t.ordered_log batch.Message.seq batch;
-      actions := Action.Execute batch :: !actions
+      let expected = extend_history t batch.Message.digest in
+      if not (String.equal claimed expected) then begin
+        t.equivocations <- t.equivocations + 1;
+        continue := false
+      end
+      else begin
+        t.history <- expected;
+        t.last_spec <- batch.Message.seq;
+        Hashtbl.replace t.histories batch.Message.seq t.history;
+        Hashtbl.replace t.executed_batches batch.Message.seq batch;
+        Hashtbl.replace t.ordered_log batch.Message.seq batch;
+        actions := Action.Execute batch :: !actions
+      end
     | None -> continue := false
   done;
   List.rev !actions
 
-let order t (batch : Message.batch) =
-  Hashtbl.replace t.buffered batch.Message.seq (batch, "");
+let order t (batch : Message.batch) ~claim =
+  Hashtbl.replace t.buffered batch.Message.seq (batch, claim);
   drain t
 
 let propose t ~reqs ~digest ~wire_bytes =
@@ -75,7 +96,7 @@ let propose t ~reqs ~digest ~wire_bytes =
     t.next_seq <- seq + 1;
     let batch = { Message.view = t.view; seq; digest; reqs; wire_bytes } in
     let claimed = Rdb_crypto.Sha256.digest (t.history ^ digest) in
-    let actions = order t batch in
+    let actions = order t batch ~claim:claimed in
     ( Some batch,
       Action.Broadcast
         (Message.Order_request { view = t.view; seq; batch; history = claimed; from = t.id })
@@ -87,11 +108,30 @@ let ack_commit_cert t ~seq ~client =
 
 let handle_message t (msg : Message.t) =
   match msg with
-  | Message.Order_request { view; seq; batch; from; _ } ->
+  | Message.Order_request { view; seq; batch; history; from } ->
     if view <> t.view || from <> Config.primary_of_view t.config view then []
-    else if seq <= t.last_spec || Hashtbl.mem t.buffered seq then []
+    else if seq <= t.last_spec || Hashtbl.mem t.buffered seq then begin
+      (* The slot is already ordered; a different digest for it is
+         equivocation evidence against the primary.  The conflicting copy
+         is dropped either way — the history chain diverges at the first
+         disagreement, so the client can never collect matching replies
+         across the two branches. *)
+      let ordered_digest =
+        match Hashtbl.find_opt t.buffered seq with
+        | Some (b, _) -> Some b.Message.digest
+        | None -> (
+          match Hashtbl.find_opt t.ordered_log seq with
+          | Some b -> Some b.Message.digest
+          | None -> None)
+      in
+      (match ordered_digest with
+      | Some d when not (String.equal d batch.Message.digest) ->
+        t.equivocations <- t.equivocations + 1
+      | _ -> ());
+      []
+    end
     else begin
-      let executed = order t batch in
+      let executed = order t batch ~claim:history in
       (* A gap means earlier Order-requests were lost: ask the primary to
          fill the hole (Zyzzyva's fill-hole sub-protocol), once per gap. *)
       let gap_end = seq - 1 in

@@ -30,6 +30,13 @@ val last_spec_executed : t -> int
 val committed_upto : t -> int
 (** Highest sequence number covered by a client commit certificate. *)
 
+val equivocations_detected : t -> int
+(** Conflicting order-requests observed for an already-ordered slot:
+    evidence of an equivocating primary.  Counted once per conflict, then
+    dropped — the rolling history chain diverges at the first
+    disagreement, so the two branches can never both complete at a
+    client. *)
+
 val propose : t -> reqs:Message.request_ref list -> digest:string -> wire_bytes:int -> Message.batch option * Action.t list
 (** Primary only: order the batch and broadcast the Order-request. *)
 

@@ -33,11 +33,24 @@ module Series = Rdb_obs.Series
 
 (* ---- wire-level events --------------------------------------------------- *)
 
+(** How a byzantine sender corrupted a protocol message in flight. *)
+type tamper =
+  | Forged_mac  (** the MAC/signature does not verify *)
+  | Corrupted_digest
+      (** the MAC verifies (the attacker authenticates its own garbage) but
+          the carried batch digest does not match the batch content *)
+
 type net_msg =
   | To_replica of int * Msg.t
       (** (consensus instance, message): multi-primary deployments tag
           protocol traffic with the instance it belongs to (always 0 for a
           single-instance run) *)
+  | Tampered of { kind : tamper; inner : net_msg }
+      (** a byzantine sender's corrupted copy of a message (protocol
+          traffic or client-bound replies); the receiver pays the full
+          verification price, rejects it before the consensus core or the
+          client's reply quorum ever sees it, and never memoizes the
+          failure *)
   | Client_txns of { txn_ids : int array }
       (** a group of independent single-transaction client requests arriving
           together (clients are simulated in aggregate; costs are charged
@@ -170,6 +183,16 @@ type t = {
   mutable primary_crash_at : Sim.time option;
   mutable crash_view : int;  (** view at the moment the primary crashed *)
   mutable recovered_at : Sim.time option;
+  (* byzantine adversary (the nemesis interposition layer) *)
+  behaviors : Nemesis.behavior array;
+      (** per replica, the adversarial behavior currently installed on its
+          outbound links (index < n; honest by default) *)
+  behavior_gen : int array;
+      (** bumped on every behavior change so a superseded view-change spam
+          loop notices and stops rescheduling itself *)
+  mutable rejected_forgeries : int;
+      (** tampered messages rejected at receivers, cluster-wide *)
+  mutable spam_salt : int;  (** varies the view numbers a spammer fabricates *)
   (* state transfer *)
   mutable state_transfers : int;  (** successful installs, cluster-wide *)
   mutable st_first_request : Sim.time option;  (** first State_request sent *)
@@ -954,6 +977,36 @@ and deliver_replica t (h : host) ~src (msg : net_msg) =
             | Msg.State_request { low; from } -> serve_state_request t h ~low ~requester:from
             | Msg.State_response _ -> admit_state_response t h m
             | _ -> core_handle t h stage ~inst m))
+  | Tampered { kind; inner } ->
+    (* A byzantine peer's corrupted message.  The receive path pays the
+       full price to discover the corruption — a failed check is never
+       memoized (the verify-sharing caches admit only successful
+       verifications), so every forged copy costs a full verify — and the
+       message is dropped before the consensus core ever sees it. *)
+    let inst, digest_recompute =
+      match inner with
+      | To_replica (inst, m) ->
+        ( inst,
+          match kind with
+          | Forged_mac -> 0
+          | Corrupted_digest -> (
+            (* The MAC itself passes; recomputing the batch digest (§4.3's
+               backup-side validation) is what disagrees. *)
+            match m with
+            | Msg.Pre_prepare { batch; _ } | Msg.Order_request { batch; _ } ->
+              Cost.hash_cost cost ~bytes:batch.Msg.wire_bytes
+            | _ -> cost.Cost.hash_base) )
+      | _ -> (0, 0)
+    in
+    let consensus_worker = worker_for h inst in
+    let service =
+      Cost.verify_cost cost p.Params.replica_scheme + digest_recompute + cost.Cost.msg_handle
+    in
+    Stage.enqueue h.input_replica ~service:cost.Cost.msg_handle (fun () ->
+        Stage.enqueue consensus_worker ~service (fun () ->
+            t.rejected_forgeries <- t.rejected_forgeries + 1;
+            if t.rejected_forgeries = 1 then
+              obs_instant t (Printf.sprintf "byzantine: replica %d rejected a forged message" h.id)))
   | Certs { seq; history; count } ->
     let quorum = Config.commit_quorum t.cfg in
     let service =
@@ -1166,6 +1219,12 @@ and deliver_client t (msg : net_msg) =
           complete_batch t track ~view ~fast:false ~cert:true;
         maybe_prune t key track)
       !hits
+  | Tampered _ ->
+    (* Clients verify reply MACs too: a forged reply is rejected and never
+       counts towards the reply quorum — the sender might as well not have
+       replied (which is exactly how one liar stalls Zyzzyva's all-n fast
+       path while PBFT's f+1 reply quorum never notices). *)
+    t.rejected_forgeries <- t.rejected_forgeries + 1
   | To_replica _ | Client_txns _ | Certs _ -> ()
 
 (* ---- construction ----------------------------------------------------------- *)
@@ -1286,6 +1345,114 @@ let make_host t ~id =
     dcache = Vcache.create ~capacity:p.Params.verify_cache_capacity;
   }
 
+(* ---- byzantine interposition ------------------------------------------------ *)
+
+(* The adversary lives entirely between a lying replica's output and the
+   wire: a per-source transform on its outbound links ({!Net.set_interpose}).
+   The consensus cores are never modified — they are attacked from outside
+   and defend themselves at their receive paths. *)
+
+(* The equivocating primary's conflicting copy of a proposal: same slot,
+   same (valid) authentication, different batch digest.  Only proposals are
+   rewritten; everything else the attacker sends is consistent with
+   whichever branch it is pushing at that peer. *)
+let equivocate_msg (m : Msg.t) =
+  match m with
+  | Msg.Pre_prepare { view; seq; batch; from } ->
+    Some
+      (Msg.Pre_prepare
+         { view; seq; batch = { batch with Msg.digest = batch.Msg.digest ^ "#equiv" }; from })
+  | Msg.Order_request { view; seq; batch; history; from } ->
+    Some
+      (Msg.Order_request
+         {
+           view;
+           seq;
+           batch = { batch with Msg.digest = batch.Msg.digest ^ "#equiv" };
+           history;
+           from;
+         })
+  | _ -> None
+
+let install_behavior t ~node (b : Nemesis.behavior) =
+  let nw = net t in
+  let n = t.p.Params.n in
+  match b with
+  | Nemesis.Honest | Nemesis.Spamming_view_changes _ -> Net.clear_interpose nw ~src:node
+  | Nemesis.Silent_towards peers ->
+    (* Selective suppression: dead towards the listed peers, perfectly
+       live towards everyone else — the failure crash-fault machinery
+       cannot represent (the node is not crashed). *)
+    Net.set_interpose nw ~src:node (fun ~dst m -> if List.mem dst peers then [] else [ m ])
+  | Nemesis.Equivocating ->
+    (* A double-commit attempt: proposal A to the lower replicas, the
+       conflicting proposal B to the upper ones.  For the attack to pay
+       off both subsets must reach a prepare quorum, and 2 * 2f > n - 1
+       forces them to overlap — so the pivot replica receives both copies,
+       which is exactly the evidence the cores count
+       ({!Rdb_consensus.Pbft_replica.equivocations_detected}).  Safety
+       never depends on detection: digest-keyed quorums split the votes
+       and quorum intersection lets at most one branch commit. *)
+    let pivot = n / 2 in
+    Net.set_interpose nw ~src:node (fun ~dst m ->
+        match m with
+        | To_replica (inst, pm) -> (
+          match equivocate_msg pm with
+          | None -> [ m ]
+          | Some forged ->
+            if dst < pivot then [ m ]
+            else if dst = pivot then [ m; To_replica (inst, forged) ]
+            else [ To_replica (inst, forged) ])
+        | _ -> [ m ])
+  | Nemesis.Corrupting_mac rate ->
+    (* Everything the liar authenticates is suspect: protocol votes AND its
+       replies to clients.  Forged replies are what breaks Zyzzyva's fast
+       path — the client needs all n matching spec replies, and one
+       persistent liar means it never gets them (the paper's Fig. 12
+       collapse); PBFT's f+1 reply quorum shrugs the same attack off. *)
+    Net.set_interpose nw ~src:node (fun ~dst:_ m ->
+        match m with
+        | (To_replica _ | Replies _ | Cert_acks _) when Rng.float t.rng < rate ->
+          [ Tampered { kind = Forged_mac; inner = m } ]
+        | _ -> [ m ])
+  | Nemesis.Corrupting_digest rate ->
+    Net.set_interpose nw ~src:node (fun ~dst:_ m ->
+        match m with
+        | To_replica (_, (Msg.Pre_prepare _ | Msg.Order_request _)) when Rng.float t.rng < rate
+          ->
+          [ Tampered { kind = Corrupted_digest; inner = m } ]
+        | _ -> [ m ])
+
+(* The view-change spammer floods fabricated View_change messages on its
+   own clock, independent of any protocol state it holds.  Interposition
+   cannot inject spontaneously (it only transforms real traffic), so the
+   flood is driven by a repeating DES event; a behavior change bumps the
+   node's generation counter and the stale loop stops rescheduling. *)
+let rec spam_view_changes t ~node ~gen ~period =
+  if t.behavior_gen.(node) = gen && not (Net.is_crashed (net t) node) then begin
+    t.spam_salt <- t.spam_salt + 1;
+    (* Fabricated future views: some land inside the receivers' skew window
+       and burn one of the sender's few registration slots, the rest
+       overshoot it — every spam copy ends up suppressed one way or the
+       other (see {!Rdb_consensus.Pbft_replica.vc_spam_suppressed}). *)
+    let new_view = t.max_view + 1 + (t.spam_salt mod 16) in
+    let m = Msg.View_change { new_view; last_stable = 0; prepared = []; from = node } in
+    let bytes = Msg.wire_size ~sig_bytes:(Signer.signature_size t.p.Params.replica_scheme) m in
+    for dst = 0 to t.p.Params.n - 1 do
+      if dst <> node then Net.send (net t) ~src:node ~dst ~bytes (To_replica (0, m))
+    done;
+    ignore (Sim.schedule t.sim ~after:period (fun () -> spam_view_changes t ~node ~gen ~period))
+  end
+
+let set_behavior t ~node b =
+  t.behavior_gen.(node) <- t.behavior_gen.(node) + 1;
+  t.behaviors.(node) <- b;
+  install_behavior t ~node b;
+  match b with
+  | Nemesis.Spamming_view_changes period ->
+    spam_view_changes t ~node ~gen:t.behavior_gen.(node) ~period
+  | _ -> ()
+
 (* The narrow capability record {!Nemesis} drives faults through — built on
    demand so injections always observe the current primary. *)
 let driver t =
@@ -1314,6 +1481,7 @@ let driver t =
     set_loss = (fun r -> Net.set_loss nw r);
     set_duplication = (fun r -> Net.set_duplication nw r);
     set_extra_jitter = Net.set_extra_jitter nw;
+    set_behavior = (fun ~node b -> set_behavior t ~node b);
     note =
       (fun f ->
         obs_instant t ("fault: " ^ Nemesis.describe f);
@@ -1365,7 +1533,7 @@ let install_series t (o : obs) =
   let columns =
     [ "primary_pending"; "primary_batch_q"; "primary_worker_q"; "primary_exec_q";
       "primary_output_q"; "primary_cpu_q"; "primary_cpu_running"; "backup_worker_q";
-      "view"; "completed_txns"; "msgs_dropped"; "retransmissions" ]
+      "view"; "completed_txns"; "msgs_dropped"; "retransmissions"; "rejected_forgeries" ]
   in
   let sample () =
     let nw = net t in
@@ -1383,6 +1551,7 @@ let install_series t (o : obs) =
         float_of_int t.total_completed;
         float_of_int (Net.messages_dropped nw);
         float_of_int t.retransmissions;
+        float_of_int t.rejected_forgeries;
       |]
     in
     Trace.counter o.trace ~pid:primary_id ~name:"primary queues"
@@ -1438,6 +1607,10 @@ let create (p : Params.t) =
       primary_crash_at = None;
       crash_view = 0;
       recovered_at = None;
+      behaviors = Array.make p.Params.n Nemesis.Honest;
+      behavior_gen = Array.make p.Params.n 0;
+      rejected_forgeries = 0;
+      spam_salt = 0;
       state_transfers = 0;
       st_first_request = None;
       st_caught_up = None;
@@ -1570,8 +1743,26 @@ let ledger_gap t i =
 
 let ledger_height t i = Ledger.next_seq t.hosts.(i).ledger - 1
 
+(* Byzantine-defense evidence accumulated inside the consensus cores,
+   summed cluster-wide. *)
+let host_defenses t =
+  Array.fold_left
+    (fun (e, v) h ->
+      let d = Core.defenses h.core in
+      (e + d.Core.equivocations, v + d.Core.vc_suppressed))
+    (0, 0) t.hosts
+
+let rejected_forgeries t = t.rejected_forgeries
+
+let equivocations_detected t = fst (host_defenses t)
+
+let vc_spam_suppressed t = snd (host_defenses t)
+
+let suppressed_sends t = Net.messages_suppressed (net t)
+
 let fault_report t =
   let nw = net t in
+  let equivocations_detected, vc_spam_suppressed = host_defenses t in
   {
     Metrics.msgs_dropped = Net.messages_dropped nw;
     msgs_duplicated = Net.messages_duplicated nw;
@@ -1580,6 +1771,9 @@ let fault_report t =
     time_to_recovery_s = time_to_recovery t;
     state_transfers = t.state_transfers;
     time_to_catch_up_s = time_to_catch_up t;
+    rejected_forgeries = t.rejected_forgeries;
+    equivocations_detected;
+    vc_spam_suppressed;
   }
 
 (* Agreement across replicas: every retained chain verifies, and no two

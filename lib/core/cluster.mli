@@ -70,6 +70,27 @@ val verify_cache_stats : t -> int * int
     memo tables ({!Params.t}[.verify_sharing]); (0, 0) when sharing is off
     or nothing was probed. *)
 
+val rejected_forgeries : t -> int
+(** Tampered messages (forged MAC or corrupted batch digest, from a
+    {!Nemesis.fault.Corrupt_mac} / {!Nemesis.fault.Corrupt_digest}
+    attacker) rejected at receivers so far, cluster-wide.  A rejected
+    forgery costs the receiver a full verification, is never admitted to
+    the verify-sharing caches, and never reaches a consensus core. *)
+
+val equivocations_detected : t -> int
+(** Conflicting proposals observed for an occupied slot — evidence of an
+    equivocating primary ({!Nemesis.fault.Equivocate}) — summed over every
+    replica's consensus core. *)
+
+val vc_spam_suppressed : t -> int
+(** View-change messages discarded by the cores' per-sender rate limit
+    ({!Nemesis.fault.View_change_spam}), summed cluster-wide. *)
+
+val suppressed_sends : t -> int
+(** Outbound messages a byzantine interposition silently swallowed
+    ({!Nemesis.fault.Silence}): sent by the node's stack, never put on the
+    wire. *)
+
 (** {2 Observability}
 
     When {!Params.obs_enabled} holds (the [trace] flag or a [trace_out] /

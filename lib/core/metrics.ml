@@ -23,6 +23,20 @@ type faults = {
   time_to_catch_up_s : float option;
       (** first State_request broadcast to the first successful segment
           install; [None] when no state transfer was needed *)
+  rejected_forgeries : int;
+      (** messages whose MAC or digest failed verification at a replica and
+          were dropped before reaching a consensus core (Byzantine
+          [Corrupt_mac] / [Corrupt_digest] nemesis strategies); a rejected
+          forgery is never admitted to the verify-sharing cache *)
+  equivocations_detected : int;
+      (** conflicting proposals observed for an occupied slot — two
+          pre-prepares (PBFT) or order-requests (Zyzzyva) with different
+          digests for the same (view, seq) — recorded as evidence against
+          the equivocating primary and dropped *)
+  vc_spam_suppressed : int;
+      (** view-change messages discarded by the per-sender rate limit
+          before they could pool towards a bogus view-change quorum
+          (Byzantine [View_change_spam] nemesis strategy) *)
 }
 
 (** The all-zero fault record reported by a healthy, unfaulted run. *)
@@ -35,6 +49,9 @@ let no_faults =
     time_to_recovery_s = None;
     state_transfers = 0;
     time_to_catch_up_s = None;
+    rejected_forgeries = 0;
+    equivocations_detected = 0;
+    vc_spam_suppressed = 0;
   }
 
 type replica_report = {
@@ -100,6 +117,15 @@ let pp ppf t =
       (match t.faults.time_to_catch_up_s with
        | Some s -> Printf.sprintf ", caught up in %.3fs" s
        | None -> "");
+  if
+    t.faults.rejected_forgeries > 0
+    || t.faults.equivocations_detected > 0
+    || t.faults.vc_spam_suppressed > 0
+  then
+    Format.fprintf ppf
+      "@ byzantine: %d forgeries rejected, %d equivocations detected, %d view-change spam \
+       suppressed"
+      t.faults.rejected_forgeries t.faults.equivocations_detected t.faults.vc_spam_suppressed;
   Format.fprintf ppf "@]"
 
 (** Per-replica stage saturation and CPU utilization table. *)

@@ -1,5 +1,16 @@
 module Sim = Rdb_des.Sim
 
+(* What a byzantine replica is currently doing.  A replica has exactly one
+   behavior at a time; installing a new one replaces the old, and [Honest]
+   restores normal operation. *)
+type behavior =
+  | Honest
+  | Equivocating
+  | Corrupting_digest of float
+  | Corrupting_mac of float
+  | Silent_towards of int list
+  | Spamming_view_changes of Sim.time
+
 type fault =
   | Crash_primary
   | Crash_instance_primary of int
@@ -10,6 +21,12 @@ type fault =
   | Loss of float
   | Duplication of float
   | Extra_jitter of Sim.time
+  | Equivocate of int
+  | Corrupt_digest of { node : int; rate : float }
+  | Corrupt_mac of { node : int; rate : float }
+  | Silence of { node : int; peers : int list }
+  | View_change_spam of { node : int; period : Sim.time }
+  | Restore_honest of int
 
 type entry = { at : Sim.time; fault : fault }
 
@@ -35,6 +52,50 @@ let crash_primary_at time = [ at time Crash_primary ]
 
 let crash_instance_primary_at time inst = [ at time (Crash_instance_primary inst) ]
 
+let equivocate_window ~from_ ~until node =
+  window ~from_ ~until (Equivocate node) (Restore_honest node)
+
+let corrupt_digest_window ~from_ ~until node rate =
+  window ~from_ ~until (Corrupt_digest { node; rate }) (Restore_honest node)
+
+let corrupt_mac_window ~from_ ~until node rate =
+  window ~from_ ~until (Corrupt_mac { node; rate }) (Restore_honest node)
+
+let silence_window ~from_ ~until node peers =
+  window ~from_ ~until (Silence { node; peers }) (Restore_honest node)
+
+let view_change_spam_window ~from_ ~until node ~period =
+  window ~from_ ~until (View_change_spam { node; period }) (Restore_honest node)
+
+let behavior_of_fault = function
+  | Equivocate _ -> Some Equivocating
+  | Corrupt_digest { rate; _ } -> Some (Corrupting_digest rate)
+  | Corrupt_mac { rate; _ } -> Some (Corrupting_mac rate)
+  | Silence { peers; _ } -> Some (Silent_towards peers)
+  | View_change_spam { period; _ } -> Some (Spamming_view_changes period)
+  | Restore_honest _ -> Some Honest
+  | Crash_primary | Crash_instance_primary _ | Crash _ | Recover _ | Partition _ | Heal _ | Loss _
+  | Duplication _ | Extra_jitter _ ->
+    None
+
+let is_byzantine = function
+  | Equivocate _ | Corrupt_digest _ | Corrupt_mac _ | Silence _ | View_change_spam _ -> true
+  | Restore_honest _ | Crash_primary | Crash_instance_primary _ | Crash _ | Recover _ | Partition _
+  | Heal _ | Loss _ | Duplication _ | Extra_jitter _ ->
+    false
+
+let attacker_of = function
+  | Equivocate node
+  | Corrupt_digest { node; _ }
+  | Corrupt_mac { node; _ }
+  | Silence { node; _ }
+  | View_change_spam { node; _ }
+  | Restore_honest node ->
+    Some node
+  | Crash_primary | Crash_instance_primary _ | Crash _ | Recover _ | Partition _ | Heal _ | Loss _
+  | Duplication _ | Extra_jitter _ ->
+    None
+
 let describe = function
   | Crash_primary -> "crash primary"
   | Crash_instance_primary i -> Printf.sprintf "crash primary of instance %d" i
@@ -48,6 +109,17 @@ let describe = function
   | Loss r -> Printf.sprintf "loss %.1f%%" (100.0 *. r)
   | Duplication r -> Printf.sprintf "duplication %.1f%%" (100.0 *. r)
   | Extra_jitter j -> Printf.sprintf "extra jitter %dns" j
+  | Equivocate node -> Printf.sprintf "replica %d equivocates" node
+  | Corrupt_digest { node; rate } ->
+    Printf.sprintf "replica %d corrupts digests (%.0f%%)" node (100.0 *. rate)
+  | Corrupt_mac { node; rate } ->
+    Printf.sprintf "replica %d forges MACs (%.0f%%)" node (100.0 *. rate)
+  | Silence { node; peers } ->
+    Printf.sprintf "replica %d silent towards {%s}" node
+      (String.concat "," (List.map string_of_int peers))
+  | View_change_spam { node; period } ->
+    Printf.sprintf "replica %d spams view changes every %dns" node period
+  | Restore_honest node -> Printf.sprintf "replica %d restored to honesty" node
 
 let pp_fault ppf f = Format.pp_print_string ppf (describe f)
 
@@ -72,8 +144,30 @@ let validate ~n schedule =
         if i < 0 then invalid_arg "Nemesis: negative consensus instance"
       | Loss r | Duplication r ->
         if r < 0.0 || r >= 1.0 then invalid_arg "Nemesis: rate must be in [0, 1)"
-      | Extra_jitter j -> if j < 0 then invalid_arg "Nemesis: negative jitter")
-    schedule
+      | Extra_jitter j -> if j < 0 then invalid_arg "Nemesis: negative jitter"
+      | Equivocate i | Restore_honest i -> check_node "byzantine" i
+      | Corrupt_digest { node; rate } | Corrupt_mac { node; rate } ->
+        check_node "byzantine" node;
+        if rate < 0.0 || rate > 1.0 then invalid_arg "Nemesis: corruption rate must be in [0, 1]"
+      | Silence { node; peers } ->
+        check_node "byzantine" node;
+        List.iter (check_node "silence peer") peers
+      | View_change_spam { node; period } ->
+        check_node "byzantine" node;
+        if period <= 0 then invalid_arg "Nemesis: view-change spam period must be positive")
+    schedule;
+  (* The hardening guarantees only hold for f <= (n-1)/3 concurrent liars;
+     reject schedules that name more distinct attackers than that. *)
+  let attackers =
+    List.sort_uniq compare
+      (List.filter_map (fun { fault; _ } -> if is_byzantine fault then attacker_of fault else None)
+         schedule)
+  in
+  let f = (n - 1) / 3 in
+  if List.length attackers > f then
+    invalid_arg
+      (Printf.sprintf "Nemesis: %d byzantine attackers exceeds f = (n-1)/3 = %d for n = %d"
+         (List.length attackers) f n)
 
 (* The cluster hands over narrow capabilities instead of itself, so this
    module stays independent of the cluster's (large) internal state and the
@@ -90,6 +184,7 @@ type driver = {
   set_loss : float -> unit;
   set_duplication : float -> unit;
   set_extra_jitter : Sim.time -> unit;
+  set_behavior : node:int -> behavior -> unit;
   note : fault -> unit;  (** observation hook, fired as each fault is injected *)
 }
 
@@ -103,7 +198,12 @@ let apply d fault =
   | Heal name -> d.heal ~name
   | Loss r -> d.set_loss r
   | Duplication r -> d.set_duplication r
-  | Extra_jitter j -> d.set_extra_jitter j);
+  | Extra_jitter j -> d.set_extra_jitter j
+  | (Equivocate _ | Corrupt_digest _ | Corrupt_mac _ | Silence _ | View_change_spam _
+    | Restore_honest _) as byz -> (
+    match (attacker_of byz, behavior_of_fault byz) with
+    | Some node, Some b -> d.set_behavior ~node b
+    | _ -> assert false));
   d.note fault
 
 let install d schedule =

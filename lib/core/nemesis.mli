@@ -11,6 +11,33 @@
     nanoseconds; {!at_ms} and the [*_window] helpers cover the common
     cases. *)
 
+(** What a byzantine replica is currently doing.  Each replica has exactly
+    one behavior at a time — installing a new one replaces the old, and
+    [Honest] restores normal operation.  Behaviors are enacted by an
+    adversarial interposition layer on the replica's {e outbound} network
+    links ([Rdb_net.Net.set_interpose]), so the consensus cores themselves
+    run unmodified and are attacked from outside. *)
+type behavior =
+  | Honest  (** no interference (the initial state of every replica) *)
+  | Equivocating
+      (** when proposing, send conflicting proposals for the same sequence
+          number to disjoint replica subsets (different batch digests per
+          subset) *)
+  | Corrupting_digest of float
+      (** tamper the batch digest of outbound proposals at the given rate:
+          the authenticator still verifies but the content hash does not *)
+  | Corrupting_mac of float
+      (** forge the MAC/signature of outbound protocol messages at the
+          given rate: receivers pay full verification cost, then reject *)
+  | Silent_towards of int list
+      (** suppress every message towards the listed peers while speaking
+          normally to everyone else — distinct from a crash, which is total
+          and detectable *)
+  | Spamming_view_changes of Rdb_des.Sim.time
+      (** broadcast a bogus view-change message every [period]
+          nanoseconds, trying to stampede the cluster into needless view
+          changes *)
+
 type fault =
   | Crash_primary
       (** crash whatever replica is primary at the scheduled instant *)
@@ -28,6 +55,21 @@ type fault =
   | Duplication of float  (** set the global duplication probability *)
   | Extra_jitter of Rdb_des.Sim.time
       (** set the additional reordering jitter on every link *)
+  | Equivocate of int  (** make the replica {!behavior.Equivocating} *)
+  | Corrupt_digest of { node : int; rate : float }
+      (** make the replica corrupt outbound proposal digests at [rate]
+          ({!behavior.Corrupting_digest}) *)
+  | Corrupt_mac of { node : int; rate : float }
+      (** make the replica forge outbound MACs at [rate]
+          ({!behavior.Corrupting_mac}) *)
+  | Silence of { node : int; peers : int list }
+      (** make the replica drop all its traffic towards [peers]
+          ({!behavior.Silent_towards}) *)
+  | View_change_spam of { node : int; period : Rdb_des.Sim.time }
+      (** make the replica broadcast a bogus view change every [period]
+          nanoseconds ({!behavior.Spamming_view_changes}) *)
+  | Restore_honest of int
+      (** end the replica's byzantine behavior ({!behavior.Honest}) *)
 
 type entry = { at : Rdb_des.Sim.time; fault : fault }
 
@@ -75,13 +117,55 @@ val crash_instance_primary_at : Rdb_des.Sim.time -> int -> schedule
     consensus instance [i] (multi-primary deployments; see
     {!fault.Crash_instance_primary}). *)
 
+val equivocate_window : from_:Rdb_des.Sim.time -> until:Rdb_des.Sim.time -> int -> schedule
+(** The replica equivocates over the window, then returns to honesty. *)
+
+val corrupt_digest_window :
+  from_:Rdb_des.Sim.time -> until:Rdb_des.Sim.time -> int -> float -> schedule
+(** The replica corrupts outbound proposal digests at the given rate over
+    the window, then returns to honesty. *)
+
+val corrupt_mac_window :
+  from_:Rdb_des.Sim.time -> until:Rdb_des.Sim.time -> int -> float -> schedule
+(** The replica forges outbound MACs at the given rate over the window,
+    then returns to honesty. *)
+
+val silence_window :
+  from_:Rdb_des.Sim.time -> until:Rdb_des.Sim.time -> int -> int list -> schedule
+(** The replica suppresses all traffic towards the listed peers over the
+    window, then returns to honesty. *)
+
+val view_change_spam_window :
+  from_:Rdb_des.Sim.time ->
+  until:Rdb_des.Sim.time ->
+  int ->
+  period:Rdb_des.Sim.time ->
+  schedule
+(** The replica broadcasts a bogus view change every [period] nanoseconds
+    over the window, then returns to honesty. *)
+
+val behavior_of_fault : fault -> behavior option
+(** The behavior a byzantine fault installs ([None] for network and crash
+    faults). *)
+
+val is_byzantine : fault -> bool
+(** [true] for the attack strategies ({!fault.Equivocate},
+    {!fault.Corrupt_digest}, {!fault.Corrupt_mac}, {!fault.Silence},
+    {!fault.View_change_spam}); [false] for {!fault.Restore_honest} and all
+    network/crash faults. *)
+
+val attacker_of : fault -> int option
+(** The replica a byzantine fault (or restoration) targets. *)
+
 val describe : fault -> string
 
 val pp_fault : Format.formatter -> fault -> unit
 
 val validate : n:int -> schedule -> unit
 (** Raises [Invalid_argument] on out-of-range replica ids, overlapping
-    partition sides, rates outside [\[0, 1)] or negative times. *)
+    partition sides, rates outside [\[0, 1)], negative times, or a schedule
+    whose distinct byzantine attackers exceed f = ⌊(n−1)/3⌋ (the bound the
+    hardening guarantees cover). *)
 
 (** {2 Driving a schedule}
 
@@ -101,6 +185,9 @@ type driver = {
   set_loss : float -> unit;
   set_duplication : float -> unit;
   set_extra_jitter : Rdb_des.Sim.time -> unit;
+  set_behavior : node:int -> behavior -> unit;
+      (** install (or with {!behavior.Honest}, remove) a byzantine behavior
+          on one replica's outbound links *)
   note : fault -> unit;  (** observation hook, fired as each fault is injected *)
 }
 

@@ -23,9 +23,13 @@ type 'a t = {
   mutable extra_jitter : Sim.time; (* additional reordering jitter, all links *)
   mutable lossy : bool; (* any loss/dup rate > 0: gates the rng draws *)
   partitions : (string, bool array * bool array) Hashtbl.t;
+  (* adversarial interposition: a per-source transform applied to every
+     outbound message before it reaches the NIC (None = pass through) *)
+  interpose : (dst:int -> 'a -> 'a list) option array;
   counters : fault_counters;
   mutable messages_sent : int;
   mutable bytes_sent : int;
+  mutable suppressed : int;
 }
 
 let create sim ~nodes ~bandwidth_gbps ~latency ?(jitter = 0) ~rng ~deliver () =
@@ -45,9 +49,11 @@ let create sim ~nodes ~bandwidth_gbps ~latency ?(jitter = 0) ~rng ~deliver () =
     extra_jitter = 0;
     lossy = false;
     partitions = Hashtbl.create 4;
+    interpose = Array.make nodes None;
     counters = { dropped_crash = 0; dropped_loss = 0; dropped_partition = 0; duplicated = 0 };
     messages_sent = 0;
     bytes_sent = 0;
+    suppressed = 0;
   }
 
 let nodes t = Array.length t.crashed
@@ -126,23 +132,37 @@ let propagate t ~src ~dst payload =
     (Sim.schedule t.sim ~after:(t.latency + extra + reorder) (fun () ->
          arrival t ~src ~dst payload))
 
+let send_one t ~src ~dst ~bytes payload =
+  t.messages_sent <- t.messages_sent + 1;
+  t.bytes_sent <- t.bytes_sent + bytes;
+  let service = transmission_ns t bytes in
+  (* The NIC serializes transmissions FIFO; propagation starts when the
+     last byte leaves the wire. *)
+  Rdb_des.Cpu.submit t.nics.(src) ~service (fun () ->
+      propagate t ~src ~dst payload;
+      (* Duplication (e.g. a retransmitting switch): a second copy takes an
+         independently jittered path, so it may arrive out of order. *)
+      if t.lossy && t.dup.(src).(dst) > 0.0 && Rng.float t.rng < t.dup.(src).(dst) then begin
+        t.counters.duplicated <- t.counters.duplicated + 1;
+        propagate t ~src ~dst payload
+      end)
+
 let send t ~src ~dst ~bytes payload =
   if t.crashed.(src) then t.counters.dropped_crash <- t.counters.dropped_crash + 1
-  else begin
-    t.messages_sent <- t.messages_sent + 1;
-    t.bytes_sent <- t.bytes_sent + bytes;
-    let service = transmission_ns t bytes in
-    (* The NIC serializes transmissions FIFO; propagation starts when the
-       last byte leaves the wire. *)
-    Rdb_des.Cpu.submit t.nics.(src) ~service (fun () ->
-        propagate t ~src ~dst payload;
-        (* Duplication (e.g. a retransmitting switch): a second copy takes an
-           independently jittered path, so it may arrive out of order. *)
-        if t.lossy && t.dup.(src).(dst) > 0.0 && Rng.float t.rng < t.dup.(src).(dst) then begin
-          t.counters.duplicated <- t.counters.duplicated + 1;
-          propagate t ~src ~dst payload
-        end)
-  end
+  else
+    match t.interpose.(src) with
+    | None -> send_one t ~src ~dst ~bytes payload
+    | Some f -> (
+      (* The adversary rewrites the source's outbound traffic: an empty
+         list suppresses the message (Silence), a singleton passes it or a
+         tampered copy, several elements fan out (equivocation). *)
+      match f ~dst payload with
+      | [] -> t.suppressed <- t.suppressed + 1
+      | payloads -> List.iter (fun p -> send_one t ~src ~dst ~bytes p) payloads)
+
+let set_interpose t ~src f = t.interpose.(src) <- Some f
+
+let clear_interpose t ~src = t.interpose.(src) <- None
 
 let crash t node = t.crashed.(node) <- true
 
@@ -164,5 +184,7 @@ let dropped_by_loss t = t.counters.dropped_loss
 let dropped_by_partition t = t.counters.dropped_partition
 
 let messages_duplicated t = t.counters.duplicated
+
+let messages_suppressed t = t.suppressed
 
 let nic_busy_ns t node = Rdb_des.Cpu.busy_ns t.nics.(node)

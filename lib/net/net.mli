@@ -83,6 +83,23 @@ val heal : 'a t -> name:string -> unit
 
 val heal_all : 'a t -> unit
 
+(** {2 Adversarial interposition}
+
+    A byzantine replica is modeled from {e outside} the consensus core: a
+    per-source transform rewrites the node's outbound messages before they
+    reach its NIC.  Returning [[]] suppresses the message (selective
+    silence), a singleton passes it through or substitutes a tampered
+    copy, and several elements fan out conflicting copies (equivocation).
+    Each transformed copy pays full NIC transmission like any other
+    message.  Installed and removed mid-run by [Rdb_core.Nemesis]
+    byzantine strategies. *)
+
+val set_interpose : 'a t -> src:int -> (dst:int -> 'a -> 'a list) -> unit
+(** Install (or replace) the outbound transform of one node. *)
+
+val clear_interpose : 'a t -> src:int -> unit
+(** Restore the node to honest pass-through behavior. *)
+
 (** {2 Accounting} *)
 
 val messages_sent : 'a t -> int
@@ -99,6 +116,10 @@ val dropped_by_loss : 'a t -> int
 val dropped_by_partition : 'a t -> int
 
 val messages_duplicated : 'a t -> int
+
+val messages_suppressed : 'a t -> int
+(** Messages erased by an adversarial interposition transform returning
+    [[]] (selective silence). *)
 
 val nic_busy_ns : 'a t -> int -> int
 (** Cumulative egress transmission time of one node's NIC, for

@@ -1,0 +1,267 @@
+(* Byzantine-nemesis tests: replicas that lie, attacked from the network
+   interposition layer, defended at the consensus cores' receive paths.
+
+   Deterministic regressions pin one strategy each: forged MACs are
+   rejected at full price and never enter the verify-sharing cache,
+   equivocation leaves counted evidence at the pivot replica, view-change
+   spam is clipped by the per-sender rate limit, selective silence is
+   survivable (and distinct from a crash), and a corrupting Zyzzyva
+   primary collapses the fast path to the certificate path while PBFT
+   shrugs.  The qcheck properties throw random byzantine schedules — at
+   the model's f = (n-1)/3 attacker bound — at all three protocols and
+   check safety: no two honest replicas commit different batches at the
+   same height, and every retained ledger verifies. *)
+
+open Rdb_core
+module Sim = Rdb_des.Sim
+
+let qtest p = QCheck_alcotest.to_alcotest p
+
+(* Tiny and fast, with the liveness loop enabled (same base as
+   test_faults). *)
+let faulty =
+  {
+    Params.default with
+    Params.n = 4;
+    clients = 400;
+    client_machines = 1;
+    batch_size = 20;
+    max_inflight_batches = 16;
+    checkpoint_txns = 400;
+    client_timeout = Sim.ms 40.0;
+    view_timeout = Sim.ms 30.0;
+    warmup = Sim.seconds 0.2;
+    measure = Sim.seconds 0.8;
+  }
+
+let zyz = { faulty with Params.protocol = Params.Zyzzyva }
+
+let multi = { faulty with Params.instances = 4 }
+
+let check_safe c =
+  match Cluster.check_safety c with Ok () -> () | Error e -> Alcotest.fail e
+
+(* ---- forged MACs: rejected, counted, never cached -------------------------- *)
+
+let test_forged_macs_rejected () =
+  (* Backup 1 forges the MAC on every protocol message it sends.  Its
+     prepares/commits/checkpoints are all rejected at the receivers — yet
+     PBFT's quorums only need 2f/2f+1 of n, so the three honest replicas
+     keep committing at full speed: the paper's graceful degradation under
+     a single liar.  Rejection happens before the verify-sharing layer:
+     only successful verifications are memoized, so none of the forged
+     traffic ever lands in a cache (a cached forgery would let its
+     retransmitted copy skip verification — the exact laundering the
+     receive path must prevent). *)
+  let p =
+    {
+      faulty with
+      Params.nemesis =
+        Nemesis.corrupt_mac_window ~from_:(Sim.ms 100.0) ~until:(Sim.seconds 2.0) 1 1.0;
+    }
+  in
+  let c = Cluster.create p in
+  let m = Cluster.measure c in
+  Alcotest.(check bool)
+    (Printf.sprintf "forgeries rejected (%d)" (Cluster.rejected_forgeries c))
+    true
+    (Cluster.rejected_forgeries c > 100);
+  Alcotest.(check int) "counter surfaces in metrics" (Cluster.rejected_forgeries c)
+    m.Metrics.faults.Metrics.rejected_forgeries;
+  Alcotest.(check int) "no view change needed" 0 m.Metrics.faults.Metrics.view_changes;
+  Alcotest.(check bool) "pbft throughput survives one liar" true (m.Metrics.throughput_tps > 0.0);
+  check_safe c
+
+let test_corrupted_digests_rejected () =
+  (* The primary corrupts the batch digest on 30% of its outbound
+     proposals.  Victims pay the MAC verify plus the digest recompute,
+     reject, and recover the batch later through vote-echo / fill-hole
+     retransmission — degraded but live, and always safe. *)
+  let p =
+    {
+      faulty with
+      Params.nemesis =
+        Nemesis.corrupt_digest_window ~from_:(Sim.ms 100.0) ~until:(Sim.seconds 2.0) 0 0.3;
+    }
+  in
+  let c = Cluster.create p in
+  let m = Cluster.measure c in
+  Alcotest.(check bool)
+    (Printf.sprintf "forgeries rejected (%d)" (Cluster.rejected_forgeries c))
+    true
+    (Cluster.rejected_forgeries c > 0);
+  Alcotest.(check bool) "still committing" true (m.Metrics.throughput_tps > 0.0);
+  check_safe c
+
+(* ---- equivocation: evidence recorded, at most one branch commits ----------- *)
+
+let test_equivocation_detected () =
+  let p =
+    {
+      faulty with
+      Params.nemesis = Nemesis.equivocate_window ~from_:(Sim.ms 100.0) ~until:(Sim.ms 500.0) 0;
+    }
+  in
+  let c = Cluster.create p in
+  let m = Cluster.measure c in
+  (* The double-commit split needs overlapping prepare quorums, so the
+     pivot replica sees both conflicting pre-prepares and counts them. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "equivocations detected (%d)" (Cluster.equivocations_detected c))
+    true
+    (Cluster.equivocations_detected c > 0);
+  Alcotest.(check int) "counter surfaces in metrics" (Cluster.equivocations_detected c)
+    m.Metrics.faults.Metrics.equivocations_detected;
+  Alcotest.(check bool) "cluster converges after the window" true
+    (m.Metrics.throughput_tps > 0.0);
+  check_safe c
+
+(* ---- view-change spam: clipped by the per-sender rate limit ---------------- *)
+
+let test_view_change_spam_bounded () =
+  let p =
+    {
+      faulty with
+      Params.nemesis =
+        Nemesis.view_change_spam_window ~from_:(Sim.ms 100.0) ~until:(Sim.ms 700.0) 3
+          ~period:(Sim.ms 2.0);
+    }
+  in
+  let c = Cluster.create p in
+  let m = Cluster.measure c in
+  Alcotest.(check bool)
+    (Printf.sprintf "spam suppressed (%d)" (Cluster.vc_spam_suppressed c))
+    true
+    (Cluster.vc_spam_suppressed c > 0);
+  Alcotest.(check int) "counter surfaces in metrics" (Cluster.vc_spam_suppressed c)
+    m.Metrics.faults.Metrics.vc_spam_suppressed;
+  (* One spammer is below the f+1 join threshold: no honest replica ever
+     joins a fabricated view change, so the view never moves. *)
+  Alcotest.(check int) "spam never triggers a view change" 0
+    m.Metrics.faults.Metrics.view_changes;
+  Alcotest.(check bool) "throughput unharmed" true (m.Metrics.throughput_tps > 0.0);
+  check_safe c
+
+(* ---- selective silence: distinct from a crash ------------------------------ *)
+
+let test_silence_is_not_a_crash () =
+  (* Backup 1 goes dead towards the primary only, while staying perfectly
+     live towards everyone else — a partial failure the crash machinery
+     cannot express.  The cluster keeps its quorums and the suppressed
+     sends are counted at the interposition layer. *)
+  let p =
+    {
+      faulty with
+      Params.nemesis = Nemesis.silence_window ~from_:(Sim.ms 100.0) ~until:(Sim.ms 600.0) 1 [ 0 ];
+    }
+  in
+  let c = Cluster.create p in
+  let m = Cluster.measure c in
+  Alcotest.(check bool)
+    (Printf.sprintf "sends suppressed (%d)" (Cluster.suppressed_sends c))
+    true
+    (Cluster.suppressed_sends c > 0);
+  Alcotest.(check bool) "throughput survives" true (m.Metrics.throughput_tps > 0.0);
+  check_safe c
+
+(* ---- Zyzzyva: one corrupting primary collapses the fast path --------------- *)
+
+let test_zyzzyva_fast_path_collapses () =
+  let healthy = Cluster.run zyz in
+  let attacked =
+    Cluster.run
+      {
+        zyz with
+        Params.nemesis =
+          Nemesis.corrupt_mac_window ~from_:(Sim.ms 50.0) ~until:(Sim.seconds 2.0) 3 1.0;
+      }
+  in
+  let ratio (m : Metrics.t) =
+    if m.Metrics.completed_txns = 0 then 0.0
+    else float_of_int m.Metrics.fast_path_txns /. float_of_int m.Metrics.completed_txns
+  in
+  Alcotest.(check bool) "healthy zyzzyva rides the fast path" true (ratio healthy > 0.8);
+  (* The fast path needs all n matching spec replies; with one backup
+     forging every MAC it sends, the client never collects them and every
+     batch closes via the commit-certificate slow path after the client
+     timeout — the paper's Fig. 12 collapse under a single liar. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "fast path collapsed (%.2f -> %.2f)" (ratio healthy) (ratio attacked))
+    true
+    (ratio attacked < 0.5 *. ratio healthy);
+  Alcotest.(check bool) "cert path picks up the load" true
+    (attacked.Metrics.cert_path_txns > 0);
+  Alcotest.(check bool) "still completing" true (attacked.Metrics.throughput_tps > 0.0)
+
+(* ---- multi-primary: per-instance attacks stay contained -------------------- *)
+
+let test_multi_equivocation_contained () =
+  let p =
+    {
+      multi with
+      Params.nemesis = Nemesis.equivocate_window ~from_:(Sim.ms 100.0) ~until:(Sim.ms 500.0) 0;
+    }
+  in
+  let c = Cluster.create p in
+  let m = Cluster.measure c in
+  Alcotest.(check bool)
+    (Printf.sprintf "equivocations detected (%d)" (Cluster.equivocations_detected c))
+    true
+    (Cluster.equivocations_detected c > 0);
+  Alcotest.(check bool) "the three honest instances keep the merge moving" true
+    (m.Metrics.throughput_tps > 0.0);
+  check_safe c
+
+(* ---- qcheck: safety under random byzantine schedules ----------------------- *)
+
+(* Random schedules mix the benign faults of {!Testkit.gen_schedule} with
+   one byzantine attacker window — the f = (n-1)/3 bound for n = 4. *)
+let arb = Testkit.arb_byzantine_schedule
+
+let prop_safety protocol_name base =
+  QCheck.Test.make
+    ~name:(protocol_name ^ ": safety under random byzantine schedules")
+    ~count:200
+    (QCheck.pair arb (QCheck.int_bound 10_000))
+    (fun (nemesis, seed) ->
+      let p =
+        {
+          base with
+          Params.clients = 150;
+          batch_size = 10;
+          nemesis;
+          seed = Int64.of_int (seed + 11);
+          client_timeout = Sim.ms 30.0;
+          view_timeout = Sim.ms 25.0;
+        }
+      in
+      let c = Cluster.create p in
+      Cluster.start c;
+      Sim.run ~until:(Sim.ms 700.0) (Cluster.sim c);
+      match Cluster.check_safety c with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_report e)
+
+let () =
+  Alcotest.run "byzantine"
+    [
+      ( "strategies",
+        [
+          Alcotest.test_case "forged macs rejected, never cached" `Quick
+            test_forged_macs_rejected;
+          Alcotest.test_case "corrupted digests rejected" `Quick test_corrupted_digests_rejected;
+          Alcotest.test_case "equivocation evidence recorded" `Quick test_equivocation_detected;
+          Alcotest.test_case "view-change spam bounded" `Quick test_view_change_spam_bounded;
+          Alcotest.test_case "silence is not a crash" `Quick test_silence_is_not_a_crash;
+          Alcotest.test_case "zyzzyva fast path collapses under one liar" `Quick
+            test_zyzzyva_fast_path_collapses;
+          Alcotest.test_case "multi-primary equivocation contained" `Quick
+            test_multi_equivocation_contained;
+        ] );
+      ( "safety",
+        [
+          qtest (prop_safety "pbft" faulty);
+          qtest (prop_safety "zyzzyva" zyz);
+          qtest (prop_safety "multi-pbft" multi);
+        ] );
+    ]

@@ -113,7 +113,25 @@ let test_conflicting_preprepare_same_replica () =
   Alcotest.(check bool) "first accepted (prepare sent)" true
     (List.exists (function Action.Broadcast (Msg.Prepare _) -> true | _ -> false) a1);
   let a2 = Pbft.handle_message core (Msg.Pre_prepare { view = 0; seq = 1; batch = mk "B"; from = 0 }) in
-  check Alcotest.int "conflicting proposal ignored" 0 (List.length a2)
+  (* The conflicting copy never earns a prepare, but it is not swallowed
+     either: two pre-prepares signed by one primary for the same slot are a
+     transferable proof of misbehavior, so the replica echoes the evidence
+     and joins the view change that deposes the equivocator. *)
+  Alcotest.(check bool) "no prepare for the conflicting digest" false
+    (List.exists
+       (function Action.Broadcast (Msg.Prepare { digest = "B"; _ }) -> true | _ -> false)
+       a2);
+  Alcotest.(check bool) "evidence echoed to the other replicas" true
+    (List.exists
+       (function
+         | Action.Broadcast (Msg.Pre_prepare { batch; _ }) -> String.equal batch.Msg.digest "B"
+         | _ -> false)
+       a2);
+  Alcotest.(check bool) "joins a view change against the equivocator" true
+    (List.exists
+       (function Action.Broadcast (Msg.View_change { new_view = 1; _ }) -> true | _ -> false)
+       a2);
+  check Alcotest.int "evidence counted" 1 (Pbft.equivocations_detected core)
 
 let test_wrong_view_or_sender_ignored () =
   let t = Testkit.make_pbft () in

@@ -54,14 +54,23 @@ let test_history_depends_on_order () =
   Alcotest.(check bool) "order-sensitive" false
     (String.equal (run_digests [ "a"; "b" ]) (run_digests [ "b"; "a" ]))
 
+(* A replica only speculates on an order-request whose history claim chains
+   over its own history (h_n = H(h_{n-1} || d_n)), so hand-built messages
+   must carry honestly computed claims. *)
+let genesis_history = Rdb_crypto.Sha256.digest "zyzzyva-genesis"
+
+let chain h digest = Rdb_crypto.Sha256.digest (h ^ digest)
+
 let test_out_of_order_order_requests_buffered () =
   let t = Testkit.make_zyz () in
   let core = zyz_core t 1 in
   let mk seq digest = { Msg.view = 0; seq; digest; reqs = [ Testkit.req seq ]; wire_bytes = 1 } in
+  let h1 = chain genesis_history "d1" in
+  let h2 = chain h1 "d2" in
   (* Seq 2 arrives before seq 1: nothing executes yet. *)
   let a2 =
     Zyz.handle_message core
-      (Msg.Order_request { view = 0; seq = 2; batch = mk 2 "d2"; history = "h"; from = 0 })
+      (Msg.Order_request { view = 0; seq = 2; batch = mk 2 "d2"; history = h2; from = 0 })
   in
   check Alcotest.int "gap: no execution" 0
     (List.length (List.filter (function Action.Execute _ -> true | _ -> false) a2));
@@ -69,11 +78,38 @@ let test_out_of_order_order_requests_buffered () =
   (* Seq 1 fills the hole: both execute, in order. *)
   let a1 =
     Zyz.handle_message core
-      (Msg.Order_request { view = 0; seq = 1; batch = mk 1 "d1"; history = "h"; from = 0 })
+      (Msg.Order_request { view = 0; seq = 1; batch = mk 1 "d1"; history = h1; from = 0 })
   in
   let execs = List.filter_map (function Action.Execute b -> Some b.Msg.seq | _ -> None) a1 in
   check Alcotest.(list int) "both execute in order" [ 1; 2 ] execs;
   check Alcotest.int "spec executed up to 2" 2 (Zyz.last_spec_executed core)
+
+let test_forged_history_claim_not_executed () =
+  (* An equivocating primary cannot chain its history claim over both
+     branches of a split: the copy whose claim does not cover its digest is
+     a proof of misbehavior — dropped before speculation, counted, and the
+     slot stays open for an honest retransmission. *)
+  let t = Testkit.make_zyz () in
+  let core = zyz_core t 1 in
+  let mk seq digest = { Msg.view = 0; seq; digest; reqs = [ Testkit.req seq ]; wire_bytes = 1 } in
+  let h1 = chain genesis_history "d1" in
+  let forged =
+    Zyz.handle_message core
+      (* claim chains over "d1", but the batch carries the conflicting
+         digest — exactly what an in-flight equivocation split looks like. *)
+      (Msg.Order_request { view = 0; seq = 1; batch = mk 1 "d1#equiv"; history = h1; from = 0 })
+  in
+  check Alcotest.int "forged branch never executes" 0
+    (List.length (List.filter (function Action.Execute _ -> true | _ -> false) forged));
+  check Alcotest.int "nothing spec-executed" 0 (Zyz.last_spec_executed core);
+  check Alcotest.int "counted as equivocation evidence" 1 (Zyz.equivocations_detected core);
+  (* The honest copy still goes through afterwards. *)
+  let a1 =
+    Zyz.handle_message core
+      (Msg.Order_request { view = 0; seq = 1; batch = mk 1 "d1"; history = h1; from = 0 })
+  in
+  let execs = List.filter_map (function Action.Execute b -> Some b.Msg.seq | _ -> None) a1 in
+  check Alcotest.(list int) "honest copy executes" [ 1 ] execs
 
 let test_order_request_from_non_primary_ignored () =
   let t = Testkit.make_zyz () in
@@ -123,7 +159,9 @@ let test_commit_cert_before_execution_buffered () =
   (* The order-request arrives and execution catches up... *)
   let batch = { Msg.view = 0; seq = 1; digest = "d1"; reqs = [ Testkit.req 1 ]; wire_bytes = 1 } in
   let a =
-    Zyz.handle_message core (Msg.Order_request { view = 0; seq = 1; batch; history = "h"; from = 0 })
+    Zyz.handle_message core
+      (Msg.Order_request
+         { view = 0; seq = 1; batch; history = chain genesis_history "d1"; from = 0 })
   in
   Testkit.push t 1 a;
   Testkit.run t;
@@ -153,10 +191,11 @@ let test_fill_hole () =
   (* Drain the primary's own Execute actions so its log is populated. *)
   Testkit.run t;
   let backup = zyz_core t 1 in
+  let h2 = chain (chain genesis_history "d1") "d2" in
   (* Seq 2 arrives first: the backup buffers it and emits a Fill_hole. *)
   let acts =
     Zyz.handle_message backup
-      (Msg.Order_request { view = 0; seq = 2; batch = b2; history = "h"; from = 0 })
+      (Msg.Order_request { view = 0; seq = 2; batch = b2; history = h2; from = 0 })
   in
   let hole =
     List.find_map
@@ -185,7 +224,7 @@ let test_fill_hole () =
   (* Duplicate fill-hole asks are rate-limited. *)
   let again =
     Zyz.handle_message backup
-      (Msg.Order_request { view = 0; seq = 2; batch = b2; history = "h"; from = 0 })
+      (Msg.Order_request { view = 0; seq = 2; batch = b2; history = h2; from = 0 })
   in
   check Alcotest.int "stale order-request ignored" 0 (List.length again)
 
@@ -292,6 +331,8 @@ let () =
           Alcotest.test_case "histories agree" `Quick test_histories_agree;
           Alcotest.test_case "history binds order" `Quick test_history_depends_on_order;
           Alcotest.test_case "out-of-order buffering" `Quick test_out_of_order_order_requests_buffered;
+          Alcotest.test_case "forged history claim never speculates" `Quick
+            test_forged_history_claim_not_executed;
           Alcotest.test_case "non-primary order-request ignored" `Quick
             test_order_request_from_non_primary_ignored;
           Alcotest.test_case "checkpoint + late certificates" `Quick test_checkpoint_prunes_histories;

@@ -182,15 +182,50 @@ let gen_schedule =
   let opt g = oneof [ return []; g ] in
   map (fun parts -> List.concat parts) (flatten_l [ opt crash; opt partition; opt loss; opt dup; opt jitter ])
 
-let arb_schedule =
-  QCheck.make gen_schedule
-    ~print:(fun s ->
-      String.concat "; "
-        (List.map
-           (fun (e : Nemesis.entry) ->
-             Printf.sprintf "%.0fms %s" (Sim.to_seconds e.Nemesis.at *. 1e3)
-               (Nemesis.describe e.Nemesis.fault))
-           s))
+(* A random byzantine attacker window (n = 4 context): one replica lies in
+   one of the five adversarial modes for a bounded interval, then returns
+   to honesty.  A single schedule only ever names one attacker, so the
+   f <= (n-1)/3 bound {!Nemesis.validate} enforces holds by construction. *)
+let gen_byzantine =
+  let open QCheck.Gen in
+  let time lo hi = map (fun ms -> Sim.ms (float_of_int ms)) (int_range lo hi) in
+  let rate = map (fun r -> float_of_int r /. 10.0) (int_range 1 10) in
+  let window = pair (time 100 350) (time 20 120) in
+  let strategies node (from_, len) =
+    let until = from_ + len in
+    oneof
+      [
+        return (Nemesis.equivocate_window ~from_ ~until node);
+        map (fun r -> Nemesis.corrupt_digest_window ~from_ ~until node r) rate;
+        map (fun r -> Nemesis.corrupt_mac_window ~from_ ~until node r) rate;
+        map
+          (fun k ->
+            let peers = List.init k (fun i -> (node + 1 + i) mod 4) in
+            Nemesis.silence_window ~from_ ~until node peers)
+          (int_range 1 2);
+        return (Nemesis.view_change_spam_window ~from_ ~until node ~period:(Sim.ms 5.0));
+      ]
+  in
+  pair (int_range 0 3) window >>= fun (node, w) -> strategies node w
+
+(* {!gen_schedule} plus an optional byzantine attacker window: the full
+   fault model the cluster-level safety properties run under. *)
+let gen_byzantine_schedule =
+  let open QCheck.Gen in
+  let opt g = oneof [ return []; g ] in
+  map2 (fun benign byz -> benign @ byz) gen_schedule (opt gen_byzantine)
+
+let print_schedule s =
+  String.concat "; "
+    (List.map
+       (fun (e : Nemesis.entry) ->
+         Printf.sprintf "%.0fms %s" (Sim.to_seconds e.Nemesis.at *. 1e3)
+           (Nemesis.describe e.Nemesis.fault))
+       s)
+
+let arb_schedule = QCheck.make gen_schedule ~print:print_schedule
+
+let arb_byzantine_schedule = QCheck.make gen_byzantine_schedule ~print:print_schedule
 
 (* Safety: all non-crashed replicas executed the same sequence of
    (seq, digest) pairs, gap-free from 1. *)

@@ -1,7 +1,7 @@
 (* CLI for the benchmark regression gate.
 
      bench_gate BASELINE.json CURRENT.json [--tput-tol PCT] [--lat-tol PCT]
-                [--micro-tol PCT] [--strict-micro]
+                [--micro-tol PCT] [--byz-tol PCT] [--strict-micro]
 
    Exit status: 0 when every baseline row is within its band (or improved),
    1 on any regression or missing row, 2 on usage or parse errors.  See
@@ -12,7 +12,7 @@ module Gate = Rdb_gate.Gate
 let usage () =
   prerr_endline
     "usage: bench_gate BASELINE.json CURRENT.json [--tput-tol PCT] [--lat-tol PCT] [--micro-tol \
-     PCT] [--strict-micro]";
+     PCT] [--byz-tol PCT] [--strict-micro]";
   exit 2
 
 let () =
@@ -23,7 +23,7 @@ let () =
     | "--strict-micro" :: rest ->
       tol := { !tol with Gate.strict_micro = true };
       parse rest
-    | ("--tput-tol" | "--lat-tol" | "--micro-tol") :: [] -> usage ()
+    | ("--tput-tol" | "--lat-tol" | "--micro-tol" | "--byz-tol") :: [] -> usage ()
     | "--tput-tol" :: v :: rest ->
       (match float_of_string_opt v with
       | Some f when f >= 0.0 -> tol := { !tol with Gate.tput_tol = f /. 100.0 }
@@ -37,6 +37,11 @@ let () =
     | "--micro-tol" :: v :: rest ->
       (match float_of_string_opt v with
       | Some f when f >= 0.0 -> tol := { !tol with Gate.micro_tol = f /. 100.0 }
+      | _ -> usage ());
+      parse rest
+    | "--byz-tol" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some f when f >= 0.0 -> tol := { !tol with Gate.byz_tol = f /. 100.0 }
       | _ -> usage ());
       parse rest
     | f :: rest when String.length f > 0 && f.[0] <> '-' ->

@@ -223,10 +223,16 @@ type tolerance = {
   tput_tol : float;  (** relative band for throughput-like rows (default 0.08) *)
   lat_tol : float;  (** relative band for latency-like rows (default 0.15) *)
   micro_tol : float;  (** relative band for hardware ns/op rows (default 0.50) *)
+  byz_tol : float;
+      (** relative band for byzantine-figure rows (default 0.25): attacked
+          runs sit in degraded regimes (timer-driven slow paths, view-change
+          churn) where small code changes legitimately move counters more
+          than steady-state throughput *)
   strict_micro : bool;  (** fail (not just warn) on micro regressions *)
 }
 
-let default_tolerance = { tput_tol = 0.08; lat_tol = 0.15; micro_tol = 0.50; strict_micro = false }
+let default_tolerance =
+  { tput_tol = 0.08; lat_tol = 0.15; micro_tol = 0.50; byz_tol = 0.25; strict_micro = false }
 
 type verdict =
   | Within  (** inside the band *)
@@ -243,9 +249,13 @@ type comparison = {
 }
 
 let is_micro (r : row) = r.metric = "ns_per_op"
+let is_byz (r : row) = r.figure = "byzantine"
 
 let band tol r =
-  if is_micro r then tol.micro_tol else if r.higher_is_better then tol.tput_tol else tol.lat_tol
+  if is_micro r then tol.micro_tol
+  else if is_byz r then tol.byz_tol
+  else if r.higher_is_better then tol.tput_tol
+  else tol.lat_tol
 
 let compare_rows tol (baseline : row) (current : float option) : comparison =
   match current with
