@@ -142,7 +142,11 @@ let run protocol n clients batch_size ops payload client_scheme replica_scheme r
       | None -> "");
     let m = Cluster.run p in
     Format.printf "%a@." Metrics.pp m;
-    if verbose then Format.printf "@[<v>%a@]@." Metrics.pp_saturation m;
+    if verbose then begin
+      Format.printf "@[<v>%a@]@." Metrics.pp_saturation m;
+      Format.printf "%a@." Rdb_obs.Bottleneck.pp
+        (Metrics.bottleneck_report ~window_s:measure m)
+    end;
     (match trace_out with
     | Some f -> Printf.printf "trace: %s (chrome://tracing or ui.perfetto.dev)\n" f
     | None -> ());
@@ -199,7 +203,15 @@ let cmd =
            single-primary PBFT)."
   in
   let bt = value & opt int 2 & info [ "B"; "batch-threads" ] ~doc:"Batch-threads at the primary (0 = worker batches)." in
-  let et = value & opt int 1 & info [ "E"; "execute-threads" ] ~doc:"Execute-threads (0 or 1)." in
+  let et =
+    value & opt int 1
+    & info [ "E"; "execute-threads"; "exec-threads" ]
+        ~doc:
+          "Execute-threads: 0 = the worker executes, 1 = the paper's dedicated \
+           execute-thread, >= 2 = conflict-aware parallel execution across E lanes \
+           (non-conflicting transactions run concurrently; every replica still reaches \
+           the serial-order state)."
+  in
   let crashed = value & opt int 0 & info [ "crashed" ] ~doc:"Backups crashed at start (<= f)." in
   let byzantine =
     value

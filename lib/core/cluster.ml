@@ -30,6 +30,10 @@ module Ledger = Rdb_chain.Ledger
 module Trace = Rdb_obs.Trace
 module Breakdown = Rdb_obs.Breakdown
 module Series = Rdb_obs.Series
+module Stage_name = Rdb_obs.Stage_name
+module Exec_sched = Rdb_replica.Exec_sched
+module Ycsb = Rdb_workload.Ycsb
+module Zipf = Rdb_workload.Zipf
 
 (* ---- wire-level events --------------------------------------------------- *)
 
@@ -83,6 +87,22 @@ type host = {
           sharing the single serial worker — the whole point of the
           parallelism.  Empty when k = 1 *)
   exec_stage : Stage.t option;  (** None when E = 0: the worker executes *)
+  exec_lanes : Stage.t array;
+      (** conflict-aware parallel execution (E >= 2, or E = 1 under
+          [exec_force_parallel]): one execute stage per lane
+          ("execute-0" .. "execute-(E-1)"), fed round by round from the
+          {!Rdb_replica.Exec_sched} plan.  Empty on the classic pipeline,
+          where [exec_stage] carries the single execute-thread *)
+  exec_sched_stage : Stage.t option;
+      (** the lane dispatcher ("exec-sched"): dependency-analyzes each
+          committed block, re-validates it at the execute boundary, and
+          assembles the block after the last round.  [Some] iff
+          [exec_lanes] is non-empty *)
+  exec_queue : Msg.batch Queue.t;
+      (** blocks committed (in global order) but not yet handed to the
+          lanes: blocks execute one at a time, rounds barrier inside a
+          block, so in-order ledger appends are preserved by construction *)
+  mutable exec_busy : bool;  (** a block currently owns the lanes *)
   checkpoint_stage : Stage.t;
   core : Core.t;  (** the protocol state machine, behind {!Rdb_consensus.Core} *)
   pending : int Queue.t;  (** primary: transactions awaiting batching *)
@@ -198,6 +218,12 @@ type t = {
   mutable st_first_request : Sim.time option;  (** first State_request sent *)
   mutable st_caught_up : Sim.time option;  (** first successful install *)
   data_root : string option;  (** durable backends live under here (per replica) *)
+  footprint_of : (int -> Exec_sched.footprint) Lazy.t;
+      (** the YCSB read/write footprint of a transaction — a pure function
+          of its id (every replica derives the identical footprint, the
+          root of the deterministic-schedule argument).  Lazy because the
+          Zipf table costs O(exec_records) to build and only parallel
+          execution needs it *)
   (* observability; None unless Params.obs_enabled *)
   obs : obs option;
   (* measurement *)
@@ -242,6 +268,26 @@ let scheme_of_message p (m : Msg.t) =
   match m with
   | Msg.Reply _ | Msg.Spec_reply _ | Msg.Local_commit _ -> p.Params.reply_scheme
   | _ -> p.Params.replica_scheme
+
+(* ---- execution footprints -------------------------------------------------- *)
+
+(* The read/write footprint of a transaction, derived as the YCSB workload
+   generator draws it: [ops_per_txn] Zipfian keys over the active record
+   set (write-only — the paper's blockchain mix, §5.1).  Purity is the
+   load-bearing property: the footprint depends only on the transaction id
+   and the run parameters — never on replica-local state or the cluster
+   RNG — so all n replicas derive identical footprints from an identical
+   committed block and therefore compute identical lane schedules. *)
+let make_footprint_fn (p : Params.t) : int -> Exec_sched.footprint =
+  let zipf = Zipf.create ~n:p.Params.exec_records () in
+  fun txn_id ->
+    (* A private RNG per transaction, seeded from the id: deterministic,
+       with adjacent ids still getting decorrelated key draws. *)
+    let rng = Rng.create (Int64.logxor (Int64.of_int txn_id) 0x5265736442457865L) in
+    let writes =
+      List.init p.Params.ops_per_txn (fun _ -> Ycsb.key_of_index (Zipf.sample zipf rng))
+    in
+    { Exec_sched.reads = []; writes }
 
 (* ---- forward declarations via refs --------------------------------------- *)
 
@@ -710,23 +756,23 @@ and output_send_cert_ack t (h : host) ~seq ~msg ~count =
   Stage.enqueue h.output ~service (fun () ->
       Net.send (net t) ~src:h.id ~dst ~bytes (Cert_acks { replica = h.id; seq; history = ""; count }))
 
-(* Execution: charged on the execute-thread (or the worker when E = 0). *)
+(* Execution: charged on the execute-thread (or the worker when E = 0);
+   E >= 2 routes committed blocks through the conflict-aware lane machinery
+   below instead. *)
 and enqueue_execute t (h : host) (b : Msg.batch) =
+  if Array.length h.exec_lanes > 0 then exec_offer t h b
+  else enqueue_execute_serial t h b
+
+(* Costs of re-validating a batch at the execute boundary: the batch digest
+   (block assembly links on it) and the authenticity of every transaction.
+   With verify-sharing both reduce to memo probes — the digest was
+   computed/validated when the proposal arrived, the signatures when the
+   requests were admitted.  Without it, a protocol-centric fabric recomputes
+   the digest and re-verifies every client signature here, which is exactly
+   the redundant crypto the paper's Q2 lesson removes. *)
+and exec_revalidate_cost t (h : host) (b : Msg.batch) =
   let p = t.p in
-  let stage = match h.exec_stage with Some s -> s | None -> h.worker in
   let k = List.length b.Msg.reqs in
-  let ops = k * p.Params.ops_per_txn in
-  let alloc =
-    if p.Params.use_buffer_pool then p.Params.cost.Cost.alloc_pool
-    else p.Params.cost.Cost.alloc_malloc
-  in
-  (* The execute boundary re-validates the batch before applying it: the
-     batch digest (block assembly links on it) and the authenticity of every
-     transaction.  With verify-sharing both reduce to memo probes — the
-     digest was computed/validated when the proposal arrived, the signatures
-     when the requests were admitted.  Without it, a protocol-centric fabric
-     recomputes the digest and re-verifies every client signature here,
-     which is exactly the redundant crypto the paper's Q2 lesson removes. *)
   let digest_check =
     shared_charge p h.dcache ~key:b.Msg.digest
       ~full:(Cost.hash_cost p.Params.cost ~bytes:b.Msg.wire_bytes)
@@ -737,49 +783,143 @@ and enqueue_execute t (h : host) (b : Msg.batch) =
     else if p.Params.verify_sharing then k * p.Params.cost.Cost.cache_lookup
     else k * verify_full
   in
+  digest_check + reverify
+
+(* The block-completion tail shared by the serial and parallel execute
+   paths.  Block generation (§4.6): the commit certificate replaces the
+   previous-block hash; the in-order ledger append's durable WAL write is
+   buffered and flushed by the checkpoint-thread, never the execute path
+   (Fig. 14); then execution accounting and the Executed notification back
+   into the consensus core. *)
+and finish_block t (h : host) (stage : Stage.t) (b : Msg.batch) =
+  let p = t.p in
+  obs_mark_executed t b.Msg.reqs;
+  let cert = List.init (Config.commit_quorum t.cfg) (fun i -> (i, "share")) in
+  let block =
+    {
+      Block.seq = b.Msg.seq;
+      view = b.Msg.view;
+      digest = b.Msg.digest;
+      txn_count = List.length b.Msg.reqs;
+      link = Block.Certificate cert;
+    }
+  in
+  if Ledger.next_seq h.ledger = b.Msg.seq then begin
+    Ledger.append h.ledger block;
+    if Ledger.is_durable h.ledger then
+      Stage.enqueue h.checkpoint_stage
+        ~service:
+          (Cost.serialize_cost p.Params.cost
+             ~bytes:(64 + Msg.digest_bytes + (Config.commit_quorum t.cfg * 16)))
+        (fun () -> ())
+  end;
+  if t.retrans_enabled then
+    List.iter
+      (fun (r : Msg.request_ref) ->
+        Hashtbl.replace h.executed_txns r.Msg.txn_id ();
+        Hashtbl.remove h.inflight_txns r.Msg.txn_id)
+      b.Msg.reqs;
+  let state_digest = "state-" ^ string_of_int b.Msg.seq in
+  let actions = core_executed t h ~seq:b.Msg.seq ~state_digest ~result:"ok" in
+  emit_tagged t h stage actions;
+  note_view t h
+
+(* E <= 1: the paper's single execute-thread (or the worker when E = 0) —
+   the exact pre-lane pipeline, kept bit-identical. *)
+and enqueue_execute_serial t (h : host) (b : Msg.batch) =
+  let p = t.p in
+  let stage = match h.exec_stage with Some s -> s | None -> h.worker in
+  let k = List.length b.Msg.reqs in
+  let ops = k * p.Params.ops_per_txn in
+  let alloc =
+    if p.Params.use_buffer_pool then p.Params.cost.Cost.alloc_pool
+    else p.Params.cost.Cost.alloc_malloc
+  in
   let service =
     Cost.execute_cost p.Params.cost ~sqlite:p.Params.sqlite ~ops
     + (k * (p.Params.cost.Cost.reply_per_txn + alloc))
-    + digest_check + reverify
+    + exec_revalidate_cost t h b
     + p.Params.cost.Cost.hash_base (* block assembly *)
   in
   obs_mark_exec_enqueued t b.Msg.reqs;
-  Stage.enqueue stage ~service (fun () ->
-      obs_mark_executed t b.Msg.reqs;
-      (* Block generation (§4.6): the commit certificate replaces the
-         previous-block hash. *)
-      let cert = List.init (Config.commit_quorum t.cfg) (fun i -> (i, "share")) in
-      let block =
-        {
-          Block.seq = b.Msg.seq;
-          view = b.Msg.view;
-          digest = b.Msg.digest;
-          txn_count = k;
-          link = Block.Certificate cert;
-        }
-      in
-      if Ledger.next_seq h.ledger = b.Msg.seq then begin
-        Ledger.append h.ledger block;
-        if Ledger.is_durable h.ledger then
-          (* The write-ahead append is buffered and flushed by the
-             checkpoint-thread, never the execute-thread: durability cost
-             stays off the critical path (Fig. 14). *)
-          Stage.enqueue h.checkpoint_stage
-            ~service:
-              (Cost.serialize_cost p.Params.cost
-                 ~bytes:(64 + Msg.digest_bytes + (Config.commit_quorum t.cfg * 16)))
-            (fun () -> ())
-      end;
-      if t.retrans_enabled then
-        List.iter
-          (fun (r : Msg.request_ref) ->
-            Hashtbl.replace h.executed_txns r.Msg.txn_id ();
-            Hashtbl.remove h.inflight_txns r.Msg.txn_id)
-          b.Msg.reqs;
-      let state_digest = "state-" ^ string_of_int b.Msg.seq in
-      let actions = core_executed t h ~seq:b.Msg.seq ~state_digest ~result:"ok" in
-      emit_tagged t h stage actions;
-      note_view t h)
+  Stage.enqueue stage ~service (fun () -> finish_block t h stage b)
+
+(* ---- conflict-aware parallel execution (E >= 2) ---------------------------
+
+   Committed blocks arrive here in global order.  One block owns the lanes
+   at a time; inside the block, the {!Exec_sched} plan's rounds run with a
+   barrier between them, each lane a pipeline stage of its own.  Cost
+   layout: the "exec-sched" dispatcher pays the execute-boundary
+   re-validation plus the dependency analysis (one conflict-table probe per
+   operation); each lane pays the execute cost of exactly the operations
+   scheduled onto it; the dispatcher then pays the block-assembly hash and
+   runs the shared completion tail.  Determinism: the plan is a pure
+   function of (block contents, E) — see [make_footprint_fn] and
+   {!Rdb_replica.Exec_sched} — and lanes of one round touch disjoint keys,
+   so the final state equals serial in-order execution no matter how the
+   lane jobs interleave in simulated (or real) time. *)
+
+and exec_offer t (h : host) (b : Msg.batch) =
+  obs_mark_exec_enqueued t b.Msg.reqs;
+  Queue.push b h.exec_queue;
+  exec_try_start t h
+
+and exec_try_start t (h : host) =
+  if not h.exec_busy then
+    match Queue.take_opt h.exec_queue with
+    | None -> ()
+    | Some b ->
+      h.exec_busy <- true;
+      let p = t.p in
+      let sched = match h.exec_sched_stage with Some s -> s | None -> assert false in
+      let k = List.length b.Msg.reqs in
+      let analysis = k * p.Params.ops_per_txn * p.Params.cost.Cost.cache_lookup in
+      let service = exec_revalidate_cost t h b + analysis in
+      Stage.enqueue sched ~service (fun () ->
+          let fps =
+            Array.map
+              (fun (r : Msg.request_ref) -> (Lazy.force t.footprint_of) r.Msg.txn_id)
+              (Array.of_list b.Msg.reqs)
+          in
+          let plan = Exec_sched.schedule ~lanes:(Array.length h.exec_lanes) fps in
+          exec_run_rounds t h b fps plan.Exec_sched.rounds)
+
+and exec_run_rounds t (h : host) (b : Msg.batch) fps = function
+  | [] ->
+    let sched = match h.exec_sched_stage with Some s -> s | None -> assert false in
+    (* Block assembly after the last barrier, then release the lanes to the
+       next committed block. *)
+    Stage.enqueue sched ~service:t.p.Params.cost.Cost.hash_base (fun () ->
+        finish_block t h sched b;
+        h.exec_busy <- false;
+        exec_try_start t h)
+  | round :: rest ->
+    let p = t.p in
+    let alloc =
+      if p.Params.use_buffer_pool then p.Params.cost.Cost.alloc_pool
+      else p.Params.cost.Cost.alloc_malloc
+    in
+    let ops = Exec_sched.round_ops fps round in
+    let busy = Array.fold_left (fun a txns -> if txns = [] then a else a + 1) 0 round in
+    if busy = 0 then exec_run_rounds t h b fps rest
+    else begin
+      let remaining = ref busy in
+      Array.iteri
+        (fun l txns ->
+          if txns <> [] then begin
+            let kl = List.length txns in
+            let service =
+              Cost.execute_cost p.Params.cost ~sqlite:p.Params.sqlite ~ops:ops.(l)
+              + (kl * (p.Params.cost.Cost.reply_per_txn + alloc))
+            in
+            (* The round barrier: the last lane to drain starts the next
+               round. *)
+            Stage.enqueue h.exec_lanes.(l) ~service (fun () ->
+                decr remaining;
+                if !remaining = 0 then exec_run_rounds t h b fps rest)
+          end)
+        round
+    end
 
 (* Batch formation at the primary (§4.3): batch-threads drain the common
    queue, verify client signatures, build the batch string, hash and sign. *)
@@ -1230,7 +1370,12 @@ and deliver_client t (msg : net_msg) =
 (* ---- construction ----------------------------------------------------------- *)
 
 (* Stable Chrome-trace thread ids per stage, identical across replicas so
-   tracks line up when comparing processes side by side in the viewer. *)
+   tracks line up when comparing processes side by side in the viewer.
+   Replicated stages are parsed through the {!Stage_name} family/index
+   scheme (not positional prefixes): per-instance worker-threads
+   ("worker-i") track at 10 + i, per-lane execute stages ("execute-i") at
+   30 + i, so the k ordering streams and the E execution lanes each line up
+   across replica processes in the viewer. *)
 let stage_tid name =
   match name with
   | "input-client" -> 1
@@ -1240,16 +1385,12 @@ let stage_tid name =
   | "execute" -> 5
   | "output" -> 6
   | "checkpoint" -> 7
-  | _ ->
-    (* Multi-primary: the per-instance worker-threads ("worker-0",
-       "worker-1", ...) get their own stable trace tracks at tid 10 + i, so
-       the k ordering streams line up across replica processes in the
-       viewer. *)
-    if String.length name > 7 && String.sub name 0 7 = "worker-" then
-      (match int_of_string_opt (String.sub name 7 (String.length name - 7)) with
-      | Some i -> 10 + i
-      | None -> 0)
-    else 0
+  | "exec-sched" -> 8
+  | _ -> (
+    match Stage_name.parse name with
+    | { Stage_name.family = "worker"; index = Some _ } -> Stage_name.tid ~base:10 name
+    | { Stage_name.family = "execute"; index = Some _ } -> Stage_name.tid ~base:30 name
+    | _ -> 0)
 
 let make_host t ~id =
   let p = t.p in
@@ -1324,7 +1465,19 @@ let make_host t ~id =
          Array.init (p.Params.instances - 1) (fun i ->
              stage (Printf.sprintf "worker-%d" (i + 1)) 1)
        else [||]);
-    exec_stage = (if p.Params.execute_threads > 0 then Some (stage "execute" 1) else None);
+    (* E <= 1 keeps the classic single execute-thread; E >= 2 (or a forced
+       single lane) builds the conflict-aware lane stages plus their
+       dispatcher instead. *)
+    exec_stage =
+      (if Params.exec_lanes p = 0 && p.Params.execute_threads > 0 then
+         Some (stage "execute" 1)
+       else None);
+    exec_lanes =
+      Array.init (Params.exec_lanes p) (fun i ->
+          stage (Stage_name.make ~family:"execute" ~index:i) 1);
+    exec_sched_stage = (if Params.exec_lanes p > 0 then Some (stage "exec-sched" 1) else None);
+    exec_queue = Queue.create ();
+    exec_busy = false;
     checkpoint_stage = stage "checkpoint" 1;
     core;
     pending = Queue.create ();
@@ -1494,14 +1647,24 @@ let driver t =
 let inject t fault = Nemesis.apply (driver t) fault
 
 (* The breakdown rows in pipeline order (per role), so the printed table
-   reads top to bottom the way a transaction flows. *)
-let obs_touch_rows obs =
+   reads top to bottom the way a transaction flows.  The execute slots come
+   from the configuration — the classic "execute" row, or "exec-sched" plus
+   one "execute-i" row per lane — rather than a positional assumption, so
+   the table keeps its shape as E changes. *)
+let obs_touch_rows (p : Params.t) obs =
+  let exec_rows =
+    let lanes = Params.exec_lanes p in
+    if lanes > 0 then
+      "exec-sched" :: List.init lanes (fun i -> Stage_name.make ~family:"execute" ~index:i)
+    else [ "execute" ]
+  in
   List.iter
     (fun role ->
       List.iter
         (fun stage -> Breakdown.touch obs.bd (stage ^ "/" ^ role))
-        [ "input-client"; "input-replica"; "batch"; "worker"; "execute"; "output";
-          "checkpoint"; "cpu" ])
+        ([ "input-client"; "input-replica"; "batch"; "worker" ]
+        @ exec_rows
+        @ [ "output"; "checkpoint"; "cpu" ]))
     [ "primary"; "backup" ]
 
 let make_obs (p : Params.t) sim =
@@ -1519,7 +1682,7 @@ let make_obs (p : Params.t) sim =
         series = None;
       }
     in
-    obs_touch_rows o;
+    obs_touch_rows p o;
     Some o
   end
 
@@ -1542,7 +1705,15 @@ let install_series t (o : obs) =
         float_of_int (Queue.length h0.pending);
         float_of_int (match h0.batch_stage with Some s -> Stage.queue_length s | None -> 0);
         float_of_int (Stage.queue_length h0.worker);
-        float_of_int (match h0.exec_stage with Some s -> Stage.queue_length s | None -> 0);
+        (* Work queued at the execute boundary: the single execute-thread's
+           queue on the classic pipeline; under parallel execution, blocks
+           waiting for the lanes plus everything queued on the dispatcher
+           and the lanes themselves. *)
+        float_of_int
+          ((match h0.exec_stage with Some s -> Stage.queue_length s | None -> 0)
+          + (match h0.exec_sched_stage with Some s -> Stage.queue_length s | None -> 0)
+          + Array.fold_left (fun a s -> a + Stage.queue_length s) 0 h0.exec_lanes
+          + Queue.length h0.exec_queue);
         float_of_int (Stage.queue_length h0.output);
         float_of_int (Cpu.queue_length h0.cpu);
         float_of_int (Cpu.running h0.cpu);
@@ -1618,6 +1789,7 @@ let create (p : Params.t) =
         (if p.Params.durable then
            Some (match p.Params.data_dir with Some d -> d | None -> fresh_data_root ())
          else None);
+      footprint_of = lazy (make_footprint_fn p);
       obs = make_obs p sim;
       latencies = Stats.create ();
       measuring = false;
@@ -1683,7 +1855,9 @@ let stages_of (h : host) =
   [ h.input_client; h.input_replica; h.output; h.worker; h.checkpoint_stage ]
   @ Array.to_list h.extra_workers
   @ (match h.batch_stage with Some s -> [ s ] | None -> [])
-  @ match h.exec_stage with Some s -> [ s ] | None -> []
+  @ (match h.exec_stage with Some s -> [ s ] | None -> [])
+  @ (match h.exec_sched_stage with Some s -> [ s ] | None -> [])
+  @ Array.to_list h.exec_lanes
 
 let snapshot t =
   {

@@ -13,6 +13,7 @@ module Ledger = Rdb_chain.Ledger
 module Block = Rdb_chain.Block
 module Rng = Rdb_des.Rng
 module Trace = Rdb_obs.Trace
+module Exec_sched = Rdb_replica.Exec_sched
 
 type config = {
   n : int;
@@ -24,10 +25,21 @@ type config = {
           this directory (one subdirectory per replica); [None] keeps the
           in-memory backend.  Reopening the same directory crash-recovers
           the chains and resumes appending at the persisted tip *)
+  exec_threads : int;
+      (** execute lanes per replica; >= 2 (together with a [footprint]
+          callback at {!create}) runs each batch through the conflict-aware
+          {!Rdb_replica.Exec_sched} plan on real OCaml domains *)
 }
 
 let default_config =
-  { n = 4; batch_size = 10; checkpoint_interval = 50; seed = 0x4C6F63616CL; durable_dir = None }
+  {
+    n = 4;
+    batch_size = 10;
+    checkpoint_interval = 50;
+    seed = 0x4C6F63616CL;
+    durable_dir = None;
+    exec_threads = 1;
+  }
 
 type request = { client : int; payload : string; signature : string }
 
@@ -51,6 +63,10 @@ type t = {
   client_signer : Signer.t;
   client_verifier : Signer.verifier;
   apply : replica:int -> Rdb_storage.Mem_store.t -> client:int -> payload:string -> string;
+  footprint : (client:int -> payload:string -> Exec_sched.footprint) option;
+      (** declares the keys one request reads/writes; required for the
+          parallel execution path — without it every request potentially
+          conflicts with every other and execution stays serial *)
   queue : (int * int * Msg.t * string) Queue.t;  (** (origin, dst, message, mac tag) *)
   requests : (int, request) Hashtbl.t;  (** txn_id -> request *)
   pending : int Queue.t;  (** txn ids awaiting batching at the primary *)
@@ -71,9 +87,11 @@ type t = {
 (* A single pre-shared group secret, as in a permissioned deployment. *)
 let group_secret = "local-runtime-k!"
 
-let create ?(config = default_config) ?(trace = false) ~apply () =
+let create ?(config = default_config) ?(trace = false) ?footprint ~apply () =
   if config.n < 4 then invalid_arg "Local_runtime.create: need at least 4 replicas";
   if config.batch_size < 1 then invalid_arg "Local_runtime.create: bad batch size";
+  if config.exec_threads < 1 || config.exec_threads > 64 then
+    invalid_arg "Local_runtime.create: exec_threads must be in [1, 64]";
   let ccfg = Config.make ~checkpoint_interval:config.checkpoint_interval ~n:config.n () in
   let rng = Rng.create config.seed in
   let client_signer = Signer.create rng Signer.Ed25519 in
@@ -120,6 +138,7 @@ let create ?(config = default_config) ?(trace = false) ~apply () =
     client_signer;
     client_verifier = Signer.verifier client_signer;
     apply;
+    footprint;
     queue = Queue.create ();
     requests = Hashtbl.create 256;
     pending = Queue.create ();
@@ -164,6 +183,82 @@ let client_for t id =
     Hashtbl.add t.clients id c;
     c
 
+(* Conflict-aware parallel execution of one batch on real OCaml domains.
+   The batch is partitioned by Exec_sched into key-disjoint lanes separated
+   by barrier rounds.  Mem_store is not thread-safe, so a domain never
+   touches the shared store: each lane applies its requests against a
+   private staging store pre-seeded with the lane's declared footprint, and
+   after joining, the main thread merges every declared write key back.
+   Within a round the lanes' write sets are disjoint (Exec_sched's
+   invariant), so the merge order cannot matter and the final state equals
+   serial in-order execution — the property [verify] audits across
+   replicas.  Correctness leans on the footprint contract: [apply] must not
+   read or write keys outside the declared footprint (undeclared reads see
+   an empty staging slot, undeclared writes are silently dropped at the
+   merge). *)
+let execute_parallel t (r : replica) (batch : Msg.batch) fp_of =
+  let lookup =
+    Array.of_list
+      (List.map
+         (fun (ref_ : Msg.request_ref) -> Hashtbl.find_opt t.requests ref_.Msg.txn_id)
+         batch.Msg.reqs)
+  in
+  let fps =
+    Array.map
+      (function
+        | None -> { Exec_sched.reads = []; writes = [] }
+        | Some req -> fp_of ~client:req.client ~payload:req.payload)
+      lookup
+  in
+  let plan = Exec_sched.schedule ~lanes:t.cfg.exec_threads fps in
+  let results = Array.make (Array.length lookup) "missing-payload" in
+  let run_lane idxs () =
+    let staged = Mem_store.create () in
+    List.iter
+      (fun i ->
+        List.iter
+          (fun key ->
+            match Mem_store.get r.rstore key with
+            | Some v -> Mem_store.put staged key v
+            | None -> ())
+          (fps.(i).Exec_sched.reads @ fps.(i).Exec_sched.writes))
+      idxs;
+    let lane_results =
+      List.map
+        (fun i ->
+          match lookup.(i) with
+          | None -> (i, "missing-payload")
+          | Some req ->
+            (i, t.apply ~replica:r.id staged ~client:req.client ~payload:req.payload))
+        idxs
+    in
+    (staged, lane_results)
+  in
+  List.iter
+    (fun (round : Exec_sched.round) ->
+      let lanes = Array.to_list round |> List.filter (fun idxs -> idxs <> []) in
+      (match lanes with
+      | [] -> ()
+      | first :: rest ->
+        (* Spawn the other lanes; run the first on this domain. *)
+        let spawned = List.map (fun idxs -> Domain.spawn (run_lane idxs)) rest in
+        let outcomes = run_lane first () :: List.map Domain.join spawned in
+        List.iter
+          (fun (staged, lane_results) ->
+            List.iter (fun (i, res) -> results.(i) <- res) lane_results;
+            List.iter
+              (fun (i, _) ->
+                List.iter
+                  (fun key ->
+                    match Mem_store.get staged key with
+                    | Some v -> Mem_store.put r.rstore key v
+                    | None -> Mem_store.delete r.rstore key)
+                  fps.(i).Exec_sched.writes)
+              lane_results)
+          outcomes))
+    plan.Exec_sched.rounds;
+  Array.to_list results
+
 (* Execution: apply every request of the batch on this replica's store, then
    append a block whose linkage is the commit certificate (§4.6). *)
 let execute t (r : replica) (batch : Msg.batch) =
@@ -173,13 +268,16 @@ let execute t (r : replica) (batch : Msg.batch) =
     List.map (fun _ -> "state-transferred") batch.Msg.reqs
   else begin
   let results =
-    List.map
-      (fun (ref_ : Msg.request_ref) ->
-        match Hashtbl.find_opt t.requests ref_.Msg.txn_id with
-        | None -> "missing-payload"
-        | Some req ->
-          t.apply ~replica:r.id r.rstore ~client:req.client ~payload:req.payload)
-      batch.Msg.reqs
+    match t.footprint with
+    | Some fp when t.cfg.exec_threads >= 2 -> execute_parallel t r batch fp
+    | _ ->
+      List.map
+        (fun (ref_ : Msg.request_ref) ->
+          match Hashtbl.find_opt t.requests ref_.Msg.txn_id with
+          | None -> "missing-payload"
+          | Some req ->
+            t.apply ~replica:r.id r.rstore ~client:req.client ~payload:req.payload)
+        batch.Msg.reqs
   in
   let cert = List.init (Config.commit_quorum t.ccfg) (fun i -> (i, "commit-share")) in
   let block =

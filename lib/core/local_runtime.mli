@@ -32,6 +32,19 @@ type config = {
           same directory crash-recovers the chains (torn WAL tails
           truncated) and the cluster resumes ordering at the persisted tip;
           call {!close} for a clean shutdown flush *)
+  exec_threads : int;
+      (** execute lanes per replica, in [1, 64]; default 1 (serial, exactly
+          the classic path).  With [exec_threads >= 2] {e and} a
+          [footprint] callback at {!create}, each committed batch is
+          partitioned by {!Rdb_replica.Exec_sched} into key-disjoint lanes
+          separated by barrier rounds, and each round's lanes run on real
+          OCaml 5 domains ([Domain.spawn]).  A domain never touches the
+          shared store: it applies its lane against a private staging store
+          seeded from the lane's declared footprint, and the main thread
+          merges each lane's declared write keys back after joining.
+          Within a round the write sets are cross-lane disjoint, so the
+          merged state equals serial in-order execution — audited by
+          {!verify} *)
 }
 
 val default_config : config
@@ -39,12 +52,21 @@ val default_config : config
 val create :
   ?config:config ->
   ?trace:bool ->
+  ?footprint:(client:int -> payload:string -> Rdb_replica.Exec_sched.footprint) ->
   apply:(replica:int -> Rdb_storage.Mem_store.t -> client:int -> payload:string -> string) ->
   unit ->
   t
 (** [apply] executes one request against a replica's store and returns the
     result string sent back to the client.  It must be deterministic: all
     replicas run it independently and their results must agree.
+
+    [footprint] declares the keys one request will read and write, enabling
+    the parallel execution path when [config.exec_threads >= 2].  The
+    contract is strict: [apply] must touch {e only} declared keys — an
+    undeclared read sees an empty staging slot and an undeclared write is
+    dropped at the merge (each lane runs against a private staging store,
+    see {!type:config}).  Omitting [footprint] keeps execution serial at
+    any [exec_threads].
 
     [trace] (default false) records every delivered protocol message as a
     Chrome trace event, retrievable with {!trace_json}; this runtime has no

@@ -128,6 +128,19 @@ let pp ppf t =
       t.faults.rejected_forgeries t.faults.equivocations_detected t.faults.vc_spam_suppressed;
   Format.fprintf ppf "@]"
 
+(** The bottleneck-shift report for this run ({!Rdb_obs.Bottleneck}): the
+    primary replica's per-stage occupancies ranked by saturation, with
+    queue-vs-service evidence from the breakdown when the run was traced.
+    [window_s] is the measurement window the occupancies were taken over
+    (pass [Rdb_des.Sim.to_seconds p.measure]). *)
+let bottleneck_report ~window_s t =
+  let stages =
+    match List.find_opt (fun r -> r.is_primary) t.replicas with
+    | Some r -> List.map (fun s -> (s.stage, s.percent)) r.stages
+    | None -> []
+  in
+  Rdb_obs.Bottleneck.analyze ?breakdown:t.breakdown ~window_s stages
+
 (** Per-replica stage saturation and CPU utilization table. *)
 let pp_saturation ppf t =
   List.iter

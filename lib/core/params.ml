@@ -43,7 +43,27 @@ type t = {
           1 = the classic single-primary deployment (the exact seed code
           path); > 1 requires [protocol = Pbft] *)
   batch_threads : int;  (** B; 0 = the worker-thread batches (Fig. 8) *)
-  execute_threads : int;  (** E in {0, 1}; 0 = the worker-thread executes *)
+  execute_threads : int;
+      (** E; 0 = the worker-thread executes, 1 = the paper's dedicated
+          execute-thread, >= 2 = conflict-aware parallel execution: each
+          committed block's read/write footprints are partitioned by
+          {!Rdb_replica.Exec_sched} into E execute lanes with
+          barrier-separated rounds, so non-conflicting transactions run
+          concurrently while every replica still reaches the state of
+          serial in-order execution (the restriction the paper kept —
+          "multiple execution threads cause data conflicts" — lifted by
+          scheduling around the conflicts instead of ignoring them) *)
+  exec_records : int;
+      (** keyspace size the execution footprints are drawn from (the YCSB
+          active-record count); smaller = more key conflicts = less lane
+          parallelism, which is the knob the conflict-rate experiments and
+          tests turn *)
+  exec_force_parallel : bool;
+      (** route [execute_threads = 1] through the conflict-aware lane
+          machinery (one lane) instead of the classic execute-thread —
+          an ablation/test knob that measures pure scheduling overhead;
+          off by default so E = 1 stays bit-identical to the paper's
+          pipeline *)
   checkpoint_txns : int;  (** transactions between checkpoints *)
   max_inflight_batches : int;
       (** admission control at the primary: batches proposed but not yet
@@ -123,6 +143,8 @@ let default =
     instances = 1;
     batch_threads = 2;
     execute_threads = 1;
+    exec_records = 600_000;
+    exec_force_parallel = false;
     checkpoint_txns = 10_000;
     max_inflight_batches = 64;
     crashed_backups = 0;
@@ -152,6 +174,14 @@ let default =
 
 let f t = (t.n - 1) / 3
 
+(** Conflict-aware execute lanes this configuration runs: [execute_threads]
+    when E >= 2, one when [exec_force_parallel] routes E = 1 through the
+    lane machinery, 0 for the classic (E <= 1) pipeline. *)
+let exec_lanes t =
+  if t.execute_threads > 1 then t.execute_threads
+  else if t.exec_force_parallel && t.execute_threads = 1 then 1
+  else 0
+
 (** Whether any observability output was requested: the [trace] switch or a
     file destination (either of which turns instrumentation on). *)
 let obs_enabled t = t.trace || t.trace_out <> None || t.trace_csv <> None
@@ -163,8 +193,14 @@ let checkpoint_interval t = max 1 (t.checkpoint_txns / max 1 t.batch_size)
 let validate t =
   if t.n < 4 then invalid_arg "Params: n must be >= 4";
   if t.batch_size < 1 then invalid_arg "Params: batch_size must be >= 1";
-  if t.execute_threads < 0 || t.execute_threads > 1 then
-    invalid_arg "Params: execute_threads must be 0 or 1 (the paper: multiple execution threads cause data conflicts)";
+  if t.execute_threads < 0 || t.execute_threads > 64 then
+    invalid_arg
+      "Params: execute_threads must be in [0, 64] (E >= 2 runs the conflict-aware lane \
+       scheduler; the paper's bare multi-threaded execution is never allowed because \
+       unscheduled execution threads cause data conflicts)";
+  if t.exec_records < 1 then invalid_arg "Params: exec_records must be >= 1";
+  if t.exec_force_parallel && t.execute_threads < 1 then
+    invalid_arg "Params: exec_force_parallel needs execute_threads >= 1";
   if t.batch_threads < 0 then invalid_arg "Params: batch_threads must be >= 0";
   if t.crashed_backups > f t then invalid_arg "Params: cannot crash more than f backups";
   if t.clients < 1 then invalid_arg "Params: need at least one client";

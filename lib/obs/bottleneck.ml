@@ -1,0 +1,144 @@
+(* Bottleneck attribution from per-stage occupancy + queue/service evidence.
+   See the mli; the methodology follows "What Blocks My Blockchain's
+   Throughput?" (arXiv:2404.02930). *)
+
+type entry = {
+  family : string;
+  members : int;
+  utilization : float;
+  mean_queue_s : float option;
+  mean_service_s : float option;
+  queue_share : float option;
+}
+
+type report = { ranked : entry list; window_s : float }
+
+(* Breakdown labels are "<stage>/<role>"; the stage half may itself be an
+   indexed name ("execute-2").  Collapse both layers to the family. *)
+let family_of_label label =
+  let stage =
+    match String.index_opt label '/' with
+    | Some i -> String.sub label 0 i
+    | None -> label
+  in
+  Stage_name.family stage
+
+let analyze ?breakdown ~window_s (stages : (string * float) list) : report =
+  let tbl : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (name, util) ->
+      let fam = Stage_name.family name in
+      match Hashtbl.find_opt tbl fam with
+      | None ->
+        Hashtbl.replace tbl fam (1, util);
+        order := fam :: !order
+      | Some (n, u) -> Hashtbl.replace tbl fam (n + 1, Float.max u util))
+    stages;
+  (* Queue/service evidence per family, averaged over matching rows
+     weighted by job count. *)
+  let evidence fam =
+    match breakdown with
+    | None -> (None, None, None)
+    | Some b ->
+      let jobs = ref 0 and q = ref 0.0 and s = ref 0.0 in
+      List.iter
+        (fun (r : Breakdown.row) ->
+          if family_of_label r.Breakdown.label = fam then begin
+            let n = Breakdown.jobs r in
+            jobs := !jobs + n;
+            q := !q +. (Rdb_des.Stats.mean r.Breakdown.queue *. float_of_int n);
+            s := !s +. (Rdb_des.Stats.mean r.Breakdown.service *. float_of_int n)
+          end)
+        (Breakdown.rows b);
+      if !jobs = 0 then (None, None, None)
+      else begin
+        let n = float_of_int !jobs in
+        let mq = !q /. n and ms = !s /. n in
+        let share = if mq +. ms > 0.0 then Some (mq /. (mq +. ms)) else None in
+        (Some mq, Some ms, share)
+      end
+  in
+  let entries =
+    List.rev_map
+      (fun fam ->
+        let members, utilization = Hashtbl.find tbl fam in
+        let mean_queue_s, mean_service_s, queue_share = evidence fam in
+        { family = fam; members; utilization; mean_queue_s; mean_service_s; queue_share })
+      !order
+  in
+  let ranked =
+    List.stable_sort (fun a b -> compare b.utilization a.utilization) entries
+  in
+  { ranked; window_s }
+
+let saturated (r : report) =
+  match r.ranked with [] -> None | e :: _ -> Some e.family
+
+let pp ppf (r : report) =
+  Format.fprintf ppf "@[<v>bottleneck report (%.2fs window):@," r.window_s;
+  List.iteri
+    (fun i e ->
+      let verdict =
+        if i = 0 then "  <- saturated"
+        else if e.utilization >= 90.0 then "  (also hot)"
+        else ""
+      in
+      Format.fprintf ppf "  %-14s %3d thread%s  %5.1f%% busy" e.family e.members
+        (if e.members = 1 then " " else "s") e.utilization;
+      (match (e.mean_queue_s, e.mean_service_s) with
+      | Some q, Some s ->
+        Format.fprintf ppf "  queue %7.1fus  service %7.1fus" (q *. 1e6) (s *. 1e6)
+      | _ -> ());
+      (match e.queue_share with
+      | Some share -> Format.fprintf ppf "  (%.0f%% of latency is queueing)" (100.0 *. share)
+      | None -> ());
+      Format.fprintf ppf "%s@," verdict)
+    r.ranked;
+  (match saturated r with
+  | Some fam ->
+    Format.fprintf ppf
+      "  verdict: '%s' is the saturated stage — highest occupancy, and work queues there@,\
+      \  (methodology: utilization + queueing-delay ranking, arXiv:2404.02930)@]" fam
+  | None -> Format.fprintf ppf "  verdict: no stage samples@]")
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json ?(label = "") (r : report) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"schema\": \"bottleneck-report/v1\",\n");
+  if label <> "" then
+    Buffer.add_string b (Printf.sprintf "  \"label\": \"%s\",\n" (json_escape label));
+  Buffer.add_string b (Printf.sprintf "  \"window_s\": %g,\n" r.window_s);
+  Buffer.add_string b
+    (Printf.sprintf "  \"saturated\": %s,\n"
+       (match saturated r with
+       | Some f -> Printf.sprintf "\"%s\"" (json_escape f)
+       | None -> "null"));
+  Buffer.add_string b "  \"stages\": [\n";
+  List.iteri
+    (fun i e ->
+      let opt = function None -> "null" | Some v -> Printf.sprintf "%g" v in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"family\": \"%s\", \"members\": %d, \"utilization_pct\": %g, \
+            \"mean_queue_s\": %s, \"mean_service_s\": %s, \"queue_share\": %s}%s\n"
+           (json_escape e.family) e.members e.utilization (opt e.mean_queue_s)
+           (opt e.mean_service_s) (opt e.queue_share)
+           (if i = List.length r.ranked - 1 then "" else ","))
+    )
+    r.ranked;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b

@@ -1,0 +1,59 @@
+(** The bottleneck-shift report: name the saturated pipeline stage.
+
+    PR 4's k-sweep asserted "the bottleneck moved from worker to
+    execute" by eyeballing occupancy tables.  This module turns that
+    into a ranked, machine-checkable verdict using the methodology of
+    "What Blocks My Blockchain's Throughput?" (arXiv:2404.02930): the
+    bottleneck is the stage with the highest {e utilization} (busy
+    fraction of the measurement window), corroborated by {e queueing
+    delay} — at the saturated stage, work arrives faster than it drains,
+    so time-in-queue dominates time-in-service, while downstream stages
+    sit starved with empty queues.
+
+    Inputs are deliberately neutral (this library only depends on the
+    DES): callers pass per-stage occupancy percentages (stage name,
+    percent busy) — typically one pair per pipeline thread of the
+    primary — plus the optional {!Breakdown} table for queue-vs-service
+    evidence.  Replicated stages (["worker-3"], ["execute-1"]) are
+    collapsed to their {!Stage_name} family, keeping the verdict stable
+    as thread counts change: the whole point is comparing runs where E
+    or k differ. *)
+
+type entry = {
+  family : string;  (** stage family, e.g. ["execute"] *)
+  members : int;  (** threads observed in this family *)
+  utilization : float;  (** busiest member, percent of the window *)
+  mean_queue_s : float option;  (** mean seconds a job waited, from Breakdown *)
+  mean_service_s : float option;  (** mean seconds a job was held *)
+  queue_share : float option;
+      (** queue / (queue + service); near 1 at a saturated stage, near 0
+          at a starved one *)
+}
+
+type report = {
+  ranked : entry list;  (** most-saturated first *)
+  window_s : float;  (** measurement window the occupancies cover *)
+}
+
+val analyze :
+  ?breakdown:Breakdown.t -> window_s:float -> (string * float) list -> report
+(** [analyze ~window_s stages] ranks stage families by utilization.
+    [stages] pairs a stage name with its busy-percent over the window;
+    multiple members of one family (per-lane execute stages, per-instance
+    workers) are folded together, keeping the busiest member's
+    utilization.  When [breakdown] is given, each family also carries
+    mean queue/service times aggregated over its matching rows (labels
+    are parsed as ["<stage>/<role>"]). *)
+
+val saturated : report -> string option
+(** The verdict: the top-ranked family, or [None] for an empty report. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable table, one line per family plus the verdict line —
+    the text EXPERIMENTS.md walks through line by line. *)
+
+val to_json : ?label:string -> report -> string
+(** The machine-readable artifact (schema ["bottleneck-report/v1"]):
+    the ranked entries, the saturated-stage verdict, and an optional
+    run label — written next to the bench JSON so CI can assert the
+    shift without parsing human tables. *)

@@ -1,0 +1,20 @@
+(* Stable stage-name scheme: "family" or "family-<index>".  See the mli. *)
+
+type t = { family : string; index : int option }
+
+let parse (name : string) : t =
+  match String.rindex_opt name '-' with
+  | None -> { family = name; index = None }
+  | Some i -> (
+    let suffix = String.sub name (i + 1) (String.length name - i - 1) in
+    match int_of_string_opt suffix with
+    | Some idx when idx >= 0 && suffix.[0] <> '+' ->
+      { family = String.sub name 0 i; index = Some idx }
+    | _ -> { family = name; index = None })
+
+let family name = (parse name).family
+let index name = (parse name).index
+let make ~family ~index = Printf.sprintf "%s-%d" family index
+
+let tid ~base name =
+  match parse name with { index = Some i; _ } -> base + i | { index = None; _ } -> base

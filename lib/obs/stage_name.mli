@@ -1,0 +1,38 @@
+(** The stable stage-naming scheme shared by traces, CSV headers, the
+    breakdown table and the bottleneck report.
+
+    Pipeline stages that exist once per replica carry a bare family name
+    (["worker"], ["batch"], ["execute"], ["checkpoint"]); stages that are
+    replicated — per-instance workers under multi-primary ordering,
+    per-lane execute stages under parallel execution — carry the family
+    plus a zero-based index: ["worker-3"], ["execute-1"].  Consumers that
+    aggregate or rank stages parse the name back into (family, index)
+    with this module instead of assuming positional layouts or prefix
+    lengths ([String.sub name 0 7]-style parsing is exactly the fragility
+    this replaces). *)
+
+type t = {
+  family : string;  (** e.g. ["execute"] for ["execute-1"] *)
+  index : int option;  (** [None] for singleton stages *)
+}
+
+val parse : string -> t
+(** Splits a stage name on its final ['-'] when the suffix is a
+    non-negative integer; otherwise the whole name is the family
+    (["input-client"] stays one family — its suffix is not a number,
+    and ["vc-spam"]-style names are unaffected). *)
+
+val family : string -> string
+(** [family "execute-2"] is ["execute"]; [family "worker"] is ["worker"]. *)
+
+val index : string -> int option
+(** [index "execute-2"] is [Some 2]; [index "worker"] is [None]. *)
+
+val make : family:string -> index:int -> string
+(** [make ~family:"execute" ~index:2] is ["execute-2"] — the one
+    encoder, so producers and parsers cannot drift. *)
+
+val tid : base:int -> string -> int
+(** Trace-track id for a stage: [base + index] for indexed stages,
+    [base] for singletons — replicated stages get adjacent tracks in the
+    Chrome trace instead of colliding on one. *)

@@ -1,0 +1,166 @@
+(* Conflict-aware lane scheduling: see exec_sched.mli for the contract.
+
+   The scheduler is a single left-to-right greedy pass per round.  Within
+   the round under construction it tracks, per key, which lane wrote it
+   and which lanes read it; a transaction whose footprint pins it to more
+   than one lane is deferred to the next round, and its keys poison later
+   transactions (transitive deferral) so that conflicting transactions
+   never leapfrog each other across rounds.  Everything is a pure
+   function of (footprints, lanes): no randomness, no wall clock, no
+   iteration over unordered containers when choosing lanes — which is
+   what makes the schedule identical on every replica. *)
+
+type footprint = { reads : string list; writes : string list }
+type round = int list array
+type plan = { lanes : int; rounds : round list }
+
+let schedule ~lanes (fps : footprint array) : plan =
+  if lanes < 1 then invalid_arg "Exec_sched.schedule: lanes must be >= 1";
+  let n = Array.length fps in
+  let rounds = ref [] in
+  (* Indices still to place, in block order. *)
+  let remaining = ref (List.init n Fun.id) in
+  while !remaining <> [] do
+    (* Per-round state.  [writer] maps key -> lane of its (unique) writer
+       this round; [readers] maps key -> lanes that read it.  [loads]
+       counts ops per lane for least-loaded placement. *)
+    let writer : (string, int) Hashtbl.t = Hashtbl.create 64 in
+    let readers : (string, int list) Hashtbl.t = Hashtbl.create 64 in
+    let loads = Array.make lanes 0 in
+    let lane_rev = Array.make lanes [] in
+    (* Keys touched by deferred transactions: any later transaction
+       conflicting with a deferred one must also defer, preserving block
+       order across the round barrier. *)
+    let deferred_w : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+    let deferred_r : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+    let deferred = ref [] in
+    let conflicts_deferred fp =
+      List.exists
+        (fun k -> Hashtbl.mem deferred_w k || Hashtbl.mem deferred_r k)
+        fp.writes
+      || List.exists (fun k -> Hashtbl.mem deferred_w k) fp.reads
+    in
+    (* Lanes this transaction is pinned to by conflicts already placed in
+       the current round.  Returned sorted and deduplicated. *)
+    let conflict_lanes fp =
+      let ls = ref [] in
+      let add l = if not (List.mem l !ls) then ls := l :: !ls in
+      List.iter
+        (fun k ->
+          (match Hashtbl.find_opt writer k with Some l -> add l | None -> ());
+          match Hashtbl.find_opt readers k with
+          | Some lns -> List.iter add lns
+          | None -> ())
+        fp.writes;
+      List.iter
+        (fun k ->
+          match Hashtbl.find_opt writer k with Some l -> add l | None -> ())
+        fp.reads;
+      !ls
+    in
+    let defer i fp =
+      deferred := i :: !deferred;
+      List.iter (fun k -> Hashtbl.replace deferred_w k ()) fp.writes;
+      List.iter (fun k -> Hashtbl.replace deferred_r k ()) fp.reads
+    in
+    let place i fp lane =
+      lane_rev.(lane) <- i :: lane_rev.(lane);
+      loads.(lane) <- loads.(lane) + List.length fp.reads + List.length fp.writes + 1;
+      List.iter (fun k -> Hashtbl.replace writer k lane) fp.writes;
+      List.iter
+        (fun k ->
+          let lns = Option.value (Hashtbl.find_opt readers k) ~default:[] in
+          if not (List.mem lane lns) then Hashtbl.replace readers k (lane :: lns))
+        fp.reads
+    in
+    let least_loaded () =
+      let best = ref 0 in
+      for l = 1 to lanes - 1 do
+        if loads.(l) < loads.(!best) then best := l
+      done;
+      !best
+    in
+    List.iter
+      (fun i ->
+        let fp = fps.(i) in
+        if conflicts_deferred fp then defer i fp
+        else
+          match conflict_lanes fp with
+          | [] -> place i fp (least_loaded ())
+          | [ l ] -> place i fp l
+          | _ -> defer i fp)
+      !remaining;
+    rounds := Array.map List.rev lane_rev :: !rounds;
+    remaining := List.rev !deferred
+  done;
+  { lanes; rounds = List.rev !rounds }
+
+(* ---- validation (test support) ------------------------------------------- *)
+
+let conflict a b =
+  let mem k l = List.mem k l in
+  List.exists (fun k -> mem k b.writes || mem k b.reads) a.writes
+  || List.exists (fun k -> mem k b.writes) a.reads
+
+let validate (fps : footprint array) (p : plan) : (unit, string) result =
+  let n = Array.length fps in
+  let seen = Array.make n 0 in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let exception Bad of string in
+  try
+    (* position of each txn: (round, lane, slot-in-lane) *)
+    let pos = Array.make n (-1, -1, -1) in
+    List.iteri
+      (fun r round ->
+        if Array.length round <> p.lanes then
+          raise (Bad (Printf.sprintf "round %d has %d lanes, plan says %d" r (Array.length round) p.lanes));
+        Array.iteri
+          (fun l txns ->
+            List.iteri
+              (fun s i ->
+                if i < 0 || i >= n then raise (Bad (Printf.sprintf "txn index %d out of range" i));
+                seen.(i) <- seen.(i) + 1;
+                pos.(i) <- (r, l, s))
+              txns)
+          round)
+      p.rounds;
+    Array.iteri
+      (fun i c ->
+        if c <> 1 then raise (Bad (Printf.sprintf "txn %d scheduled %d times" i c)))
+      seen;
+    (* Conflicting pairs: same lane or different rounds, and block order
+       must agree with schedule order. *)
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if conflict fps.(i) fps.(j) then begin
+          let ri, li, si = pos.(i) and rj, lj, sj = pos.(j) in
+          if ri = rj && li <> lj then
+            raise (Bad (Printf.sprintf "conflicting txns %d and %d share round %d across lanes %d/%d" i j ri li lj));
+          let before = ri < rj || (ri = rj && li = lj && si < sj) in
+          if not before then
+            raise (Bad (Printf.sprintf "conflicting txns %d and %d are scheduled out of block order" i j))
+        end
+      done
+    done;
+    Ok ()
+  with Bad m -> err "%s" m
+
+(* ---- cost-model helpers --------------------------------------------------- *)
+
+let ops_of fp = List.length fp.reads + List.length fp.writes
+
+let round_ops (fps : footprint array) (round : round) : int array =
+  Array.map (fun txns -> List.fold_left (fun a i -> a + ops_of fps.(i)) 0 txns) round
+
+let critical_ops (fps : footprint array) (p : plan) : int =
+  List.fold_left
+    (fun acc round -> acc + Array.fold_left max 0 (round_ops fps round))
+    0 p.rounds
+
+let stats (p : plan) : string =
+  let txns =
+    List.fold_left
+      (fun a round -> Array.fold_left (fun a l -> a + List.length l) a round)
+      0 p.rounds
+  in
+  Printf.sprintf "%d rounds over %d lanes, %d txns" (List.length p.rounds) p.lanes txns

@@ -1,0 +1,75 @@
+(** Conflict-aware lane scheduling for parallel deterministic execution.
+
+    The paper keeps [E = 1] because naive multi-threaded execution of a
+    YCSB block races on shared keys ("multiple execution threads cause
+    data conflicts", §4.6).  This module lifts that restriction the
+    deterministic way: before a block executes, its transactions'
+    read/write footprints are analyzed and partitioned into a
+    {e lane schedule} — a sequence of rounds, each round an array of
+    per-lane transaction lists such that
+
+    - transactions in the {e same lane} of a round run sequentially, in
+      block order;
+    - transactions in {e different lanes} of the same round touch
+      disjoint conflict sets (no key is written by one lane and read or
+      written by another), so they may run concurrently with any
+      interleaving;
+    - rounds are separated by a barrier: round [r+1] starts only after
+      every lane of round [r] drained.
+
+    Because {!schedule} is a pure function of the block's footprints and
+    the lane count, every replica computes the {e identical} schedule
+    from the identical committed block — determinism is preserved
+    without any cross-replica coordination, and the final state equals
+    the state of serial in-order execution (the conflict-serializability
+    argument is spelled out in ARCHITECTURE.md, "Parallel execution").
+
+    With [lanes = 1] the schedule degenerates to a single round holding
+    the whole block in order — the classic §4.6 execute-thread. *)
+
+type footprint = {
+  reads : string list;  (** keys the transaction reads *)
+  writes : string list;  (** keys the transaction writes *)
+}
+(** One transaction's declared data footprint.  Two transactions
+    {e conflict} when one writes a key the other reads or writes. *)
+
+type round = int list array
+(** One barrier-delimited round: [round.(l)] lists the transaction
+    indices lane [l] executes, in block order.  The array length is the
+    plan's lane count. *)
+
+type plan = {
+  lanes : int;
+  rounds : round list;  (** executed in order, a barrier between each *)
+}
+
+val schedule : lanes:int -> footprint array -> plan
+(** [schedule ~lanes fps] partitions transactions [0 .. Array.length fps - 1]
+    (in block order) into a lane schedule.  Greedy and deterministic:
+    each transaction lands in the least-loaded conflict-free lane of the
+    current round, joins the single lane it conflicts with, or is
+    deferred to a later round when it conflicts with several lanes (or
+    with an already-deferred transaction — deferral is transitive, which
+    preserves block order between conflicting transactions).
+    O(total footprint size) expected.  Raises [Invalid_argument] when
+    [lanes < 1]. *)
+
+val validate : footprint array -> plan -> (unit, string) result
+(** Checks the plan invariants against the footprints: every transaction
+    scheduled exactly once; no two lanes of one round conflict; every
+    pair of conflicting transactions appears in block order (same lane,
+    or earlier round).  Used by the test suite; [Ok ()] for every plan
+    {!schedule} produces. *)
+
+val round_ops : footprint array -> round -> int array
+(** Per-lane operation counts (footprint sizes) for one round — the
+    shape the cost model charges each lane with. *)
+
+val critical_ops : footprint array -> plan -> int
+(** Operations on the plan's critical path: the sum over rounds of the
+    busiest lane's operation count.  [critical_ops fps p /. total_ops]
+    is the ideal speedup bound the conflict structure allows. *)
+
+val stats : plan -> string
+(** One-line human summary, e.g. ["3 rounds over 4 lanes, 100 txns"]. *)

@@ -21,10 +21,12 @@ let small =
 let test_validate_rejects_bad_params () =
   Alcotest.check_raises "n too small" (Invalid_argument "Params: n must be >= 4") (fun () ->
       Params.validate { small with Params.n = 3 });
-  Alcotest.check_raises "two exec threads"
+  Alcotest.check_raises "too many exec threads"
     (Invalid_argument
-       "Params: execute_threads must be 0 or 1 (the paper: multiple execution threads cause data conflicts)")
-    (fun () -> Params.validate { small with Params.execute_threads = 2 });
+       "Params: execute_threads must be in [0, 64] (E >= 2 runs the conflict-aware lane \
+        scheduler; the paper's bare multi-threaded execution is never allowed because \
+        unscheduled execution threads cause data conflicts)")
+    (fun () -> Params.validate { small with Params.execute_threads = 65 });
   Alcotest.check_raises "too many crashes" (Invalid_argument "Params: cannot crash more than f backups")
     (fun () -> Params.validate { small with Params.crashed_backups = 2 })
 
