@@ -1,0 +1,453 @@
+(* The campaign runner.  See the interface for the model; the two load-
+   bearing properties are determinism (every run's seed is a pure function
+   of matrix seed + cell axes + seed index, so neither run order nor the
+   worker count can change any result) and boundedness (every run carries a
+   DES event budget, so a wedged cell costs one budget, not forever). *)
+
+module Params = Rdb_core.Params
+module Nemesis = Rdb_core.Nemesis
+module Cluster = Rdb_core.Cluster
+module Metrics = Rdb_core.Metrics
+module Rng = Rdb_des.Rng
+module Sim = Rdb_des.Sim
+module Stats = Rdb_des.Stats
+module Report = Rdb_obs.Campaign_report
+
+type backend = Mem | Durable
+
+let backend_name = function Mem -> "mem" | Durable -> "durable"
+
+let backend_of_name = function
+  | "mem" -> Some Mem
+  | "durable" -> Some Durable
+  | _ -> None
+
+type matrix = {
+  protocols : Params.protocol list;
+  instances : int list;
+  exec_threads : int list;
+  backends : backend list;
+  view_timeouts_ms : float list;
+  families : Nemesis.Gen.family list;
+  seeds : int;
+  matrix_seed : int64;
+  budget_events : int;
+  thresholds : Classify.thresholds;
+  base : Params.t;
+  quick : bool;
+}
+
+let quick_base =
+  {
+    Params.default with
+    Params.n = 4;
+    clients = 200;
+    client_machines = 1;
+    batch_size = 20;
+    max_inflight_batches = 16;
+    checkpoint_txns = 400;
+    exec_records = 4096;
+    client_timeout = Sim.ms 40.0;
+    view_timeout = Sim.ms 75.0;
+    warmup = Sim.seconds 0.2;
+    measure = Sim.seconds 0.6;
+  }
+
+let quick_matrix =
+  {
+    protocols = [ Params.Pbft; Params.Zyzzyva ];
+    instances = [ 1; 2 ];
+    exec_threads = [ 1; 2 ];
+    backends = [ Mem; Durable ];
+    view_timeouts_ms = [ 75.0 ];
+    families = Nemesis.Gen.[ Fault_free; Crashes; Loss; Byzantine ];
+    seeds = 3;
+    matrix_seed = 0x52644243616D70L (* "RdBCamp" *);
+    budget_events = 4_000_000;
+    thresholds = Classify.default_thresholds;
+    base = quick_base;
+    quick = true;
+  }
+
+let cliff_matrix =
+  {
+    quick_matrix with
+    protocols = [ Params.Pbft ];
+    instances = [ 1 ];
+    exec_threads = [ 1 ];
+    backends = [ Mem ];
+    view_timeouts_ms = [ 150.0; 75.0; 40.0 ];
+    families = Nemesis.Gen.[ Loss; Heavy_loss ];
+    seeds = 5;
+  }
+
+let default_matrix =
+  {
+    quick_matrix with
+    instances = [ 1; 2; 4 ];
+    exec_threads = [ 1; 2; 4 ];
+    view_timeouts_ms = [ 40.0; 75.0; 150.0 ];
+    families = Nemesis.Gen.all_families;
+    seeds = 10;
+    quick = false;
+  }
+
+type cell = {
+  protocol : Params.protocol;
+  instances : int;
+  exec_threads : int;
+  backend : backend;
+  view_timeout_ms : float;
+  family : Nemesis.Gen.family;
+}
+
+(* First-occurrence dedup that keeps the caller's ordering — the ordering
+   defines axis adjacency for cliff detection. *)
+let dedup xs = List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) [] xs
+
+let families_of m = dedup (Nemesis.Gen.Fault_free :: m.families)
+
+let valid c = c.instances = 1 || c.protocol = Params.Pbft
+
+let expand m =
+  let cells =
+    List.concat_map
+      (fun protocol ->
+        List.concat_map
+          (fun instances ->
+            List.concat_map
+              (fun exec_threads ->
+                List.concat_map
+                  (fun backend ->
+                    List.concat_map
+                      (fun view_timeout_ms ->
+                        List.filter_map
+                          (fun family ->
+                            let c =
+                              {
+                                protocol;
+                                instances;
+                                exec_threads;
+                                backend;
+                                view_timeout_ms;
+                                family;
+                              }
+                            in
+                            if valid c then Some c else None)
+                          (families_of m))
+                      (dedup m.view_timeouts_ms))
+                  (dedup m.backends))
+              (dedup m.exec_threads))
+          (dedup m.instances))
+      (dedup m.protocols)
+  in
+  (* Canonical report order: the polymorphic compare over the record sorts
+     by protocol, k, E, backend, view timeout, then family constructor
+     order — stable however the matrix listed its axes. *)
+  List.sort compare cells
+
+let total_runs m = List.length (expand m) * max 1 m.seeds
+
+(* ---- deterministic per-run seeds ------------------------------------------ *)
+
+(* FNV-1a, written out rather than [Hashtbl.hash] so seeds cannot drift
+   across OCaml releases: the committed campaign baseline must mean the
+   same runs on every machine, forever. *)
+let fnv64 (s : string) : int64 =
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  String.iter (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime) s;
+  !h
+
+let cell_key c =
+  Printf.sprintf "%s|k=%d|E=%d|%s|vt=%.6g|%s"
+    (Params.protocol_name c.protocol)
+    c.instances c.exec_threads (backend_name c.backend) c.view_timeout_ms
+    (Nemesis.Gen.family_name c.family)
+
+let run_seed m c ~seed_index =
+  fnv64 (Printf.sprintf "%Ld|%s|%d" m.matrix_seed (cell_key c) seed_index)
+
+let params_for m ?data_dir c ~seed_index =
+  let seed = run_seed m c ~seed_index in
+  let sched_rng = Rng.create (fnv64 (Printf.sprintf "%Ld|schedule" seed)) in
+  let nemesis = Nemesis.Gen.generate c.family ~n:m.base.Params.n sched_rng in
+  {
+    m.base with
+    Params.protocol = c.protocol;
+    instances = c.instances;
+    execute_threads = c.exec_threads;
+    durable = c.backend = Durable;
+    data_dir;
+    view_timeout = Sim.ms c.view_timeout_ms;
+    nemesis;
+    seed;
+  }
+
+(* ---- filesystem scratch for durable cells --------------------------------- *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let temp_counter = Atomic.make 0
+
+let make_temp_root () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rdb-campaign-%d-%d" (Unix.getpid ())
+         (1 + Atomic.fetch_and_add temp_counter 1))
+  in
+  (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+(* ---- bounded parallel map over domains ------------------------------------ *)
+
+(* Work-stealing by atomic index: each worker claims the next unclaimed run.
+   Results land in their own slot, so the output order — and therefore the
+   report — is independent of scheduling. *)
+let map_bounded ~jobs f (tasks : 'a array) : 'b array =
+  let n = Array.length tasks in
+  if jobs <= 1 || n <= 1 then Array.mapi f tasks
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f i tasks.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+(* ---- running and aggregation ---------------------------------------------- *)
+
+(* The per-run distillate kept in memory: thousands of runs must not retain
+   thousands of latency reservoirs. *)
+type raw = { facts : Metrics.outcome_facts; safety_ok : bool; exhausted : bool }
+
+type axes = {
+  a_protocol : Params.protocol;
+  a_instances : int;
+  a_exec_threads : int;
+  a_backend : backend;
+  a_view_timeout_ms : float;
+}
+
+let axes_of c =
+  {
+    a_protocol = c.protocol;
+    a_instances = c.instances;
+    a_exec_threads = c.exec_threads;
+    a_backend = c.backend;
+    a_view_timeout_ms = c.view_timeout_ms;
+  }
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let report_cell c ~runs ~outcomes ~tputs ~retentions ~recoveries : Report.cell =
+  let count o = List.length (List.filter (fun x -> x = o) outcomes) in
+  let recov = Stats.create () in
+  List.iter (Stats.add recov) recoveries;
+  let nrec = Stats.count recov in
+  {
+    Report.protocol = Params.protocol_name c.protocol;
+    instances = c.instances;
+    exec_threads = c.exec_threads;
+    backend = backend_name c.backend;
+    view_timeout_ms = c.view_timeout_ms;
+    family = Nemesis.Gen.family_name c.family;
+    runs;
+    safe = count Classify.Safe;
+    live = count Classify.Live;
+    degraded = count Classify.Degraded;
+    wedged = count Classify.Wedged;
+    unsafe = count Classify.Unsafe;
+    tput_mean_tps = mean tputs;
+    retention_mean = mean retentions;
+    recoveries = nrec;
+    recovery_p50_s = (if nrec > 0 then Stats.percentile recov 50.0 else 0.0);
+    recovery_p90_s = (if nrec > 0 then Stats.percentile recov 90.0 else 0.0);
+    recovery_max_s = (if nrec > 0 then Stats.max recov else 0.0);
+  }
+
+(* A liveness cliff: two cells one axis step apart where the hazard rate
+   (wedged + unsafe fraction) jumps from clean to substantial.  Adjacency
+   follows the matrix's own axis ordering, so "one step" means what the
+   experimenter swept (k 1->2, vt 150->75, loss->heavy-loss, ...). *)
+let hazard_clean = 0.05
+
+let hazard_cliff = 0.25
+
+let find_cliffs m (agg : (cell * Report.cell) list) : Report.cliff list =
+  (* positions in the (deduped) axis list; a cliff runs low -> high *)
+  let adjacent values a b =
+    let pos v =
+      let rec go i = function [] -> None | x :: r -> if x = v then Some i else go (i + 1) r in
+      go 0 values
+    in
+    match (pos a, pos b) with Some i, Some j -> j = i + 1 | _ -> false
+  in
+  let step (a : cell) (b : cell) : (string * string * string) option =
+    (* the one axis a -> b steps along, if it is exactly one *)
+    let diffs = ref [] in
+    let note axis from_ to_ = diffs := (axis, from_, to_) :: !diffs in
+    if a.protocol <> b.protocol then
+      if adjacent (dedup m.protocols) a.protocol b.protocol then
+        note "protocol" (Params.protocol_name a.protocol) (Params.protocol_name b.protocol)
+      else note "-" "" "";
+    if a.instances <> b.instances then
+      if adjacent (dedup m.instances) a.instances b.instances then
+        note "instances" (string_of_int a.instances) (string_of_int b.instances)
+      else note "-" "" "";
+    if a.exec_threads <> b.exec_threads then
+      if adjacent (dedup m.exec_threads) a.exec_threads b.exec_threads then
+        note "exec_threads" (string_of_int a.exec_threads) (string_of_int b.exec_threads)
+      else note "-" "" "";
+    if a.backend <> b.backend then
+      if adjacent (dedup m.backends) a.backend b.backend then
+        note "backend" (backend_name a.backend) (backend_name b.backend)
+      else note "-" "" "";
+    if a.view_timeout_ms <> b.view_timeout_ms then
+      if adjacent (dedup m.view_timeouts_ms) a.view_timeout_ms b.view_timeout_ms then
+        note "view_timeout_ms"
+          (Printf.sprintf "%g" a.view_timeout_ms)
+          (Printf.sprintf "%g" b.view_timeout_ms)
+      else note "-" "" "";
+    if a.family <> b.family then
+      if adjacent (families_of m) a.family b.family then
+        note "family" (Nemesis.Gen.family_name a.family) (Nemesis.Gen.family_name b.family)
+      else note "-" "" "";
+    match !diffs with [ (("-", _, _) as _bad) ] -> None | [ d ] -> Some d | _ -> None
+  in
+  let cliffs =
+    List.concat_map
+      (fun (a, ra) ->
+        List.filter_map
+          (fun (b, rb) ->
+            match step a b with
+            | Some (axis, from_value, to_value)
+              when Report.hazard_rate ra <= hazard_clean
+                   && Report.hazard_rate rb >= hazard_cliff ->
+              Some
+                {
+                  Report.axis;
+                  from_value;
+                  to_value;
+                  cliff_cell = rb;
+                  hazard_from = Report.hazard_rate ra;
+                  hazard_to = Report.hazard_rate rb;
+                }
+            | _ -> None)
+          agg)
+      agg
+  in
+  List.sort compare cliffs
+
+let run ?(jobs = 1) ?progress m : Report.t =
+  let cells = expand m in
+  let seeds = max 1 m.seeds in
+  let runs =
+    Array.of_list (List.concat_map (fun c -> List.init seeds (fun s -> (c, s))) cells)
+  in
+  let total = Array.length runs in
+  let data_root =
+    if List.exists (fun c -> c.backend = Durable) cells then Some (make_temp_root ()) else None
+  in
+  let done_count = Atomic.make 0 in
+  let progress_lock = Mutex.create () in
+  let exec i (c, seed_index) : raw =
+    let data_dir =
+      match (c.backend, data_root) with
+      | Durable, Some root -> Some (Filename.concat root (Printf.sprintf "run-%d" i))
+      | _ -> None
+    in
+    let p = params_for m ?data_dir c ~seed_index in
+    let cl = Cluster.create p in
+    let metrics, completion = Cluster.measure_bounded ~max_events:m.budget_events cl in
+    let safety = Cluster.check_safety cl in
+    Cluster.close cl;
+    (match data_dir with Some d -> rm_rf d | None -> ());
+    (match progress with
+    | None -> ()
+    | Some f ->
+      let done_ = 1 + Atomic.fetch_and_add done_count 1 in
+      Mutex.lock progress_lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock progress_lock) (fun () -> f ~done_ ~total));
+    {
+      facts = Metrics.outcome_facts metrics;
+      safety_ok = (match safety with Ok () -> true | Error _ -> false);
+      exhausted = completion = Cluster.Event_budget_exhausted;
+    }
+  in
+  let raws = map_bounded ~jobs exec runs in
+  (match data_root with Some root -> rm_rf root | None -> ());
+  let cell_raws ci = List.init seeds (fun s -> raws.((ci * seeds) + s)) in
+  (* Fault-free twins: mean throughput per axis combination, the
+     denominator of every faulted cell's retention. *)
+  let twin_means =
+    List.concat
+      (List.mapi
+         (fun ci c ->
+           if c.family = Nemesis.Gen.Fault_free then
+             [ (axes_of c, mean (List.map (fun r -> r.facts.Metrics.of_throughput_tps) (cell_raws ci))) ]
+           else [])
+         cells)
+  in
+  let retention_of c (r : raw) =
+    if c.family = Nemesis.Gen.Fault_free then None
+    else
+      match List.assoc_opt (axes_of c) twin_means with
+      | Some twin when twin > 0.0 -> Some (r.facts.Metrics.of_throughput_tps /. twin)
+      | _ -> None
+  in
+  let agg =
+    List.mapi
+      (fun ci c ->
+        let rs = cell_raws ci in
+        let retentions = List.map (retention_of c) rs in
+        let outcomes =
+          List.map2
+            (fun (r : raw) retention ->
+              Classify.classify m.thresholds
+                {
+                  Classify.facts = r.facts;
+                  safety_ok = r.safety_ok;
+                  budget_exhausted = r.exhausted;
+                  retention;
+                })
+            rs retentions
+        in
+        let rc =
+          report_cell c ~runs:(List.length rs) ~outcomes
+            ~tputs:(List.map (fun (r : raw) -> r.facts.Metrics.of_throughput_tps) rs)
+            ~retentions:(List.map (Option.value ~default:1.0) retentions)
+            ~recoveries:(List.filter_map (fun (r : raw) -> r.facts.Metrics.of_recovery_s) rs)
+        in
+        (c, rc))
+      cells
+  in
+  {
+    Report.quick = m.quick;
+    matrix_seed = m.matrix_seed;
+    runs_per_cell = seeds;
+    total_runs = total;
+    budget_events = m.budget_events;
+    thresholds = Classify.threshold_fields m.thresholds;
+    cells = List.map snd agg;
+    cliffs = find_cliffs m agg;
+  }

@@ -1,0 +1,96 @@
+(** The fault-campaign runner: scenario coverage at scale.
+
+    A {!matrix} declares a sweep — protocol × ordering instances (k) ×
+    execute threads (E) × ledger backend × view timeout × fault-schedule
+    family — plus a per-cell seed count.  {!expand} turns it into a
+    deterministic run list; {!run} executes every run as an independent
+    bounded DES simulation (in parallel on OCaml 5 domains when [jobs] >
+    1), classifies each outcome with {!Classify}, aggregates per-cell
+    statistics (outcome counts, recovery-time quantiles through the
+    {!Rdb_des.Stats} reservoir, throughput retention vs the cell's
+    fault-free twin) and returns a {!Rdb_obs.Campaign_report.t} naming the
+    liveness cliffs.
+
+    Determinism: each run's parameter seed and schedule derive from an
+    FNV-1a hash of the matrix seed, the cell's axis values and the seed
+    index — independent of run order, worker count and the other cells —
+    and the report serializes in sorted cell order, so two invocations of
+    the same matrix produce byte-identical JSON whether they ran on one
+    domain or sixteen. *)
+
+module Params = Rdb_core.Params
+module Nemesis = Rdb_core.Nemesis
+
+type backend = Mem | Durable
+
+val backend_name : backend -> string
+(** ["mem"] / ["durable"] — report field values. *)
+
+val backend_of_name : string -> backend option
+
+type matrix = {
+  protocols : Params.protocol list;
+  instances : int list;  (** k values (> 1 only valid for PBFT) *)
+  exec_threads : int list;  (** E values *)
+  backends : backend list;
+  view_timeouts_ms : float list;
+  families : Nemesis.Gen.family list;
+      (** {!Nemesis.Gen.family.Fault_free} is always swept even if absent
+          here: every cell needs its throughput twin *)
+  seeds : int;  (** runs per cell *)
+  matrix_seed : int64;
+  budget_events : int;  (** per-run DES event budget (wedge cutoff) *)
+  thresholds : Classify.thresholds;
+  base : Params.t;  (** everything the axes do not override *)
+  quick : bool;  (** stamped into the report (gate refuses cross-mode diffs) *)
+}
+
+val quick_base : Params.t
+(** Small, fast deployment for campaign cells: n = 4, a few hundred
+    closed-loop clients, sub-second windows, client retransmission and the
+    demand-timer liveness loop enabled. *)
+
+val quick_matrix : matrix
+(** The CI smoke sweep: 2 protocols × k ∈ \{1, 2\} × E ∈ \{1, 2\} × both
+    ledger backends × 4 families × 3 seeds = 144 runs (invalid
+    Zyzzyva/multi-primary combinations are skipped at expansion). *)
+
+val cliff_matrix : matrix
+(** The liveness-cliff probe from EXPERIMENTS.md: PBFT under moderate
+    (10%) vs heavy (35–55%) message loss across view timeouts of 150, 75
+    and 40 ms.  The family step loss → heavy-loss is the cliff —
+    retention collapses an order of magnitude and wedged runs appear,
+    worst at the patient 150 ms timeout where a swallowed view change
+    takes longest to retry. *)
+
+val default_matrix : matrix
+(** The full sweep: k and E up to 4, three view timeouts, all 8 schedule
+    families, 10 seeds per cell — several thousand runs. *)
+
+type cell = {
+  protocol : Params.protocol;
+  instances : int;
+  exec_threads : int;
+  backend : backend;
+  view_timeout_ms : float;
+  family : Nemesis.Gen.family;
+}
+
+val expand : matrix -> cell list
+(** Every valid cell, in canonical (sorted) order; forces a
+    [Fault_free] cell per axis combination. *)
+
+val params_for : matrix -> ?data_dir:string -> cell -> seed_index:int -> Params.t
+(** The exact {!Params.t} one run executes: axes applied over [base], the
+    run seed and the generated nemesis schedule installed.  Exposed so
+    tests (and a curious user reproducing one cell) can re-run any single
+    campaign run bit-identically. *)
+
+val total_runs : matrix -> int
+
+val run :
+  ?jobs:int -> ?progress:(done_:int -> total:int -> unit) -> matrix -> Rdb_obs.Campaign_report.t
+(** Execute the whole matrix.  [jobs] bounds the domain worker pool
+    (default 1 = serial; results are identical either way).  [progress] is
+    called after each completed run, possibly from worker domains (calls
+    are serialized). *)

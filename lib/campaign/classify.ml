@@ -1,0 +1,71 @@
+(* Outcome classification: a pure function of one run's observation.  The
+   thresholds are deliberately explicit record fields (not buried
+   constants) — the report embeds them, so a reader of campaign JSON knows
+   exactly what "degraded" meant for that sweep. *)
+
+module Metrics = Rdb_core.Metrics
+module Cluster = Rdb_core.Cluster
+
+type outcome = Safe | Live | Degraded | Wedged | Unsafe
+
+let all_outcomes = [ Safe; Live; Degraded; Wedged; Unsafe ]
+
+let outcome_name = function
+  | Safe -> "safe"
+  | Live -> "live"
+  | Degraded -> "degraded"
+  | Wedged -> "wedged"
+  | Unsafe -> "unsafe"
+
+type thresholds = {
+  min_progress_txns : int;
+  recovery_bound_s : float;
+  retention_degraded : float;
+  retention_safe : float;
+}
+
+let default_thresholds =
+  {
+    min_progress_txns = 10;
+    recovery_bound_s = 0.5;
+    retention_degraded = 0.35;
+    retention_safe = 0.85;
+  }
+
+let threshold_fields t =
+  [
+    ("min_progress_txns", float_of_int t.min_progress_txns);
+    ("recovery_bound_s", t.recovery_bound_s);
+    ("retention_degraded", t.retention_degraded);
+    ("retention_safe", t.retention_safe);
+  ]
+
+type observation = {
+  facts : Metrics.outcome_facts;
+  safety_ok : bool;
+  budget_exhausted : bool;
+  retention : float option;
+}
+
+let observe ~metrics ~safety ~completion ~retention =
+  {
+    facts = Metrics.outcome_facts metrics;
+    safety_ok = (match safety with Ok () -> true | Error _ -> false);
+    budget_exhausted = (completion = Cluster.Event_budget_exhausted);
+    retention;
+  }
+
+(* Severity-ordered decision ladder; each rung's predicate is one explicit
+   threshold from the record above. *)
+let classify (t : thresholds) (o : observation) =
+  let f = o.facts in
+  if not o.safety_ok then Unsafe
+  else if o.budget_exhausted || f.Metrics.of_completed < t.min_progress_txns then Wedged
+  else
+    let slow_recovery =
+      match f.Metrics.of_recovery_s with Some s -> s > t.recovery_bound_s | None -> false
+    in
+    let retention = Option.value ~default:1.0 o.retention in
+    if slow_recovery || retention < t.retention_degraded then Degraded
+    else if f.Metrics.of_perturbed || retention < t.retention_safe then Live
+    else Safe

@@ -1,0 +1,73 @@
+(** Run-outcome classification for fault campaigns.
+
+    Each seeded DES run is reduced to one of five outcome classes via
+    explicit thresholds, so thousands of runs aggregate into a statement
+    like "crash schedules never cost PBFT liveness, heavy loss wedges it
+    below a 75 ms view timeout".  The classes form a severity order:
+
+    - {!outcome.Safe} — agreement holds and the run is observationally
+      indistinguishable from its fault-free twin: no recovery was needed
+      and throughput retention is at least [retention_safe].
+    - {!outcome.Live} — agreement holds; the run was visibly perturbed
+      (view changes, retransmissions, a recovery) but recovered within
+      [recovery_bound_s] and retained at least [retention_degraded] of the
+      twin's throughput.
+    - {!outcome.Degraded} — agreement holds and progress was made, but
+      throughput retention fell below [retention_degraded] or recovery
+      took longer than [recovery_bound_s].
+    - {!outcome.Wedged} — the run made fewer than [min_progress_txns]
+      completions in its measurement window, or its DES event budget ran
+      out first ({!Rdb_core.Cluster.completion.Event_budget_exhausted}):
+      the cluster stopped serving clients.
+    - {!outcome.Unsafe} — cross-replica agreement failed
+      ({!Rdb_core.Cluster.check_safety}); trumps everything else.
+
+    Classification is a pure function of an {!observation}, so the unit
+    tests drive every class from hand-built metrics. *)
+
+type outcome = Safe | Live | Degraded | Wedged | Unsafe
+
+val all_outcomes : outcome list
+(** In severity order, [Safe] first. *)
+
+val outcome_name : outcome -> string
+(** ["safe"], ["live"], ["degraded"], ["wedged"], ["unsafe"] — the
+    campaign-report/v1 field names. *)
+
+type thresholds = {
+  min_progress_txns : int;
+      (** fewer measured completions than this is no progress (wedged) *)
+  recovery_bound_s : float;
+      (** a recorded time-to-recovery above this is a degraded run *)
+  retention_degraded : float;
+      (** throughput retention vs the fault-free twin below this is
+          degraded *)
+  retention_safe : float;
+      (** retention at or above this, with no recovery needed, is safe *)
+}
+
+val default_thresholds : thresholds
+(** [min_progress_txns = 10], [recovery_bound_s = 0.5],
+    [retention_degraded = 0.35], [retention_safe = 0.85]. *)
+
+val threshold_fields : thresholds -> (string * float) list
+(** Named projection for the report document. *)
+
+type observation = {
+  facts : Rdb_core.Metrics.outcome_facts;
+  safety_ok : bool;  (** {!Rdb_core.Cluster.check_safety} verdict *)
+  budget_exhausted : bool;  (** the run hit its DES event budget *)
+  retention : float option;
+      (** measured throughput / the fault-free twin's mean throughput;
+          [None] when there is no twin (the twin cell itself, which by
+          definition retains everything) *)
+}
+
+val observe :
+  metrics:Rdb_core.Metrics.t ->
+  safety:(unit, string) result ->
+  completion:Rdb_core.Cluster.completion ->
+  retention:float option ->
+  observation
+
+val classify : thresholds -> observation -> outcome

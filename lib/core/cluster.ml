@@ -1740,13 +1740,13 @@ let install_series t (o : obs) =
   o.series <- Some s
 
 (* Fresh durable roots per cluster, so two runs in one process never reopen
-   (and replay) each other's stores. *)
-let data_root_counter = ref 0
+   (and replay) each other's stores.  Atomic: the fault-campaign harness
+   creates clusters from several domains at once. *)
+let data_root_counter = Atomic.make 0
 
 let fresh_data_root () =
-  incr data_root_counter;
   Filename.concat (Filename.get_temp_dir_name ())
-    (Printf.sprintf "rdb-cluster-%d-%d" (Unix.getpid ()) !data_root_counter)
+    (Printf.sprintf "rdb-cluster-%d-%d" (Unix.getpid ()) (1 + Atomic.fetch_and_add data_root_counter 1))
 
 let create (p : Params.t) =
   Params.validate p;
@@ -2024,13 +2024,30 @@ let obs_finish t =
         { Metrics.phase = "reply"; time = o.span_reply };
       ] )
 
-let measure (t : t) : Metrics.t =
+type completion = Completed | Event_budget_exhausted
+
+let measure_bounded ?max_events (t : t) : Metrics.t * completion =
   let p = t.p in
   start t;
-  Sim.run ~until:p.Params.warmup t.sim;
+  let remaining = ref max_events in
+  let run_to limit =
+    match !remaining with
+    | None ->
+      Sim.run ~until:limit t.sim;
+      true
+    | Some budget -> (
+      match Sim.run_bounded ~until:limit ~max_events:budget t.sim with
+      | `Completed n ->
+        remaining := Some (budget - n);
+        true
+      | `Exhausted ->
+        remaining := Some 0;
+        false)
+  in
+  let warm_ok = run_to p.Params.warmup in
   let s0 = snapshot t in
   t.measuring <- true;
-  Sim.run ~until:(p.Params.warmup + p.Params.measure) t.sim;
+  let meas_ok = warm_ok && run_to (p.Params.warmup + p.Params.measure) in
   t.measuring <- false;
   let s1 = snapshot t in
   let window = Sim.to_seconds (s1.snap_time - s0.snap_time) in
@@ -2070,20 +2087,34 @@ let measure (t : t) : Metrics.t =
          t.hosts)
   in
   let breakdown, spans = obs_finish t in
-  {
-    Metrics.throughput_tps = (if window > 0.0 then float_of_int t.completed_txns /. window else 0.0);
-    ops_per_second = (if window > 0.0 then float_of_int t.completed_ops /. window else 0.0);
-    latency = t.latencies;
-    completed_txns = t.completed_txns;
-    fast_path_txns = t.fast_txns;
-    cert_path_txns = t.cert_txns;
-    replicas;
-    messages_sent = s1.msgs - s0.msgs;
-    bytes_sent = s1.bytes - s0.bytes;
-    ledger_blocks = s1.blocks - s0.blocks;
-    faults = fault_report t;
-    breakdown;
-    spans;
-  }
+  let metrics =
+    {
+      Metrics.throughput_tps =
+        (if window > 0.0 then float_of_int t.completed_txns /. window else 0.0);
+      ops_per_second = (if window > 0.0 then float_of_int t.completed_ops /. window else 0.0);
+      latency = t.latencies;
+      completed_txns = t.completed_txns;
+      fast_path_txns = t.fast_txns;
+      cert_path_txns = t.cert_txns;
+      replicas;
+      messages_sent = s1.msgs - s0.msgs;
+      bytes_sent = s1.bytes - s0.bytes;
+      ledger_blocks = s1.blocks - s0.blocks;
+      faults = fault_report t;
+      breakdown;
+      spans;
+    }
+  in
+  (metrics, if meas_ok then Completed else Event_budget_exhausted)
+
+let measure (t : t) : Metrics.t = fst (measure_bounded t)
+
+(* Release OS resources held by durable backends (WAL + B-tree file
+   handles); a no-op on in-memory deployments.  The fault campaign runs
+   hundreds of clusters per process, so leaked descriptors would otherwise
+   accumulate. *)
+let close t = Array.iter (fun h -> Ledger.close h.ledger) t.hosts
+
+let run_bounded ?max_events (p : Params.t) = measure_bounded ?max_events (create p)
 
 let run (p : Params.t) : Metrics.t = measure (create p)

@@ -125,3 +125,34 @@ val measure : t -> Metrics.t
 val run : Params.t -> Metrics.t
 (** [create] + [start] + run to [warmup + measure], returning the metrics
     of the measurement window. *)
+
+(** {2 Bounded (campaign) runs}
+
+    A wedged deployment — say a view-change storm under heavy loss — keeps
+    scheduling retransmission and timer events forever, so an unbounded run
+    only terminates because simulated time does.  The fault-campaign
+    harness instead gives each run a hard {e event} budget: when the budget
+    is spent with live work remaining, the run stops immediately with
+    {!completion.Event_budget_exhausted} and whatever metrics had
+    accumulated, instead of burning wall-clock on a run that will be
+    classified wedged anyway.  Budgets are deterministic (unlike wall-clock
+    timeouts), so budgeted campaigns stay bit-reproducible. *)
+
+type completion =
+  | Completed  (** the run reached its [warmup + measure] horizon *)
+  | Event_budget_exhausted
+      (** the event budget ran out first: the run is wedged or pathologically
+          event-dense; metrics cover only the progress made *)
+
+val measure_bounded : ?max_events:int -> t -> Metrics.t * completion
+(** {!measure} under an event budget.  Without [max_events] this is exactly
+    {!measure} (and always [Completed]). *)
+
+val run_bounded : ?max_events:int -> Params.t -> Metrics.t * completion
+(** [create] + {!measure_bounded}. *)
+
+val close : t -> unit
+(** Release OS resources held by durable ledger backends (WAL/B-tree file
+    handles); a no-op for in-memory deployments.  Call after the last
+    inspection of a durable cluster — campaign harnesses run hundreds of
+    clusters per process. *)

@@ -95,6 +95,33 @@ type t = {
 (** Mean end-to-end transaction latency in seconds. *)
 let latency_avg t = Stats.mean t.latency
 
+type outcome_facts = {
+  of_completed : int;  (** transactions completed in the measured window *)
+  of_throughput_tps : float;
+  of_view_changes : int;
+  of_recovery_s : float option;  (** {!faults.time_to_recovery_s} *)
+  of_catch_up_s : float option;  (** {!faults.time_to_catch_up_s} *)
+  of_perturbed : bool;
+      (** whether the run shows any fault evidence at all (drops,
+          duplicates, retransmissions, view changes, state transfers,
+          byzantine counters): [false] means the run is observationally
+          fault-free *)
+}
+(** The compact projection a fault-campaign classifier consumes: progress,
+    recovery and perturbation evidence, without the full per-replica
+    detail.  See [Rdb_campaign.Classify]. *)
+
+let outcome_facts t =
+  let f = t.faults in
+  {
+    of_completed = t.completed_txns;
+    of_throughput_tps = t.throughput_tps;
+    of_view_changes = f.view_changes;
+    of_recovery_s = f.time_to_recovery_s;
+    of_catch_up_s = f.time_to_catch_up_s;
+    of_perturbed = f <> no_faults;
+  }
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>throughput: %.0f txn/s (%.0f op/s)@ latency: avg %.4fs p50 %.4fs p99 %.4fs@ completed: %d (fast %d, cert %d)@ network: %d msgs, %.1f MB@ blocks: %d"

@@ -169,6 +169,127 @@ let validate ~n schedule =
       (Printf.sprintf "Nemesis: %d byzantine attackers exceeds f = (n-1)/3 = %d for n = %d"
          (List.length attackers) f n)
 
+(* ---- random schedule generation ------------------------------------------ *)
+
+(* One source for randomized fault schedules, shared by the fault-campaign
+   harness, the qcheck properties (test/testkit.ml wraps these into QCheck
+   generators) and the examples.  All draws come from the caller's
+   deterministic [Rng.t], so a (family, seed) pair names one schedule
+   forever.  Times are tuned for sub-second runs (the campaign and test
+   default): faults land inside the first ~450 ms, windows are 20–120 ms,
+   except the deliberately run-covering heavy-loss family. *)
+module Gen = struct
+  module Rng = Rdb_des.Rng
+
+  type family =
+    | Fault_free
+    | Crashes
+    | Partitions
+    | Loss
+    | Heavy_loss
+    | Duplication
+    | Byzantine
+    | Mixed
+
+  let all_families =
+    [ Fault_free; Crashes; Partitions; Loss; Heavy_loss; Duplication; Byzantine; Mixed ]
+
+  let family_name = function
+    | Fault_free -> "none"
+    | Crashes -> "crash"
+    | Partitions -> "partition"
+    | Loss -> "loss"
+    | Heavy_loss -> "heavy-loss"
+    | Duplication -> "dup"
+    | Byzantine -> "byzantine"
+    | Mixed -> "mixed"
+
+  let family_of_name s = List.find_opt (fun f -> family_name f = s) all_families
+
+  let time rng lo_ms hi_ms = Sim.ms (float_of_int (lo_ms + Rng.int rng (hi_ms - lo_ms + 1)))
+
+  (* Crash the primary, or a random backup, inside the first 400 ms. *)
+  let crash ~n rng =
+    if Rng.bool rng then crash_primary_at (time rng 100 400)
+    else [ at (time rng 100 400) (Crash (1 + Rng.int rng (n - 1))) ]
+
+  (* Cut the replica set in halves for a bounded window.  The minority side
+     holds fewer than 2f+1 replicas, so progress depends on the majority
+     side keeping (or electing) a primary. *)
+  let partition ~n rng =
+    let from_ = time rng 100 350 in
+    let half = n / 2 in
+    partition_window ~from_ ~until:(from_ + time rng 20 120) ~name:"gen"
+      (List.init half Fun.id)
+      (List.init (n - half) (fun i -> half + i))
+
+  let loss_burst rng =
+    let from_ = time rng 100 350 in
+    loss_window ~from_ ~until:(from_ + time rng 20 120) 0.1
+
+  (* 35–55% loss covering most of the run: the liveness-cliff probe.  With a
+     generous view timeout the retransmission machinery grinds through it;
+     with a short one the cluster spends the window electing primaries it
+     cannot hear, which is exactly the wedge the campaign exists to map. *)
+  let heavy_loss rng =
+    let rate = 0.35 +. (0.05 *. float_of_int (Rng.int rng 5)) in
+    loss_window ~from_:(time rng 80 150) ~until:(time rng 600 750) rate
+
+  let duplication_burst rng =
+    let from_ = time rng 100 350 in
+    duplication_window ~from_ ~until:(from_ + time rng 20 120) 0.2
+
+  let jitter_spike rng = [ at (time rng 50 300) (Extra_jitter (Sim.us 400.0)) ]
+
+  (* The benign mix the qcheck safety properties throw at small clusters:
+     each component present with probability 1/2. *)
+  let random_benign ~n rng =
+    let opt gen = if Rng.bool rng then gen rng else [] in
+    List.concat
+      [
+        opt (crash ~n);
+        opt (partition ~n);
+        opt loss_burst;
+        opt duplication_burst;
+        opt jitter_spike;
+      ]
+
+  (* One byzantine attacker window: a single replica lies in one of the five
+     adversarial modes for a bounded interval, then returns to honesty.
+     Naming one attacker keeps the schedule inside the f <= (n-1)/3 bound
+     [validate] enforces, by construction. *)
+  let random_attack ~n rng =
+    let node = Rng.int rng n in
+    let from_ = time rng 100 350 in
+    let until = from_ + time rng 20 120 in
+    let rate () = float_of_int (1 + Rng.int rng 10) /. 10.0 in
+    match Rng.int rng 5 with
+    | 0 -> equivocate_window ~from_ ~until node
+    | 1 -> corrupt_digest_window ~from_ ~until node (rate ())
+    | 2 -> corrupt_mac_window ~from_ ~until node (rate ())
+    | 3 ->
+      let k = 1 + Rng.int rng 2 in
+      silence_window ~from_ ~until node (List.init k (fun i -> (node + 1 + i) mod n))
+    | _ -> view_change_spam_window ~from_ ~until node ~period:(Sim.ms 5.0)
+
+  (* The full fault model: the benign mix plus, half the time, a byzantine
+     attacker window. *)
+  let random_schedule ~n rng =
+    let benign = random_benign ~n rng in
+    if Rng.bool rng then benign @ random_attack ~n rng else benign
+
+  let generate family ~n rng =
+    match family with
+    | Fault_free -> []
+    | Crashes -> crash ~n rng
+    | Partitions -> partition ~n rng
+    | Loss -> loss_burst rng
+    | Heavy_loss -> heavy_loss rng
+    | Duplication -> duplication_burst rng
+    | Byzantine -> random_attack ~n rng
+    | Mixed -> random_schedule ~n rng
+end
+
 (* The cluster hands over narrow capabilities instead of itself, so this
    module stays independent of the cluster's (large) internal state and the
    schedule types can be referenced from [Params] without a dependency

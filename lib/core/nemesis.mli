@@ -167,6 +167,63 @@ val validate : n:int -> schedule -> unit
     whose distinct byzantine attackers exceed f = ⌊(n−1)/3⌋ (the bound the
     hardening guarantees cover). *)
 
+(** {2 Random schedule generation}
+
+    One source for randomized fault schedules, shared by the fault-campaign
+    harness ([Rdb_campaign]), the qcheck safety properties
+    ([test/testkit.ml] wraps these into QCheck generators) and the
+    examples.  Every draw comes from the caller's deterministic
+    {!Rdb_des.Rng.t}, so a (family, seed) pair names one schedule forever —
+    the property campaign reports depend on.  Generated times target
+    sub-second runs: faults land inside the first ~450 ms in 20–120 ms
+    windows, except {!Gen.family.Heavy_loss}, which deliberately covers
+    most of the run. *)
+
+module Gen : sig
+  (** A schedule {e family}: a named distribution over schedules, the
+      fault axis of a campaign matrix cell. *)
+  type family =
+    | Fault_free  (** the empty schedule — every cell's throughput twin *)
+    | Crashes  (** one fail-stop crash (primary or random backup) *)
+    | Partitions  (** one half-vs-half partition window *)
+    | Loss  (** one 10% loss window *)
+    | Heavy_loss
+        (** one 35–55% loss window covering most of the run: the
+            liveness-cliff probe (see EXPERIMENTS.md "Fault campaigns") *)
+    | Duplication  (** one 20% duplication window *)
+    | Byzantine
+        (** one attacker window drawn from the five adversarial behaviors
+            (single attacker, so always within the f bound) *)
+    | Mixed  (** {!random_benign} plus, half the time, an attacker window *)
+
+  val all_families : family list
+
+  val family_name : family -> string
+  (** Stable wire name (["none"], ["crash"], ["partition"], ["loss"],
+      ["heavy-loss"], ["dup"], ["byzantine"], ["mixed"]) used in campaign
+      reports and CLI flags. *)
+
+  val family_of_name : string -> family option
+
+  val generate : family -> n:int -> Rdb_des.Rng.t -> schedule
+  (** Draw one schedule of the family for an [n]-replica deployment.  The
+      result always passes {!validate} for that [n]. *)
+
+  val random_benign : n:int -> Rdb_des.Rng.t -> schedule
+  (** The benign mix thrown at small clusters by the qcheck safety
+      properties: optional crash, partition window, loss window,
+      duplication window and jitter spike, each present with probability
+      1/2. *)
+
+  val random_attack : n:int -> Rdb_des.Rng.t -> schedule
+  (** One byzantine attacker window (one replica, one of the five
+      strategies, bounded interval, honesty restored after). *)
+
+  val random_schedule : n:int -> Rdb_des.Rng.t -> schedule
+  (** {!random_benign} plus, half the time, {!random_attack}: the full
+      fault model the cluster-level safety properties run under. *)
+end
+
 (** {2 Driving a schedule}
 
     The cluster exposes itself as a narrow capability record; {!install}

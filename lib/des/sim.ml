@@ -72,5 +72,34 @@ let run ?until t =
       | Some _ -> ignore (step t)
     done
 
+(* Like [run], but with a hard cap on processed events.  Cancelled events
+   are discarded without charging the budget, so the cap bounds real work;
+   the clock-at-horizon behavior matches [run] exactly, which keeps
+   budgeted runs bit-identical to unbudgeted ones whenever the budget is
+   not hit. *)
+let run_bounded ?until ~max_events t =
+  if max_events < 0 then invalid_arg "Sim.run_bounded: negative event budget";
+  let processed = ref 0 in
+  let exhausted = ref false in
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some ev when (match until with Some limit -> ev.fire_at > limit | None -> false) ->
+      (match until with Some limit -> t.clock <- limit | None -> ());
+      continue := false
+    | Some ev when not ev.live -> ignore (Heap.pop t.queue)
+    | Some _ ->
+      if !processed >= max_events then begin
+        exhausted := true;
+        continue := false
+      end
+      else begin
+        incr processed;
+        ignore (step t)
+      end
+  done;
+  if !exhausted then `Exhausted else `Completed !processed
+
 let pending t =
   List.length (List.filter (fun ev -> ev.live) (Heap.to_list t.queue))

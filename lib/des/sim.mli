@@ -52,6 +52,17 @@ val run : ?until:time -> t -> unit
 (** Processes events in time order.  Stops when the queue drains, or at
     [until] (events at exactly [until] are processed). *)
 
+val run_bounded : ?until:time -> max_events:int -> t -> [ `Completed of int | `Exhausted ]
+(** {!run} with a hard event budget: processes at most [max_events] live
+    events (cancelled events are skipped without charging the budget).
+    Returns [`Completed n] — [n] events processed — when the queue drained
+    or the [until] horizon was reached, and [`Exhausted] when live work
+    remained with the budget spent.  A wedged model that keeps scheduling
+    work (retransmission storms, zero-delay event loops) therefore
+    terminates with a clean verdict instead of spinning; whenever the
+    budget is not hit, the run is bit-identical to {!run}.  Raises
+    [Invalid_argument] on a negative budget. *)
+
 val step : t -> bool
 (** Processes a single event; [false] when the queue is empty. *)
 

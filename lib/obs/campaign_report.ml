@@ -1,0 +1,150 @@
+(* The campaign-report/v1 schema: plain records + a deterministic JSON
+   writer.  See the interface for the layering rationale. *)
+
+let schema = "campaign-report/v1"
+
+type cell = {
+  protocol : string;
+  instances : int;
+  exec_threads : int;
+  backend : string;
+  view_timeout_ms : float;
+  family : string;
+  runs : int;
+  safe : int;
+  live : int;
+  degraded : int;
+  wedged : int;
+  unsafe : int;
+  tput_mean_tps : float;
+  retention_mean : float;
+  recoveries : int;
+  recovery_p50_s : float;
+  recovery_p90_s : float;
+  recovery_max_s : float;
+}
+
+type cliff = {
+  axis : string;
+  from_value : string;
+  to_value : string;
+  cliff_cell : cell;
+  hazard_from : float;
+  hazard_to : float;
+}
+
+type t = {
+  quick : bool;
+  matrix_seed : int64;
+  runs_per_cell : int;
+  total_runs : int;
+  budget_events : int;
+  thresholds : (string * float) list;
+  cells : cell list;
+  cliffs : cliff list;
+}
+
+let hazard_rate c =
+  if c.runs = 0 then 0.0 else float_of_int (c.wedged + c.unsafe) /. float_of_int c.runs
+
+(* ---- JSON ----------------------------------------------------------------- *)
+
+(* Same float convention as the bench JSON: %.6g, degenerate values as 0.
+   Cells serialize in list order and every field is written explicitly, so
+   the bytes are a pure function of the record. *)
+let number v = if Float.is_finite v then Printf.sprintf "%.6g" v else "0"
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let cell_json b ?(indent = "    ") (c : cell) =
+  Buffer.add_string b
+    (Printf.sprintf
+       "%s{\"protocol\": \"%s\", \"instances\": %d, \"exec_threads\": %d, \"backend\": \"%s\", \
+        \"view_timeout_ms\": %s, \"family\": \"%s\", \"runs\": %d, \"safe\": %d, \"live\": %d, \
+        \"degraded\": %d, \"wedged\": %d, \"unsafe\": %d, \"tput_mean_tps\": %s, \
+        \"retention_mean\": %s, \"recoveries\": %d, \"recovery_p50_s\": %s, \"recovery_p90_s\": \
+        %s, \"recovery_max_s\": %s}"
+       indent (escape c.protocol) c.instances c.exec_threads (escape c.backend)
+       (number c.view_timeout_ms) (escape c.family) c.runs c.safe c.live c.degraded c.wedged
+       c.unsafe (number c.tput_mean_tps) (number c.retention_mean) c.recoveries
+       (number c.recovery_p50_s) (number c.recovery_p90_s) (number c.recovery_max_s))
+
+let to_json (t : t) =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"schema\": \"%s\",\n" schema);
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" t.quick);
+  Buffer.add_string b (Printf.sprintf "  \"matrix_seed\": \"%Ld\",\n" t.matrix_seed);
+  Buffer.add_string b (Printf.sprintf "  \"runs_per_cell\": %d,\n" t.runs_per_cell);
+  Buffer.add_string b (Printf.sprintf "  \"total_runs\": %d,\n" t.total_runs);
+  Buffer.add_string b (Printf.sprintf "  \"budget_events\": %d,\n" t.budget_events);
+  Buffer.add_string b "  \"thresholds\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "\"%s\": %s" (escape k) (number v)))
+    t.thresholds;
+  Buffer.add_string b "},\n";
+  Buffer.add_string b "  \"cells\": [\n";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string b ",\n";
+      cell_json b c)
+    t.cells;
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"cliffs\": [\n";
+  List.iteri
+    (fun i (cl : cliff) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"axis\": \"%s\", \"from\": \"%s\", \"to\": \"%s\", \"hazard_from\": %s, \
+            \"hazard_to\": %s,\n     \"cell\":\n"
+           (escape cl.axis) (escape cl.from_value) (escape cl.to_value) (number cl.hazard_from)
+           (number cl.hazard_to));
+      cell_json b ~indent:"      " cl.cliff_cell;
+      Buffer.add_string b "}")
+    t.cliffs;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+(* ---- human summary -------------------------------------------------------- *)
+
+let cell_axes_string (c : cell) =
+  Printf.sprintf "%s k=%d E=%d %s vt=%gms" c.protocol c.instances c.exec_threads c.backend
+    c.view_timeout_ms
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "@[<v>campaign: %d runs (%d per cell), %d cells, event budget %d%s@ @ "
+    t.total_runs t.runs_per_cell (List.length t.cells) t.budget_events
+    (if t.quick then " [quick]" else "");
+  Format.fprintf ppf "%-38s %-10s %5s %5s %5s %5s %5s %5s %9s %9s@ " "cell" "family" "runs"
+    "safe" "live" "degr" "wedge" "unsf" "tput" "retain";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%-38s %-10s %5d %5d %5d %5d %5d %5d %9.0f %9.2f@ "
+        (cell_axes_string c) c.family c.runs c.safe c.live c.degraded c.wedged c.unsafe
+        c.tput_mean_tps c.retention_mean)
+    t.cells;
+  (match t.cliffs with
+  | [] -> Format.fprintf ppf "@ no liveness cliffs: no axis step turns a clean cell hazardous@ "
+  | cliffs ->
+    Format.fprintf ppf "@ liveness cliffs (axis steps where the wedge rate jumps):@ ";
+    List.iter
+      (fun (cl : cliff) ->
+        Format.fprintf ppf "  %s: %s -> %s lifts hazard %.0f%% -> %.0f%% at %s/%s@ " cl.axis
+          cl.from_value cl.to_value (100.0 *. cl.hazard_from) (100.0 *. cl.hazard_to)
+          (cell_axes_string cl.cliff_cell) cl.cliff_cell.family)
+      cliffs);
+  Format.fprintf ppf "@]"

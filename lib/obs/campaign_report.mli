@@ -1,0 +1,78 @@
+(** The fault-campaign report schema (["campaign-report/v1"]).
+
+    A campaign sweeps a matrix of deployment axes (protocol, ordering
+    instances, execute threads, ledger backend, view timeout) against
+    families of randomized fault schedules, runs every cell under many
+    seeds, classifies each run into one of five outcome classes, and
+    aggregates per-cell statistics.  This module is the neutral schema
+    layer — plain records plus a deterministic JSON writer — sitting next
+    to {!Bottleneck} (["bottleneck-report/v1"]) so campaign artifacts are
+    machine-readable the same way bench artifacts are.  The runner that
+    fills it in lives in [Rdb_campaign]; the CI gate that diffs two
+    reports lives in [Rdb_gate.Campaign_check].
+
+    Serialization is byte-deterministic: cells keep the order the caller
+    built (the runner sorts by axes), floats print via the same ["%.6g"]
+    convention as the bench JSON, and nothing depends on hash order —
+    two runs of the same matrix and seed produce identical bytes, which
+    is what lets the gate and the qcheck determinism property compare
+    reports with [String.equal]. *)
+
+val schema : string
+(** ["campaign-report/v1"]. *)
+
+type cell = {
+  protocol : string;  (** ["pbft"] | ["zyzzyva"] *)
+  instances : int;  (** k, concurrent ordering instances *)
+  exec_threads : int;  (** E *)
+  backend : string;  (** ["mem"] | ["durable"] *)
+  view_timeout_ms : float;
+  family : string;  (** fault-schedule family ({!Rdb_core.Nemesis.Gen} names) *)
+  runs : int;  (** seeded runs aggregated into this cell *)
+  safe : int;
+  live : int;
+  degraded : int;
+  wedged : int;
+  unsafe : int;  (** outcome counts; they sum to [runs] *)
+  tput_mean_tps : float;  (** mean measured throughput over the cell's runs *)
+  retention_mean : float;
+      (** mean throughput retention vs the cell's fault-free twin (the
+          [family = "none"] cell with identical axes); 1 for the twin
+          itself *)
+  recoveries : int;  (** runs that recorded a time-to-recovery *)
+  recovery_p50_s : float;
+  recovery_p90_s : float;
+  recovery_max_s : float;  (** 0 when [recoveries = 0] *)
+}
+
+type cliff = {
+  axis : string;  (** the axis the two cells differ on *)
+  from_value : string;
+  to_value : string;  (** the adjacent axis values (low/high side) *)
+  cliff_cell : cell;  (** the cell on the wedged side *)
+  hazard_from : float;
+  hazard_to : float;
+      (** (wedged + unsafe) / runs on each side: a cliff is a jump from a
+          clean cell to a hazardous one along one axis step *)
+}
+
+type t = {
+  quick : bool;
+  matrix_seed : int64;
+  runs_per_cell : int;
+  total_runs : int;
+  budget_events : int;  (** per-run DES event budget (wedge cutoff) *)
+  thresholds : (string * float) list;  (** classifier thresholds, by name *)
+  cells : cell list;
+  cliffs : cliff list;
+}
+
+val hazard_rate : cell -> float
+(** (wedged + unsafe) / runs; 0 for an empty cell. *)
+
+val to_json : t -> string
+(** The byte-deterministic ["campaign-report/v1"] document. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human summary: the outcome table per cell, then the named liveness
+    cliffs — the text EXPERIMENTS.md ("Fault campaigns") walks through. *)

@@ -1,0 +1,287 @@
+(* Campaign harness tests.
+
+   The classifier is a pure function, so every outcome class gets a direct
+   unit case.  The runner's load-bearing properties — matrix expansion
+   forces fault-free twins and skips invalid combinations, the same matrix
+   and seed produce byte-identical JSON, a domain worker pool changes
+   nothing, and a wedged run burns its event budget instead of hanging —
+   are each pinned against a deliberately tiny matrix so the whole file
+   stays test-suite fast. *)
+
+open Rdb_core
+module Campaign = Rdb_campaign.Campaign
+module Classify = Rdb_campaign.Classify
+module Report = Rdb_obs.Campaign_report
+module Check = Rdb_gate.Campaign_check
+module Sim = Rdb_des.Sim
+
+let qtest p = QCheck_alcotest.to_alcotest p
+
+(* ---- classifier ----------------------------------------------------------- *)
+
+let facts ?(completed = 5000) ?(tput = 40_000.0) ?(view_changes = 0) ?recovery_s ?catch_up_s
+    ?(perturbed = false) () =
+  {
+    Metrics.of_completed = completed;
+    of_throughput_tps = tput;
+    of_view_changes = view_changes;
+    of_recovery_s = recovery_s;
+    of_catch_up_s = catch_up_s;
+    of_perturbed = perturbed;
+  }
+
+let obs ?(safety_ok = true) ?(budget_exhausted = false) ?retention f =
+  { Classify.facts = f; safety_ok; budget_exhausted; retention }
+
+let t = Classify.default_thresholds
+
+let check_outcome msg expected o =
+  Alcotest.(check string) msg (Classify.outcome_name expected)
+    (Classify.outcome_name (Classify.classify t o))
+
+let test_classify_safe () =
+  check_outcome "clean fault-free run" Classify.Safe (obs (facts ()));
+  check_outcome "high retention, unperturbed" Classify.Safe (obs ~retention:0.95 (facts ()))
+
+let test_classify_live () =
+  check_outcome "perturbed but recovered fast" Classify.Live
+    (obs ~retention:0.9 (facts ~perturbed:true ~view_changes:1 ~recovery_s:0.1 ()));
+  check_outcome "retention under the safe bar" Classify.Live (obs ~retention:0.6 (facts ()))
+
+let test_classify_degraded () =
+  check_outcome "slow recovery" Classify.Degraded
+    (obs ~retention:0.9 (facts ~perturbed:true ~recovery_s:(t.Classify.recovery_bound_s +. 0.1) ()));
+  check_outcome "retention collapse" Classify.Degraded
+    (obs ~retention:0.2 (facts ~perturbed:true ()))
+
+let test_classify_wedged () =
+  check_outcome "no progress" Classify.Wedged (obs (facts ~completed:3 ~tput:3.0 ()));
+  check_outcome "event budget exhausted" Classify.Wedged (obs ~budget_exhausted:true (facts ()))
+
+let test_classify_unsafe () =
+  (* safety failure trumps everything, even a wedged-looking run *)
+  check_outcome "agreement violation" Classify.Unsafe
+    (obs ~safety_ok:false ~budget_exhausted:true (facts ~completed:0 ()))
+
+(* ---- expansion ------------------------------------------------------------ *)
+
+(* Tiny matrix: 2 cells x 1 seed at the default, ~2s of simulated cluster. *)
+let tiny =
+  {
+    Campaign.quick_matrix with
+    Campaign.protocols = [ Params.Pbft ];
+    instances = [ 1 ];
+    exec_threads = [ 1 ];
+    backends = [ Campaign.Mem ];
+    view_timeouts_ms = [ 75.0 ];
+    families = [ Nemesis.Gen.Crashes ];
+    seeds = 1;
+    base =
+      {
+        Campaign.quick_base with
+        Params.clients = 100;
+        warmup = Sim.seconds 0.1;
+        measure = Sim.seconds 0.3;
+      };
+  }
+
+let test_expand_forces_twin () =
+  let cells = Campaign.expand tiny in
+  Alcotest.(check int) "fault-free twin joins the declared family" 2 (List.length cells);
+  Alcotest.(check bool) "one cell is the twin" true
+    (List.exists (fun c -> c.Campaign.family = Nemesis.Gen.Fault_free) cells)
+
+let test_expand_skips_invalid () =
+  let m =
+    { tiny with Campaign.protocols = [ Params.Pbft; Params.Zyzzyva ]; instances = [ 1; 2 ] }
+  in
+  let cells = Campaign.expand m in
+  Alcotest.(check bool) "no multi-instance zyzzyva" true
+    (List.for_all
+       (fun c -> c.Campaign.instances = 1 || c.Campaign.protocol = Params.Pbft)
+       cells);
+  (* pbft: 2 k x 2 families; zyzzyva: k=1 x 2 families *)
+  Alcotest.(check int) "cell count" 6 (List.length cells)
+
+let test_run_seed_varies () =
+  let cells = Campaign.expand tiny in
+  let seeds =
+    List.concat_map
+      (fun c ->
+        List.init 3 (fun i -> (Campaign.params_for tiny c ~seed_index:i).Params.seed))
+      cells
+  in
+  let distinct = List.sort_uniq compare seeds in
+  Alcotest.(check int) "per-run seeds all distinct" (List.length seeds) (List.length distinct)
+
+(* ---- determinism ---------------------------------------------------------- *)
+
+let test_deterministic_json =
+  qtest
+    (QCheck.Test.make ~count:2 ~name:"same matrix+seed => byte-identical report"
+       (QCheck.make (QCheck.Gen.map Int64.of_int QCheck.Gen.int))
+       (fun seed ->
+         let m = { tiny with Campaign.matrix_seed = seed } in
+         let a = Report.to_json (Campaign.run m) in
+         let b = Report.to_json (Campaign.run m) in
+         a = b))
+
+let test_parallel_equals_serial () =
+  let a = Report.to_json (Campaign.run ~jobs:1 tiny) in
+  let b = Report.to_json (Campaign.run ~jobs:4 tiny) in
+  Alcotest.(check string) "4-domain run bytes = serial run bytes" a b
+
+(* ---- wedge budget --------------------------------------------------------- *)
+
+let test_budget_prevents_hang () =
+  (* an absurdly small budget must terminate promptly and classify wedged,
+     not spin the DES forever *)
+  let m = { tiny with Campaign.budget_events = 2_000 } in
+  let report = Campaign.run m in
+  List.iter
+    (fun (c : Report.cell) ->
+      Alcotest.(check int) (c.Report.family ^ " wedged under tiny budget") c.Report.runs
+        c.Report.wedged)
+    report.Report.cells
+
+let test_sim_run_bounded () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  let rec tick i =
+    if i < 1000 then
+      ignore (Sim.schedule sim ~after:(Sim.ms 1.0) (fun () -> incr fired; tick (i + 1)))
+  in
+  tick 0;
+  (match Sim.run_bounded ~max_events:10 sim with
+  | `Exhausted -> ()
+  | `Completed _ -> Alcotest.fail "expected exhaustion");
+  Alcotest.(check int) "stopped at the budget" 10 !fired;
+  match Sim.run_bounded ~max_events:10_000 sim with
+  | `Completed n -> Alcotest.(check int) "drained the rest" 990 n
+  | `Exhausted -> Alcotest.fail "budget was ample"
+
+(* ---- gate ----------------------------------------------------------------- *)
+
+let report_of_cells cells =
+  {
+    Report.quick = true;
+    matrix_seed = 1L;
+    runs_per_cell = 3;
+    total_runs = 3 * List.length cells;
+    budget_events = 1000;
+    thresholds = Classify.threshold_fields t;
+    cells;
+    cliffs = [];
+  }
+
+let cell ?(wedged = 0) ?(unsafe = 0) ?(degraded = 0) ~protocol ~family () =
+  {
+    Report.protocol;
+    instances = 1;
+    exec_threads = 1;
+    backend = "mem";
+    view_timeout_ms = 75.0;
+    family;
+    runs = 3;
+    safe = 3 - wedged - unsafe - degraded;
+    live = 0;
+    degraded;
+    wedged;
+    unsafe;
+    tput_mean_tps = 1000.0;
+    retention_mean = 1.0;
+    recoveries = 0;
+    recovery_p50_s = 0.0;
+    recovery_p90_s = 0.0;
+    recovery_max_s = 0.0;
+  }
+
+let parse_exn json =
+  match Check.parse_report json with Ok d -> d | Error e -> Alcotest.fail e
+
+let test_gate_round_trip () =
+  let doc =
+    parse_exn
+      (Report.to_json
+         (report_of_cells
+            [ cell ~protocol:"pbft" ~family:"none" (); cell ~wedged:1 ~protocol:"pbft" ~family:"loss" () ]))
+  in
+  Alcotest.(check int) "two classes" 2 (List.length doc.Check.classes);
+  let cs = Check.compare_reports Check.default_tolerance ~baseline:doc ~current:doc in
+  Alcotest.(check bool) "identical reports pass" false (Check.failed cs)
+
+let test_gate_new_wedge_class_fails () =
+  let baseline =
+    parse_exn (Report.to_json (report_of_cells [ cell ~protocol:"pbft" ~family:"loss" () ]))
+  in
+  let current =
+    parse_exn
+      (Report.to_json (report_of_cells [ cell ~wedged:1 ~protocol:"pbft" ~family:"loss" () ]))
+  in
+  let cs = Check.compare_reports Check.default_tolerance ~baseline ~current in
+  Alcotest.(check bool) "clean class turning hazardous fails" true (Check.failed cs)
+
+let test_gate_band_tolerates_known_hazard () =
+  let baseline =
+    parse_exn
+      (Report.to_json (report_of_cells [ cell ~wedged:1 ~protocol:"zyzzyva" ~family:"crash" () ]))
+  in
+  (* same hazard rate: inside any band *)
+  let cs = Check.compare_reports Check.default_tolerance ~baseline ~current:baseline in
+  Alcotest.(check bool) "known-hazardous class within band passes" false (Check.failed cs);
+  (* 1/3 -> 3/3 wedged blows through the 10-point band *)
+  let worse =
+    parse_exn
+      (Report.to_json (report_of_cells [ cell ~wedged:3 ~protocol:"zyzzyva" ~family:"crash" () ]))
+  in
+  let cs = Check.compare_reports Check.default_tolerance ~baseline ~current:worse in
+  Alcotest.(check bool) "regressing past the band fails" true (Check.failed cs)
+
+let test_gate_lost_coverage_fails () =
+  let baseline =
+    parse_exn
+      (Report.to_json
+         (report_of_cells
+            [ cell ~protocol:"pbft" ~family:"none" (); cell ~protocol:"pbft" ~family:"loss" () ]))
+  in
+  let current =
+    parse_exn (Report.to_json (report_of_cells [ cell ~protocol:"pbft" ~family:"none" () ]))
+  in
+  let cs = Check.compare_reports Check.default_tolerance ~baseline ~current in
+  Alcotest.(check bool) "dropping a class fails" true (Check.failed cs)
+
+let () =
+  Alcotest.run "campaign"
+    [
+      ( "classify",
+        [
+          Alcotest.test_case "safe" `Quick test_classify_safe;
+          Alcotest.test_case "live" `Quick test_classify_live;
+          Alcotest.test_case "degraded" `Quick test_classify_degraded;
+          Alcotest.test_case "wedged" `Quick test_classify_wedged;
+          Alcotest.test_case "unsafe" `Quick test_classify_unsafe;
+        ] );
+      ( "expand",
+        [
+          Alcotest.test_case "forces fault-free twin" `Quick test_expand_forces_twin;
+          Alcotest.test_case "skips invalid combos" `Quick test_expand_skips_invalid;
+          Alcotest.test_case "distinct per-run seeds" `Quick test_run_seed_varies;
+        ] );
+      ( "determinism",
+        [
+          test_deterministic_json;
+          Alcotest.test_case "parallel = serial" `Quick test_parallel_equals_serial;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "sim run_bounded" `Quick test_sim_run_bounded;
+          Alcotest.test_case "wedge cannot hang" `Quick test_budget_prevents_hang;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "round trip" `Quick test_gate_round_trip;
+          Alcotest.test_case "new wedge class fails" `Quick test_gate_new_wedge_class_fails;
+          Alcotest.test_case "band tolerates known hazard" `Quick test_gate_band_tolerates_known_hazard;
+          Alcotest.test_case "lost coverage fails" `Quick test_gate_lost_coverage_fails;
+        ] );
+    ]

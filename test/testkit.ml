@@ -141,79 +141,33 @@ let executions t id = List.rev (Option.value ~default:[] (Hashtbl.find_opt t.exe
 
 (* ---- random nemesis schedules --------------------------------------------- *)
 
-(* A random fault schedule mixes primary/backup crashes, a partition
-   window, a loss window, a duplication window and extra jitter, all inside
-   the first 400 ms of a sub-second run.  Shared by the fault-injection
-   safety property (test_faults) and the cache-neutrality property
-   (test_hotpath). *)
+(* The schedule distributions themselves live in {!Nemesis.Gen} (one source
+   shared with the fault-campaign harness and the examples); these wrappers
+   re-export them as QCheck generators by drawing a deterministic Rng seed
+   from QCheck's random state.  Shared by the fault-injection safety
+   property (test_faults), the cache-neutrality property (test_hotpath) and
+   the byzantine safety properties (test_byzantine). *)
 
 module Nemesis = Rdb_core.Nemesis
 module Sim = Rdb_des.Sim
 
-let gen_schedule =
-  let open QCheck.Gen in
-  let time lo hi = map (fun ms -> Sim.ms (float_of_int ms)) (int_range lo hi) in
-  let crash =
-    oneof
-      [
-        map (fun at -> Nemesis.crash_primary_at at) (time 100 400);
-        map2
-          (fun at i -> [ Nemesis.at at (Nemesis.Crash i) ])
-          (time 100 400) (int_range 1 3);
-      ]
-  in
-  let partition =
-    map2
-      (fun from_ len ->
-        Nemesis.partition_window ~from_ ~until:(from_ + len) ~name:"q" [ 0; 1 ] [ 2; 3 ])
-      (time 100 350) (time 20 120)
-  in
-  let loss =
-    map2
-      (fun from_ len -> Nemesis.loss_window ~from_ ~until:(from_ + len) 0.1)
-      (time 100 350) (time 20 120)
-  in
-  let dup =
-    map2
-      (fun from_ len -> Nemesis.duplication_window ~from_ ~until:(from_ + len) 0.2)
-      (time 100 350) (time 20 120)
-  in
-  let jitter = map (fun at -> [ Nemesis.at at (Nemesis.Extra_jitter (Sim.us 400.0)) ]) (time 50 300) in
-  let opt g = oneof [ return []; g ] in
-  map (fun parts -> List.concat parts) (flatten_l [ opt crash; opt partition; opt loss; opt dup; opt jitter ])
+let gen_of_rng f : Nemesis.schedule QCheck.Gen.t =
+ fun st -> f ~n:4 (Rng.create (Random.State.int64 st Int64.max_int))
+
+(* A random fault schedule mixes primary/backup crashes, a partition
+   window, a loss window, a duplication window and extra jitter, all inside
+   the first 400 ms of a sub-second run. *)
+let gen_schedule = gen_of_rng Nemesis.Gen.random_benign
 
 (* A random byzantine attacker window (n = 4 context): one replica lies in
    one of the five adversarial modes for a bounded interval, then returns
    to honesty.  A single schedule only ever names one attacker, so the
    f <= (n-1)/3 bound {!Nemesis.validate} enforces holds by construction. *)
-let gen_byzantine =
-  let open QCheck.Gen in
-  let time lo hi = map (fun ms -> Sim.ms (float_of_int ms)) (int_range lo hi) in
-  let rate = map (fun r -> float_of_int r /. 10.0) (int_range 1 10) in
-  let window = pair (time 100 350) (time 20 120) in
-  let strategies node (from_, len) =
-    let until = from_ + len in
-    oneof
-      [
-        return (Nemesis.equivocate_window ~from_ ~until node);
-        map (fun r -> Nemesis.corrupt_digest_window ~from_ ~until node r) rate;
-        map (fun r -> Nemesis.corrupt_mac_window ~from_ ~until node r) rate;
-        map
-          (fun k ->
-            let peers = List.init k (fun i -> (node + 1 + i) mod 4) in
-            Nemesis.silence_window ~from_ ~until node peers)
-          (int_range 1 2);
-        return (Nemesis.view_change_spam_window ~from_ ~until node ~period:(Sim.ms 5.0));
-      ]
-  in
-  pair (int_range 0 3) window >>= fun (node, w) -> strategies node w
+let gen_byzantine = gen_of_rng Nemesis.Gen.random_attack
 
 (* {!gen_schedule} plus an optional byzantine attacker window: the full
    fault model the cluster-level safety properties run under. *)
-let gen_byzantine_schedule =
-  let open QCheck.Gen in
-  let opt g = oneof [ return []; g ] in
-  map2 (fun benign byz -> benign @ byz) gen_schedule (opt gen_byzantine)
+let gen_byzantine_schedule = gen_of_rng Nemesis.Gen.random_schedule
 
 let print_schedule s =
   String.concat "; "

@@ -1,0 +1,82 @@
+(* CLI for the fault-campaign harness.
+
+     campaign [--quick | --full | --cliff] [--jobs N] [--seed S]
+              [--budget EVENTS] [--seeds N] [--out FILE] [--no-summary]
+
+   Runs the declared sweep matrix (quick by default: the CI smoke sweep),
+   writes machine-readable campaign-report/v1 JSON to --out (default
+   campaign.json) and a human summary with the liveness cliffs to stdout.
+   The JSON is byte-deterministic for a given matrix: same seed, same
+   bytes, whatever --jobs says. *)
+
+module Campaign = Rdb_campaign.Campaign
+module Report = Rdb_obs.Campaign_report
+
+let usage () =
+  prerr_endline
+    "usage: campaign [--quick | --full | --cliff] [--jobs N] [--seed S] [--budget EVENTS] \
+     [--seeds N] [--out FILE] [--no-summary]";
+  exit 2
+
+let () =
+  let quick = ref true in
+  let cliff = ref false in
+  let jobs = ref (max 1 (Domain.recommended_domain_count () - 1)) in
+  let out = ref "campaign.json" in
+  let summary = ref true in
+  let seed = ref None in
+  let budget = ref None in
+  let seeds = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--full" :: rest ->
+      quick := false;
+      parse rest
+    | "--cliff" :: rest ->
+      cliff := true;
+      parse rest
+    | "--no-summary" :: rest ->
+      summary := false;
+      parse rest
+    | ("--jobs" | "--seed" | "--budget" | "--seeds" | "--out") :: [] -> usage ()
+    | "--jobs" :: v :: rest ->
+      (match int_of_string_opt v with Some n when n >= 1 -> jobs := n | _ -> usage ());
+      parse rest
+    | "--seed" :: v :: rest ->
+      (match Int64.of_string_opt v with Some s -> seed := Some s | None -> usage ());
+      parse rest
+    | "--budget" :: v :: rest ->
+      (match int_of_string_opt v with Some n when n > 0 -> budget := Some n | _ -> usage ());
+      parse rest
+    | "--seeds" :: v :: rest ->
+      (match int_of_string_opt v with Some n when n >= 1 -> seeds := Some n | _ -> usage ());
+      parse rest
+    | "--out" :: v :: rest ->
+      out := v;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let m =
+    if !cliff then Campaign.cliff_matrix
+    else if !quick then Campaign.quick_matrix
+    else Campaign.default_matrix
+  in
+  let m = match !seed with Some s -> { m with Campaign.matrix_seed = s } | None -> m in
+  let m = match !budget with Some b -> { m with Campaign.budget_events = b } | None -> m in
+  let m = match !seeds with Some s -> { m with Campaign.seeds = s } | None -> m in
+  let total = Campaign.total_runs m in
+  Printf.eprintf "campaign: %d runs on %d domain(s)\n%!" total !jobs;
+  let t0 = Unix.gettimeofday () in
+  let progress ~done_ ~total =
+    if done_ mod 25 = 0 || done_ = total then
+      Printf.eprintf "campaign: %d/%d runs (%.0fs)\n%!" done_ total (Unix.gettimeofday () -. t0)
+  in
+  let report = Campaign.run ~jobs:!jobs ~progress m in
+  let json = Report.to_json report in
+  Out_channel.with_open_bin !out (fun oc -> Out_channel.output_string oc json);
+  Printf.eprintf "campaign: wrote %s (%.0fs total)\n%!" !out (Unix.gettimeofday () -. t0);
+  if !summary then Format.printf "%a@." Report.pp report

@@ -1,0 +1,187 @@
+(* The campaign wedge-class gate.
+
+   A "class" is a (protocol, schedule-family) pair aggregated over every
+   matrix cell that ran it.  The contract enforced against the committed
+   baseline:
+
+   - a class that was hazard-free in the baseline (no wedged or unsafe
+     runs) must stay hazard-free — one new wedged run in a clean class is
+     a liveness regression and fails the gate;
+   - a class that was already hazardous may drift, but only within an
+     absolute tolerance band on its hazard rate (and likewise its
+     degraded rate): known-bad cells are tracked, not ignored;
+   - a baseline class missing from the current report is lost coverage
+     and fails — shrinking the sweep must be an explicit baseline edit;
+   - a class new in the current report is informational unless it is
+     hazardous, in which case it fails like any other new wedge class. *)
+
+type klass = {
+  protocol : string;
+  family : string;
+  runs : int;
+  wedged : int;
+  unsafe : int;
+  degraded : int;
+}
+
+type doc = { quick : bool; classes : klass list }
+
+let hazard_rate k = if k.runs = 0 then 0.0 else float_of_int (k.wedged + k.unsafe) /. float_of_int k.runs
+
+let degraded_rate k = if k.runs = 0 then 0.0 else float_of_int k.degraded /. float_of_int k.runs
+
+let schema = "campaign-report/v1"
+
+let parse_report (text : string) : (doc, string) result =
+  match Gate.parse_json text with
+  | exception Gate.Parse e -> Error e
+  | j -> (
+    let str name = match Gate.field name j with Some (Gate.Jstr s) -> Some s | _ -> None in
+    match str "schema" with
+    | Some s when s = schema -> (
+      let quick = match Gate.field "quick" j with Some (Gate.Jbool b) -> b | _ -> false in
+      match Gate.field "cells" j with
+      | Some (Gate.Jlist cells) -> (
+        let cell_class c =
+          let str name = match Gate.field name c with Some (Gate.Jstr s) -> Some s | _ -> None in
+          let num name =
+            match Gate.field name c with Some (Gate.Jnum v) -> Some (int_of_float v) | _ -> None
+          in
+          match (str "protocol", str "family", num "runs", num "wedged", num "unsafe", num "degraded") with
+          | Some protocol, Some family, Some runs, Some wedged, Some unsafe, Some degraded ->
+            Ok { protocol; family; runs; wedged; unsafe; degraded }
+          | _ -> Error "cell missing protocol/family/runs/wedged/unsafe/degraded"
+        in
+        let rec fold acc = function
+          | [] -> Ok (List.rev acc)
+          | c :: rest -> ( match cell_class c with Ok k -> fold (k :: acc) rest | Error e -> Error e)
+        in
+        match fold [] cells with
+        | Error e -> Error e
+        | Ok per_cell ->
+          (* aggregate cells into (protocol, family) classes, sorted *)
+          let merge acc k =
+            let key ka = (ka.protocol, ka.family) in
+            match List.partition (fun ka -> key ka = key k) acc with
+            | [ existing ], rest ->
+              {
+                existing with
+                runs = existing.runs + k.runs;
+                wedged = existing.wedged + k.wedged;
+                unsafe = existing.unsafe + k.unsafe;
+                degraded = existing.degraded + k.degraded;
+              }
+              :: rest
+            | _, rest -> k :: rest
+          in
+          let classes =
+            List.sort
+              (fun a b -> compare (a.protocol, a.family) (b.protocol, b.family))
+              (List.fold_left merge [] per_cell)
+          in
+          Ok { quick; classes })
+      | _ -> Error "missing cells array")
+    | Some s -> Error (Printf.sprintf "unexpected schema %S (want %S)" s schema)
+    | None -> Error "missing schema field")
+
+type tolerance = { hazard_band : float; degraded_band : float }
+
+(* Absolute bands on the per-class rates: a known-hazardous class may
+   wobble by 10 points of hazard, a known-degraded one by 15 points of
+   degraded rate, before the gate calls it a regression. *)
+let default_tolerance = { hazard_band = 0.10; degraded_band = 0.15 }
+
+type verdict =
+  | Ok_class  (** within bands *)
+  | New_hazard  (** wedged/unsafe runs in a class that was clean (or absent) in the baseline *)
+  | Hazard_regressed  (** known-hazardous class worsened beyond the band *)
+  | Degraded_regressed  (** degraded rate worsened beyond the band *)
+  | Lost_coverage  (** baseline class absent from the current report *)
+  | New_clean  (** class absent from the baseline, no hazard — informational *)
+
+let verdict_name = function
+  | Ok_class -> "ok"
+  | New_hazard -> "NEW-HAZARD"
+  | Hazard_regressed -> "HAZARD-REGRESSED"
+  | Degraded_regressed -> "DEGRADED-REGRESSED"
+  | Lost_coverage -> "LOST-COVERAGE"
+  | New_clean -> "new"
+
+let fatal = function
+  | New_hazard | Hazard_regressed | Degraded_regressed | Lost_coverage -> true
+  | Ok_class | New_clean -> false
+
+type comparison = {
+  c_protocol : string;
+  c_family : string;
+  verdict : verdict;
+  detail : string;
+}
+
+let compare_reports (tol : tolerance) ~(baseline : doc) ~(current : doc) : comparison list =
+  let find d p f = List.find_opt (fun k -> k.protocol = p && k.family = f) d.classes in
+  let pct v = Printf.sprintf "%.0f%%" (100.0 *. v) in
+  let of_baseline b =
+    match find current b.protocol b.family with
+    | None ->
+      {
+        c_protocol = b.protocol;
+        c_family = b.family;
+        verdict = Lost_coverage;
+        detail = Printf.sprintf "baseline ran %d runs here, current ran none" b.runs;
+      }
+    | Some c ->
+      let hb = hazard_rate b and hc = hazard_rate c in
+      let db = degraded_rate b and dc = degraded_rate c in
+      let verdict, detail =
+        if hb = 0.0 && hc > 0.0 then
+          ( New_hazard,
+            Printf.sprintf "clean in baseline, now %d wedged + %d unsafe of %d runs (%s)" c.wedged
+              c.unsafe c.runs (pct hc) )
+        else if hc > hb +. tol.hazard_band then
+          ( Hazard_regressed,
+            Printf.sprintf "hazard %s -> %s exceeds +%s band" (pct hb) (pct hc)
+              (pct tol.hazard_band) )
+        else if dc > db +. tol.degraded_band then
+          ( Degraded_regressed,
+            Printf.sprintf "degraded %s -> %s exceeds +%s band" (pct db) (pct dc)
+              (pct tol.degraded_band) )
+        else (Ok_class, Printf.sprintf "hazard %s -> %s" (pct hb) (pct hc))
+      in
+      { c_protocol = b.protocol; c_family = b.family; verdict; detail }
+  in
+  let of_new c =
+    if find baseline c.protocol c.family <> None then None
+    else
+      let hc = hazard_rate c in
+      if hc > 0.0 then
+        Some
+          {
+            c_protocol = c.protocol;
+            c_family = c.family;
+            verdict = New_hazard;
+            detail =
+              Printf.sprintf "new class arrives hazardous: %d wedged + %d unsafe of %d runs (%s)"
+                c.wedged c.unsafe c.runs (pct hc);
+          }
+      else
+        Some
+          {
+            c_protocol = c.protocol;
+            c_family = c.family;
+            verdict = New_clean;
+            detail = Printf.sprintf "new clean class (%d runs)" c.runs;
+          }
+  in
+  List.map of_baseline baseline.classes @ List.filter_map of_new current.classes
+
+let failed (cs : comparison list) = List.exists (fun c -> fatal c.verdict) cs
+
+let report oc (cs : comparison list) =
+  List.iter
+    (fun c ->
+      Printf.fprintf oc "%-20s %-12s %-18s %s\n" (c.c_protocol ^ "/" ^ c.c_family)
+        (verdict_name c.verdict)
+        (if fatal c.verdict then "FAIL" else "")
+        c.detail)
+    cs

@@ -1,0 +1,70 @@
+(* CLI for the campaign wedge-class gate.
+
+     campaign_gate BASELINE.json CURRENT.json [--hazard-band PCT]
+                   [--degraded-band PCT]
+
+   Exit status: 0 when no (protocol, schedule-family) class regressed
+   against the committed baseline, 1 on any new wedge/unsafe class, any
+   banded rate regression, or lost coverage, 2 on usage or parse errors.
+   See EXPERIMENTS.md ("Fault campaigns and the wedge-class gate"). *)
+
+module Check = Rdb_gate.Campaign_check
+
+let usage () =
+  prerr_endline
+    "usage: campaign_gate BASELINE.json CURRENT.json [--hazard-band PCT] [--degraded-band PCT]";
+  exit 2
+
+let () =
+  let files = ref [] in
+  let tol = ref Check.default_tolerance in
+  let rec parse = function
+    | [] -> ()
+    | ("--hazard-band" | "--degraded-band") :: [] -> usage ()
+    | "--hazard-band" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some f when f >= 0.0 -> tol := { !tol with Check.hazard_band = f /. 100.0 }
+      | _ -> usage ());
+      parse rest
+    | "--degraded-band" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some f when f >= 0.0 -> tol := { !tol with Check.degraded_band = f /. 100.0 }
+      | _ -> usage ());
+      parse rest
+    | f :: rest when String.length f > 0 && f.[0] <> '-' ->
+      files := f :: !files;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline_path, current_path =
+    match List.rev !files with [ b; c ] -> (b, c) | _ -> usage ()
+  in
+  let read path =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | text -> (
+      match Check.parse_report text with
+      | Ok doc -> doc
+      | Error e ->
+        Printf.eprintf "campaign_gate: %s: %s\n" path e;
+        exit 2)
+    | exception Sys_error e ->
+      Printf.eprintf "campaign_gate: %s\n" e;
+      exit 2
+  in
+  let baseline = read baseline_path in
+  let current = read current_path in
+  if baseline.Check.quick <> current.Check.quick then begin
+    Printf.eprintf
+      "campaign_gate: refusing to compare a quick campaign against a full one (baseline \
+       quick=%b, current quick=%b)\n"
+      baseline.Check.quick current.Check.quick;
+    exit 2
+  end;
+  let cs = Check.compare_reports !tol ~baseline ~current in
+  Check.report stdout cs;
+  if Check.failed cs then begin
+    print_endline "campaign_gate: FAIL (wedge-class regression against the baseline)";
+    exit 1
+  end
+  else print_endline "campaign_gate: OK"
