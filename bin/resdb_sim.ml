@@ -26,7 +26,8 @@ let protocol_conv =
   let parse = function
     | "pbft" -> Ok Params.Pbft
     | "zyzzyva" | "zyz" -> Ok Params.Zyzzyva
-    | s -> Error (`Msg (Printf.sprintf "unknown protocol %S (pbft|zyzzyva)" s))
+    | "hotstuff" | "hs" -> Ok Params.Hotstuff
+    | s -> Error (`Msg (Printf.sprintf "unknown protocol %S (pbft|zyzzyva|hotstuff)" s))
   in
   Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Params.protocol_name p))
 
@@ -159,7 +160,7 @@ let run protocol n clients batch_size ops payload client_scheme replica_scheme r
 let cmd =
   let open Arg in
   let protocol =
-    value & opt protocol_conv Params.Pbft & info [ "p"; "protocol" ] ~doc:"Consensus protocol (pbft|zyzzyva)."
+    value & opt protocol_conv Params.Pbft & info [ "p"; "protocol" ] ~doc:"Consensus protocol (pbft|zyzzyva|hotstuff)."
   in
   let n = value & opt int 16 & info [ "n"; "replicas" ] ~doc:"Number of replicas (>= 4)." in
   let clients = value & opt int 80_000 & info [ "c"; "clients" ] ~doc:"Closed-loop client population." in

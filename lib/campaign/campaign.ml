@@ -55,7 +55,7 @@ let quick_base =
 
 let quick_matrix =
   {
-    protocols = [ Params.Pbft; Params.Zyzzyva ];
+    protocols = [ Params.Pbft; Params.Zyzzyva; Params.Hotstuff ];
     instances = [ 1; 2 ];
     exec_threads = [ 1; 2 ];
     backends = [ Mem; Durable ];

@@ -256,6 +256,28 @@ let encode_into b msg =
         w_str b v)
       app_export;
     w_list b (fun b blk -> w_str b (Rdb_chain.Block.to_bytes blk)) blocks;
+    w_u32 b from
+  | Hs_proposal { view; seq; batch; parent; from } ->
+    w_u8 b 15;
+    w_u32 b view;
+    w_u48 b seq;
+    w_batch b batch;
+    w_str b parent;
+    w_u32 b from
+  | Hs_vote { view; seq; phase; digest; from } ->
+    w_u8 b 16;
+    w_u32 b view;
+    w_u48 b seq;
+    w_u8 b phase;
+    w_str b digest;
+    w_u32 b from
+  | Hs_qc { view; seq; phase; digest; senders; from } ->
+    w_u8 b 17;
+    w_u32 b view;
+    w_u48 b seq;
+    w_u8 b phase;
+    w_str b digest;
+    w_list b (fun b v -> w_u32 b v) senders;
     w_u32 b from)
 
 let encode msg = with_buffer (fun b -> encode_into b msg; Buffer.contents b)
@@ -370,6 +392,28 @@ let decode_cursor c =
       let from = r_u32 c in
       State_response
         { last_stable; state_digest; cert; chain_digest; appended; app_seq; app_export; blocks; from }
+    | 15 ->
+      let view = r_u32 c in
+      let seq = r_u48 c in
+      let batch = r_batch c in
+      let parent = r_str c in
+      let from = r_u32 c in
+      Hs_proposal { view; seq; batch; parent; from }
+    | 16 ->
+      let view = r_u32 c in
+      let seq = r_u48 c in
+      let phase = r_u8 c in
+      let digest = r_str c in
+      let from = r_u32 c in
+      Hs_vote { view; seq; phase; digest; from }
+    | 17 ->
+      let view = r_u32 c in
+      let seq = r_u48 c in
+      let phase = r_u8 c in
+      let digest = r_str c in
+      let senders = r_list c r_u32 in
+      let from = r_u32 c in
+      Hs_qc { view; seq; phase; digest; senders; from }
     | tag -> raise (Bad (Printf.sprintf "unknown message tag %d" tag))
 
 let decode_sub_exn s ~pos ~len =

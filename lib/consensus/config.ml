@@ -35,3 +35,9 @@ let commit_quorum t = (2 * t.f) + 1
 
 (** Replies a client needs from distinct replicas to accept a result. *)
 let reply_quorum t = t.f + 1
+
+(** Votes a HotStuff-style leader aggregates into one quorum certificate
+    (its own included): [2f + 1], the same intersection bound as
+    {!commit_quorum}, spelled separately because it counts {e inbound
+    votes at one aggregator} rather than all-to-all matching messages. *)
+let qc_quorum t = (2 * t.f) + 1

@@ -130,6 +130,63 @@ module Pbft_core = struct
     (s, tag acts)
 end
 
+(* ---- HotStuff-lineage linear core ---------------------------------------- *)
+
+module Hotstuff_core = struct
+  type state = Hotstuff_replica.t
+
+  let protocol = "hotstuff"
+
+  (* The pacemaker IS the host's demand timer: unserved demand escalates
+     nudge -> suspect exactly as for PBFT (see the pacemaker contract in
+     hotstuff_replica.mli). *)
+  let demand_driven = true
+  let instances _ = 1
+  let view s ~inst:_ = Hotstuff_replica.view s
+  let max_view = Hotstuff_replica.view
+  let leads s ~inst:_ = Hotstuff_replica.is_leader s
+  let leads_any = Hotstuff_replica.is_leader
+  let last_executed = Hotstuff_replica.last_executed
+  let last_stable = Hotstuff_replica.last_stable_checkpoint
+  let in_view_change s ~inst:_ = Hotstuff_replica.in_view_change s
+  let pending_slots = Hotstuff_replica.pending_slots
+
+  (* A backup holding unserved demand escalates against the (single)
+     leader; the leader itself recovers through its backups' nudges. *)
+  let escalation s ~pending ~inflight:_ =
+    if pending && not (Hotstuff_replica.is_leader s) then Some 0 else None
+
+  let stable_certificate = Hotstuff_replica.stable_certificate
+
+  let defenses s =
+    {
+      equivocations = Hotstuff_replica.equivocations_detected s;
+      vc_suppressed = Hotstuff_replica.vc_spam_suppressed s;
+    }
+
+  let tag acts = List.map (fun a -> (0, a)) acts
+
+  let propose s ~reqs ~digest ~wire_bytes =
+    let b, acts = Hotstuff_replica.propose s ~reqs ~digest ~wire_bytes in
+    (b, tag acts, 0)
+
+  let step s input =
+    let acts =
+      match input with
+      | Deliver { inst = _; msg } -> Hotstuff_replica.handle_message s msg
+      | Executed { seq; state_digest; result } ->
+        Hotstuff_replica.handle_executed s ~seq ~state_digest ~result
+      | Suspect _ -> Hotstuff_replica.suspect_primary s
+      | Nudge _ -> Hotstuff_replica.nudge s
+      | Vc_retransmit _ -> Hotstuff_replica.view_change_retransmit s
+      | Keepalive _ -> []
+      | Install_checkpoint { seq; state_digest } ->
+        Hotstuff_replica.install_checkpoint s ~seq ~state_digest;
+        []
+    in
+    (s, tag acts)
+end
+
 (* ---- Zyzzyva ------------------------------------------------------------- *)
 
 module Zyz_core = struct
@@ -247,6 +304,7 @@ end
 type t = Core : (module CORE with type state = 's) * 's -> t
 
 let pbft cfg ~id = Core ((module Pbft_core), Pbft_replica.create cfg ~id)
+let hotstuff cfg ~id = Core ((module Hotstuff_core), Hotstuff_replica.create cfg ~id)
 let zyzzyva cfg ~id = Core ((module Zyz_core), Zyzzyva_replica.create cfg ~id)
 
 let multi cfg ~instances ~id =

@@ -1,0 +1,70 @@
+(* The HotStuff client is PBFT's client: the linear protocol changes
+   replica-to-replica traffic, not the client contract.  Requests go to
+   the believed leader; f+1 matching replies from distinct replicas
+   accept a result; a retransmit timeout broadcasts the request so a
+   backup can relay it and, with unserved demand, pace the leader out. *)
+
+type action =
+  | Send of int * Message.t
+  | Broadcast_request of int
+  | Complete of { txn_id : int; result : string }
+
+type pending = {
+  replies : string Quorum.t; (* result -> senders *)
+  mutable attempts : int; (* retransmissions so far *)
+}
+
+type t = {
+  config : Config.t;
+  id : int;
+  mutable view : int; (* highest view seen in any reply *)
+  mutable leader : int;
+  pending : (int, pending) Hashtbl.t;
+}
+
+let create config ~id = { config; id; view = 0; leader = 0; pending = Hashtbl.create 64 }
+
+let id t = t.id
+
+let leader t = t.leader
+
+let submit t ~txn_id =
+  if not (Hashtbl.mem t.pending txn_id) then
+    Hashtbl.add t.pending txn_id { replies = Quorum.create (); attempts = 0 };
+  []
+
+let handle_reply t msg =
+  match msg with
+  | Message.Reply { txn_id; from; result; view; _ } ->
+    (* Replies carry the view that committed them: after the pacemaker
+       rotates the leader, this re-targets subsequent requests. *)
+    if view > t.view then begin
+      t.view <- view;
+      t.leader <- Config.primary_of_view t.config view
+    end;
+    (match Hashtbl.find_opt t.pending txn_id with
+    | None -> []
+    | Some p ->
+      let n = Quorum.add p.replies result from in
+      if n >= Config.reply_quorum t.config then begin
+        Hashtbl.remove t.pending txn_id;
+        [ Complete { txn_id; result } ]
+      end
+      else [])
+  | _ -> []
+
+let handle_timeout t ~txn_id =
+  match Hashtbl.find_opt t.pending txn_id with
+  | None -> []
+  | Some p ->
+    p.attempts <- p.attempts + 1;
+    [ Broadcast_request txn_id ]
+
+let attempts t ~txn_id =
+  match Hashtbl.find_opt t.pending txn_id with Some p -> p.attempts | None -> 0
+
+let next_timeout t ~txn_id ~base =
+  let a = min (attempts t ~txn_id) 4 in
+  base * (1 lsl a)
+
+let outstanding t = Hashtbl.length t.pending

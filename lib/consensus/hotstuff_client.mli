@@ -1,0 +1,54 @@
+(** The HotStuff client.
+
+    The linear protocol changes replica-to-replica message complexity,
+    {e not} the client contract: like PBFT's client, a request goes to
+    the believed leader and a result is accepted once [f+1] matching
+    replies from distinct replicas arrive (at least one is then
+    guaranteed non-faulty).  No speculative fast path — that is
+    Zyzzyva's trade, not HotStuff's.
+
+    {2 Pacemaker interaction}
+
+    Replies carry the view that committed them; a higher view re-targets
+    subsequent requests at the rotated leader ({!leader}).  On a
+    retransmit timeout the request is broadcast to all replicas: a
+    non-faulty backup relays it, and unserved demand is exactly what the
+    hosting system's demand timer escalates into {!Hotstuff_replica}'s
+    view change — the client is the pacemaker's demand source. *)
+
+type t
+
+type action =
+  | Send of int * Message.t  (** to one replica *)
+  | Broadcast_request of int  (** txn id: resend to all replicas *)
+  | Complete of { txn_id : int; result : string }
+
+val create : Config.t -> id:int -> t
+
+val id : t -> int
+
+val submit : t -> txn_id:int -> action list
+(** Track a new request; the caller transports the request body itself
+    (the cores are payload-agnostic), so the action names only the
+    target. *)
+
+val handle_reply : t -> Message.t -> action list
+(** Count one reply towards the [f+1] quorum; adopts a higher committing
+    view (and its leader) when one is seen. *)
+
+val handle_timeout : t -> txn_id:int -> action list
+(** One retransmission attempt: bumps the request's attempt counter and
+    (while still outstanding) asks for a broadcast. *)
+
+val leader : t -> int
+(** The replica this client currently sends fresh requests to. *)
+
+val attempts : t -> txn_id:int -> int
+(** Retransmissions so far for an outstanding request; 0 when fresh or
+    unknown. *)
+
+val next_timeout : t -> txn_id:int -> base:int -> int
+(** Caller-visible exponential-backoff deadline: [base] time units
+    doubled per recorded attempt, capped at [16 * base]. *)
+
+val outstanding : t -> int

@@ -1,0 +1,129 @@
+(** A linear, leader-aggregated three-phase replica core in the
+    HotStuff/PoE lineage (Yin et al., PODC '19; Gupta et al.'s
+    Proof-of-Execution), grown behind the same pure-state-machine
+    discipline as {!Pbft_replica}: all I/O is delegated to the caller
+    through {!Action.t} lists, and the core slots into the unified
+    {!Core.CORE} packed-module API unchanged.
+
+    {2 Phase invariants}
+
+    Each sequence number runs three phases.  The leader broadcasts one
+    [Hs_proposal]; every backup answers each phase with one [Hs_vote]
+    {e sent to the leader only}; the leader aggregates [2f + 1] distinct
+    matching votes ({!Config.qc_quorum}, its own included) into an
+    [Hs_qc] certificate — standing in for a threshold signature — and
+    broadcasts it, driving the next phase.  The phase-3 certificate
+    commits the slot.  Per decision that is [O(n)] messages against
+    PBFT's two all-to-all [O(n^2)] rounds, at the cost of more one-way
+    hops before commit.
+
+    Invariants the implementation maintains:
+
+    - {b Vote monotonicity}: a replica's highest vote never exceeds its
+      highest certificate plus one ([voted <= qc + 1]); phase [p + 1] is
+      only ever voted against a valid phase-[p] certificate (phase 1
+      against the proposal itself).
+    - {b Certificate uniqueness}: votes pool by [(phase, digest)], so an
+      equivocating leader splits its voters and at most one digest can
+      reach [2f + 1] per slot ([2 * (2f + 1) > n + 1] whenever
+      [f >= 1]); conflicting proposals are counted as equivocation
+      evidence and dropped.
+    - {b In-order execution}: slots certify out of order (the window is
+      {!Config.t.high_water_mark} deep), [Execute] actions are emitted
+      in strict sequence order, gap-free from the last stable
+      checkpoint.
+    - {b Undersized certificates are ignored}: an [Hs_qc] naming fewer
+      than [2f + 1] distinct senders is dropped at every receiver.
+
+    {2 Pacemaker contract}
+
+    Leader rotation is demand-driven, not round-driven: the core reuses
+    the [View_change]/[New_view] sub-protocol (including
+    {!Pbft_replica}'s spam rate limits, surfaced through
+    {!vc_spam_suppressed}) and relies on the hosting system's demand
+    timer as its pacemaker.  The host escalates exactly as for PBFT —
+    first {!nudge} (vote/certificate retransmission), then
+    {!suspect_primary} (depose the leader of the current view), with
+    {!view_change_retransmit} keeping a pending view change alive under
+    loss.  A view change restarts every re-proposed slot from phase 1 in
+    the new view; the lock carried by the view-change messages is the
+    phase-1 certificate (any committed slot's phase-3 quorum intersects
+    every phase-1 quorum, so a locked batch is always re-proposed).
+    This makes leader failure the {e expensive} path — the asymmetry the
+    [byzantine] bench figure measures.
+
+    Checkpointing, garbage collection, {!stable_certificate} and
+    {!install_checkpoint} follow {!Pbft_replica} exactly, so durable
+    backends and checkpoint-certificate state transfer work unmodified. *)
+
+type t
+
+val create : Config.t -> id:int -> t
+
+val id : t -> int
+
+val view : t -> int
+
+val is_leader : t -> bool
+(** Whether this replica leads the current view (round-robin with the
+    view number, as in PBFT). *)
+
+val last_executed : t -> int
+
+val last_stable_checkpoint : t -> int
+
+val in_view_change : t -> bool
+
+val propose : t -> reqs:Message.request_ref list -> digest:string -> wire_bytes:int -> Message.batch option * Action.t list
+(** Leader only: assign the next sequence number to a batch, broadcast
+    its [Hs_proposal] (chained to the previous proposal's digest through
+    the [parent] field) and vote for it.  Returns [None] (and no
+    actions) when this replica is not the leader, is mid view-change, or
+    the window is full. *)
+
+val handle_message : t -> Message.t -> Action.t list
+(** Feed one protocol message.  Unknown views / stale sequence numbers
+    are ignored; duplicates are idempotent (a duplicate vote draws a
+    one-per-phase certificate echo — the loss-recovery path). *)
+
+val handle_executed : t -> seq:int -> state_digest:string -> result:string -> Action.t list
+(** The hosting system reports that the batch at [seq] finished
+    executing.  Must be called in sequence order.  Emits client Replies
+    and, on checkpoint boundaries, a Checkpoint broadcast. *)
+
+val suspect_primary : t -> Action.t list
+(** Pacemaker escalation: start a view change towards view+1.
+    Idempotent while a view change to the same view is in flight. *)
+
+val view_change_retransmit : t -> Action.t list
+(** Re-broadcast the pending View_change (with refreshed certificate
+    proofs).  Empty when no view change is in flight. *)
+
+val nudge : t -> Action.t list
+(** Pacemaker retransmission for the oldest unexecuted slot: a backup
+    re-sends its current-phase vote (drawing the leader's certificate
+    echo), the leader re-broadcasts its proposal and highest
+    certificate, and a batchless slot asks the leader to fill the hole.
+    Empty when nothing is stuck or a view change is in flight. *)
+
+val pending_slots : t -> int
+(** Consensus slots currently tracked (for tests and saturation
+    metrics). *)
+
+val equivocations_detected : t -> int
+(** Conflicting proposals (or certificates conflicting with a held
+    proposal) observed: evidence of an equivocating leader. *)
+
+val vc_spam_suppressed : t -> int
+(** View-change messages discarded by the per-sender rate limit
+    (inherited unchanged from the PBFT view-change sub-protocol). *)
+
+val stable_certificate : t -> (int * string * int list) option
+(** The last stable checkpoint as [(seq, state_digest, senders)], for
+    state-transfer donors; [None] until the first stable checkpoint. *)
+
+val install_checkpoint : t -> seq:int -> state_digest:string -> unit
+(** State-transfer admit: fast-forward this core to the stable
+    checkpoint at [seq] exactly as a 2f+1 Checkpoint quorum would,
+    without emitting actions.  A no-op when [seq] is not beyond the
+    current stable checkpoint. *)

@@ -34,6 +34,19 @@ type t =
       from : int;
     }
   | New_view of { view : int; vc_senders : int list; pre_prepares : batch list; from : int }
+  (* HotStuff-lineage linear protocol (three-phase, leader-aggregated;
+     see ARCHITECTURE.md "Protocol zoo") *)
+  | Hs_proposal of { view : int; seq : int; batch : batch; parent : string; from : int }
+      (** leader broadcast; [parent] chains to the digest proposed at
+          [seq - 1] ("genesis" for the first slot) *)
+  | Hs_vote of { view : int; seq : int; phase : int; digest : string; from : int }
+      (** sent to the leader only — the linearity: n votes inbound instead
+          of n^2 all-to-all.  [phase] is 1 (prepare), 2 (pre-commit) or
+          3 (commit) *)
+  | Hs_qc of { view : int; seq : int; phase : int; digest : string; senders : int list; from : int }
+      (** leader broadcast of an assembled quorum certificate: the
+          [senders] are the 2f+1 distinct voters, standing in for a
+          threshold signature over their votes *)
   (* Zyzzyva (§2.1, "Speculative Execution") *)
   | Order_request of { view : int; seq : int; batch : batch; history : string; from : int }
   | Commit_cert of {
@@ -86,6 +99,9 @@ let type_name = function
   | Checkpoint _ -> "checkpoint"
   | View_change _ -> "view-change"
   | New_view _ -> "new-view"
+  | Hs_proposal _ -> "hs-proposal"
+  | Hs_vote _ -> "hs-vote"
+  | Hs_qc _ -> "hs-qc"
   | Order_request _ -> "order-request"
   | Commit_cert _ -> "commit-cert"
   | Fill_hole _ -> "fill-hole"
@@ -119,6 +135,19 @@ let auth_string t =
     add (Printf.sprintf "|%d|%d|" view from);
     List.iter (fun s -> add (string_of_int s ^ ",")) vc_senders;
     List.iter (fun (b' : batch) -> add (Printf.sprintf "%d:%s;" b'.seq b'.digest)) pre_prepares
+  | Hs_proposal { view; seq; batch; parent; from } ->
+    add (Printf.sprintf "|%d|%d|%d|" view seq from);
+    add batch.digest;
+    add "|";
+    add parent
+  | Hs_vote { view; seq; phase; digest; from } ->
+    add (Printf.sprintf "|%d|%d|%d|%d|" view seq phase from);
+    add digest
+  | Hs_qc { view; seq; phase; digest; senders; from } ->
+    add (Printf.sprintf "|%d|%d|%d|%d|" view seq phase from);
+    add digest;
+    add "|";
+    List.iter (fun s -> add (string_of_int s ^ ",")) senders
   | Order_request { view; seq; batch; history; from } ->
     add (Printf.sprintf "|%d|%d|%d|" view seq from);
     add batch.digest;
@@ -179,6 +208,15 @@ let wire_size ~sig_bytes = function
   | New_view { pre_prepares; _ } ->
     header_bytes + sig_bytes
     + List.fold_left (fun acc b -> acc + digest_bytes + b.wire_bytes) 0 pre_prepares
+  | Hs_proposal { batch; _ } ->
+    (* proposal digest + parent chain digest *)
+    header_bytes + (2 * digest_bytes) + batch.wire_bytes + sig_bytes
+  | Hs_vote _ -> header_bytes + digest_bytes + sig_bytes
+  | Hs_qc { senders; _ } ->
+    (* one aggregate certificate: the digest plus the signer bitmap — the
+       wire-size payoff of threshold-style aggregation vs shipping 2f+1
+       full votes *)
+    header_bytes + digest_bytes + sig_bytes + (List.length senders * 8)
   | Order_request { batch; _ } ->
     header_bytes + (2 * digest_bytes) + batch.wire_bytes + sig_bytes
   | Commit_cert { responders; _ } ->

@@ -609,6 +609,9 @@ let handle_message t (msg : Message.t) =
   | Message.Order_request _ | Message.Commit_cert _ ->
     (* Zyzzyva traffic; not ours. *)
     []
+  | Message.Hs_proposal _ | Message.Hs_vote _ | Message.Hs_qc _ ->
+    (* HotStuff traffic; not ours. *)
+    []
   | Message.State_request _ | Message.State_response _ ->
     (* State transfer is served and admitted at the host level (it moves
        ledger segments, which the core never holds). *)

@@ -1100,11 +1100,13 @@ and deliver_replica t (h : host) ~src (msg : net_msg) =
         ( h.checkpoint_stage,
           verify + cost.Cost.msg_handle
           + (List.length blocks * cost.Cost.hash_base) )
-      | Msg.Pre_prepare { batch; _ } | Msg.Order_request { batch; _ } ->
+      | Msg.Pre_prepare { batch; _ } | Msg.Order_request { batch; _ }
+      | Msg.Hs_proposal { batch; _ } ->
         (* A new consensus instance starts here at a backup. *)
         ( consensus_worker,
           verify + digest_check batch + cost.Cost.msg_handle + cost.Cost.consensus_fixed )
-      | Msg.Prepare _ | Msg.Commit _ | Msg.View_change _ | Msg.New_view _ ->
+      | Msg.Prepare _ | Msg.Commit _ | Msg.View_change _ | Msg.New_view _
+      | Msg.Hs_vote _ | Msg.Hs_qc _ ->
         (consensus_worker, verify + cost.Cost.msg_handle)
       | _ -> (consensus_worker, cost.Cost.msg_handle)
     in
@@ -1133,7 +1135,9 @@ and deliver_replica t (h : host) ~src (msg : net_msg) =
             (* The MAC itself passes; recomputing the batch digest (§4.3's
                backup-side validation) is what disagrees. *)
             match m with
-            | Msg.Pre_prepare { batch; _ } | Msg.Order_request { batch; _ } ->
+            | Msg.Pre_prepare { batch; _ }
+            | Msg.Order_request { batch; _ }
+            | Msg.Hs_proposal { batch; _ } ->
               Cost.hash_cost cost ~bytes:batch.Msg.wire_bytes
             | _ -> cost.Cost.hash_base) )
       | _ -> (0, 0)
@@ -1434,6 +1438,7 @@ let make_host t ~id =
       if p.Params.instances > 1 then Core.multi t.cfg ~instances:p.Params.instances ~id
       else Core.pbft t.cfg ~id
     | Params.Zyzzyva -> Core.zyzzyva t.cfg ~id
+    | Params.Hotstuff -> Core.hotstuff t.cfg ~id
   in
   let multi = p.Params.instances > 1 in
   let ledger =
@@ -1525,6 +1530,16 @@ let equivocate_msg (m : Msg.t) =
            history;
            from;
          })
+  | Msg.Hs_proposal { view; seq; batch; parent; from } ->
+    Some
+      (Msg.Hs_proposal
+         {
+           view;
+           seq;
+           batch = { batch with Msg.digest = batch.Msg.digest ^ "#equiv" };
+           parent;
+           from;
+         })
   | _ -> None
 
 let install_behavior t ~node (b : Nemesis.behavior) =
@@ -1571,8 +1586,8 @@ let install_behavior t ~node (b : Nemesis.behavior) =
   | Nemesis.Corrupting_digest rate ->
     Net.set_interpose nw ~src:node (fun ~dst:_ m ->
         match m with
-        | To_replica (_, (Msg.Pre_prepare _ | Msg.Order_request _)) when Rng.float t.rng < rate
-          ->
+        | To_replica (_, (Msg.Pre_prepare _ | Msg.Order_request _ | Msg.Hs_proposal _))
+          when Rng.float t.rng < rate ->
           [ Tampered { kind = Corrupted_digest; inner = m } ]
         | _ -> [ m ])
 

@@ -6,9 +6,12 @@
     replicas, in-memory storage, one worker-thread, two batch-threads, one
     execute-thread. *)
 
-type protocol = Pbft | Zyzzyva
+type protocol = Pbft | Zyzzyva | Hotstuff
 
-let protocol_name = function Pbft -> "pbft" | Zyzzyva -> "zyzzyva"
+let protocol_name = function
+  | Pbft -> "pbft"
+  | Zyzzyva -> "zyzzyva"
+  | Hotstuff -> "hotstuff"
 
 type t = {
   protocol : protocol;

@@ -9,9 +9,10 @@ module Action = Rdb_consensus.Action
 module Config = Rdb_consensus.Config
 module Pbft = Rdb_consensus.Pbft_replica
 module Zyz = Rdb_consensus.Zyzzyva_replica
+module Hs = Rdb_consensus.Hotstuff_replica
 module Rng = Rdb_des.Rng
 
-type core = P of Pbft.t | Z of Zyz.t
+type core = P of Pbft.t | Z of Zyz.t | H of Hs.t
 
 type t = {
   cfg : Config.t;
@@ -53,10 +54,27 @@ let make_zyz ?(n = 4) ?(checkpoint_interval = 100) ?rng_seed () =
     duplicate = false;
   }
 
+let make_hotstuff ?(n = 4) ?(checkpoint_interval = 100) ?rng_seed () =
+  let cfg = Config.make ~checkpoint_interval ~n () in
+  {
+    cfg;
+    cores = Array.init n (fun id -> H (Hs.create cfg ~id));
+    queue = Queue.create ();
+    crashed = [];
+    executed = Hashtbl.create 8;
+    client_inbox = ref [];
+    delivered = 0;
+    rng = Option.map Rng.create rng_seed;
+    duplicate = false;
+  }
+
 let crash t id = t.crashed <- id :: t.crashed
 
 let handle t id msg =
-  match t.cores.(id) with P c -> Pbft.handle_message c msg | Z c -> Zyz.handle_message c msg
+  match t.cores.(id) with
+  | P c -> Pbft.handle_message c msg
+  | Z c -> Zyz.handle_message c msg
+  | H c -> Hs.handle_message c msg
 
 let record_exec t id (b : Msg.batch) =
   let prev = Option.value ~default:[] (Hashtbl.find_opt t.executed id) in
@@ -68,6 +86,10 @@ let record_exec t id (b : Msg.batch) =
       ~result:"ok"
   | Z c ->
     Zyz.handle_executed c ~seq:b.Msg.seq
+      ~state_digest:(Printf.sprintf "state-%d" b.Msg.seq)
+      ~result:"ok"
+  | H c ->
+    Hs.handle_executed c ~seq:b.Msg.seq
       ~state_digest:(Printf.sprintf "state-%d" b.Msg.seq)
       ~result:"ok"
 
@@ -130,6 +152,7 @@ let propose t id ~reqs ~digest =
     match t.cores.(id) with
     | P c -> Pbft.propose c ~reqs ~digest ~wire_bytes:(100 * List.length reqs)
     | Z c -> Zyz.propose c ~reqs ~digest ~wire_bytes:(100 * List.length reqs)
+    | H c -> Hs.propose c ~reqs ~digest ~wire_bytes:(100 * List.length reqs)
   in
   push t id actions;
   batch
