@@ -4,32 +4,49 @@
      resdb_sim                                      # paper-default PBFT run
      resdb_sim --protocol zyzzyva --crashed 1       # Fig 17's collapse
      resdb_sim -n 32 --batch 1000 --clients 40000
-     resdb_sim --replica-scheme rsa --verbose       # Fig 13's RSA point *)
+     resdb_sim --replica-scheme rsa --verbose       # Fig 13's RSA point
+     resdb_sim --shards 4 --cross-shard 0.1         # sharded scale-out
+
+   Every configuration-axis flag below is derived from [Params.Spec] — the
+   same table the fault-campaign report spells its axis labels with — so a
+   flag name, its --help text and the campaign JSON can never disagree.
+   Only run-shaping switches (--byzantine, --verbose, --trace-out, ...)
+   are hand-written. *)
 
 open Cmdliner
 module Params = Rdb_core.Params
 module Cluster = Rdb_core.Cluster
 module Metrics = Rdb_core.Metrics
-module Signer = Rdb_crypto.Signer
+module Axis = Rdb_obs.Axis
 
-let scheme_conv =
-  let parse = function
-    | "none" -> Ok Signer.No_sig
-    | "cmac" -> Ok Signer.Cmac_aes
-    | "ed25519" -> Ok Signer.Ed25519
-    | "rsa" -> Ok Signer.Rsa
-    | s -> Error (`Msg (Printf.sprintf "unknown scheme %S (none|cmac|ed25519|rsa)" s))
-  in
-  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Signer.scheme_name s))
+(* ---- flags derived from the axis table ------------------------------------- *)
 
-let protocol_conv =
-  let parse = function
-    | "pbft" -> Ok Params.Pbft
-    | "zyzzyva" | "zyz" -> Ok Params.Zyzzyva
-    | "hotstuff" | "hs" -> Ok Params.Hotstuff
-    | s -> Error (`Msg (Printf.sprintf "unknown protocol %S (pbft|zyzzyva|hotstuff)" s))
+let doc_with_default (e : Params.Spec.entry) =
+  let d = e.get Params.default in
+  if d = "" || e.bool_flag then e.doc else Printf.sprintf "%s (default: %s)" e.doc d
+
+(* The spec term evaluates to the [(axis, value)] assignments the user
+   actually passed, in table order. *)
+let spec_term : (string * string) list Term.t =
+  let entry_term (e : Params.Spec.entry) =
+    let names = Axis.to_flag e.key :: e.aliases in
+    if e.bool_flag then
+      Term.(
+        const (fun b -> if b then Some (e.key, "true") else None)
+        $ Arg.(value & flag & info names ~doc:e.doc))
+    else
+      Term.(
+        const (fun v -> Option.map (fun v -> (e.key, v)) v)
+        $ Arg.(value & opt (some string) None & info names ~doc:(doc_with_default e)))
   in
-  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Params.protocol_name p))
+  let raw =
+    List.fold_left
+      (fun acc e -> Term.(const (fun xs x -> x :: xs) $ acc $ entry_term e))
+      (Term.const []) Params.Spec.entries
+  in
+  Term.(const (fun xs -> List.filter_map Fun.id (List.rev xs)) $ raw)
+
+(* ---- hand-written run-shaping flags ---------------------------------------- *)
 
 type attack = Equivocate | Corrupt_mac | Corrupt_digest | Silence | Vc_spam
 
@@ -78,46 +95,35 @@ let byzantine_schedule ~n ~f ~horizon strategy attackers =
          | Vc_spam ->
            Nemesis.view_change_spam_window ~from_ ~until (n - 1 - i) ~period:(Sim.ms 5.0)))
 
-let run protocol n clients batch_size ops payload client_scheme replica_scheme reply_scheme
-    sqlite durable data_dir cores instances batch_threads execute_threads crashed byzantine
-    attackers warmup measure seed verbose trace_out trace_csv upper_bound =
-  let d = Params.default in
-  let nemesis =
-    match byzantine with
-    | None -> []
-    | Some strategy ->
-      let f = (n - 1) / 3 in
-      let horizon = Rdb_des.Sim.seconds (warmup +. measure +. 1.0) in
-      byzantine_schedule ~n ~f ~horizon strategy attackers
+let run assigns durable_flag byzantine attackers verbose trace_out trace_csv upper_bound =
+  let assigns = if durable_flag then assigns @ [ (Axis.backend, "durable") ] else assigns in
+  let p =
+    match Params.Spec.apply assigns Params.default with
+    | Ok p -> p
+    | Error m ->
+      Printf.eprintf "invalid configuration: %s\n" m;
+      exit 1
   in
   let p =
-    {
-      d with
-      Params.protocol;
-      nemesis;
-      n;
-      clients;
-      batch_size;
-      ops_per_txn = ops;
-      preprepare_payload_bytes = payload;
-      client_scheme;
-      replica_scheme;
-      reply_scheme;
-      sqlite;
-      durable = durable || data_dir <> None;
-      data_dir;
-      cores;
-      instances;
-      batch_threads;
-      execute_threads;
-      crashed_backups = crashed;
-      warmup = Rdb_des.Sim.seconds warmup;
-      measure = Rdb_des.Sim.seconds measure;
-      seed = Int64.of_int seed;
-      trace = trace_out <> None || trace_csv <> None;
-      trace_out;
-      trace_csv;
-    }
+    Params.map_obs
+      (fun o ->
+        {
+          o with
+          Params.Obs.trace = o.Params.Obs.trace || trace_out <> None || trace_csv <> None;
+          trace_out;
+          trace_csv;
+        })
+      p
+  in
+  let p =
+    match byzantine with
+    | None -> p
+    | Some strategy ->
+      let f = (p.Params.n - 1) / 3 in
+      let horizon = p.Params.warmup + p.Params.measure + Rdb_des.Sim.seconds 1.0 in
+      Params.with_nemesis
+        (byzantine_schedule ~n:p.Params.n ~f ~horizon strategy attackers)
+        p
   in
   (try Params.validate p
    with Invalid_argument m ->
@@ -126,27 +132,41 @@ let run protocol n clients batch_size ops payload client_scheme replica_scheme r
   if upper_bound then begin
     let ne = Rdb_core.Upper_bound.run ~p ~execute:false () in
     let ex = Rdb_core.Upper_bound.run ~p ~execute:true () in
-    Printf.printf "upper bound, %d clients:\n" clients;
+    Printf.printf "upper bound, %d clients:\n" p.Params.clients;
     Printf.printf "  no-execution: %.0f txn/s (avg latency %.4fs)\n" ne.Rdb_core.Upper_bound.throughput_tps
       (Rdb_des.Stats.mean ne.Rdb_core.Upper_bound.latency);
     Printf.printf "  execution:    %.0f txn/s (avg latency %.4fs)\n" ex.Rdb_core.Upper_bound.throughput_tps
       (Rdb_des.Stats.mean ex.Rdb_core.Upper_bound.latency)
   end
   else begin
-    Printf.printf "running %s: n=%d f=%d clients=%d batch=%d threads=%dB/%dE cores=%d%s%s%s\n%!"
-      (Params.protocol_name protocol) n (Params.f p) clients batch_size batch_threads
-      execute_threads cores
-      (if instances > 1 then Printf.sprintf " instances=%d" instances else "")
-      (if crashed > 0 then Printf.sprintf " crashed=%d" crashed else "")
+    Printf.printf "running %s: n=%d f=%d clients=%d batch=%d threads=%dB/%dE cores=%d%s%s%s%s\n%!"
+      (Params.protocol_name p.Params.protocol)
+      p.Params.n (Params.f p) p.Params.clients p.Params.batch_size p.Params.batch_threads
+      p.Params.execute_threads p.Params.cores
+      (if p.Params.instances > 1 then Printf.sprintf " instances=%d" p.Params.instances else "")
+      (if p.Params.shards > 1 then
+         Printf.sprintf " shards=%d cross=%.3g" p.Params.shards p.Params.cross_shard_fraction
+       else "")
+      (if p.Params.crashed_backups > 0 then Printf.sprintf " crashed=%d" p.Params.crashed_backups
+       else "")
       (match byzantine with
-      | Some a -> Printf.sprintf " byzantine=%s attackers=%d" (attack_name a) (max 1 (min attackers (Params.f p)))
+      | Some a ->
+        Printf.sprintf " byzantine=%s attackers=%d" (attack_name a)
+          (max 1 (min attackers (Params.f p)))
       | None -> "");
-    let m = Cluster.run p in
+    let m =
+      if p.Params.shards > 1 then begin
+        let r = Rdb_shard.Deployment.run p in
+        Format.printf "%a@." Rdb_shard.Deployment.pp_summary r;
+        r.Rdb_shard.Deployment.aggregate
+      end
+      else Cluster.run p
+    in
     Format.printf "%a@." Metrics.pp m;
     if verbose then begin
       Format.printf "@[<v>%a@]@." Metrics.pp_saturation m;
       Format.printf "%a@." Rdb_obs.Bottleneck.pp
-        (Metrics.bottleneck_report ~window_s:measure m)
+        (Metrics.bottleneck_report ~window_s:(Rdb_des.Sim.to_seconds p.Params.measure) m)
     end;
     (match trace_out with
     | Some f -> Printf.printf "trace: %s (chrome://tracing or ui.perfetto.dev)\n" f
@@ -159,61 +179,11 @@ let run protocol n clients batch_size ops payload client_scheme replica_scheme r
 
 let cmd =
   let open Arg in
-  let protocol =
-    value & opt protocol_conv Params.Pbft & info [ "p"; "protocol" ] ~doc:"Consensus protocol (pbft|zyzzyva|hotstuff)."
-  in
-  let n = value & opt int 16 & info [ "n"; "replicas" ] ~doc:"Number of replicas (>= 4)." in
-  let clients = value & opt int 80_000 & info [ "c"; "clients" ] ~doc:"Closed-loop client population." in
-  let batch = value & opt int 100 & info [ "b"; "batch" ] ~doc:"Transactions per batch." in
-  let ops = value & opt int 1 & info [ "ops" ] ~doc:"Operations per transaction." in
-  let payload =
-    value & opt int 0 & info [ "payload" ] ~doc:"Extra Pre-prepare payload bytes (message-size experiments)."
-  in
-  let cs =
-    value & opt scheme_conv Signer.Ed25519 & info [ "client-scheme" ] ~doc:"Client signature scheme."
-  in
-  let rs =
-    value & opt scheme_conv Signer.Cmac_aes & info [ "replica-scheme" ] ~doc:"Replica-to-replica scheme."
-  in
-  let ps =
-    value & opt scheme_conv Signer.Cmac_aes & info [ "reply-scheme" ] ~doc:"Replica-to-client reply scheme."
-  in
-  let sqlite = value & flag & info [ "sqlite" ] ~doc:"Use off-memory (SQLite-class) storage." in
   let durable =
     value & flag
     & info [ "durable" ]
-        ~doc:
-          "Back each replica's ledger with the durable WAL + B-tree block store (appends and \
-           checkpoint flushes charged on the checkpoint-thread)."
+        ~doc:"Shorthand for --backend durable (the WAL + B-tree block store)."
   in
-  let data_dir =
-    value
-    & opt (some string) None
-    & info [ "data-dir" ]
-        ~doc:
-          "Directory for the durable block stores (implies --durable; one subdirectory per \
-           replica).  Re-using a directory exercises crash-replay recovery; the default is a \
-           fresh temporary directory per run."
-  in
-  let cores = value & opt int 8 & info [ "cores" ] ~doc:"CPU cores per replica." in
-  let instances =
-    value & opt int 1
-    & info [ "k"; "instances" ]
-        ~doc:
-          "Concurrent PBFT consensus instances (multi-primary ordering; 1 = classic \
-           single-primary PBFT)."
-  in
-  let bt = value & opt int 2 & info [ "B"; "batch-threads" ] ~doc:"Batch-threads at the primary (0 = worker batches)." in
-  let et =
-    value & opt int 1
-    & info [ "E"; "execute-threads"; "exec-threads" ]
-        ~doc:
-          "Execute-threads: 0 = the worker executes, 1 = the paper's dedicated \
-           execute-thread, >= 2 = conflict-aware parallel execution across E lanes \
-           (non-conflicting transactions run concurrently; every replica still reaches \
-           the serial-order state)."
-  in
-  let crashed = value & opt int 0 & info [ "crashed" ] ~doc:"Backups crashed at start (<= f)." in
   let byzantine =
     value
     & opt (some byzantine_conv) None
@@ -229,9 +199,6 @@ let cmd =
     & info [ "attackers" ]
         ~doc:"Concurrent byzantine attackers for --byzantine (clamped to f = (n-1)/3)."
   in
-  let warmup = value & opt float 0.5 & info [ "warmup" ] ~doc:"Warmup seconds (simulated)." in
-  let measure = value & opt float 1.0 & info [ "measure" ] ~doc:"Measurement seconds (simulated)." in
-  let seed = value & opt int 0x5265736442 & info [ "seed" ] ~doc:"Random seed (runs are deterministic)." in
   let verbose = value & flag & info [ "v"; "verbose" ] ~doc:"Print per-replica thread saturation." in
   let trace_out =
     value
@@ -248,9 +215,8 @@ let cmd =
   let ub = value & flag & info [ "upper-bound" ] ~doc:"Run the Fig 7 no-consensus upper bound instead." in
   let term =
     Term.(
-      const run $ protocol $ n $ clients $ batch $ ops $ payload $ cs $ rs $ ps $ sqlite
-      $ durable $ data_dir $ cores $ instances $ bt $ et $ crashed $ byzantine $ attackers
-      $ warmup $ measure $ seed $ verbose $ trace_out $ trace_csv $ ub)
+      const run $ spec_term $ durable $ byzantine $ attackers $ verbose $ trace_out $ trace_csv
+      $ ub)
   in
   Cmd.v
     (Cmd.info "resdb_sim" ~version:"1.0.0"
@@ -261,7 +227,9 @@ let cmd =
            `P
              "Runs one deterministic discrete-event simulation of the ResilientDB fabric \
               (ICDCS'20, 'Permissioned Blockchain Through the Looking Glass') and reports \
-              throughput, latency and pipeline saturation.";
+              throughput, latency and pipeline saturation.  With --shards > 1 the run is a \
+              sharded deployment: S independent consensus groups over a partitioned \
+              keyspace, cross-shard transactions committed by 2PC over BFT.";
          ])
     term
 

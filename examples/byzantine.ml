@@ -27,29 +27,25 @@ module Nemesis = Rdb_core.Nemesis
 module Sim = Rdb_des.Sim
 
 let base =
-  {
-    Params.default with
-    Params.n = 4;
-    clients = 400;
-    client_machines = 1;
-    batch_size = 20;
-    max_inflight_batches = 16;
-    checkpoint_txns = 400;
-    client_timeout = Sim.ms 40.0;
-    view_timeout = Sim.ms 30.0;
-    warmup = Sim.seconds 0.2;
-    measure = Sim.seconds 0.8;
-  }
+  Params.default
+  |> Params.with_n 4
+  |> Params.with_clients 400
+  |> Params.map_topology (fun t -> { t with Params.Topology.client_machines = 1 })
+  |> Params.with_batch_size 20
+  |> Params.map_consensus (fun c ->
+         { c with Params.Consensus.max_inflight_batches = 16; checkpoint_txns = 400 })
+  |> Params.with_client_timeout (Sim.ms 40.0)
+  |> Params.with_view_timeout (Sim.ms 30.0)
+  |> Params.with_windows ~warmup:(Sim.seconds 0.2) ~measure:(Sim.seconds 0.8)
 
 let () =
   (* ---- 1. The equivocating primary is caught and deposed ---------------- *)
   print_endline "== equivocating primary: caught, deposed, survived (PBFT, n=4) ==";
   let healthy = Cluster.run base in
   let attacked =
-    {
-      base with
-      Params.nemesis = Nemesis.equivocate_window ~from_:(Sim.ms 250.0) ~until:(Sim.seconds 2.0) 0;
-    }
+    Params.with_nemesis
+      (Nemesis.equivocate_window ~from_:(Sim.ms 250.0) ~until:(Sim.seconds 2.0) 0)
+      base
   in
   let c = Cluster.create attacked in
   let m = Cluster.measure c in
@@ -70,10 +66,9 @@ let () =
   (* ---- 2. One forging backup: PBFT shrugs, Zyzzyva collapses ------------ *)
   print_endline "\n== one MAC-forging backup: PBFT vs Zyzzyva (Fig. 12) ==";
   let liar p =
-    {
-      p with
-      Params.nemesis = Nemesis.corrupt_mac_window ~from_:(Sim.ms 50.0) ~until:(Sim.seconds 2.0) 3 1.0;
-    }
+    Params.with_nemesis
+      (Nemesis.corrupt_mac_window ~from_:(Sim.ms 50.0) ~until:(Sim.seconds 2.0) 3 1.0)
+      p
   in
   let show name p =
     let m = Cluster.run p in
@@ -84,7 +79,7 @@ let () =
   in
   let p_ok = show "PBFT, healthy" base in
   let p_liar = show "PBFT, 1 liar" (liar base) in
-  let zyz = { base with Params.protocol = Params.Zyzzyva } in
+  let zyz = Params.with_protocol Params.Zyzzyva base in
   let z_ok = show "Zyzzyva, healthy" zyz in
   let z_liar = show "Zyzzyva, 1 liar" (liar zyz) in
   assert (p_liar.Metrics.throughput_tps > 0.7 *. p_ok.Metrics.throughput_tps);
@@ -101,12 +96,10 @@ let () =
   print_endline "\n== view-change spam: clipped by the per-sender budget ==";
   let spammed =
     Cluster.run
-      {
-        base with
-        Params.nemesis =
-          Nemesis.view_change_spam_window ~from_:(Sim.ms 100.0) ~until:(Sim.ms 700.0) 3
-            ~period:(Sim.ms 2.0);
-      }
+      (Params.with_nemesis
+         (Nemesis.view_change_spam_window ~from_:(Sim.ms 100.0) ~until:(Sim.ms 700.0) 3
+            ~period:(Sim.ms 2.0))
+         base)
   in
   let f = spammed.Metrics.faults in
   Printf.printf "throughput %8.1fK txn/s, spam suppressed %d, view changes %d\n"

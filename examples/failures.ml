@@ -65,12 +65,10 @@ let () =
   (* ---- 2. Backup crash: PBFT vs Zyzzyva (simulated, Fig. 17) ----------- *)
   print_endline "\n== one crashed backup: PBFT vs Zyzzyva (simulated 16-replica cluster) ==";
   let base =
-    {
-      Params.default with
-      Params.clients = 20_000;
-      warmup = Rdb_des.Sim.seconds 0.3;
-      measure = Rdb_des.Sim.seconds 0.4;
-    }
+    Params.default
+    |> Params.with_clients 20_000
+    |> Params.with_windows ~warmup:(Rdb_des.Sim.seconds 0.3)
+         ~measure:(Rdb_des.Sim.seconds 0.4)
   in
   let show name p =
     let m = Cluster.run p in
@@ -80,17 +78,15 @@ let () =
     m.Metrics.throughput_tps
   in
   let p_ok = show "PBFT, healthy" base in
-  let p_crash = show "PBFT, 1 backup down" { base with Params.crashed_backups = 1 } in
-  let z_ok = show "Zyzzyva, healthy" { base with Params.protocol = Params.Zyzzyva } in
+  let p_crash = show "PBFT, 1 backup down" (Params.with_crashed_backups 1 base) in
+  let z_ok = show "Zyzzyva, healthy" (Params.with_protocol Params.Zyzzyva base) in
   let z_crash =
     show "Zyzzyva, 1 backup down"
-      {
-        base with
-        Params.protocol = Params.Zyzzyva;
-        crashed_backups = 1;
-        warmup = Rdb_des.Sim.seconds 2.0;
-        measure = Rdb_des.Sim.seconds 1.5;
-      }
+      (base
+      |> Params.with_protocol Params.Zyzzyva
+      |> Params.with_crashed_backups 1
+      |> Params.with_windows ~warmup:(Rdb_des.Sim.seconds 2.0)
+           ~measure:(Rdb_des.Sim.seconds 1.5))
   in
   Printf.printf "PBFT keeps %.0f%% of its throughput; Zyzzyva keeps %.1f%%\n"
     (100.0 *. p_crash /. p_ok)
@@ -101,18 +97,16 @@ let () =
   (* ---- 3. Mid-run primary crash (nemesis schedule) ---------------------- *)
   print_endline "\n== mid-run primary crash: liveness under load (simulated, nemesis) ==";
   let faulted =
-    {
-      base with
-      Params.clients = 4_000;
-      client_timeout = Rdb_des.Sim.ms 200.0;
-      view_timeout = Rdb_des.Sim.ms 100.0;
-      warmup = Rdb_des.Sim.seconds 0.3;
-      measure = Rdb_des.Sim.seconds 1.2;
-    }
+    base
+    |> Params.with_clients 4_000
+    |> Params.with_client_timeout (Rdb_des.Sim.ms 200.0)
+    |> Params.with_view_timeout (Rdb_des.Sim.ms 100.0)
+    |> Params.with_windows ~warmup:(Rdb_des.Sim.seconds 0.3)
+         ~measure:(Rdb_des.Sim.seconds 1.2)
   in
   let healthy = Cluster.run faulted in
   let crashed =
-    Cluster.run { faulted with Params.nemesis = Nemesis.crash_primary_at (Rdb_des.Sim.ms 500.0) }
+    Cluster.run (Params.with_nemesis (Nemesis.crash_primary_at (Rdb_des.Sim.ms 500.0)) faulted)
   in
   let f = crashed.Metrics.faults in
   Printf.printf "healthy:               %8.1fK txn/s\n" (healthy.Metrics.throughput_tps /. 1000.0);

@@ -23,12 +23,10 @@ let () =
   (* ---- Part 1: capacity planning on the simulator --------------------- *)
   print_endline "== sizing a 16-replica deployment (simulated, paper-standard config) ==";
   let p =
-    {
-      Params.default with
-      Params.clients = 40_000;
-      warmup = Rdb_des.Sim.seconds 0.3;
-      measure = Rdb_des.Sim.seconds 0.5;
-    }
+    Params.default
+    |> Params.with_clients 40_000
+    |> Params.with_windows ~warmup:(Rdb_des.Sim.seconds 0.3)
+         ~measure:(Rdb_des.Sim.seconds 0.5)
   in
   let m = Cluster.run p in
   Format.printf "%a@." Metrics.pp m;

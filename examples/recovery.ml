@@ -98,20 +98,18 @@ let () =
   print_endline "\n== simulated cluster: nemesis crash + recover, durable backend ==";
   let victim = Params.default.Params.n - 1 in
   let p =
-    {
-      Params.default with
-      Params.clients = 4_000;
-      durable = true;
-      client_timeout = Rdb_des.Sim.ms 200.0;
-      view_timeout = Rdb_des.Sim.ms 100.0;
-      warmup = Rdb_des.Sim.seconds 0.3;
-      measure = Rdb_des.Sim.seconds 1.0;
-      nemesis =
-        [
-          Nemesis.at_ms 300.0 (Nemesis.Crash victim);
-          Nemesis.at_ms 700.0 (Nemesis.Recover victim);
-        ];
-    }
+    Params.default
+    |> Params.with_clients 4_000
+    |> Params.with_durable true
+    |> Params.with_client_timeout (Rdb_des.Sim.ms 200.0)
+    |> Params.with_view_timeout (Rdb_des.Sim.ms 100.0)
+    |> Params.with_windows ~warmup:(Rdb_des.Sim.seconds 0.3)
+         ~measure:(Rdb_des.Sim.seconds 1.0)
+    |> Params.with_nemesis
+         [
+           Nemesis.at_ms 300.0 (Nemesis.Crash victim);
+           Nemesis.at_ms 700.0 (Nemesis.Recover victim);
+         ]
   in
   let c = Cluster.create p in
   let m = Cluster.measure c in

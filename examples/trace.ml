@@ -21,25 +21,23 @@ module Nemesis = Rdb_core.Nemesis
 module Stats = Rdb_des.Stats
 
 let p_base =
-  {
-    Params.default with
-    Params.n = 4;
-    clients = 4_000;
-    client_machines = 2;
-    batch_size = 50;
-    checkpoint_txns = 400;
-    client_timeout = Rdb_des.Sim.ms 200.0;
-    view_timeout = Rdb_des.Sim.ms 100.0;
-    warmup = Rdb_des.Sim.seconds 0.3;
-    measure = Rdb_des.Sim.seconds 0.7;
-    nemesis = Nemesis.crash_primary_at (Rdb_des.Sim.ms 500.0);
-  }
+  Params.default
+  |> Params.with_n 4
+  |> Params.with_clients 4_000
+  |> Params.map_topology (fun t -> { t with Params.Topology.client_machines = 2 })
+  |> Params.with_batch_size 50
+  |> Params.map_consensus (fun c -> { c with Params.Consensus.checkpoint_txns = 400 })
+  |> Params.with_client_timeout (Rdb_des.Sim.ms 200.0)
+  |> Params.with_view_timeout (Rdb_des.Sim.ms 100.0)
+  |> Params.with_windows ~warmup:(Rdb_des.Sim.seconds 0.3)
+       ~measure:(Rdb_des.Sim.seconds 0.7)
+  |> Params.with_nemesis (Nemesis.crash_primary_at (Rdb_des.Sim.ms 500.0))
 
 let () =
   (* ---- Part 1: tracing changes nothing ---------------------------------- *)
   print_endline "== tracing neutrality: same run with observability off and on ==";
   let plain = Cluster.run p_base in
-  let traced = Cluster.run { p_base with Params.trace = true } in
+  let traced = Cluster.run (Params.with_trace true p_base) in
   Printf.printf "off: %8.1fK txn/s, %d txns, p99 %.4fs\n"
     (plain.Metrics.throughput_tps /. 1000.0)
     plain.Metrics.completed_txns
@@ -75,7 +73,10 @@ let () =
   let csv_path = Filename.temp_file "rdb_series" ".csv" in
   let m =
     Cluster.run
-      { p_base with Params.trace_out = Some json_path; trace_csv = Some csv_path }
+      (Params.map_obs
+         (fun o ->
+           { o with Params.Obs.trace_out = Some json_path; trace_csv = Some csv_path })
+         p_base)
   in
   (match m.Metrics.faults.Metrics.time_to_recovery_s with
   | Some s -> Printf.printf "primary crash @0.5s, recovered in %.3fs\n" s

@@ -28,6 +28,7 @@ type matrix = {
   exec_threads : int list;
   backends : backend list;
   view_timeouts_ms : float list;
+  shard_axis : (int * float) list;
   families : Nemesis.Gen.family list;
   seeds : int;
   matrix_seed : int64;
@@ -38,20 +39,15 @@ type matrix = {
 }
 
 let quick_base =
-  {
-    Params.default with
-    Params.n = 4;
-    clients = 200;
-    client_machines = 1;
-    batch_size = 20;
-    max_inflight_batches = 16;
-    checkpoint_txns = 400;
-    exec_records = 4096;
-    client_timeout = Sim.ms 40.0;
-    view_timeout = Sim.ms 75.0;
-    warmup = Sim.seconds 0.2;
-    measure = Sim.seconds 0.6;
-  }
+  Params.make
+    ~consensus:
+      (Params.Consensus.v ~n:4 ~batch_size:20 ~max_inflight_batches:16 ~checkpoint_txns:400
+         ~view_timeout:(Sim.ms 75.0) ())
+    ~workload:(Params.Workload.v ~clients:200 ())
+    ~exec:(Params.Exec.v ~exec_records:4096 ())
+    ~faults:(Params.Faults.v ~client_timeout:(Sim.ms 40.0) ())
+    ~topology:(Params.Topology.v ~client_machines:1 ())
+    ~warmup:(Sim.seconds 0.2) ~measure:(Sim.seconds 0.6) ()
 
 let quick_matrix =
   {
@@ -60,6 +56,7 @@ let quick_matrix =
     exec_threads = [ 1; 2 ];
     backends = [ Mem; Durable ];
     view_timeouts_ms = [ 75.0 ];
+    shard_axis = [ (1, 0.0); (2, 0.1) ];
     families = Nemesis.Gen.[ Fault_free; Crashes; Loss; Byzantine ];
     seeds = 3;
     matrix_seed = 0x52644243616D70L (* "RdBCamp" *);
@@ -77,6 +74,7 @@ let cliff_matrix =
     exec_threads = [ 1 ];
     backends = [ Mem ];
     view_timeouts_ms = [ 150.0; 75.0; 40.0 ];
+    shard_axis = [ (1, 0.0) ];
     families = Nemesis.Gen.[ Loss; Heavy_loss ];
     seeds = 5;
   }
@@ -87,6 +85,7 @@ let default_matrix =
     instances = [ 1; 2; 4 ];
     exec_threads = [ 1; 2; 4 ];
     view_timeouts_ms = [ 40.0; 75.0; 150.0 ];
+    shard_axis = [ (1, 0.0); (2, 0.1); (4, 0.1); (4, 0.5) ];
     families = Nemesis.Gen.all_families;
     seeds = 10;
     quick = false;
@@ -98,6 +97,8 @@ type cell = {
   exec_threads : int;
   backend : backend;
   view_timeout_ms : float;
+  shards : int;
+  cross_fraction : float;
   family : Nemesis.Gen.family;
 }
 
@@ -107,7 +108,13 @@ let dedup xs = List.fold_left (fun acc x -> if List.mem x acc then acc else acc 
 
 let families_of m = dedup (Nemesis.Gen.Fault_free :: m.families)
 
-let valid c = c.instances = 1 || c.protocol = Params.Pbft
+(* Sharded cells sweep only the base deployment shape (k = 1, E = 1, the
+   memory ledger): the shard axis asks how S groups and cross-shard
+   traffic fare under faults, not its cartesian product with every other
+   axis. *)
+let valid c =
+  (c.instances = 1 || c.protocol = Params.Pbft)
+  && (c.shards = 1 || (c.instances = 1 && c.exec_threads = 1 && c.backend = Mem))
 
 let expand m =
   let cells =
@@ -121,20 +128,25 @@ let expand m =
                   (fun backend ->
                     List.concat_map
                       (fun view_timeout_ms ->
-                        List.filter_map
-                          (fun family ->
-                            let c =
-                              {
-                                protocol;
-                                instances;
-                                exec_threads;
-                                backend;
-                                view_timeout_ms;
-                                family;
-                              }
-                            in
-                            if valid c then Some c else None)
-                          (families_of m))
+                        List.concat_map
+                          (fun (shards, cross_fraction) ->
+                            List.filter_map
+                              (fun family ->
+                                let c =
+                                  {
+                                    protocol;
+                                    instances;
+                                    exec_threads;
+                                    backend;
+                                    view_timeout_ms;
+                                    shards;
+                                    cross_fraction;
+                                    family;
+                                  }
+                                in
+                                if valid c then Some c else None)
+                              (families_of m))
+                          (dedup m.shard_axis))
                       (dedup m.view_timeouts_ms))
                   (dedup m.backends))
               (dedup m.exec_threads))
@@ -159,11 +171,15 @@ let fnv64 (s : string) : int64 =
   String.iter (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime) s;
   !h
 
+(* Single-shard keys keep the historical spelling so every pre-sharding
+   run seed — and with it the committed campaign baseline — survives the
+   axis addition byte-for-byte. *)
 let cell_key c =
-  Printf.sprintf "%s|k=%d|E=%d|%s|vt=%.6g|%s"
+  Printf.sprintf "%s|k=%d|E=%d|%s|vt=%.6g|%s%s"
     (Params.protocol_name c.protocol)
     c.instances c.exec_threads (backend_name c.backend) c.view_timeout_ms
     (Nemesis.Gen.family_name c.family)
+    (if c.shards > 1 then Printf.sprintf "|S=%d|x=%.6g" c.shards c.cross_fraction else "")
 
 let run_seed m c ~seed_index =
   fnv64 (Printf.sprintf "%Ld|%s|%d" m.matrix_seed (cell_key c) seed_index)
@@ -172,17 +188,17 @@ let params_for m ?data_dir c ~seed_index =
   let seed = run_seed m c ~seed_index in
   let sched_rng = Rng.create (fnv64 (Printf.sprintf "%Ld|schedule" seed)) in
   let nemesis = Nemesis.Gen.generate c.family ~n:m.base.Params.n sched_rng in
-  {
-    m.base with
-    Params.protocol = c.protocol;
-    instances = c.instances;
-    execute_threads = c.exec_threads;
-    durable = c.backend = Durable;
-    data_dir;
-    view_timeout = Sim.ms c.view_timeout_ms;
-    nemesis;
-    seed;
-  }
+  m.base
+  |> Params.with_protocol c.protocol
+  |> Params.with_instances c.instances
+  |> Params.with_execute_threads c.exec_threads
+  |> Params.with_durable (c.backend = Durable)
+  |> Params.with_data_dir data_dir
+  |> Params.with_view_timeout (Sim.ms c.view_timeout_ms)
+  |> Params.with_shards c.shards
+  |> Params.with_cross_shard_fraction c.cross_fraction
+  |> Params.with_nemesis nemesis
+  |> Params.with_seed seed
 
 (* ---- filesystem scratch for durable cells --------------------------------- *)
 
@@ -244,6 +260,8 @@ type axes = {
   a_exec_threads : int;
   a_backend : backend;
   a_view_timeout_ms : float;
+  a_shards : int;
+  a_cross_fraction : float;
 }
 
 let axes_of c =
@@ -253,6 +271,8 @@ let axes_of c =
     a_exec_threads = c.exec_threads;
     a_backend = c.backend;
     a_view_timeout_ms = c.view_timeout_ms;
+    a_shards = c.shards;
+    a_cross_fraction = c.cross_fraction;
   }
 
 let mean = function
@@ -270,6 +290,8 @@ let report_cell c ~runs ~outcomes ~tputs ~retentions ~recoveries : Report.cell =
     exec_threads = c.exec_threads;
     backend = backend_name c.backend;
     view_timeout_ms = c.view_timeout_ms;
+    shards = c.shards;
+    cross_shard = c.cross_fraction;
     family = Nemesis.Gen.family_name c.family;
     runs;
     safe = count Classify.Safe;
@@ -328,6 +350,14 @@ let find_cliffs m (agg : (cell * Report.cell) list) : Report.cliff list =
           (Printf.sprintf "%g" a.view_timeout_ms)
           (Printf.sprintf "%g" b.view_timeout_ms)
       else note "-" "" "";
+    if (a.shards, a.cross_fraction) <> (b.shards, b.cross_fraction) then
+      if
+        adjacent (dedup m.shard_axis) (a.shards, a.cross_fraction) (b.shards, b.cross_fraction)
+      then
+        note "shards"
+          (Printf.sprintf "S=%d x=%g" a.shards a.cross_fraction)
+          (Printf.sprintf "S=%d x=%g" b.shards b.cross_fraction)
+      else note "-" "" "";
     if a.family <> b.family then
       if adjacent (families_of m) a.family b.family then
         note "family" (Nemesis.Gen.family_name a.family) (Nemesis.Gen.family_name b.family)
@@ -377,10 +407,31 @@ let run ?(jobs = 1) ?progress m : Report.t =
       | _ -> None
     in
     let p = params_for m ?data_dir c ~seed_index in
-    let cl = Cluster.create p in
-    let metrics, completion = Cluster.measure_bounded ~max_events:m.budget_events cl in
-    let safety = Cluster.check_safety cl in
-    Cluster.close cl;
+    let raw =
+      if c.shards = 1 then begin
+        let cl = Cluster.create p in
+        let metrics, completion = Cluster.measure_bounded ~max_events:m.budget_events cl in
+        let safety = Cluster.check_safety cl in
+        Cluster.close cl;
+        {
+          facts = Metrics.outcome_facts metrics;
+          safety_ok = (match safety with Ok () -> true | Error _ -> false);
+          exhausted = completion = Cluster.Event_budget_exhausted;
+        }
+      end
+      else begin
+        (* Sharded cells run the whole co-simulation; the event budget
+           spans all S groups, so it scales with S to stay per-group-fair
+           while a wedged group still hits the cutoff. *)
+        let r = Rdb_shard.Deployment.run ~budget_events:(c.shards * m.budget_events) p in
+        {
+          facts = Metrics.outcome_facts r.Rdb_shard.Deployment.aggregate;
+          safety_ok =
+            (match r.Rdb_shard.Deployment.safety with Ok () -> true | Error _ -> false);
+          exhausted = r.Rdb_shard.Deployment.exhausted;
+        }
+      end
+    in
     (match data_dir with Some d -> rm_rf d | None -> ());
     (match progress with
     | None -> ()
@@ -388,11 +439,7 @@ let run ?(jobs = 1) ?progress m : Report.t =
       let done_ = 1 + Atomic.fetch_and_add done_count 1 in
       Mutex.lock progress_lock;
       Fun.protect ~finally:(fun () -> Mutex.unlock progress_lock) (fun () -> f ~done_ ~total));
-    {
-      facts = Metrics.outcome_facts metrics;
-      safety_ok = (match safety with Ok () -> true | Error _ -> false);
-      exhausted = completion = Cluster.Event_budget_exhausted;
-    }
+    raw
   in
   let raws = map_bounded ~jobs exec runs in
   (match data_root with Some root -> rm_rf root | None -> ());

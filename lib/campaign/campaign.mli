@@ -34,6 +34,11 @@ type matrix = {
   exec_threads : int list;  (** E values *)
   backends : backend list;
   view_timeouts_ms : float list;
+  shard_axis : (int * float) list;
+      (** (S, cross fraction) deployment shapes; sharded entries
+          ([S > 1]) are swept only over the base deployment (k = 1,
+          E = 1, memory ledger) and run the full {!Rdb_shard.Deployment}
+          co-simulation *)
   families : Nemesis.Gen.family list;
       (** {!Nemesis.Gen.family.Fault_free} is always swept even if absent
           here: every cell needs its throughput twin *)
@@ -51,9 +56,10 @@ val quick_base : Params.t
     demand-timer liveness loop enabled. *)
 
 val quick_matrix : matrix
-(** The CI smoke sweep: 2 protocols × k ∈ \{1, 2\} × E ∈ \{1, 2\} × both
-    ledger backends × 4 families × 3 seeds = 144 runs (invalid
-    Zyzzyva/multi-primary combinations are skipped at expansion). *)
+(** The CI smoke sweep: protocols × k ∈ \{1, 2\} × E ∈ \{1, 2\} × both
+    ledger backends × 4 families × 3 seeds, plus a sharded slice
+    (S = 2 at 10% cross-shard traffic over the base deployment shape);
+    invalid combinations are skipped at expansion. *)
 
 val cliff_matrix : matrix
 (** The liveness-cliff probe from EXPERIMENTS.md: PBFT under moderate
@@ -73,6 +79,8 @@ type cell = {
   exec_threads : int;
   backend : backend;
   view_timeout_ms : float;
+  shards : int;
+  cross_fraction : float;
   family : Nemesis.Gen.family;
 }
 

@@ -228,6 +228,10 @@ type t = {
   obs : obs option;
   (* measurement *)
   latencies : Stats.t;
+  mutable on_complete : (int array -> unit) option;
+      (** replaces the closed-loop resubmission when set: fresh completions
+          are handed to the sink (a shard deployment's routing loop)
+          instead of being resubmitted locally *)
   mutable measuring : bool;
   mutable completed_txns : int;
   mutable total_completed : int;  (** fresh completions since start (any window) *)
@@ -1251,8 +1255,13 @@ and complete_batch t (track : batch_track) ~view ~fast ~cert =
       t.recovered_at <- Some now;
     obs_complete t fresh;
     Array.iter (fun id -> Hashtbl.remove t.submit_time id) fresh;
-    (* Closed loop: the same clients immediately submit replacements. *)
-    if k > 0 then submit_group t (fresh_txns t k)
+    (* Closed loop: the same clients immediately submit replacements —
+       unless a completion sink owns the loop (shard deployments route the
+       replacement, which may target a different shard). *)
+    if k > 0 then
+      match t.on_complete with
+      | Some sink -> sink fresh
+      | None -> submit_group t (fresh_txns t k)
   end
 
 and get_track t key txn_ids =
@@ -1807,6 +1816,7 @@ let create (p : Params.t) =
       footprint_of = lazy (make_footprint_fn p);
       obs = make_obs p sim;
       latencies = Stats.create ();
+      on_complete = None;
       measuring = false;
       completed_txns = 0;
       total_completed = 0;
@@ -1886,6 +1896,29 @@ let snapshot t =
   }
 
 let sim t = t.sim
+
+let params t = t.p
+
+(* Hand the closed loop to an external owner (the shard deployment): on
+   every batch completion the fresh transaction ids go to [sink] instead of
+   being resubmitted here.  The sink decides where the replacement
+   transactions go — usually back via {!submit_fresh}, sometimes into a
+   cross-shard protocol first. *)
+let set_completion_sink t sink = t.on_complete <- Some sink
+
+(* Submit [k] brand-new transactions through the normal client path:
+   exactly the replacement the closed loop would have made, so a sink that
+   immediately calls [submit_fresh t k] reproduces the classic loop
+   bit-for-bit. *)
+let submit_fresh t k = if k > 0 then submit_group t (fresh_txns t k)
+
+(* The id the next fresh transaction will get: ids are handed out
+   sequentially, so a caller about to [submit_fresh t 1] knows the new
+   transaction's id in advance (the shard deployment tracks its 2PC
+   helper transactions this way). *)
+let next_txn t = t.next_txn
+
+let set_measuring t b = t.measuring <- b
 
 (* ---- fault observability ---------------------------------------------------- *)
 
@@ -2041,30 +2074,13 @@ let obs_finish t =
 
 type completion = Completed | Event_budget_exhausted
 
-let measure_bounded ?max_events (t : t) : Metrics.t * completion =
+(* Metrics over the window between two snapshots: counters are deltas, the
+   accumulating fields (latencies, completed counts) are whatever the
+   [measuring] flag gated in.  Extracted from [measure_bounded] so a shard
+   deployment — which drives warmup/measure across S clusters itself — can
+   reuse the exact same accounting. *)
+let metrics_between (t : t) (s0 : snapshot) (s1 : snapshot) : Metrics.t =
   let p = t.p in
-  start t;
-  let remaining = ref max_events in
-  let run_to limit =
-    match !remaining with
-    | None ->
-      Sim.run ~until:limit t.sim;
-      true
-    | Some budget -> (
-      match Sim.run_bounded ~until:limit ~max_events:budget t.sim with
-      | `Completed n ->
-        remaining := Some (budget - n);
-        true
-      | `Exhausted ->
-        remaining := Some 0;
-        false)
-  in
-  let warm_ok = run_to p.Params.warmup in
-  let s0 = snapshot t in
-  t.measuring <- true;
-  let meas_ok = warm_ok && run_to (p.Params.warmup + p.Params.measure) in
-  t.measuring <- false;
-  let s1 = snapshot t in
   let window = Sim.to_seconds (s1.snap_time - s0.snap_time) in
   let replicas =
     Array.to_list
@@ -2102,24 +2118,48 @@ let measure_bounded ?max_events (t : t) : Metrics.t * completion =
          t.hosts)
   in
   let breakdown, spans = obs_finish t in
-  let metrics =
-    {
-      Metrics.throughput_tps =
-        (if window > 0.0 then float_of_int t.completed_txns /. window else 0.0);
-      ops_per_second = (if window > 0.0 then float_of_int t.completed_ops /. window else 0.0);
-      latency = t.latencies;
-      completed_txns = t.completed_txns;
-      fast_path_txns = t.fast_txns;
-      cert_path_txns = t.cert_txns;
-      replicas;
-      messages_sent = s1.msgs - s0.msgs;
-      bytes_sent = s1.bytes - s0.bytes;
-      ledger_blocks = s1.blocks - s0.blocks;
-      faults = fault_report t;
-      breakdown;
-      spans;
-    }
+  {
+    Metrics.throughput_tps =
+      (if window > 0.0 then float_of_int t.completed_txns /. window else 0.0);
+    ops_per_second = (if window > 0.0 then float_of_int t.completed_ops /. window else 0.0);
+    latency = t.latencies;
+    completed_txns = t.completed_txns;
+    fast_path_txns = t.fast_txns;
+    cert_path_txns = t.cert_txns;
+    replicas;
+    messages_sent = s1.msgs - s0.msgs;
+    bytes_sent = s1.bytes - s0.bytes;
+    ledger_blocks = s1.blocks - s0.blocks;
+    faults = fault_report t;
+    breakdown;
+    spans;
+  }
+
+let measure_bounded ?max_events (t : t) : Metrics.t * completion =
+  let p = t.p in
+  start t;
+  let remaining = ref max_events in
+  let run_to limit =
+    match !remaining with
+    | None ->
+      Sim.run ~until:limit t.sim;
+      true
+    | Some budget -> (
+      match Sim.run_bounded ~until:limit ~max_events:budget t.sim with
+      | `Completed n ->
+        remaining := Some (budget - n);
+        true
+      | `Exhausted ->
+        remaining := Some 0;
+        false)
   in
+  let warm_ok = run_to p.Params.warmup in
+  let s0 = snapshot t in
+  t.measuring <- true;
+  let meas_ok = warm_ok && run_to (p.Params.warmup + p.Params.measure) in
+  t.measuring <- false;
+  let s1 = snapshot t in
+  let metrics = metrics_between t s0 s1 in
   (metrics, if meas_ok then Completed else Event_budget_exhausted)
 
 let measure (t : t) : Metrics.t = fst (measure_bounded t)

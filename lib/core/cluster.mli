@@ -17,6 +17,54 @@ val start : t -> unit
 val sim : t -> Rdb_des.Sim.t
 (** The simulation clock, for callers that drive time manually. *)
 
+val params : t -> Params.t
+(** The (validated) parameter set this cluster was built from. *)
+
+(** {2 External measurement and loop ownership}
+
+    A shard deployment ([Rdb_shard.Deployment]) runs S clusters side by
+    side, drives their clocks in lockstep itself, and owns the closed
+    client loop — completed transactions may re-enter on a {e different}
+    shard.  These hooks expose exactly the pieces {!measure} is built
+    from; with no sink installed and a single caller-driven cluster the
+    composition is bit-identical to {!measure}. *)
+
+val set_completion_sink : t -> (int array -> unit) -> unit
+(** Replace the closed-loop resubmission: freshly completed transaction
+    ids are passed to the sink instead of being resubmitted locally.  The
+    sink typically routes each replacement via {!submit_fresh} on some
+    cluster of the deployment.  Installing a sink that immediately calls
+    [submit_fresh t (Array.length fresh)] reproduces the classic loop
+    bit-for-bit. *)
+
+val submit_fresh : t -> int -> unit
+(** Submit [k] brand-new transactions through the normal client path
+    (submit-time recording, round-robin primary targeting,
+    retransmission timers) — the replacement the closed loop would have
+    made. *)
+
+val next_txn : t -> int
+(** The id the next fresh transaction will receive (ids are sequential),
+    so a caller can associate protocol state with a transaction it is
+    about to submit. *)
+
+val set_measuring : t -> bool -> unit
+(** Open/close the measurement window: while on, completions accumulate
+    into throughput/latency counters ({!measure} flips this internally). *)
+
+type snapshot
+(** Cumulative counters (stage occupancy, CPU busy-time, network and
+    ledger totals) at one instant; two of them bracket a window. *)
+
+val snapshot : t -> snapshot
+
+val metrics_between : t -> snapshot -> snapshot -> Metrics.t
+(** The metrics of the window bracketed by two snapshots — the exact
+    accounting {!measure} performs, for callers driving the clock
+    themselves.  Latency and completion counters cover what
+    {!set_measuring} gated in; call once per cluster, at the end (it also
+    finalises observability output). *)
+
 (** {2 Faults and recovery}
 
     The schedule in {!Params.t}[.nemesis] is installed by {!create};

@@ -1,0 +1,99 @@
+module Sim = Rdb_des.Sim
+
+type t = {
+  names : string array;
+  lat : Sim.time array array;
+  bw : float array array;
+  placement : int array;  (* shard -> region *)
+}
+
+let create ~regions ~latency ~bandwidth_gbps ~placement =
+  let r = Array.length regions in
+  if r < 1 then invalid_arg "Topology: need at least one region";
+  let check_square what m =
+    if Array.length m <> r then invalid_arg (Printf.sprintf "Topology: %s matrix must be %dx%d" what r r);
+    Array.iter
+      (fun row ->
+        if Array.length row <> r then
+          invalid_arg (Printf.sprintf "Topology: %s matrix must be %dx%d" what r r))
+      m
+  in
+  check_square "latency" latency;
+  check_square "bandwidth" bandwidth_gbps;
+  for i = 0 to r - 1 do
+    for j = 0 to r - 1 do
+      if i = j then begin
+        if latency.(i).(j) < 0 then invalid_arg "Topology: diagonal latency must be >= 0"
+      end
+      else if latency.(i).(j) <= 0 then
+        invalid_arg "Topology: inter-region latency must be positive";
+      if bandwidth_gbps.(i).(j) <= 0.0 then invalid_arg "Topology: bandwidth must be positive"
+    done
+  done;
+  if Array.length placement < 1 then invalid_arg "Topology: need at least one shard";
+  Array.iter
+    (fun reg ->
+      if reg < 0 || reg >= r then invalid_arg "Topology: placement region out of range")
+    placement;
+  { names = regions; lat = latency; bw = bandwidth_gbps; placement }
+
+let flat ~shards =
+  if shards < 1 then invalid_arg "Topology.flat: need at least one shard";
+  {
+    names = [| "local" |];
+    lat = [| [| 0 |] |];
+    bw = [| [| Float.infinity |] |];
+    placement = Array.make shards 0;
+  }
+
+let ring ?(base_latency = Sim.ms 2.0) ?(hop_latency = Sim.ms 3.0) ?(bandwidth_gbps = 1.0)
+    ~regions ~shards () =
+  if regions < 1 then invalid_arg "Topology.ring: need at least one region";
+  if shards < 1 then invalid_arg "Topology.ring: need at least one shard";
+  if regions = 1 then flat ~shards
+  else begin
+    let names = Array.init regions (fun i -> Printf.sprintf "r%d" i) in
+    let hops i j =
+      let d = abs (i - j) in
+      min d (regions - d)
+    in
+    let lat =
+      Array.init regions (fun i ->
+          Array.init regions (fun j ->
+              if i = j then 0 else base_latency + (hops i j * hop_latency)))
+    in
+    let bw =
+      Array.init regions (fun i ->
+          Array.init regions (fun j -> if i = j then Float.infinity else bandwidth_gbps))
+    in
+    let placement = Array.init shards (fun s -> s mod regions) in
+    { names; lat; bw; placement }
+  end
+
+let regions t = Array.length t.names
+let region_name t i = t.names.(i)
+let shards t = Array.length t.placement
+let shard_region t s = t.placement.(s)
+let latency t i j = t.lat.(i).(j)
+let shard_latency t a b = t.lat.(t.placement.(a)).(t.placement.(b))
+
+let shard_bandwidth_gbps t a b =
+  let i = t.placement.(a) and j = t.placement.(b) in
+  if i = j then Float.infinity else t.bw.(i).(j)
+
+let min_inter_shard_latency t =
+  let best = ref max_int in
+  let s = shards t in
+  for a = 0 to s - 1 do
+    for b = 0 to s - 1 do
+      if t.placement.(a) <> t.placement.(b) then best := min !best (shard_latency t a b)
+    done
+  done;
+  if !best = max_int then 0 else !best
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d region(s), %d shard(s)@," (regions t) (shards t);
+  Array.iteri
+    (fun s reg -> Format.fprintf ppf "  shard %d -> %s@," s t.names.(reg))
+    t.placement;
+  Format.fprintf ppf "@]"

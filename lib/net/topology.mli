@@ -1,0 +1,76 @@
+(** Geographic topology: named regions, inter-region link parameters, and
+    shard-to-region placement.
+
+    The single-cluster simulation models one flat LAN ({!Net} applies one
+    latency/bandwidth pair to every link).  A sharded deployment places
+    each consensus group in a region and pays region-to-region propagation
+    for every cross-shard protocol message, so the 2PC rounds of a
+    distributed transaction cost what geography says they cost.  This
+    module is the pure data model: the DES wiring lives in
+    [Rdb_shard.Deployment].
+
+    All times are {!Rdb_des.Sim.time} nanoseconds; matrices are indexed by
+    region id in [\[0, regions)]. *)
+
+type t
+
+val create :
+  regions:string array ->
+  latency:Rdb_des.Sim.time array array ->
+  bandwidth_gbps:float array array ->
+  placement:int array ->
+  t
+(** [create ~regions ~latency ~bandwidth_gbps ~placement] builds a
+    topology with [Array.length regions] named regions, one-way
+    propagation [latency.(i).(j)] and link bandwidth
+    [bandwidth_gbps.(i).(j)] between regions [i] and [j], and shard [s]
+    placed in region [placement.(s)].
+
+    Raises [Invalid_argument] when a matrix is not square over the region
+    count, a diagonal latency is negative, an off-diagonal latency is
+    [<= 0], a bandwidth is [<= 0], or a placement entry is out of range. *)
+
+val flat : shards:int -> t
+(** One region ("local") holding every shard: the degenerate topology a
+    single-site deployment uses.  Cross-shard messages still exist, they
+    just pay no propagation (the {!Net} LAN latency inside each group is
+    charged as usual). *)
+
+val ring :
+  ?base_latency:Rdb_des.Sim.time ->
+  ?hop_latency:Rdb_des.Sim.time ->
+  ?bandwidth_gbps:float ->
+  regions:int ->
+  shards:int ->
+  unit ->
+  t
+(** A ring of [regions] regions ("r0".."rN-1") with shards placed
+    round-robin: region-to-region latency is [base_latency + hops *
+    hop_latency] where [hops] is the ring distance.  Defaults model a
+    metro-area deployment: 2 ms base, 3 ms per hop, 1 Gbps links. *)
+
+val regions : t -> int
+val region_name : t -> int -> string
+val shards : t -> int
+
+val shard_region : t -> int -> int
+(** The region shard [s] is placed in. *)
+
+val latency : t -> int -> int -> Rdb_des.Sim.time
+(** One-way propagation between two regions. *)
+
+val shard_latency : t -> int -> int -> Rdb_des.Sim.time
+(** One-way propagation between the regions of two shards (0 when they
+    share a region). *)
+
+val shard_bandwidth_gbps : t -> int -> int -> float
+(** Link bandwidth between the regions of two shards ([infinity] when
+    they share a region — intra-region traffic is charged by {!Net}). *)
+
+val min_inter_shard_latency : t -> Rdb_des.Sim.time
+(** The smallest one-way latency between two shards in different regions
+    — the conservative lookahead a lockstep co-simulation may advance all
+    groups by without risking a causality violation.  Returns 0 when all
+    shards share one region (the co-simulator then picks its own epoch). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+(** The canonical configuration-axis names — the one table every consumer
+    derives its labels from.
+
+    Three surfaces spell these names: the [resdb_sim] CLI (flag names and
+    [--help], via [Rdb_core.Params.Spec]), the campaign matrix (cell keys
+    and the ["campaign-report/v1"] JSON fields, via {!Campaign_report}),
+    and the bench figures' config strings.  Before this module each
+    surface carried its own string literals, and nothing but review kept
+    ["exec_threads"] from drifting into ["exec-threads"] in one of them.
+    Now a name is defined exactly once here; CLI flags are derived with
+    {!to_flag} (['_'] becomes ['-']), so a rename propagates everywhere
+    or nowhere. *)
+
+val protocol : string
+val replicas : string
+val clients : string
+val batch_size : string
+val ops_per_txn : string
+val payload_bytes : string
+val client_scheme : string
+val replica_scheme : string
+val reply_scheme : string
+val sqlite : string
+val backend : string
+(** ["mem"] | ["durable"] — the campaign's durability axis *)
+
+val data_dir : string
+val cores : string
+val instances : string
+val batch_threads : string
+val exec_threads : string
+val crashed : string
+val view_timeout_ms : string
+val family : string
+(** fault-schedule family (campaign only) *)
+
+val shards : string
+
+val cross_shard : string
+(** cross-shard transaction fraction, in [\[0, 1\]] *)
+
+val warmup : string
+val measure : string
+val seed : string
+
+val to_flag : string -> string
+(** The CLI spelling of an axis name: every ['_'] replaced by ['-'].
+    [to_flag exec_threads = "exec-threads"]. *)

@@ -9,6 +9,8 @@ type cell = {
   exec_threads : int;
   backend : string;
   view_timeout_ms : float;
+  shards : int;
+  cross_shard : float;
   family : string;
   runs : int;
   safe : int;
@@ -71,14 +73,14 @@ let cell_json b ?(indent = "    ") (c : cell) =
   Buffer.add_string b
     (Printf.sprintf
        "%s{\"protocol\": \"%s\", \"instances\": %d, \"exec_threads\": %d, \"backend\": \"%s\", \
-        \"view_timeout_ms\": %s, \"family\": \"%s\", \"runs\": %d, \"safe\": %d, \"live\": %d, \
-        \"degraded\": %d, \"wedged\": %d, \"unsafe\": %d, \"tput_mean_tps\": %s, \
-        \"retention_mean\": %s, \"recoveries\": %d, \"recovery_p50_s\": %s, \"recovery_p90_s\": \
-        %s, \"recovery_max_s\": %s}"
+        \"view_timeout_ms\": %s, \"shards\": %d, \"cross_shard\": %s, \"family\": \"%s\", \
+        \"runs\": %d, \"safe\": %d, \"live\": %d, \"degraded\": %d, \"wedged\": %d, \"unsafe\": \
+        %d, \"tput_mean_tps\": %s, \"retention_mean\": %s, \"recoveries\": %d, \
+        \"recovery_p50_s\": %s, \"recovery_p90_s\": %s, \"recovery_max_s\": %s}"
        indent (escape c.protocol) c.instances c.exec_threads (escape c.backend)
-       (number c.view_timeout_ms) (escape c.family) c.runs c.safe c.live c.degraded c.wedged
-       c.unsafe (number c.tput_mean_tps) (number c.retention_mean) c.recoveries
-       (number c.recovery_p50_s) (number c.recovery_p90_s) (number c.recovery_max_s))
+       (number c.view_timeout_ms) c.shards (number c.cross_shard) (escape c.family) c.runs c.safe
+       c.live c.degraded c.wedged c.unsafe (number c.tput_mean_tps) (number c.retention_mean)
+       c.recoveries (number c.recovery_p50_s) (number c.recovery_p90_s) (number c.recovery_max_s))
 
 let to_json (t : t) =
   let b = Buffer.create 8192 in
@@ -122,8 +124,9 @@ let to_json (t : t) =
 (* ---- human summary -------------------------------------------------------- *)
 
 let cell_axes_string (c : cell) =
-  Printf.sprintf "%s k=%d E=%d %s vt=%gms" c.protocol c.instances c.exec_threads c.backend
+  Printf.sprintf "%s k=%d E=%d %s vt=%gms%s" c.protocol c.instances c.exec_threads c.backend
     c.view_timeout_ms
+    (if c.shards > 1 then Printf.sprintf " S=%d x=%g" c.shards c.cross_shard else "")
 
 let pp ppf (t : t) =
   Format.fprintf ppf "@[<v>campaign: %d runs (%d per cell), %d cells, event budget %d%s@ @ "

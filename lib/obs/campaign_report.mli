@@ -27,6 +27,8 @@ type cell = {
   exec_threads : int;  (** E *)
   backend : string;  (** ["mem"] | ["durable"] *)
   view_timeout_ms : float;
+  shards : int;  (** consensus groups (1 = the classic single-group cell) *)
+  cross_shard : float;  (** cross-shard transaction fraction (0 when [shards = 1]) *)
   family : string;  (** fault-schedule family ({!Rdb_core.Nemesis.Gen} names) *)
   runs : int;  (** seeded runs aggregated into this cell *)
   safe : int;

@@ -18,3 +18,21 @@ let make ~family ~index = Printf.sprintf "%s-%d" family index
 
 let tid ~base name =
   match parse name with { index = Some i; _ } -> base + i | { index = None; _ } -> base
+
+(* Shard-qualified names: "s<shard>/<stage>".  The separator is '/', which
+   never appears in bare stage names, so qualification round-trips. *)
+
+let qualify ~shard name = Printf.sprintf "s%d/%s" shard name
+
+let split_qualified name =
+  match String.index_opt name '/' with
+  | Some i when i >= 2 && name.[0] = 's' -> (
+    match int_of_string_opt (String.sub name 1 (i - 1)) with
+    | Some s when s >= 0 -> Some (s, String.sub name (i + 1) (String.length name - i - 1))
+    | _ -> None)
+  | _ -> None
+
+let shard_of name = Option.map fst (split_qualified name)
+
+let unqualified name =
+  match split_qualified name with Some (_, rest) -> rest | None -> name

@@ -36,3 +36,21 @@ val tid : base:int -> string -> int
 (** Trace-track id for a stage: [base + index] for indexed stages,
     [base] for singletons — replicated stages get adjacent tracks in the
     Chrome trace instead of colliding on one. *)
+
+(** {2 Shard qualification}
+
+    A sharded deployment runs S copies of the whole pipeline; its
+    bottleneck report must say {e which shard's} worker saturated.  Stage
+    names gain an optional shard prefix ["s<shard>/"] — ['/'] never
+    appears in bare stage names, so qualification round-trips and
+    unqualified names pass through untouched. *)
+
+val qualify : shard:int -> string -> string
+(** [qualify ~shard:2 "worker-3"] is ["s2/worker-3"]. *)
+
+val shard_of : string -> int option
+(** [shard_of "s2/worker-3"] is [Some 2]; [None] for unqualified names. *)
+
+val unqualified : string -> string
+(** [unqualified "s2/worker-3"] is ["worker-3"]; identity on unqualified
+    names. *)

@@ -1,0 +1,395 @@
+(* The sharded co-simulation.  See the mli.
+
+   Clock discipline: every group owns a private DES clock; the deployment
+   advances all of them in fixed lockstep epochs no longer than the
+   minimum inter-shard propagation delay.  A cross-shard message sent at
+   [ts] arrives at [ts + hop] with [hop >= epoch], so by the time the
+   target group could need the event, the epoch in which it was sent has
+   already been fully simulated on the sender — the classic conservative
+   (Chandy-Misra-style) lookahead argument, here with a static window.
+   Scheduling clamps the arrival to the target clock's current time, which
+   the same argument shows is a no-op except at the very first boundary.
+
+   Loop ownership: every group's closed client loop is redirected here
+   through its completion sink.  Plain completions resubmit into their
+   home group at once (with one shard this path is bit-identical to the
+   classic cluster, which is the regression test's anchor).  A completion
+   chosen to be cross-shard instead walks the {!Two_pc} chain — each step
+   a normal ordered transaction of the owning group, tracked by predicted
+   transaction id:
+
+     prepare(home) --hop--> vote(participant) --hop--> decide(home)
+       --hop--> decide(participant) --hop--> replacement(home)
+
+   so a distributed transaction costs four ordered rounds and the
+   geography between the two groups. *)
+
+module Sim = Rdb_des.Sim
+module Rng = Rdb_des.Rng
+module Stats = Rdb_des.Stats
+module Params = Rdb_core.Params
+module Metrics = Rdb_core.Metrics
+module Topology = Rdb_net.Topology
+module Open_loop = Rdb_workload.Open_loop
+module Stage_name = Rdb_obs.Stage_name
+module Bottleneck = Rdb_obs.Bottleneck
+
+type result = {
+  shards : int;
+  aggregate : Metrics.t;
+  per_shard : Metrics.t array;
+  cross : Two_pc.stats;
+  safety : (unit, string) Stdlib.result;
+  exhausted : bool;
+}
+
+module Make (G : Group.GROUP) = struct
+  (* A 2PC helper round in flight: (shard, predicted txn id) -> what its
+     completion means for the owning cross-shard transaction. *)
+  type stage =
+    | Prepare of int  (** completing on the coordinator *)
+    | Vote of int  (** completing on the participant *)
+    | Decide_coord of int
+    | Decide_part of int
+
+  type cross = { home : int; participant : int }
+
+  type t = {
+    p : Params.t;
+    s : int;
+    topo : Topology.t;
+    epoch : Sim.time;
+    pop : Open_loop.t;
+    groups : G.t array;
+    twopc : Two_pc.t;
+    rng : Rng.t;  (** routing draws (cross-or-local) *)
+    key_rng : Rng.t;  (** footprint records and participant ownership *)
+    pending : (int * int, stage) Hashtbl.t;
+    crosses : (int, cross) Hashtbl.t;
+    mutable next_cross : int;
+    mutable horizon : Sim.time;  (** lockstep boundary reached so far *)
+    mutable events_left : int;  (** deployment-wide DES event budget *)
+    mutable exhausted : bool;
+    mutable measuring : bool;
+    mutable logical : int;  (** logical completions in the measured window *)
+  }
+
+  (* Per-shard parameter derivation.  Shard 0 of a one-shard deployment
+     gets the parameters back unchanged — the bit-identity anchor. *)
+  let shard_params p ~shard ~multi ~clients =
+    let q = Params.with_clients clients p in
+    let q =
+      if shard = 0 then q
+      else Params.with_seed (Int64.add p.Params.seed (Int64.of_int (shard * 0x9E3779B9))) q
+    in
+    match p.Params.data_dir with
+    | Some d when multi ->
+      Params.with_data_dir (Some (Filename.concat d (Printf.sprintf "shard-%d" shard))) q
+    | _ -> q
+
+  let hop t ~src ~dst = Stdlib.max (Topology.shard_latency t.topo src dst) t.epoch
+
+  (* Schedule [f] on [dst]'s clock at [at], clamped to its current time
+     (see the lookahead argument in the header). *)
+  let send t ~dst ~at f =
+    let sim = G.sim t.groups.(dst) in
+    ignore (Sim.schedule_at sim ~at:(Stdlib.max at (Sim.now sim)) f)
+
+  (* The records a cross-shard transaction locks, a few per side, drawn
+     from each group's local keyspace. *)
+  let cross_keys t ~home ~participant =
+    let records = t.p.Params.exec_records in
+    let nside = Stdlib.max 1 (Stdlib.min 4 (t.p.Params.ops_per_txn / 2)) in
+    Array.init (2 * nside) (fun i ->
+        let shard = if i < nside then home else participant in
+        (shard, Rng.int t.key_rng records))
+
+  (* The participant is the shard owning a drawn key ({!Key_map}); skew
+     in the key distribution therefore skews participant choice, exactly
+     like a real hash-partitioned store. *)
+  let pick_participant t ~home =
+    let records = t.p.Params.exec_records in
+    let rec go attempts r =
+      let q = Key_map.shard_of_key ~shards:t.s r in
+      if q <> home then q
+      else if attempts >= 64 then Open_loop.pick_participant t.pop t.rng ~home
+      else go (attempts + 1) ((r + 1) mod records)
+    in
+    go 0 (Rng.int t.key_rng records)
+
+  let start_cross t ~home =
+    let cid = t.next_cross in
+    t.next_cross <- cid + 1;
+    let participant = pick_participant t ~home in
+    Two_pc.start t.twopc ~id:cid ~coordinator:home ~participant
+      ~keys:(cross_keys t ~home ~participant);
+    Hashtbl.replace t.crosses cid { home; participant };
+    let g = t.groups.(home) in
+    Hashtbl.replace t.pending ((home, G.next_txn g)) (Prepare cid);
+    G.submit_fresh g 1
+
+  (* [k] population slots of [shard] freed up: each replacement either
+     resubmits locally or begins a cross-shard transaction. *)
+  let route_replacements t ~shard k =
+    let local = ref 0 in
+    for _ = 1 to k do
+      if Open_loop.is_cross t.pop t.rng then start_cross t ~home:shard else incr local
+    done;
+    if !local > 0 then G.submit_fresh t.groups.(shard) !local
+
+  let order_round t ~dst stage =
+    let g = t.groups.(dst) in
+    Hashtbl.replace t.pending ((dst, G.next_txn g)) stage;
+    G.submit_fresh g 1
+
+  (* A helper round completed on [shard]: advance its cross-shard
+     transaction to the next round, paying the inter-shard hop. *)
+  let advance t ~shard stage =
+    let now = Sim.now (G.sim t.groups.(shard)) in
+    match stage with
+    | Prepare cid ->
+      let cx = Hashtbl.find t.crosses cid in
+      send t ~dst:cx.participant
+        ~at:(now + hop t ~src:shard ~dst:cx.participant)
+        (fun () ->
+          ignore (Two_pc.vote t.twopc ~id:cid);
+          order_round t ~dst:cx.participant (Vote cid))
+    | Vote cid ->
+      let cx = Hashtbl.find t.crosses cid in
+      send t ~dst:cx.home
+        ~at:(now + hop t ~src:shard ~dst:cx.home)
+        (fun () -> order_round t ~dst:cx.home (Decide_coord cid))
+    | Decide_coord cid ->
+      let cx = Hashtbl.find t.crosses cid in
+      send t ~dst:cx.participant
+        ~at:(now + hop t ~src:shard ~dst:cx.participant)
+        (fun () -> order_round t ~dst:cx.participant (Decide_part cid))
+    | Decide_part cid ->
+      let cx = Hashtbl.find t.crosses cid in
+      ignore (Two_pc.decide t.twopc ~id:cid);
+      Hashtbl.remove t.crosses cid;
+      if t.measuring then t.logical <- t.logical + 1;
+      send t ~dst:cx.home
+        ~at:(now + hop t ~src:shard ~dst:cx.home)
+        (fun () -> route_replacements t ~shard:cx.home 1)
+
+  let on_complete t ~shard fresh =
+    let plain = ref 0 in
+    Array.iter
+      (fun id ->
+        match Hashtbl.find_opt t.pending (shard, id) with
+        | Some stage ->
+          Hashtbl.remove t.pending (shard, id);
+          advance t ~shard stage
+        | None -> incr plain)
+      fresh;
+    if !plain > 0 then begin
+      if t.measuring then t.logical <- t.logical + !plain;
+      route_replacements t ~shard !plain
+    end
+
+  let create p =
+    Params.validate p;
+    let s = p.Params.shards in
+    let topo =
+      match p.Params.regions with Some topo -> topo | None -> Topology.flat ~shards:s
+    in
+    let epoch =
+      let m = Topology.min_inter_shard_latency topo in
+      if m > 0 then m else Sim.ms 1.0
+    in
+    let pop =
+      Open_loop.create ~population:p.Params.clients ~shards:s
+        ~cross_fraction:p.Params.cross_shard_fraction ()
+    in
+    let per = Open_loop.per_shard pop in
+    let groups =
+      Array.init s (fun i -> G.create (shard_params p ~shard:i ~multi:(s > 1) ~clients:per.(i)))
+    in
+    let t =
+      {
+        p;
+        s;
+        topo;
+        epoch;
+        pop;
+        groups;
+        twopc = Two_pc.create ();
+        rng = Rng.create (Int64.logxor p.Params.seed 0x2FC0FFEEL);
+        key_rng = Rng.create (Int64.logxor p.Params.seed 0x5EEDL);
+        pending = Hashtbl.create 256;
+        crosses = Hashtbl.create 256;
+        next_cross = 0;
+        horizon = 0;
+        events_left = max_int;
+        exhausted = false;
+        measuring = false;
+        logical = 0;
+      }
+    in
+    Array.iteri (fun i g -> G.set_completion_sink g (fun fresh -> on_complete t ~shard:i fresh)) groups;
+    t
+
+  (* Advance every group to [target] in lockstep epochs.  With one shard
+     there is nothing to synchronize: a single uninterrupted run keeps
+     the event sequence literally identical to the classic cluster. *)
+  let step t sim ~until =
+    if not t.exhausted then
+      match Sim.run_bounded ~until ~max_events:t.events_left sim with
+      | `Completed n -> t.events_left <- t.events_left - n
+      | `Exhausted -> t.exhausted <- true
+
+  let run_to t target =
+    if t.s = 1 then step t (G.sim t.groups.(0)) ~until:target
+    else begin
+      let b = ref t.horizon in
+      while !b < target && not t.exhausted do
+        let b' = Stdlib.min target (!b + t.epoch) in
+        Array.iter (fun g -> step t (G.sim g) ~until:b') t.groups;
+        b := b'
+      done
+    end;
+    t.horizon <- target
+
+  let merge_faults per =
+    Array.fold_left
+      (fun acc (m : Metrics.t) ->
+        let f = m.Metrics.faults in
+        {
+          Metrics.msgs_dropped = acc.Metrics.msgs_dropped + f.Metrics.msgs_dropped;
+          msgs_duplicated = acc.Metrics.msgs_duplicated + f.Metrics.msgs_duplicated;
+          retransmissions = acc.Metrics.retransmissions + f.Metrics.retransmissions;
+          view_changes = acc.Metrics.view_changes + f.Metrics.view_changes;
+          time_to_recovery_s =
+            (match acc.Metrics.time_to_recovery_s with
+            | Some _ as r -> r
+            | None -> f.Metrics.time_to_recovery_s);
+          state_transfers = acc.Metrics.state_transfers + f.Metrics.state_transfers;
+          time_to_catch_up_s =
+            (match acc.Metrics.time_to_catch_up_s with
+            | Some _ as r -> r
+            | None -> f.Metrics.time_to_catch_up_s);
+          rejected_forgeries = acc.Metrics.rejected_forgeries + f.Metrics.rejected_forgeries;
+          equivocations_detected =
+            acc.Metrics.equivocations_detected + f.Metrics.equivocations_detected;
+          vc_spam_suppressed = acc.Metrics.vc_spam_suppressed + f.Metrics.vc_spam_suppressed;
+        })
+      Metrics.no_faults per
+
+  (* Deployment-wide metrics: logical transaction counts from the
+     deployment's own window counter, per-replica reports re-indexed and
+     stage names shard-qualified ("s2/worker"), everything else summed. *)
+  let aggregate_metrics t per =
+    let window = Sim.to_seconds t.p.Params.measure in
+    let sum f = Array.fold_left (fun a m -> a + f m) 0 per in
+    let latency = Stats.create () in
+    Array.iter
+      (fun (m : Metrics.t) -> Stats.iter_samples m.Metrics.latency (Stats.add latency))
+      per;
+    let replicas =
+      List.concat
+        (Array.to_list
+           (Array.mapi
+              (fun sh (m : Metrics.t) ->
+                List.map
+                  (fun (r : Metrics.replica_report) ->
+                    {
+                      r with
+                      Metrics.replica = (sh * t.p.Params.n) + r.Metrics.replica;
+                      stages =
+                        List.map
+                          (fun (st : Metrics.stage_saturation) ->
+                            { st with Metrics.stage = Stage_name.qualify ~shard:sh st.Metrics.stage })
+                          r.Metrics.stages;
+                    })
+                  m.Metrics.replicas)
+              per))
+    in
+    {
+      Metrics.throughput_tps =
+        (if window > 0.0 then float_of_int t.logical /. window else 0.0);
+      ops_per_second =
+        (if window > 0.0 then float_of_int (t.logical * t.p.Params.ops_per_txn) /. window
+         else 0.0);
+      latency;
+      completed_txns = t.logical;
+      fast_path_txns = sum (fun m -> m.Metrics.fast_path_txns);
+      cert_path_txns = sum (fun m -> m.Metrics.cert_path_txns);
+      replicas;
+      messages_sent = sum (fun m -> m.Metrics.messages_sent);
+      bytes_sent = sum (fun m -> m.Metrics.bytes_sent);
+      ledger_blocks = sum (fun m -> m.Metrics.ledger_blocks);
+      faults = merge_faults per;
+      breakdown = None;
+      spans = [];
+    }
+
+  let run ?budget_events p =
+    let t = create p in
+    (match budget_events with Some b -> t.events_left <- b | None -> ());
+    Array.iter G.start t.groups;
+    run_to t p.Params.warmup;
+    let s0 = Array.map G.snapshot t.groups in
+    t.measuring <- true;
+    Array.iter (fun g -> G.set_measuring g true) t.groups;
+    run_to t (p.Params.warmup + p.Params.measure);
+    t.measuring <- false;
+    Array.iter (fun g -> G.set_measuring g false) t.groups;
+    let s1 = Array.map G.snapshot t.groups in
+    let per_shard = Array.init t.s (fun i -> G.metrics_between t.groups.(i) s0.(i) s1.(i)) in
+    let safety =
+      Array.fold_left
+        (fun acc g -> match acc with Error _ -> acc | Ok () -> G.check_safety g)
+        (Ok ()) t.groups
+    in
+    let aggregate = if t.s = 1 then per_shard.(0) else aggregate_metrics t per_shard in
+    Array.iter G.close t.groups;
+    {
+      shards = t.s;
+      aggregate;
+      per_shard;
+      cross = Two_pc.stats t.twopc;
+      safety;
+      exhausted = t.exhausted;
+    }
+end
+
+include Make (Group.Cluster)
+
+let pp_summary ppf (r : result) =
+  Format.fprintf ppf "@[<v>shards: %d@," r.shards;
+  if r.shards > 1 then
+    Array.iteri
+      (fun i (m : Metrics.t) ->
+        Format.fprintf ppf "  shard %d: %8.1fK txn/s ordered (%d txns)@," i
+          (m.Metrics.throughput_tps /. 1000.0)
+          m.Metrics.completed_txns)
+      r.per_shard;
+  Format.fprintf ppf "aggregate: %.1fK logical txn/s (%d txns)@,"
+    (r.aggregate.Metrics.throughput_tps /. 1000.0)
+    r.aggregate.Metrics.completed_txns;
+  let c = r.cross in
+  Format.fprintf ppf "cross-shard: %d started, %d committed, %d aborted (%d lock conflicts)@,"
+    c.Two_pc.started c.Two_pc.committed c.Two_pc.aborted c.Two_pc.lock_conflicts;
+  (* Bottleneck attribution over shard-qualified stage names: the verdict
+     names the shard whose pipeline saturated. *)
+  let stages =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun sh (m : Metrics.t) ->
+              match List.find_opt (fun r -> r.Metrics.is_primary) m.Metrics.replicas with
+              | None -> []
+              | Some r ->
+                List.map
+                  (fun (st : Metrics.stage_saturation) ->
+                    (Stage_name.qualify ~shard:sh st.Metrics.stage, st.Metrics.percent))
+                  r.Metrics.stages)
+            r.per_shard))
+  in
+  (match Bottleneck.saturated (Bottleneck.analyze ~window_s:1.0 stages) with
+  | Some fam -> Format.fprintf ppf "bottleneck: %s@," fam
+  | None -> ());
+  match r.safety with
+  | Ok () -> Format.fprintf ppf "safety: ok@]"
+  | Error e -> Format.fprintf ppf "safety: VIOLATION: %s@]" e

@@ -1,0 +1,59 @@
+(** The sharded scale-out deployment: S consensus groups, one clock
+    discipline, one client population, one cross-shard commit protocol.
+
+    {!run} builds one group per shard from a single {!Rdb_core.Params.t}
+    ([Params.Topology.shards] groups; the client population is split over
+    them per {!Rdb_workload.Open_loop}), advances all groups in
+    conservative lockstep epochs bounded by the minimum inter-shard
+    propagation delay of the region topology ([Params.Topology.regions],
+    or a flat single-region default), and owns the closed client loop:
+
+    - a {e single-shard} replacement resubmits into its home group
+      immediately — with one shard this is {e bit-identical} to the
+      classic {!Rdb_core.Cluster.run} (same events, same order, same
+      metrics);
+    - a {e cross-shard} replacement (probability
+      [Params.Workload.cross_shard_fraction], participant chosen by
+      {!Key_map} ownership) runs the {!Two_pc} protocol, every step of
+      which is ordered by the owning group's consensus: prepare on the
+      coordinator, lock-and-vote on the participant, then the decision on
+      both — four ordered rounds and three inter-region hops per
+      distributed transaction.
+
+    Reported throughput counts {e logical} transactions (a distributed
+    transaction counts once, not once per helper round), so scale-out
+    and the cost of distribution are visible side by side. *)
+
+type result = {
+  shards : int;
+  aggregate : Rdb_core.Metrics.t;
+      (** deployment-wide metrics over the measured window; logical
+          transaction counts (with one shard, exactly the single group's
+          metrics) *)
+  per_shard : Rdb_core.Metrics.t array;
+      (** each group's own window metrics (helper rounds included —
+          these are what the group's pipeline really processed) *)
+  cross : Two_pc.stats;  (** cross-shard commit accounting, whole run *)
+  safety : (unit, string) Stdlib.result;
+      (** cross-replica agreement, checked on every group *)
+  exhausted : bool;
+      (** the deployment-wide event budget ran out before the measurement
+          window closed (the fault campaign's wedge cutoff); always
+          [false] without [budget_events] *)
+}
+
+module Make (G : Group.GROUP) : sig
+  val run : ?budget_events:int -> Rdb_core.Params.t -> result
+  (** Validate, build, warm up, measure, tear down.  [budget_events]
+      bounds the total DES events across all groups; on exhaustion the
+      run stops where it is and reports [exhausted = true]. *)
+end
+
+val run : ?budget_events:int -> Rdb_core.Params.t -> result
+(** The production deployment: one simulated {!Rdb_core.Cluster} per
+    shard ({!Group.Cluster} behind {!Make}). *)
+
+val pp_summary : Format.formatter -> result -> unit
+(** Per-shard throughput, the aggregate, cross-shard commit stats and
+    the saturated stage ({!Rdb_obs.Bottleneck} over shard-qualified
+    stage names — ["s2/worker"], so the verdict names the shard). *)

@@ -1,0 +1,21 @@
+(* The GROUP seam and its production implementation.  See the mli. *)
+
+module type GROUP = sig
+  type t
+  type snapshot
+
+  val create : Rdb_core.Params.t -> t
+  val params : t -> Rdb_core.Params.t
+  val sim : t -> Rdb_des.Sim.t
+  val start : t -> unit
+  val set_completion_sink : t -> (int array -> unit) -> unit
+  val submit_fresh : t -> int -> unit
+  val next_txn : t -> int
+  val set_measuring : t -> bool -> unit
+  val snapshot : t -> snapshot
+  val metrics_between : t -> snapshot -> snapshot -> Rdb_core.Metrics.t
+  val check_safety : t -> (unit, string) result
+  val close : t -> unit
+end
+
+module Cluster : GROUP with type t = Rdb_core.Cluster.t = Rdb_core.Cluster

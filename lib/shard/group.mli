@@ -1,0 +1,59 @@
+(** The seam a consensus group plugs into the sharded deployment through.
+
+    {!Deployment} runs S consensus groups side by side and owns three
+    things a standalone cluster owns itself: the clock (groups advance in
+    conservative lockstep epochs), the closed client loop (a completed
+    transaction's replacement may involve another shard), and the
+    measurement window.  [GROUP] is exactly that contract — create,
+    drive, observe — and nothing else: any ordering engine that can hand
+    over its loop and its clock can sit behind a shard.
+
+    {!Cluster} is the production implementation, backed by the full
+    simulated deployment of {!Rdb_core.Cluster} — an {e unmodified}
+    consensus group: PBFT, Zyzzyva, HotStuff or multi-primary per
+    {!Rdb_core.Params.Consensus.protocol}, with the whole
+    batching/execution pipeline, nemesis interposition and durability
+    machinery intact.  Tests substitute lighter implementations to drive
+    the 2PC engine through adversarial schedules quickly. *)
+
+module type GROUP = sig
+  type t
+
+  type snapshot
+
+  val create : Rdb_core.Params.t -> t
+  (** Build the group from its (already per-shard) parameter set. *)
+
+  val params : t -> Rdb_core.Params.t
+
+  val sim : t -> Rdb_des.Sim.t
+  (** The group's clock; the deployment advances it in lockstep epochs
+      and schedules cross-shard arrivals into it. *)
+
+  val start : t -> unit
+  (** Seed the group's client population. *)
+
+  val set_completion_sink : t -> (int array -> unit) -> unit
+  (** Hand the closed loop to the deployment: completed transaction ids
+      flow to the sink instead of being resubmitted locally. *)
+
+  val submit_fresh : t -> int -> unit
+  (** Submit [k] new transactions through the normal client path. *)
+
+  val next_txn : t -> int
+  (** The id the next fresh transaction will get (ids are sequential). *)
+
+  val set_measuring : t -> bool -> unit
+
+  val snapshot : t -> snapshot
+
+  val metrics_between : t -> snapshot -> snapshot -> Rdb_core.Metrics.t
+
+  val check_safety : t -> (unit, string) result
+
+  val close : t -> unit
+end
+
+module Cluster : GROUP with type t = Rdb_core.Cluster.t
+(** The production group: one full simulated {!Rdb_core.Cluster} per
+    shard. *)

@@ -1,0 +1,24 @@
+(* Deterministic key -> shard ownership.  See the mli. *)
+
+(* splitmix64's finalizer: a full-avalanche 64-bit mix, so consecutive
+   YCSB record ids land on effectively independent shards. *)
+let mix64 (k : int64) : int64 =
+  let open Int64 in
+  let z = mul (logxor k (shift_right_logical k 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let shard_of_key ~shards key =
+  if shards < 1 then invalid_arg "Key_map: shards must be >= 1";
+  if shards = 1 then 0
+  else
+    let h = mix64 (Int64.of_int key) in
+    (* Clear the sign bit before reducing so the result is non-negative. *)
+    Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) (Int64.of_int shards))
+
+let owned ~shards ~shard ~records =
+  let c = ref 0 in
+  for k = 0 to records - 1 do
+    if shard_of_key ~shards k = shard then incr c
+  done;
+  !c

@@ -1,0 +1,21 @@
+(** The deterministic key-to-shard map over the YCSB keyspace.
+
+    Every replica of every shard must agree on which shard owns a record
+    without coordination, so ownership is a pure function of the key: a
+    64-bit finalizer hash ({e splitmix64}) of the record id, reduced
+    modulo the shard count.  Hashing (rather than range partitioning)
+    keeps a Zipf-skewed keyspace balanced: the hot head keys scatter over
+    all shards instead of piling onto shard 0.
+
+    One shard degenerates to the identity ([shard_of_key ~shards:1 _ = 0])
+    — the classic unsharded deployment. *)
+
+val shard_of_key : shards:int -> int -> int
+(** The shard owning record [key]; in [\[0, shards)].  Total and
+    deterministic: any int (including negatives) maps somewhere, and the
+    same key always maps to the same shard.  Raises [Invalid_argument]
+    when [shards < 1]. *)
+
+val owned : shards:int -> shard:int -> records:int -> int
+(** How many of the records in [\[0, records)] the shard owns — the
+    balance check the unit tests assert on. *)

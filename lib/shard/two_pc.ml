@@ -1,0 +1,111 @@
+(* Pure 2PC-over-BFT engine.  See the mli. *)
+
+type decision = Commit | Abort
+
+type stats = {
+  started : int;
+  committed : int;
+  aborted : int;
+  lock_conflicts : int;
+  in_flight : int;
+}
+
+type txn = {
+  coordinator : int;
+  participant : int;
+  keys : (int * int) array;
+  mutable held : (int * int) list;  (** locks this txn acquired *)
+  mutable verdict : decision;
+}
+
+type t = {
+  locks : (int * int, int) Hashtbl.t;  (** (shard, record) -> holder txn id *)
+  txns : (int, txn) Hashtbl.t;
+  mutable started : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable lock_conflicts : int;
+}
+
+let create () =
+  {
+    locks = Hashtbl.create 256;
+    txns = Hashtbl.create 64;
+    started = 0;
+    committed = 0;
+    aborted = 0;
+    lock_conflicts = 0;
+  }
+
+let stats t =
+  {
+    started = t.started;
+    committed = t.committed;
+    aborted = t.aborted;
+    lock_conflicts = t.lock_conflicts;
+    in_flight = Hashtbl.length t.txns;
+  }
+
+let find t id =
+  match Hashtbl.find_opt t.txns id with
+  | Some tx -> tx
+  | None -> invalid_arg (Printf.sprintf "Two_pc: unknown transaction %d" id)
+
+(* All-or-nothing acquisition of [tx]'s keys on [side]: if any is held by
+   another transaction nothing is taken, the conflict is counted and the
+   verdict drops to Abort. *)
+let acquire t tx ~id ~side =
+  let mine = List.filter (fun (s, _) -> s = side) (Array.to_list tx.keys) in
+  let free (k : int * int) =
+    match Hashtbl.find_opt t.locks k with None -> true | Some holder -> holder = id
+  in
+  if List.for_all free mine then
+    List.iter
+      (fun k ->
+        if not (Hashtbl.mem t.locks k) then begin
+          Hashtbl.replace t.locks k id;
+          tx.held <- k :: tx.held
+        end)
+      mine
+  else begin
+    t.lock_conflicts <- t.lock_conflicts + 1;
+    tx.verdict <- Abort
+  end
+
+let start t ~id ~coordinator ~participant ~keys =
+  if Hashtbl.mem t.txns id then
+    invalid_arg (Printf.sprintf "Two_pc: duplicate transaction %d" id);
+  if coordinator = participant then
+    invalid_arg "Two_pc: coordinator and participant must differ";
+  Array.iter
+    (fun (s, _) ->
+      if s <> coordinator && s <> participant then
+        invalid_arg "Two_pc: key on a shard outside the transaction's footprint")
+    keys;
+  let tx = { coordinator; participant; keys; held = []; verdict = Commit } in
+  Hashtbl.replace t.txns id tx;
+  t.started <- t.started + 1;
+  acquire t tx ~id ~side:coordinator
+
+let vote t ~id =
+  let tx = find t id in
+  if tx.verdict = Commit then acquire t tx ~id ~side:tx.participant;
+  tx.verdict
+
+let decision_of t ~id = (find t id).verdict
+
+let decide t ~id =
+  let tx = find t id in
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt t.locks k with
+      | Some holder when holder = id -> Hashtbl.remove t.locks k
+      | _ -> ())
+    tx.held;
+  Hashtbl.remove t.txns id;
+  (match tx.verdict with
+  | Commit -> t.committed <- t.committed + 1
+  | Abort -> t.aborted <- t.aborted + 1);
+  tx.verdict
+
+let locked_by t ~shard ~record = Hashtbl.find_opt t.locks (shard, record)

@@ -1,0 +1,69 @@
+(** The cross-shard commit engine: two-phase commit over BFT groups.
+
+    A cross-shard transaction touches records on two consensus groups —
+    a {e coordinator} (the client's home shard) and a {e participant}.
+    Neither group can simply execute it: each orders its own sequence,
+    and a transaction interleaved differently on the two would break
+    serializability.  The classic answer is 2PC {e layered over}
+    consensus: every 2PC step (prepare, vote, decision) is itself an
+    ordered operation of a BFT group, so all replicas of every shard
+    make the identical lock/commit/abort transition at the identical
+    point of their sequence — the coordinator of the textbook protocol
+    is replaced by a replicated group, removing the classic single
+    point of failure.
+
+    This module is the {e pure} protocol engine: lock table, per-
+    transaction state machine, votes and decisions, with no clock and no
+    I/O.  The DES wiring — submitting each step into its group's
+    ordering pipeline, paying inter-region hops between steps — lives in
+    {!Deployment}.  Keeping the engine pure makes the safety argument
+    testable by itself: the qcheck suite drives it through adversarial
+    schedules directly.
+
+    Locking discipline (conservative strict 2PL): the coordinator locks
+    its side's footprint when the prepare is ordered; the participant
+    attempts its side when the vote is ordered; any failed acquisition
+    votes Abort.  Locks are held until the decision is ordered on the
+    owning group, then released.  Two conflicting cross-shard
+    transactions therefore either serialize or abort — they never
+    interleave partial writes. *)
+
+type decision = Commit | Abort
+
+type stats = {
+  started : int;  (** cross-shard transactions begun *)
+  committed : int;
+  aborted : int;
+  lock_conflicts : int;  (** failed lock acquisitions (each aborts its txn) *)
+  in_flight : int;  (** started but not yet decided *)
+}
+
+type t
+
+val create : unit -> t
+
+val stats : t -> stats
+
+val start :
+  t -> id:int -> coordinator:int -> participant:int -> keys:(int * int) array -> unit
+(** Register transaction [id] and attempt its coordinator-side locks.
+    [keys] are [(shard, record)] pairs; entries whose shard is neither
+    [coordinator] nor [participant] are rejected with
+    [Invalid_argument], as is a duplicate [id]. *)
+
+val vote : t -> id:int -> decision
+(** The participant's lock attempt, combined with the coordinator's
+    earlier one: [Commit] iff both sides acquired every lock. *)
+
+val decision_of : t -> id:int -> decision
+(** The decision as currently known (before [vote], the coordinator-side
+    verdict). *)
+
+val decide : t -> id:int -> decision
+(** Order the decision: release every lock held by [id], count the
+    outcome, and forget the transaction.  Idempotent per [id] is {e not}
+    promised — call once; unknown ids raise [Invalid_argument]. *)
+
+val locked_by : t -> shard:int -> record:int -> int option
+(** The transaction currently holding [(shard, record)], if any — for
+    tests asserting mutual exclusion. *)

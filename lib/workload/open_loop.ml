@@ -1,0 +1,64 @@
+(* The sharded client population model.  See the mli. *)
+
+module Rng = Rdb_des.Rng
+
+type t = {
+  population : int;
+  shards : int;
+  cross_fraction : float;
+  affinity_theta : float;
+  per_shard : int array;
+}
+
+(* Largest-remainder apportionment of [population] over Zipf weights
+   w_i = (i+1)^-theta: deterministic, sums exactly, and theta = 0
+   degenerates to the even split with the remainder on the low shards. *)
+let apportion ~population ~shards ~theta =
+  if shards = 1 then [| population |]
+  else begin
+    let w = Array.init shards (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+    let total = Array.fold_left ( +. ) 0.0 w in
+    let exact = Array.map (fun wi -> float_of_int population *. wi /. total) w in
+    let counts = Array.map (fun e -> int_of_float (floor e)) exact in
+    let assigned = Array.fold_left ( + ) 0 counts in
+    (* Hand the remainder out by descending fractional part; ties break to
+       the lower shard index (stable under [List.stable_sort]). *)
+    let rem = population - assigned in
+    let order =
+      List.stable_sort
+        (fun (_, fa) (_, fb) -> compare fb fa)
+        (Array.to_list (Array.mapi (fun i e -> (i, e -. floor e)) exact))
+    in
+    List.iteri (fun rank (i, _) -> if rank < rem then counts.(i) <- counts.(i) + 1) order;
+    counts
+  end
+
+let create ?(affinity_theta = 0.0) ~population ~shards ~cross_fraction () =
+  if population < 0 then invalid_arg "Open_loop: population must be >= 0";
+  if shards < 1 then invalid_arg "Open_loop: shards must be >= 1";
+  if affinity_theta < 0.0 || affinity_theta >= 1.0 then
+    invalid_arg "Open_loop: affinity_theta must be in [0, 1)";
+  if cross_fraction < 0.0 || cross_fraction > 1.0 then
+    invalid_arg "Open_loop: cross_fraction must be in [0, 1]";
+  if cross_fraction > 0.0 && shards < 2 then
+    invalid_arg "Open_loop: cross_fraction > 0 needs shards >= 2";
+  {
+    population;
+    shards;
+    cross_fraction;
+    affinity_theta;
+    per_shard = apportion ~population ~shards ~theta:affinity_theta;
+  }
+
+let population t = t.population
+let shards t = t.shards
+let cross_fraction t = t.cross_fraction
+let per_shard t = Array.copy t.per_shard
+
+let is_cross t rng =
+  t.cross_fraction > 0.0 && t.shards > 1 && Rng.float rng < t.cross_fraction
+
+let pick_participant t rng ~home =
+  if t.shards < 2 then invalid_arg "Open_loop.pick_participant: needs shards >= 2";
+  let r = Rng.int rng (t.shards - 1) in
+  if r >= home then r + 1 else r

@@ -1,0 +1,51 @@
+(** The sharded client population: who lives where, and how often a
+    transaction leaves its home shard.
+
+    A scale-out deployment serves a population far larger than any one
+    consensus group's closed loop — millions of clients, each with a home
+    shard.  This module is the pure population model the shard deployment
+    ([Rdb_shard.Deployment]) routes with:
+
+    - {e placement}: the population is split over [shards] home shards
+      with Zipfian affinity ([affinity_theta = 0] is the uniform split —
+      every shard gets exactly [population / shards], remainder to the
+      low shards, so a one-shard deployment is {e exactly} the classic
+      single-cluster population);
+    - {e cross-shard fraction}: each replacement transaction leaves its
+      home shard with probability [cross_fraction], touching one other
+      {e participant} shard through the 2PC commit protocol.
+
+    Placement is analytic (largest-remainder apportionment of Zipf
+    weights), not sampled: computing it for a ten-million-client
+    population costs O(shards), and the same parameters always give the
+    same split. *)
+
+type t
+
+val create :
+  ?affinity_theta:float ->
+  population:int ->
+  shards:int ->
+  cross_fraction:float ->
+  unit ->
+  t
+(** [affinity_theta] is the Zipf skew of shard affinity in [\[0, 1)]
+    (default [0.]: uniform — the even split).  [population >= 0],
+    [shards >= 1], [cross_fraction] in [\[0, 1\]]; [cross_fraction > 0]
+    requires [shards >= 2].  Raises [Invalid_argument] otherwise. *)
+
+val population : t -> int
+val shards : t -> int
+val cross_fraction : t -> float
+
+val per_shard : t -> int array
+(** Clients homed on each shard; entries sum to [population].  With
+    [affinity_theta = 0] this is the exact even split. *)
+
+val is_cross : t -> Rdb_des.Rng.t -> bool
+(** Draw whether the next replacement transaction is cross-shard
+    (probability [cross_fraction]; always [false] with one shard). *)
+
+val pick_participant : t -> Rdb_des.Rng.t -> home:int -> int
+(** The other shard a cross-shard transaction touches: uniform over the
+    [shards - 1] shards that are not [home]. *)

@@ -20,23 +20,20 @@ let qtest p = QCheck_alcotest.to_alcotest p
 (* Tiny and fast, with the liveness loop enabled (same base as
    test_faults). *)
 let faulty =
-  {
-    Params.default with
-    Params.n = 4;
-    clients = 400;
-    client_machines = 1;
-    batch_size = 20;
-    max_inflight_batches = 16;
-    checkpoint_txns = 400;
-    client_timeout = Sim.ms 40.0;
-    view_timeout = Sim.ms 30.0;
-    warmup = Sim.seconds 0.2;
-    measure = Sim.seconds 0.8;
-  }
+  Params.default
+  |> Params.with_n 4
+  |> Params.with_clients 400
+  |> Params.map_topology (fun t -> { t with Params.Topology.client_machines = 1 })
+  |> Params.with_batch_size 20
+  |> Params.map_consensus (fun c ->
+         { c with Params.Consensus.max_inflight_batches = 16; checkpoint_txns = 400 })
+  |> Params.with_client_timeout (Sim.ms 40.0)
+  |> Params.with_view_timeout (Sim.ms 30.0)
+  |> Params.with_windows ~warmup:(Sim.seconds 0.2) ~measure:(Sim.seconds 0.8)
 
-let zyz = { faulty with Params.protocol = Params.Zyzzyva }
+let zyz = Params.with_protocol Params.Zyzzyva faulty
 
-let multi = { faulty with Params.instances = 4 }
+let multi = Params.with_instances 4 faulty
 
 let check_safe c =
   match Cluster.check_safety c with Ok () -> () | Error e -> Alcotest.fail e
@@ -54,11 +51,9 @@ let test_forged_macs_rejected () =
      retransmitted copy skip verification — the exact laundering the
      receive path must prevent). *)
   let p =
-    {
-      faulty with
-      Params.nemesis =
-        Nemesis.corrupt_mac_window ~from_:(Sim.ms 100.0) ~until:(Sim.seconds 2.0) 1 1.0;
-    }
+    Params.with_nemesis
+      (Nemesis.corrupt_mac_window ~from_:(Sim.ms 100.0) ~until:(Sim.seconds 2.0) 1 1.0)
+      faulty
   in
   let c = Cluster.create p in
   let m = Cluster.measure c in
@@ -78,11 +73,9 @@ let test_corrupted_digests_rejected () =
      reject, and recover the batch later through vote-echo / fill-hole
      retransmission — degraded but live, and always safe. *)
   let p =
-    {
-      faulty with
-      Params.nemesis =
-        Nemesis.corrupt_digest_window ~from_:(Sim.ms 100.0) ~until:(Sim.seconds 2.0) 0 0.3;
-    }
+    Params.with_nemesis
+      (Nemesis.corrupt_digest_window ~from_:(Sim.ms 100.0) ~until:(Sim.seconds 2.0) 0 0.3)
+      faulty
   in
   let c = Cluster.create p in
   let m = Cluster.measure c in
@@ -97,10 +90,8 @@ let test_corrupted_digests_rejected () =
 
 let test_equivocation_detected () =
   let p =
-    {
-      faulty with
-      Params.nemesis = Nemesis.equivocate_window ~from_:(Sim.ms 100.0) ~until:(Sim.ms 500.0) 0;
-    }
+    Params.with_nemesis (Nemesis.equivocate_window ~from_:(Sim.ms 100.0) ~until:(Sim.ms 500.0) 0)
+      faulty
   in
   let c = Cluster.create p in
   let m = Cluster.measure c in
@@ -120,12 +111,10 @@ let test_equivocation_detected () =
 
 let test_view_change_spam_bounded () =
   let p =
-    {
-      faulty with
-      Params.nemesis =
-        Nemesis.view_change_spam_window ~from_:(Sim.ms 100.0) ~until:(Sim.ms 700.0) 3
-          ~period:(Sim.ms 2.0);
-    }
+    Params.with_nemesis
+      (Nemesis.view_change_spam_window ~from_:(Sim.ms 100.0) ~until:(Sim.ms 700.0) 3
+         ~period:(Sim.ms 2.0))
+      faulty
   in
   let c = Cluster.create p in
   let m = Cluster.measure c in
@@ -150,10 +139,9 @@ let test_silence_is_not_a_crash () =
      cannot express.  The cluster keeps its quorums and the suppressed
      sends are counted at the interposition layer. *)
   let p =
-    {
-      faulty with
-      Params.nemesis = Nemesis.silence_window ~from_:(Sim.ms 100.0) ~until:(Sim.ms 600.0) 1 [ 0 ];
-    }
+    Params.with_nemesis
+      (Nemesis.silence_window ~from_:(Sim.ms 100.0) ~until:(Sim.ms 600.0) 1 [ 0 ])
+      faulty
   in
   let c = Cluster.create p in
   let m = Cluster.measure c in
@@ -170,11 +158,9 @@ let test_zyzzyva_fast_path_collapses () =
   let healthy = Cluster.run zyz in
   let attacked =
     Cluster.run
-      {
-        zyz with
-        Params.nemesis =
-          Nemesis.corrupt_mac_window ~from_:(Sim.ms 50.0) ~until:(Sim.seconds 2.0) 3 1.0;
-      }
+      (Params.with_nemesis
+         (Nemesis.corrupt_mac_window ~from_:(Sim.ms 50.0) ~until:(Sim.seconds 2.0) 3 1.0)
+         zyz)
   in
   let ratio (m : Metrics.t) =
     if m.Metrics.completed_txns = 0 then 0.0
@@ -197,10 +183,8 @@ let test_zyzzyva_fast_path_collapses () =
 
 let test_multi_equivocation_contained () =
   let p =
-    {
-      multi with
-      Params.nemesis = Nemesis.equivocate_window ~from_:(Sim.ms 100.0) ~until:(Sim.ms 500.0) 0;
-    }
+    Params.with_nemesis (Nemesis.equivocate_window ~from_:(Sim.ms 100.0) ~until:(Sim.ms 500.0) 0)
+      multi
   in
   let c = Cluster.create p in
   let m = Cluster.measure c in
@@ -225,15 +209,13 @@ let prop_safety protocol_name base =
     (QCheck.pair arb (QCheck.int_bound 10_000))
     (fun (nemesis, seed) ->
       let p =
-        {
-          base with
-          Params.clients = 150;
-          batch_size = 10;
-          nemesis;
-          seed = Int64.of_int (seed + 11);
-          client_timeout = Sim.ms 30.0;
-          view_timeout = Sim.ms 25.0;
-        }
+        base
+        |> Params.with_clients 150
+        |> Params.with_batch_size 10
+        |> Params.with_nemesis nemesis
+        |> Params.with_seed (Int64.of_int (seed + 11))
+        |> Params.with_client_timeout (Sim.ms 30.0)
+        |> Params.with_view_timeout (Sim.ms 25.0)
       in
       let c = Cluster.create p in
       Cluster.start c;

@@ -74,15 +74,13 @@ let tiny =
     exec_threads = [ 1 ];
     backends = [ Campaign.Mem ];
     view_timeouts_ms = [ 75.0 ];
+    shard_axis = [ (1, 0.0) ];
     families = [ Nemesis.Gen.Crashes ];
     seeds = 1;
     base =
-      {
-        Campaign.quick_base with
-        Params.clients = 100;
-        warmup = Sim.seconds 0.1;
-        measure = Sim.seconds 0.3;
-      };
+      (Campaign.quick_base
+      |> Params.with_clients 100
+      |> Params.with_windows ~warmup:(Sim.seconds 0.1) ~measure:(Sim.seconds 0.3));
   }
 
 let test_expand_forces_twin () =
@@ -181,6 +179,8 @@ let cell ?(wedged = 0) ?(unsafe = 0) ?(degraded = 0) ~protocol ~family () =
     exec_threads = 1;
     backend = "mem";
     view_timeout_ms = 75.0;
+    shards = 1;
+    cross_shard = 0.0;
     family;
     runs = 3;
     safe = 3 - wedged - unsafe - degraded;

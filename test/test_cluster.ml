@@ -10,25 +10,23 @@ let check = Alcotest.check
 
 (* A small, fast configuration. *)
 let small =
-  {
-    Params.default with
-    Params.n = 4;
-    clients = 2_000;
-    warmup = Rdb_des.Sim.seconds 0.2;
-    measure = Rdb_des.Sim.seconds 0.3;
-  }
+  Params.default
+  |> Params.with_n 4
+  |> Params.with_clients 2_000
+  |> Params.with_windows ~warmup:(Rdb_des.Sim.seconds 0.2)
+       ~measure:(Rdb_des.Sim.seconds 0.3)
 
 let test_validate_rejects_bad_params () =
   Alcotest.check_raises "n too small" (Invalid_argument "Params: n must be >= 4") (fun () ->
-      Params.validate { small with Params.n = 3 });
+      Params.validate (Params.with_n 3 small));
   Alcotest.check_raises "too many exec threads"
     (Invalid_argument
        "Params: execute_threads must be in [0, 64] (E >= 2 runs the conflict-aware lane \
         scheduler; the paper's bare multi-threaded execution is never allowed because \
         unscheduled execution threads cause data conflicts)")
-    (fun () -> Params.validate { small with Params.execute_threads = 65 });
+    (fun () -> Params.validate (Params.with_execute_threads 65 small));
   Alcotest.check_raises "too many crashes" (Invalid_argument "Params: cannot crash more than f backups")
-    (fun () -> Params.validate { small with Params.crashed_backups = 2 })
+    (fun () -> Params.validate (Params.with_crashed_backups 2 small))
 
 let test_pbft_progress () =
   let m = Cluster.run small in
@@ -44,7 +42,7 @@ let test_determinism () =
     b.Metrics.throughput_tps;
   check Alcotest.int "same completions" a.Metrics.completed_txns b.Metrics.completed_txns;
   check Alcotest.int "same messages" a.Metrics.messages_sent b.Metrics.messages_sent;
-  let c = Cluster.run { small with Params.seed = 999L } in
+  let c = Cluster.run (Params.with_seed 999L small) in
   Alcotest.(check bool) "different seed may differ (jitter)" true
     (c.Metrics.completed_txns > 0)
 
@@ -59,7 +57,7 @@ let test_littles_law () =
     (implied < clients *. 1.15)
 
 let test_zyzzyva_fast_path () =
-  let m = Cluster.run { small with Params.protocol = Params.Zyzzyva } in
+  let m = Cluster.run (Params.with_protocol Params.Zyzzyva small) in
   Alcotest.(check bool) "throughput positive" true (m.Metrics.throughput_tps > 1000.0);
   check Alcotest.int "all fast path" m.Metrics.completed_txns m.Metrics.fast_path_txns;
   check Alcotest.int "no certificates needed" 0 m.Metrics.cert_path_txns
@@ -67,28 +65,24 @@ let test_zyzzyva_fast_path () =
 let test_zyzzyva_crash_forces_cert_path () =
   let m =
     Cluster.run
-      {
-        small with
-        Params.protocol = Params.Zyzzyva;
-        crashed_backups = 1;
-        warmup = Rdb_des.Sim.seconds 1.0;
-        measure = Rdb_des.Sim.seconds 1.0;
-      }
+      (small
+      |> Params.with_protocol Params.Zyzzyva
+      |> Params.with_crashed_backups 1
+      |> Params.with_windows ~warmup:(Rdb_des.Sim.seconds 1.0)
+           ~measure:(Rdb_des.Sim.seconds 1.0))
   in
   check Alcotest.int "fast path dead with one crash" 0 m.Metrics.fast_path_txns;
   Alcotest.(check bool) "certificate path used" true (m.Metrics.cert_path_txns > 0)
 
 let test_zyzzyva_crash_collapses_throughput () =
-  let healthy = Cluster.run { small with Params.protocol = Params.Zyzzyva } in
+  let healthy = Cluster.run (Params.with_protocol Params.Zyzzyva small) in
   let crashed =
     Cluster.run
-      {
-        small with
-        Params.protocol = Params.Zyzzyva;
-        crashed_backups = 1;
-        warmup = Rdb_des.Sim.seconds 1.0;
-        measure = Rdb_des.Sim.seconds 1.0;
-      }
+      (small
+      |> Params.with_protocol Params.Zyzzyva
+      |> Params.with_crashed_backups 1
+      |> Params.with_windows ~warmup:(Rdb_des.Sim.seconds 1.0)
+           ~measure:(Rdb_des.Sim.seconds 1.0))
   in
   Alcotest.(check bool)
     (Printf.sprintf "collapse: %.0f -> %.0f" healthy.Metrics.throughput_tps
@@ -98,7 +92,7 @@ let test_zyzzyva_crash_collapses_throughput () =
 
 let test_pbft_crash_keeps_throughput () =
   let healthy = Cluster.run small in
-  let crashed = Cluster.run { small with Params.crashed_backups = 1 } in
+  let crashed = Cluster.run (Params.with_crashed_backups 1 small) in
   Alcotest.(check bool)
     (Printf.sprintf "robust: %.0f -> %.0f" healthy.Metrics.throughput_tps
        crashed.Metrics.throughput_tps)
@@ -106,9 +100,7 @@ let test_pbft_crash_keeps_throughput () =
     (crashed.Metrics.throughput_tps > healthy.Metrics.throughput_tps *. 0.8)
 
 let test_batching_amortizes () =
-  let b1 =
-    Cluster.run { small with Params.batch_size = 1; clients = 500 }
-  in
+  let b1 = Cluster.run (small |> Params.with_batch_size 1 |> Params.with_clients 500) in
   let b100 = Cluster.run small in
   Alcotest.(check bool)
     (Printf.sprintf "batch 1 (%.0f) << batch 100 (%.0f)" b1.Metrics.throughput_tps
@@ -117,31 +109,22 @@ let test_batching_amortizes () =
     (b1.Metrics.throughput_tps *. 5.0 < b100.Metrics.throughput_tps)
 
 let test_threading_helps () =
-  let mono = Cluster.run { small with Params.batch_threads = 0; execute_threads = 0 } in
+  let mono =
+    Cluster.run (small |> Params.with_batch_threads 0 |> Params.with_execute_threads 0)
+  in
   let piped = Cluster.run small in
   Alcotest.(check bool) "pipeline beats monolith" true
     (piped.Metrics.throughput_tps > mono.Metrics.throughput_tps *. 1.2)
 
 let test_crypto_cost_ordering () =
-  let nosig =
-    Cluster.run
-      {
-        small with
-        Params.client_scheme = Rdb_crypto.Signer.No_sig;
-        replica_scheme = Rdb_crypto.Signer.No_sig;
-        reply_scheme = Rdb_crypto.Signer.No_sig;
-      }
+  let schemes s p =
+    Params.map_consensus
+      (fun c -> { c with Params.Consensus.client_scheme = s; replica_scheme = s; reply_scheme = s })
+      p
   in
+  let nosig = Cluster.run (schemes Rdb_crypto.Signer.No_sig small) in
   let hybrid = Cluster.run small in
-  let rsa =
-    Cluster.run
-      {
-        small with
-        Params.client_scheme = Rdb_crypto.Signer.Rsa;
-        replica_scheme = Rdb_crypto.Signer.Rsa;
-        reply_scheme = Rdb_crypto.Signer.Rsa;
-      }
-  in
+  let rsa = Cluster.run (schemes Rdb_crypto.Signer.Rsa small) in
   Alcotest.(check bool) "nosig > hybrid" true
     (nosig.Metrics.throughput_tps > hybrid.Metrics.throughput_tps);
   Alcotest.(check bool) "hybrid >> rsa" true
@@ -149,13 +132,15 @@ let test_crypto_cost_ordering () =
 
 let test_storage_cost () =
   let mem = Cluster.run small in
-  let sql = Cluster.run { small with Params.sqlite = true } in
+  let sql =
+    Cluster.run (Params.map_exec (fun e -> { e with Params.Exec.sqlite = true }) small)
+  in
   Alcotest.(check bool) "in-memory >> sqlite" true
     (mem.Metrics.throughput_tps > sql.Metrics.throughput_tps *. 4.0)
 
 let test_fewer_cores_slower () =
   let eight = Cluster.run small in
-  let one = Cluster.run { small with Params.cores = 1 } in
+  let one = Cluster.run (Params.with_cores 1 small) in
   Alcotest.(check bool) "8 cores >> 1 core" true
     (eight.Metrics.throughput_tps > one.Metrics.throughput_tps *. 2.0)
 
@@ -163,7 +148,12 @@ let test_message_size_hits_bandwidth () =
   let small_msgs = Cluster.run small in
   (* At n = 4 a batch fans out to only 3 peers, so the payload must be large
      before the egress NIC becomes the bottleneck. *)
-  let big_msgs = Cluster.run { small with Params.preprepare_payload_bytes = 400_000 } in
+  let big_msgs =
+    Cluster.run
+      (Params.map_workload
+         (fun w -> { w with Params.Workload.preprepare_payload_bytes = 400_000 })
+         small)
+  in
   Alcotest.(check bool) "64KB messages throttle throughput" true
     (big_msgs.Metrics.throughput_tps < small_msgs.Metrics.throughput_tps *. 0.8)
 
@@ -198,7 +188,7 @@ let test_ledgers_grow_consistently () =
     < m.Metrics.ledger_blocks / 2)
 
 let test_upper_bound () =
-  let p = { small with Params.clients = 20_000 } in
+  let p = Params.with_clients 20_000 small in
   let no_exec = Upper_bound.run ~p ~execute:false () in
   let exec = Upper_bound.run ~p ~execute:true () in
   Alcotest.(check bool) "no-exec above exec" true
@@ -208,7 +198,10 @@ let test_upper_bound () =
 
 let test_ops_per_txn () =
   let one = Cluster.run small in
-  let fifty = Cluster.run { small with Params.ops_per_txn = 50 } in
+  let fifty =
+    Cluster.run
+      (Params.map_workload (fun w -> { w with Params.Workload.ops_per_txn = 50 }) small)
+  in
   Alcotest.(check bool) "multi-op txns reduce txn throughput" true
     (fifty.Metrics.throughput_tps < one.Metrics.throughput_tps /. 2.0);
   (* ...but raise operation throughput (the paper's reversed trend). *)
@@ -217,7 +210,10 @@ let test_ops_per_txn () =
 
 let test_checkpointing_prunes_ledger () =
   (* Frequent checkpoints keep the retained chain near the head. *)
-  let m = Cluster.run { small with Params.checkpoint_txns = 1_000 } in
+  let m =
+    Cluster.run
+      (Params.map_consensus (fun c -> { c with Params.Consensus.checkpoint_txns = 1_000 }) small)
+  in
   Alcotest.(check bool) "ran with checkpoints" true (m.Metrics.ledger_blocks > 0)
 
 let () =

@@ -204,20 +204,18 @@ let prop_state_equivalence_zipf =
 (* ---- cluster (DES): parallel lanes complete, stay safe, shift the stages -- *)
 
 let small =
-  {
-    Params.default with
-    Params.n = 4;
-    clients = 2_000;
-    warmup = Rdb_des.Sim.seconds 0.2;
-    measure = Rdb_des.Sim.seconds 0.3;
-  }
+  Params.default
+  |> Params.with_n 4
+  |> Params.with_clients 2_000
+  |> Params.with_windows ~warmup:(Rdb_des.Sim.seconds 0.2)
+       ~measure:(Rdb_des.Sim.seconds 0.3)
 
 let stage_names (m : Metrics.t) =
   let primary = List.find (fun r -> r.Metrics.is_primary) m.Metrics.replicas in
   List.map (fun s -> s.Metrics.stage) primary.Metrics.stages
 
 let test_cluster_parallel_progress () =
-  let p = { small with Params.execute_threads = 4; instances = 2 } in
+  let p = small |> Params.with_execute_threads 4 |> Params.with_instances 2 in
   let c = Cluster.create p in
   let m = Cluster.measure c in
   Alcotest.(check bool) "completes" true (m.Metrics.completed_txns > 0);
@@ -247,7 +245,9 @@ let test_cluster_e1_legacy_layout () =
 
 let test_cluster_force_parallel () =
   (* E = 1 through the lane machinery: same protocol behaviour, one lane. *)
-  let p = { small with Params.exec_force_parallel = true } in
+  let p =
+    Params.map_exec (fun e -> { e with Params.Exec.exec_force_parallel = true }) small
+  in
   let c = Cluster.create p in
   let m = Cluster.measure c in
   Alcotest.(check bool) "completes" true (m.Metrics.completed_txns > 0);
@@ -261,7 +261,10 @@ let test_cluster_force_parallel () =
 let test_cluster_conflict_knob () =
   (* A tiny keyspace forces conflicts; the run must still complete and
      agree (the schedule degrades towards serial, never towards races). *)
-  let p = { small with Params.execute_threads = 4; exec_records = 8 } in
+  let p =
+    small |> Params.with_execute_threads 4
+    |> Params.map_exec (fun e -> { e with Params.Exec.exec_records = 8 })
+  in
   let c = Cluster.create p in
   let m = Cluster.measure c in
   Alcotest.(check bool) "completes under dense conflicts" true (m.Metrics.completed_txns > 0);
@@ -277,17 +280,15 @@ let prop_parallel_safety_under_faults =
     (QCheck.pair Testkit.arb_byzantine_schedule (QCheck.int_bound 10_000))
     (fun (schedule, seed) ->
       let p =
-        {
-          small with
-          Params.execute_threads = 4;
-          clients = 150;
-          client_timeout = Rdb_des.Sim.ms 80.0;
-          view_timeout = Rdb_des.Sim.ms 60.0;
-          nemesis = schedule;
-          seed = Int64.of_int (seed + 1);
-          warmup = Rdb_des.Sim.seconds 0.2;
-          measure = Rdb_des.Sim.seconds 0.5;
-        }
+        small
+        |> Params.with_execute_threads 4
+        |> Params.with_clients 150
+        |> Params.with_client_timeout (Rdb_des.Sim.ms 80.0)
+        |> Params.with_view_timeout (Rdb_des.Sim.ms 60.0)
+        |> Params.with_nemesis schedule
+        |> Params.with_seed (Int64.of_int (seed + 1))
+        |> Params.with_windows ~warmup:(Rdb_des.Sim.seconds 0.2)
+             ~measure:(Rdb_des.Sim.seconds 0.5)
       in
       let c = Cluster.create p in
       let _m = Cluster.measure c in

@@ -15,24 +15,21 @@ let qtest p = QCheck_alcotest.to_alcotest p
 
 (* Tiny and fast, with the liveness loop enabled. *)
 let faulty =
-  {
-    Params.default with
-    Params.n = 4;
-    clients = 400;
-    client_machines = 1;
-    batch_size = 20;
-    max_inflight_batches = 16;
-    checkpoint_txns = 400;
-    client_timeout = Sim.ms 40.0;
-    view_timeout = Sim.ms 30.0;
-    warmup = Sim.seconds 0.2;
-    measure = Sim.seconds 0.8;
-  }
+  Params.default
+  |> Params.with_n 4
+  |> Params.with_clients 400
+  |> Params.map_topology (fun t -> { t with Params.Topology.client_machines = 1 })
+  |> Params.with_batch_size 20
+  |> Params.map_consensus (fun c ->
+         { c with Params.Consensus.max_inflight_batches = 16; checkpoint_txns = 400 })
+  |> Params.with_client_timeout (Sim.ms 40.0)
+  |> Params.with_view_timeout (Sim.ms 30.0)
+  |> Params.with_windows ~warmup:(Sim.seconds 0.2) ~measure:(Sim.seconds 0.8)
 
 (* ---- deterministic regression: mid-run primary crash ---------------------- *)
 
 let test_primary_crash_recovers () =
-  let p = { faulty with Params.nemesis = Nemesis.crash_primary_at (Sim.ms 400.0) } in
+  let p = Params.with_nemesis (Nemesis.crash_primary_at (Sim.ms 400.0)) faulty in
   let m = Cluster.run p in
   Alcotest.(check bool) "at least one view change" true (m.Metrics.faults.Metrics.view_changes >= 1);
   Alcotest.(check bool) "clients retransmitted" true (m.Metrics.faults.Metrics.retransmissions > 0);
@@ -46,7 +43,7 @@ let test_primary_crash_recovers () =
   Alcotest.(check bool) "throughput recovered" true (m.Metrics.throughput_tps > 0.0)
 
 let test_primary_crash_throughput_resumes () =
-  let p = { faulty with Params.nemesis = Nemesis.crash_primary_at (Sim.ms 300.0) } in
+  let p = Params.with_nemesis (Nemesis.crash_primary_at (Sim.ms 300.0)) faulty in
   let c = Cluster.create p in
   Cluster.start c;
   let sim = Cluster.sim c in
@@ -71,11 +68,9 @@ let test_exactly_once_accounting () =
   (* Aggressive duplication + retransmission: every transaction still counts
      exactly once. *)
   let p =
-    {
-      faulty with
-      Params.duplication_rate = 0.2;
-      nemesis = Nemesis.crash_primary_at (Sim.ms 300.0);
-    }
+    faulty
+    |> Params.map_faults (fun f -> { f with Params.Faults.duplication_rate = 0.2 })
+    |> Params.with_nemesis (Nemesis.crash_primary_at (Sim.ms 300.0))
   in
   let c = Cluster.create p in
   Cluster.start c;
@@ -90,7 +85,7 @@ let test_exactly_once_accounting () =
   | Error e -> Alcotest.fail e)
 
 let test_healthy_run_reports_no_faults () =
-  let m = Cluster.run { faulty with Params.client_timeout = 0 } in
+  let m = Cluster.run (Params.with_client_timeout 0 faulty) in
   Alcotest.(check int) "no view changes" 0 m.Metrics.faults.Metrics.view_changes;
   Alcotest.(check int) "no retransmissions" 0 m.Metrics.faults.Metrics.retransmissions;
   Alcotest.(check bool) "no recovery time" true
@@ -98,10 +93,9 @@ let test_healthy_run_reports_no_faults () =
 
 let test_loss_window_recovers () =
   let p =
-    {
-      faulty with
-      Params.nemesis = Nemesis.loss_window ~from_:(Sim.ms 300.0) ~until:(Sim.ms 500.0) 0.05;
-    }
+    Params.with_nemesis
+      (Nemesis.loss_window ~from_:(Sim.ms 300.0) ~until:(Sim.ms 500.0) 0.05)
+      faulty
   in
   let m = Cluster.run p in
   Alcotest.(check bool) "messages were dropped" true (m.Metrics.faults.Metrics.msgs_dropped > 0);
@@ -119,15 +113,13 @@ let prop_safety_under_faults =
     (QCheck.pair arb_schedule (QCheck.int_bound 10_000))
     (fun (nemesis, seed) ->
       let p =
-        {
-          faulty with
-          Params.clients = 150;
-          batch_size = 10;
-          nemesis;
-          seed = Int64.of_int (seed + 7);
-          client_timeout = Sim.ms 30.0;
-          view_timeout = Sim.ms 25.0;
-        }
+        faulty
+        |> Params.with_clients 150
+        |> Params.with_batch_size 10
+        |> Params.with_nemesis nemesis
+        |> Params.with_seed (Int64.of_int (seed + 7))
+        |> Params.with_client_timeout (Sim.ms 30.0)
+        |> Params.with_view_timeout (Sim.ms 25.0)
       in
       let c = Cluster.create p in
       Cluster.start c;

@@ -281,28 +281,31 @@ let fingerprint (m : Metrics.t) =
     m.Metrics.faults.Metrics.view_changes
 
 let neutral_base =
-  {
-    Params.default with
-    Params.n = 4;
-    clients = 150;
-    client_machines = 1;
-    batch_size = 10;
-    max_inflight_batches = 16;
-    checkpoint_txns = 400;
-    client_timeout = Sim.ms 30.0;
-    view_timeout = Sim.ms 25.0;
-    warmup = Sim.seconds 0.2;
-    measure = Sim.seconds 0.5;
-    cost = free_crypto;
-  }
+  Params.default
+  |> Params.with_n 4
+  |> Params.with_clients 150
+  |> Params.map_topology (fun t -> { t with Params.Topology.client_machines = 1 })
+  |> Params.with_batch_size 10
+  |> Params.map_consensus (fun c ->
+         { c with Params.Consensus.max_inflight_batches = 16; checkpoint_txns = 400 })
+  |> Params.with_client_timeout (Sim.ms 30.0)
+  |> Params.with_view_timeout (Sim.ms 25.0)
+  |> Params.with_windows ~warmup:(Sim.seconds 0.2) ~measure:(Sim.seconds 0.5)
+  |> Params.map_exec (fun e -> { e with Params.Exec.cost = free_crypto })
+
+let with_sharing v p =
+  Params.map_consensus (fun c -> { c with Params.Consensus.verify_sharing = v }) p
 
 let prop_cache_neutral =
   QCheck.Test.make ~name:"verify-sharing: metric-neutral when crypto is free" ~count:60
     (QCheck.pair Testkit.arb_schedule (QCheck.int_bound 10_000))
     (fun (nemesis, seed) ->
-      let p = { neutral_base with Params.nemesis; seed = Int64.of_int (seed + 13) } in
-      let cached = fingerprint (Cluster.run { p with Params.verify_sharing = true }) in
-      let uncached = fingerprint (Cluster.run { p with Params.verify_sharing = false }) in
+      let p =
+        neutral_base |> Params.with_nemesis nemesis
+        |> Params.with_seed (Int64.of_int (seed + 13))
+      in
+      let cached = fingerprint (Cluster.run (with_sharing true p)) in
+      let uncached = fingerprint (Cluster.run (with_sharing false p)) in
       if String.equal cached uncached then true
       else QCheck.Test.fail_reportf "cached %s\nuncached %s" cached uncached)
 
@@ -310,19 +313,16 @@ let prop_cache_neutral =
 
 let test_verify_sharing_gain () =
   let p =
-    {
-      Params.default with
-      Params.n = 4;
-      clients = 4_000;
-      client_machines = 1;
-      warmup = Sim.seconds 0.3;
-      measure = Sim.seconds 0.7;
-    }
+    Params.default
+    |> Params.with_n 4
+    |> Params.with_clients 4_000
+    |> Params.map_topology (fun t -> { t with Params.Topology.client_machines = 1 })
+    |> Params.with_windows ~warmup:(Sim.seconds 0.3) ~measure:(Sim.seconds 0.7)
   in
   let c = Cluster.create p in
   let cached = Cluster.measure c in
   let hits, misses = Cluster.verify_cache_stats c in
-  let uncached = Cluster.run { p with Params.verify_sharing = false } in
+  let uncached = Cluster.run (with_sharing false p) in
   Alcotest.(check bool) "caches were exercised" true (hits > 0 && misses > 0);
   Alcotest.(check bool)
     (Printf.sprintf "cached %.0f >= 1.1x uncached %.0f" cached.Metrics.throughput_tps

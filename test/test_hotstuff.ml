@@ -288,20 +288,17 @@ let prop_agreement_with_crash =
 
 (* Same shape as test_byzantine's base: tiny, liveness loop on. *)
 let faulty =
-  {
-    Params.default with
-    Params.protocol = Params.Hotstuff;
-    n = 4;
-    clients = 400;
-    client_machines = 1;
-    batch_size = 20;
-    max_inflight_batches = 16;
-    checkpoint_txns = 400;
-    client_timeout = Sim.ms 40.0;
-    view_timeout = Sim.ms 30.0;
-    warmup = Sim.seconds 0.2;
-    measure = Sim.seconds 0.8;
-  }
+  Params.default
+  |> Params.with_protocol Params.Hotstuff
+  |> Params.with_n 4
+  |> Params.with_clients 400
+  |> Params.map_topology (fun t -> { t with Params.Topology.client_machines = 1 })
+  |> Params.with_batch_size 20
+  |> Params.map_consensus (fun c ->
+         { c with Params.Consensus.max_inflight_batches = 16; checkpoint_txns = 400 })
+  |> Params.with_client_timeout (Sim.ms 40.0)
+  |> Params.with_view_timeout (Sim.ms 30.0)
+  |> Params.with_windows ~warmup:(Sim.seconds 0.2) ~measure:(Sim.seconds 0.8)
 
 (* Safety under 200 random byzantine schedules: one attacker window (the
    f = (n-1)/3 bound for n = 4) mixed with benign faults — the property
@@ -311,15 +308,13 @@ let prop_safety_under_byzantine_schedules =
     (QCheck.pair Testkit.arb_byzantine_schedule (QCheck.int_bound 10_000))
     (fun (nemesis, seed) ->
       let p =
-        {
-          faulty with
-          Params.clients = 150;
-          batch_size = 10;
-          nemesis;
-          seed = Int64.of_int (seed + 11);
-          client_timeout = Sim.ms 30.0;
-          view_timeout = Sim.ms 25.0;
-        }
+        faulty
+        |> Params.with_clients 150
+        |> Params.with_batch_size 10
+        |> Params.with_nemesis nemesis
+        |> Params.with_seed (Int64.of_int (seed + 11))
+        |> Params.with_client_timeout (Sim.ms 30.0)
+        |> Params.with_view_timeout (Sim.ms 25.0)
       in
       let c = Cluster.create p in
       Cluster.start c;
@@ -352,11 +347,12 @@ let with_temp_dir f =
 let test_durable_close_reopen () =
   with_temp_dir (fun dir ->
       let p =
-        { faulty with Params.durable = true; data_dir = Some dir; measure = Sim.seconds 0.5 }
+        faulty |> Params.with_durable true |> Params.with_data_dir (Some dir)
+        |> Params.with_windows ~warmup:faulty.Params.warmup ~measure:(Sim.seconds 0.5)
       in
       let m1 = Cluster.run p in
       Alcotest.(check bool) "first lifetime appended blocks" true (m1.Metrics.ledger_blocks > 0);
-      let c2 = Cluster.create { p with Params.seed = 0x524553554D45L } in
+      let c2 = Cluster.create (Params.with_seed 0x524553554D45L p) in
       let resumed_at = Cluster.ledger_height c2 0 in
       Alcotest.(check bool) "second lifetime resumes from persisted tip" true (resumed_at > 0);
       let _m2 = Cluster.measure c2 in
@@ -368,7 +364,7 @@ let test_durable_close_reopen () =
    through Hs_qc certificates instead of Commit quorums, the lane scheduler
    downstream must not care. *)
 let test_parallel_lanes_safe () =
-  let p = { faulty with Params.execute_threads = 4 } in
+  let p = Params.with_execute_threads 4 faulty in
   let c = Cluster.create p in
   let m = Cluster.measure c in
   Alcotest.(check bool) "completes with E=4" true (m.Metrics.completed_txns > 0);

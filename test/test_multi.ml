@@ -260,23 +260,20 @@ let prop_multi_core_shuffled_delivery =
 
 (* Same shape as test_faults' [faulty], with four consensus instances. *)
 let multi_params =
-  {
-    Params.default with
-    Params.n = 4;
-    instances = 4;
-    clients = 400;
-    client_machines = 1;
-    batch_size = 20;
-    max_inflight_batches = 16;
-    checkpoint_txns = 400;
-    client_timeout = Sim.ms 40.0;
-    view_timeout = Sim.ms 30.0;
-    warmup = Sim.seconds 0.2;
-    measure = Sim.seconds 0.8;
-  }
+  Params.default
+  |> Params.with_n 4
+  |> Params.with_instances 4
+  |> Params.with_clients 400
+  |> Params.map_topology (fun t -> { t with Params.Topology.client_machines = 1 })
+  |> Params.with_batch_size 20
+  |> Params.map_consensus (fun c ->
+         { c with Params.Consensus.max_inflight_batches = 16; checkpoint_txns = 400 })
+  |> Params.with_client_timeout (Sim.ms 40.0)
+  |> Params.with_view_timeout (Sim.ms 30.0)
+  |> Params.with_windows ~warmup:(Sim.seconds 0.2) ~measure:(Sim.seconds 0.8)
 
 let test_cluster_multi_healthy () =
-  let m = Cluster.run { multi_params with Params.client_timeout = 0 } in
+  let m = Cluster.run (Params.with_client_timeout 0 multi_params) in
   Alcotest.(check bool) "made progress" true (m.Metrics.throughput_tps > 0.0);
   Alcotest.(check int) "no view changes" 0 m.Metrics.faults.Metrics.view_changes
 
@@ -296,7 +293,7 @@ let test_instance_primary_crash_recovers () =
      instance view-changes, its siblings keep their view-0 primaries, and
      completions resume once the merge hole is plugged. *)
   let p =
-    { multi_params with Params.nemesis = Nemesis.crash_instance_primary_at (Sim.ms 300.0) 2 }
+    Params.with_nemesis (Nemesis.crash_instance_primary_at (Sim.ms 300.0) 2) multi_params
   in
   let c = Cluster.create p in
   Cluster.start c;
@@ -331,15 +328,13 @@ let prop_multi_safety_under_faults =
     (QCheck.pair Testkit.arb_schedule (QCheck.int_bound 10_000))
     (fun (nemesis, seed) ->
       let p =
-        {
-          multi_params with
-          Params.clients = 150;
-          batch_size = 10;
-          nemesis;
-          seed = Int64.of_int (seed + 7);
-          client_timeout = Sim.ms 30.0;
-          view_timeout = Sim.ms 25.0;
-        }
+        multi_params
+        |> Params.with_clients 150
+        |> Params.with_batch_size 10
+        |> Params.with_nemesis nemesis
+        |> Params.with_seed (Int64.of_int (seed + 7))
+        |> Params.with_client_timeout (Sim.ms 30.0)
+        |> Params.with_view_timeout (Sim.ms 25.0)
       in
       let c = Cluster.create p in
       Cluster.start c;

@@ -354,29 +354,24 @@ let test_trace_cap_drops_counted () =
 (* ---- cluster integration ------------------------------------------------------ *)
 
 let small =
-  {
-    Params.default with
-    Params.n = 4;
-    clients = 400;
-    client_machines = 2;
-    batch_size = 20;
-    checkpoint_txns = 400;
-    warmup = Sim.seconds 0.1;
-    measure = Sim.seconds 0.25;
-  }
+  Params.default
+  |> Params.with_n 4
+  |> Params.with_clients 400
+  |> Params.map_topology (fun t -> { t with Params.Topology.client_machines = 2 })
+  |> Params.with_batch_size 20
+  |> Params.map_consensus (fun c -> { c with Params.Consensus.checkpoint_txns = 400 })
+  |> Params.with_windows ~warmup:(Sim.seconds 0.1) ~measure:(Sim.seconds 0.25)
 
 let faulted =
-  {
-    small with
-    Params.clients = 400;
-    client_timeout = Sim.ms 40.0;
-    view_timeout = Sim.ms 30.0;
-    measure = Sim.seconds 0.5;
-    nemesis = Nemesis.crash_primary_at (Sim.ms 200.0);
-  }
+  small
+  |> Params.with_clients 400
+  |> Params.with_client_timeout (Sim.ms 40.0)
+  |> Params.with_view_timeout (Sim.ms 30.0)
+  |> Params.with_windows ~warmup:small.Params.warmup ~measure:(Sim.seconds 0.5)
+  |> Params.with_nemesis (Nemesis.crash_primary_at (Sim.ms 200.0))
 
 let test_spans_telescope_to_latency () =
-  let m = Cluster.run { small with Params.trace = true } in
+  let m = Cluster.run (Params.with_trace true small) in
   check Alcotest.int "4 phases" 4 (List.length m.Metrics.spans);
   check Alcotest.(list string) "phase order" [ "batch"; "consensus"; "execute"; "reply" ]
     (List.map (fun s -> s.Metrics.phase) m.Metrics.spans);
@@ -399,7 +394,7 @@ let test_spans_telescope_to_latency () =
     Alcotest.failf "phases sum to %.12f but latency total is %.12f" phase_total lat_total
 
 let test_breakdown_rows_consistent () =
-  let m = Cluster.run { small with Params.trace = true } in
+  let m = Cluster.run (Params.with_trace true small) in
   let b = match m.Metrics.breakdown with Some b -> b | None -> Alcotest.fail "no breakdown" in
   let find label =
     match Breakdown.find b label with
@@ -433,7 +428,10 @@ let test_trace_file_valid_and_complete () =
   let path = Filename.temp_file "rdb_test_trace" ".json" in
   let csv_path = Filename.temp_file "rdb_test_series" ".csv" in
   let m =
-    Cluster.run { faulted with Params.trace_out = Some path; trace_csv = Some csv_path }
+    Cluster.run
+      (Params.map_obs
+         (fun o -> { o with Params.Obs.trace_out = Some path; trace_csv = Some csv_path })
+         faulted)
   in
   check Alcotest.bool "view changed" true (m.Metrics.faults.Metrics.view_changes >= 1);
   let read_all p =
@@ -489,15 +487,13 @@ let prop_tracing_changes_no_metric =
     QCheck.(pair (1 -- 4) (5 -- 40))
     (fun (seed, batch_size) ->
       let p =
-        {
-          small with
-          Params.batch_size;
-          seed = Int64.of_int (seed * 7919);
-          measure = Sim.seconds 0.15;
-        }
+        small
+        |> Params.with_batch_size batch_size
+        |> Params.with_seed (Int64.of_int (seed * 7919))
+        |> Params.with_windows ~warmup:small.Params.warmup ~measure:(Sim.seconds 0.15)
       in
       let off = Cluster.run p in
-      let on_ = Cluster.run { p with Params.trace = true } in
+      let on_ = Cluster.run (Params.with_trace true p) in
       off.Metrics.throughput_tps = on_.Metrics.throughput_tps
       && off.Metrics.completed_txns = on_.Metrics.completed_txns
       && off.Metrics.messages_sent = on_.Metrics.messages_sent

@@ -38,26 +38,21 @@ let with_temp_dir f =
 (* ---- DES cluster: crash + recover -> state transfer ----------------------- *)
 
 let faulted =
-  {
-    Params.default with
-    Params.clients = 2_000;
-    client_timeout = Sim.ms 200.0;
-    view_timeout = Sim.ms 100.0;
-    warmup = Sim.seconds 0.2;
-    measure = Sim.seconds 0.8;
-  }
+  Params.default
+  |> Params.with_clients 2_000
+  |> Params.with_client_timeout (Sim.ms 200.0)
+  |> Params.with_view_timeout (Sim.ms 100.0)
+  |> Params.with_windows ~warmup:(Sim.seconds 0.2) ~measure:(Sim.seconds 0.8)
 
 let victim = faulted.Params.n - 1 (* a backup: replica 0 leads view 0 *)
 
 let crash_recover p =
-  {
-    p with
-    Params.nemesis =
-      [
-        Nemesis.at_ms 300.0 (Nemesis.Crash victim);
-        Nemesis.at_ms 600.0 (Nemesis.Recover victim);
-      ];
-  }
+  Params.with_nemesis
+    [
+      Nemesis.at_ms 300.0 (Nemesis.Crash victim);
+      Nemesis.at_ms 600.0 (Nemesis.Recover victim);
+    ]
+    p
 
 let assert_caught_up c (m : Metrics.t) =
   let f = m.Metrics.faults in
@@ -72,7 +67,7 @@ let test_state_transfer_catches_up () =
   assert_caught_up c (Cluster.measure c)
 
 let test_state_transfer_durable () =
-  let c = Cluster.create (crash_recover { faulted with Params.durable = true }) in
+  let c = Cluster.create (crash_recover (Params.with_durable true faulted)) in
   assert_caught_up c (Cluster.measure c)
 
 let test_healthy_run_no_transfers () =
@@ -86,16 +81,12 @@ let test_healthy_run_no_transfers () =
 let test_durable_crash_replay_resume () =
   with_temp_dir (fun dir ->
       let p =
-        {
-          faulted with
-          Params.durable = true;
-          data_dir = Some dir;
-          measure = Sim.seconds 0.5;
-        }
+        faulted |> Params.with_durable true |> Params.with_data_dir (Some dir)
+        |> Params.with_windows ~warmup:faulted.Params.warmup ~measure:(Sim.seconds 0.5)
       in
       let m1 = Cluster.run p in
       Alcotest.(check bool) "first lifetime appended blocks" true (m1.Metrics.ledger_blocks > 0);
-      let c2 = Cluster.create { p with Params.seed = 0x524553554D45L } in
+      let c2 = Cluster.create (Params.with_seed 0x524553554D45L p) in
       let resumed_at = Cluster.ledger_height c2 0 in
       Alcotest.(check bool) "second lifetime resumes from persisted tip" true (resumed_at > 0);
       let _m2 = Cluster.measure c2 in
